@@ -1,0 +1,74 @@
+// Ablation — the two-WR (data, then sequence-number header) scheme (§4.4).
+//
+// Every application write costs two ordered RDMA WRs per peer. This
+// ablation (a) measures that overhead against a hypothetical single-WR
+// scheme, and (b) uses the model checker to show why the ordering is not
+// optional: posting the header before the data is the paper's §4.6 bug
+// and loses acknowledged data.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/harness/testbed.h"
+#include "src/modelcheck/model.h"
+
+int main() {
+  using namespace splitft;
+  bench::Title("Ablation: data+seq two-WR scheme");
+
+  // (a) Measured overhead of the second (header) WR.
+  {
+    Testbed testbed;
+    auto server = testbed.MakeServer("ab-seq", DurabilityMode::kSplitFt);
+    SplitOpenOptions opts;
+    opts.oncl = true;
+    opts.ncl_capacity = 16 << 20;
+    auto file = server->fs->Open("/wal", opts);
+    if (!file.ok()) {
+      return 1;
+    }
+    (void)(*file)->Append("warmup");
+    const int kOps = 5000;
+    SimTime t0 = testbed.sim()->Now();
+    for (int i = 0; i < kOps; ++i) {
+      (void)(*file)->Append(std::string(128, 'x'));
+    }
+    double two_wr_us = static_cast<double>(testbed.sim()->Now() - t0) /
+                       kOps / 1e3;
+    // A single-WR write would save one fabric round trip + header payload
+    // + post overhead per peer (pipelined: the saving is the serialized
+    // header WR completion on the slowest majority peer).
+    const SimParams& params = testbed.params();
+    double header_wr_us =
+        static_cast<double>(params.RdmaWriteLatency(kNclRegionHeaderBytes) +
+                            params.rdma.post_overhead) /
+        1e3;
+    std::printf("  two-WR write latency (128B):        %.2f us\n", two_wr_us);
+    std::printf("  est. single-WR (unsafe) latency:    %.2f us\n",
+                two_wr_us - header_wr_us);
+    std::printf("  overhead of the sequence-number WR: %.2f us (%.0f%%)\n",
+                header_wr_us, header_wr_us / two_wr_us * 100.0);
+  }
+
+  // (b) Why it must be ordered data-then-header: model check both orders.
+  bench::Rule();
+  McConfig config;
+  config.max_writes = 2;
+  config.max_states = 2'000'000;
+  McResult safe = CheckNcl(config);
+  config.bug_seq_before_data = true;
+  McResult buggy = CheckNcl(config);
+  std::printf("  model check, safe order (data->seq):   %llu states, %s\n",
+              static_cast<unsigned long long>(safe.states_explored),
+              safe.violation_found ? "VIOLATION" : "no violations");
+  std::printf("  model check, bug order (seq->data):    %llu states, %s\n",
+              static_cast<unsigned long long>(buggy.states_explored),
+              buggy.violation_found ? "violation found (expected)"
+                                    : "NO VIOLATION (unexpected!)");
+  if (buggy.violation_found) {
+    std::printf("    -> %s\n", buggy.violation.c_str());
+  }
+  bench::Note("the ~30%% latency cost of the header WR buys the max-seq "
+              "recovery rule its correctness (§4.4, §4.6)");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared reporting helpers for the paper-reproduction benches. Each bench
+// binary regenerates one table or figure from the paper and prints the
+// same rows/series the paper reports (§5), in virtual time.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace splitft {
+namespace bench {
+
+inline void Title(const std::string& what) {
+  std::printf("\n==== %s ====\n", what.c_str());
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+inline void Rule() {
+  std::printf(
+      "  ------------------------------------------------------------------"
+      "\n");
+}
+
+}  // namespace bench
+}  // namespace splitft
+
+#endif  // BENCH_BENCH_UTIL_H_

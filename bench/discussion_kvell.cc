@@ -1,0 +1,91 @@
+// Discussion (§6) — NCL as a random-write absorber for non-logging stores.
+//
+// KVell-mini performs small random in-place writes with no log. On the
+// dfs, per-write durability is catastrophic; with NCL absorbing the small
+// writes (fine-grained splitting), the store keeps its no-log design and
+// gains strong durability at near-memory latency.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/kvell/kvell_mini.h"
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/harness/testbed.h"
+
+namespace splitft {
+namespace {
+
+struct Point {
+  double tput_kops;
+  double mean_us;
+  double recovery_ms;
+};
+
+Point Run(DurabilityMode mode) {
+  Testbed testbed;
+  std::string app = "kvell-" + std::string(DurabilityModeName(mode));
+  KvellOptions options;
+  options.mode = mode;
+  options.slot_count = 16384;
+  options.journal_bytes = 8 << 20;
+
+  Point point{};
+  {
+    auto server = testbed.MakeServer(app, mode, 16 << 20);
+    auto store = KvellMini::Open(server->fs.get(), testbed.sim(),
+                                 &testbed.params(), options);
+    if (!store.ok()) {
+      return point;
+    }
+    Rng rng(42);
+    const int kOps = mode == DurabilityMode::kStrong ? 2000 : 20000;
+    SimTime t0 = testbed.sim()->Now();
+    for (int i = 0; i < kOps; ++i) {
+      std::string key = "key-" + std::to_string(rng.Uniform(8192));
+      (void)(*store)->Put(key, std::string(100, 'v'));
+    }
+    SimTime elapsed = testbed.sim()->Now() - t0;
+    point.tput_kops = static_cast<double>(kOps) /
+                      (static_cast<double>(elapsed) / 1e9) / 1000.0;
+    point.mean_us = static_cast<double>(elapsed) / kOps / 1e3;
+    if (mode == DurabilityMode::kWeak) {
+      server->dfs->BackgroundFlushAll();
+    }
+    testbed.CrashServer(server.get());
+  }
+  testbed.sim()->RunUntilIdle();
+  auto server = testbed.MakeServer(app, mode, 16 << 20);
+  SimTime t0 = testbed.sim()->Now();
+  auto store = KvellMini::Open(server->fs.get(), testbed.sim(),
+                               &testbed.params(), options);
+  if (store.ok()) {
+    point.recovery_ms =
+        static_cast<double>(testbed.sim()->Now() - t0) / 1e6;
+  }
+  return point;
+}
+
+}  // namespace
+}  // namespace splitft
+
+int main() {
+  using namespace splitft;
+  bench::Title("Discussion (SS6): NCL absorbing random writes (KVell-mini)");
+  bench::Note("no-log store, small random in-place writes, durable per put");
+  std::printf("  %-9s %14s %12s %14s\n", "config", "tput KOps/s", "mean us",
+              "recovery ms");
+  bench::Rule();
+  for (DurabilityMode mode :
+       {DurabilityMode::kStrong, DurabilityMode::kWeak,
+        DurabilityMode::kSplitFt}) {
+    Point p = Run(mode);
+    std::printf("  %-9s %14.1f %12.1f %14.1f\n",
+                std::string(DurabilityModeName(mode)).c_str(), p.tput_kops,
+                p.mean_us, p.recovery_ms);
+  }
+  bench::Rule();
+  bench::Note("expected: strong is limited to ~1/2.1ms per random write; "
+              "splitft absorbs them in the NCL journal at weak-like "
+              "latency while remaining crash-safe");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 8 — Write Latency, Embedded Mode.
+//
+// A single-threaded benchmark sequentially writes a 100 MB file with write
+// sizes from 128 B to 8 KB, embedded (no client/server network):
+//   * strong-bench DFS: fdatasync after every write;
+//   * weak-bench DFS:   buffered writes, no flush;
+//   * NCL:              every write synchronously replicated to 3 peers.
+// The paper measures NCL at ~4.6 us and weak at ~1.2 us for 128 B writes,
+// with strong two-plus orders of magnitude slower.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/bytes.h"
+#include "src/harness/testbed.h"
+
+namespace splitft {
+namespace {
+
+constexpr uint64_t kFileBytes = 100ull << 20;
+// Cap the op count per series so the bench stays fast; latency is an
+// average per write either way.
+constexpr uint64_t kMaxOps = 20000;
+
+double DfsSeries(Testbed* testbed, uint64_t size, bool sync_each) {
+  DfsClient client(testbed->dfs_cluster(),
+                   std::string("fig8-") + (sync_each ? "strong" : "weak") +
+                       std::to_string(size));
+  auto file = client.Open("/fig8-" + std::to_string(size) +
+                          (sync_each ? "s" : "w"));
+  if (!file.ok()) {
+    return 0;
+  }
+  uint64_t ops = std::min(kMaxOps, kFileBytes / size);
+  std::string payload(size, 'x');
+  SimTime t0 = testbed->sim()->Now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    (void)(*file)->Append(payload);
+    if (sync_each) {
+      (void)(*file)->Sync();
+    }
+  }
+  SimTime elapsed = testbed->sim()->Now() - t0;
+  return static_cast<double>(elapsed) / static_cast<double>(ops) / 1e3;  // us
+}
+
+double NclSeries(Testbed* testbed, uint64_t size) {
+  uint64_t ops_planned = std::min(kMaxOps, kFileBytes / size);
+  auto server = testbed->MakeServer("fig8-ncl-" + std::to_string(size),
+                                    DurabilityMode::kSplitFt);
+  SplitOpenOptions opts;
+  opts.oncl = true;
+  opts.ncl_capacity = ops_planned * size + (1 << 20);
+  auto file = server->fs->Open("/fig8-ncl-" + std::to_string(size), opts);
+  if (!file.ok()) {
+    std::fprintf(stderr, "ncl open failed: %s\n",
+                 file.status().ToString().c_str());
+    return 0;
+  }
+  uint64_t ops = std::min(kMaxOps, kFileBytes / size);
+  std::string payload(size, 'x');
+  SimTime t0 = testbed->sim()->Now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    (void)(*file)->Append(payload);
+  }
+  SimTime elapsed = testbed->sim()->Now() - t0;
+  return static_cast<double>(elapsed) / static_cast<double>(ops) / 1e3;
+}
+
+}  // namespace
+}  // namespace splitft
+
+int main() {
+  using namespace splitft;
+  bench::Title("Figure 8: write latency vs size, embedded mode");
+  std::printf("  %-10s %18s %18s %18s\n", "size", "strong-bench DFS (us)",
+              "weak-bench DFS (us)", "NCL (us)");
+  bench::Rule();
+  Testbed testbed;
+  for (uint64_t size : {128ull, 256ull, 512ull, 1024ull, 2048ull, 4096ull,
+                        8192ull}) {
+    double strong = DfsSeries(&testbed, size, /*sync_each=*/true);
+    double weak = DfsSeries(&testbed, size, /*sync_each=*/false);
+    double ncl = NclSeries(&testbed, size);
+    std::printf("  %-10s %18.1f %18.2f %18.2f\n", HumanBytes(size).c_str(),
+                strong, weak, ncl);
+  }
+  bench::Rule();
+  bench::Note("paper @128B: strong ~2200us, weak ~1.2us, NCL ~4.6us");
+  return 0;
+}

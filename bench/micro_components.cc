@@ -1,0 +1,141 @@
+// Real-CPU microbenchmarks (google-benchmark) for the hot components of
+// the library: checksums, PRNG/workload generation, the simulated fabric's
+// post/poll path, histogram recording, and the storage formats. These
+// measure actual wall-clock cost (not virtual time) and guard against
+// performance regressions in the simulator itself.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "src/apps/kvstore/sstable.h"
+#include "src/apps/kvstore/wal.h"
+#include "src/common/crc32c.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/controller/znode_store.h"
+#include "src/modelcheck/model.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/simulation.h"
+#include "src/workload/ycsb.h"
+
+namespace splitft {
+namespace {
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(128)->Arg(4096)->Arg(65536);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ZipfianGenerator gen(static_cast<uint64_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next(&rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext)->Arg(10000)->Arg(1000000);
+
+void BM_YcsbOp(benchmark::State& state) {
+  YcsbWorkload workload(YcsbWorkloadKind::kA, 100000, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.Next());
+  }
+}
+BENCHMARK(BM_YcsbOp);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Add(static_cast<int64_t>(rng.Uniform(1000000)));
+  }
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_SimulationEvent(benchmark::State& state) {
+  Simulation sim;
+  for (auto _ : state) {
+    sim.Schedule(1, [] {});
+    sim.RunOne();
+  }
+}
+BENCHMARK(BM_SimulationEvent);
+
+void BM_FabricWritePostPoll(benchmark::State& state) {
+  Simulation sim;
+  SimParams params;
+  Fabric fabric(&sim, &params);
+  NodeId a = fabric.AddNode("a");
+  NodeId b = fabric.AddNode("b");
+  auto rkey = fabric.RegisterRegion(b, 1 << 20);
+  QueuePair qp(&fabric, a, b);
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  Completion c;
+  for (auto _ : state) {
+    qp.PostWrite(*rkey, 0, payload);
+    while (!qp.PollCq(&c)) {
+      sim.RunOne();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FabricWritePostPoll)->Arg(128)->Arg(4096);
+
+void BM_WalEncodeReplay(benchmark::State& state) {
+  std::vector<KvWrite> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back({YcsbWorkload::KeyFor(static_cast<uint64_t>(i)),
+                     std::string(100, 'v')});
+  }
+  for (auto _ : state) {
+    std::string record = WriteAheadLog::EncodeRecord(batch);
+    int n = WriteAheadLog::Replay(record, [](auto, auto) {});
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_WalEncodeReplay);
+
+void BM_ZnodeStoreOps(benchmark::State& state) {
+  ZnodeStore store;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    std::string path = "/peers/p" + std::to_string(i % 64);
+    (void)store.Create(path, "x");
+    benchmark::DoNotOptimize(store.Get(path));
+    (void)store.Delete(path);
+    i++;
+  }
+}
+BENCHMARK(BM_ZnodeStoreOps);
+
+void BM_ModelCheckTiny(benchmark::State& state) {
+  for (auto _ : state) {
+    McConfig config;
+    config.max_writes = 1;
+    config.max_peer_crashes = 1;
+    config.max_app_crashes = 1;
+    McResult r = CheckNcl(config);
+    benchmark::DoNotOptimize(r.states_explored);
+  }
+}
+BENCHMARK(BM_ModelCheckTiny);
+
+}  // namespace
+}  // namespace splitft
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Table 1 — Cost of Strong Guarantees.
+//
+// RocksDB(-mini) on the simulated CephFS, write-only workload, 12 clients:
+// weak (buffered log writes) vs strong (fsync per group commit). The paper
+// reports a ~54x throughput drop and ~92x latency increase for strong.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/bytes.h"
+#include "src/harness/closed_loop.h"
+#include "src/harness/testbed.h"
+
+namespace splitft {
+namespace {
+
+HarnessResult RunMode(DurabilityMode mode, uint64_t target_ops) {
+  Testbed testbed;
+  auto server = testbed.MakeServer(
+      "kv-" + std::string(DurabilityModeName(mode)), mode, 32ull << 20);
+  KvStoreOptions options;
+  options.mode = mode;
+  auto store = testbed.StartKvStore(server.get(), options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 store.status().ToString().c_str());
+    return {};
+  }
+  (void)Testbed::LoadRecords(store->get(), 20000);
+
+  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, 20000, 42);
+  HarnessOptions harness_options;
+  harness_options.num_clients = 12;  // as in Table 1
+  harness_options.target_ops = target_ops;
+  ClosedLoopHarness harness(testbed.sim(), store->get(), &workload,
+                            harness_options);
+  return harness.Run();
+}
+
+}  // namespace
+}  // namespace splitft
+
+int main() {
+  using namespace splitft;
+  bench::Title("Table 1: Cost of Strong Guarantees (RocksDB-mini, dfs)");
+  bench::Note("write-only workload, 12 clients, 24B keys / 100B values");
+  std::printf("  %-14s %20s %20s\n", "Configuration", "Throughput (KOps/s)",
+              "Avg. Latency (us)");
+  bench::Rule();
+
+  HarnessResult weak = RunMode(DurabilityMode::kWeak, 120000);
+  HarnessResult strong = RunMode(DurabilityMode::kStrong, 20000);
+
+  std::printf("  %-14s %20.0f %20.0f\n", "Weak", weak.throughput_kops,
+              weak.latency.Mean() / 1e3);
+  std::printf("  %-14s %20.0f %20.0f\n", "Strong", strong.throughput_kops,
+              strong.latency.Mean() / 1e3);
+  bench::Rule();
+  std::printf("  throughput drop: %.0fx   latency increase: %.0fx\n",
+              weak.throughput_kops / strong.throughput_kops,
+              strong.latency.Mean() / weak.latency.Mean());
+  bench::Note("paper: 54x throughput drop, 92x latency increase");
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "src/apps/kvell/kvell_mini.h"
+
+#include "src/common/bytes.h"
+#include "src/common/logging.h"
+
+namespace splitft {
+
+KvellMini::KvellMini(SplitFs* fs, Simulation* sim, const SimParams* params,
+                     KvellOptions options)
+    : fs_(fs), sim_(sim), params_(params), options_(std::move(options)) {}
+
+KvellMini::~KvellMini() = default;
+
+Result<std::unique_ptr<KvellMini>> KvellMini::Open(SplitFs* fs,
+                                                   Simulation* sim,
+                                                   const SimParams* params,
+                                                   KvellOptions options) {
+  std::unique_ptr<KvellMini> store(
+      new KvellMini(fs, sim, params, std::move(options)));
+  SplitOpenOptions opts;
+  if (store->options_.mode == DurabilityMode::kSplitFt) {
+    // §6: absorb the small random writes in an NCL journal; checkpoints
+    // stream the merged image to the dfs as one large write.
+    opts.fine_grained = true;
+    opts.small_write_threshold = store->options_.slot_bytes + 1;
+    opts.ncl_capacity = store->options_.journal_bytes;
+  }
+  auto data = fs->Open(store->options_.dir + "/data", opts);
+  if (!data.ok()) {
+    return data.status();
+  }
+  store->data_ = std::move(*data);
+  RETURN_IF_ERROR(store->RebuildIndexFromFile());
+  return store;
+}
+
+std::string KvellMini::EncodeSlot(std::string_view key, std::string_view value,
+                                  bool used) const {
+  std::string slot;
+  slot.reserve(options_.slot_bytes);
+  slot.push_back(used ? 1 : 0);
+  PutLengthPrefixed(&slot, key);
+  PutLengthPrefixed(&slot, value);
+  if (slot.size() > options_.slot_bytes) {
+    return {};  // caller validates
+  }
+  slot.resize(options_.slot_bytes, '\0');
+  return slot;
+}
+
+Status KvellMini::RebuildIndexFromFile() {
+  // Scan every slot of the recovered image (KVell rebuilds its in-memory
+  // index by scanning at startup).
+  uint64_t size = data_->Size();
+  sim_->Advance(static_cast<SimTime>(size) * params_->cpu.parse_log_per_byte_ns);
+  auto raw = data_->Read(0, size);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  next_fresh_slot_ = 0;
+  for (uint64_t slot = 0; slot * options_.slot_bytes < raw->size(); ++slot) {
+    std::string_view bytes(*raw);
+    bytes = bytes.substr(slot * options_.slot_bytes,
+                         options_.slot_bytes);
+    if (bytes.empty() || bytes[0] != 1) {
+      free_slots_.push_back(slot);
+      next_fresh_slot_ = std::max(next_fresh_slot_, slot + 1);
+      continue;
+    }
+    size_t off = 1;
+    std::string_view key, value;
+    if (!GetLengthPrefixed(bytes, &off, &key) ||
+        !GetLengthPrefixed(bytes, &off, &value)) {
+      return DataLossError("corrupt kvell slot " + std::to_string(slot));
+    }
+    index_[std::string(key)] = slot;
+    next_fresh_slot_ = std::max(next_fresh_slot_, slot + 1);
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> KvellMini::SlotFor(std::string_view key, bool allocate) {
+  auto it = index_.find(std::string(key));
+  if (it != index_.end()) {
+    return it->second;
+  }
+  if (!allocate) {
+    return NotFoundError("no such key");
+  }
+  if (!free_slots_.empty()) {
+    uint64_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  if (next_fresh_slot_ >= options_.slot_count) {
+    return ResourceExhaustedError("kvell data file full");
+  }
+  return next_fresh_slot_++;
+}
+
+Status KvellMini::Put(std::string_view key, std::string_view value) {
+  sim_->Advance(params_->cpu.kv_op);
+  std::string slot_bytes = EncodeSlot(key, value, /*used=*/true);
+  if (slot_bytes.empty()) {
+    return InvalidArgumentError("record exceeds the slot size");
+  }
+  ASSIGN_OR_RETURN(uint64_t slot, SlotFor(key, /*allocate=*/true));
+  // One small random in-place write, made durable per the mode.
+  RETURN_IF_ERROR(data_->WriteAt(slot * options_.slot_bytes, slot_bytes));
+  if (options_.mode == DurabilityMode::kStrong) {
+    RETURN_IF_ERROR(data_->Sync());
+  }
+  index_[std::string(key)] = slot;
+  return OkStatus();
+}
+
+Status KvellMini::Delete(std::string_view key) {
+  sim_->Advance(params_->cpu.kv_op);
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    return NotFoundError("no such key");
+  }
+  uint64_t slot = it->second;
+  std::string empty(options_.slot_bytes, '\0');
+  RETURN_IF_ERROR(data_->WriteAt(slot * options_.slot_bytes, empty));
+  if (options_.mode == DurabilityMode::kStrong) {
+    RETURN_IF_ERROR(data_->Sync());
+  }
+  index_.erase(it);
+  free_slots_.push_back(slot);
+  return OkStatus();
+}
+
+Result<std::string> KvellMini::Get(std::string_view key) {
+  sim_->Advance(params_->cpu.kv_op);
+  ASSIGN_OR_RETURN(uint64_t slot, SlotFor(key, /*allocate=*/false));
+  auto raw = data_->Read(slot * options_.slot_bytes, options_.slot_bytes);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  if (raw->empty() || (*raw)[0] != 1) {
+    return DataLossError("index points at an empty slot");
+  }
+  size_t off = 1;
+  std::string_view k, v;
+  if (!GetLengthPrefixed(*raw, &off, &k) ||
+      !GetLengthPrefixed(*raw, &off, &v) || k != key) {
+    return DataLossError("slot contents do not match the index");
+  }
+  return std::string(v);
+}
+
+}  // namespace splitft

@@ -1,0 +1,389 @@
+#include "src/apps/kvstore/kv_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace splitft {
+namespace {
+
+// Parses the trailing integer id out of "/kv/wal-000042" style paths.
+bool ParseTrailingId(const std::string& path, const std::string& prefix,
+                     uint64_t* id) {
+  if (path.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  const std::string digits = path.substr(prefix.size());
+  if (digits.empty()) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *id = v;
+  return true;
+}
+
+}  // namespace
+
+std::string_view DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kWeak:
+      return "weak";
+    case DurabilityMode::kStrong:
+      return "strong";
+    case DurabilityMode::kSplitFt:
+      return "splitft";
+  }
+  return "?";
+}
+
+KvStore::KvStore(SplitFs* fs, Simulation* sim, const SimParams* params,
+                 KvStoreOptions options)
+    : fs_(fs),
+      sim_(sim),
+      params_(params),
+      options_(std::move(options)),
+      block_cache_(std::make_unique<LruCache>(options_.block_cache_bytes)) {}
+
+KvStore::~KvStore() = default;
+
+std::string KvStore::WalPath(uint64_t id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/wal-%06" PRIu64, id);
+  return options_.dir + buf;
+}
+
+std::string KvStore::SstPath(int level, uint64_t id) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "/sst-L%d-%06" PRIu64, level, id);
+  return options_.dir + buf;
+}
+
+Result<std::unique_ptr<SplitFile>> KvStore::OpenWalFile(
+    const std::string& path, bool create) {
+  SplitOpenOptions opts;
+  opts.create = create;
+  opts.oncl = options_.mode == DurabilityMode::kSplitFt;
+  opts.ncl_capacity = options_.wal_capacity;
+  return fs_->Open(path, opts);
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(SplitFs* fs, Simulation* sim,
+                                               const SimParams* params,
+                                               KvStoreOptions options) {
+  std::unique_ptr<KvStore> store(
+      new KvStore(fs, sim, params, std::move(options)));
+  RETURN_IF_ERROR(store->RecoverExistingState());
+  return store;
+}
+
+Status KvStore::RecoverExistingState() {
+  // 1. Load sstables (L1 then L0 naming) from the dfs namespace.
+  std::vector<std::pair<uint64_t, std::string>> l0_paths, l1_paths;
+  for (const std::string& path : fs_->dfs()->List(options_.dir + "/sst-")) {
+    uint64_t id = 0;
+    if (ParseTrailingId(path, options_.dir + "/sst-L0-", &id)) {
+      l0_paths.emplace_back(id, path);
+      next_file_id_ = std::max(next_file_id_, id + 1);
+    } else if (ParseTrailingId(path, options_.dir + "/sst-L1-", &id)) {
+      l1_paths.emplace_back(id, path);
+      next_file_id_ = std::max(next_file_id_, id + 1);
+    }
+  }
+  std::sort(l0_paths.begin(), l0_paths.end());
+  std::sort(l1_paths.begin(), l1_paths.end());
+  auto open_table = [&](const std::string& path)
+      -> Result<std::unique_ptr<SstableReader>> {
+    SplitOpenOptions opts;
+    opts.create = false;
+    auto file = fs_->Open(path, opts);
+    if (!file.ok()) {
+      return file.status();
+    }
+    return SstableReader::Open(std::move(*file), block_cache_.get());
+  };
+  // L0 is kept newest-first.
+  for (auto it = l0_paths.rbegin(); it != l0_paths.rend(); ++it) {
+    ASSIGN_OR_RETURN(auto table, open_table(it->second));
+    level0_.push_back(std::move(table));
+  }
+  for (const auto& [id, path] : l1_paths) {
+    ASSIGN_OR_RETURN(auto table, open_table(path));
+    level1_.push_back(std::move(table));
+  }
+
+  // 2. Replay WALs. In SplitFT mode live logs are in NCL; otherwise they
+  // are dfs files.
+  std::vector<std::pair<uint64_t, std::string>> wals;
+  std::vector<std::string> wal_paths =
+      options_.mode == DurabilityMode::kSplitFt ? fs_->ncl()->ListFiles()
+                                                : fs_->dfs()->List(
+                                                      options_.dir + "/wal-");
+  for (const std::string& path : wal_paths) {
+    uint64_t id = 0;
+    if (ParseTrailingId(path, options_.dir + "/wal-", &id)) {
+      wals.emplace_back(id, path);
+      next_file_id_ = std::max(next_file_id_, id + 1);
+    }
+  }
+  std::sort(wals.begin(), wals.end());
+  for (size_t i = 0; i < wals.size(); ++i) {
+    const std::string& path = wals[i].second;
+    ASSIGN_OR_RETURN(auto file, OpenWalFile(path, /*create=*/false));
+    auto raw = file->Read(0, file->Size());
+    if (!raw.ok()) {
+      return raw.status();
+    }
+    // Application-level parse cost of the replay (Fig 11b's "parse").
+    sim_->Advance(static_cast<SimTime>(raw->size()) *
+                  params_->cpu.parse_log_per_byte_ns);
+    recovered_batches_ += static_cast<uint64_t>(
+        WriteAheadLog::Replay(*raw, [this](std::string_view k,
+                                           std::string_view v) {
+          auto [it, inserted] = memtable_.try_emplace(std::string(k));
+          if (!inserted) {
+            memtable_bytes_ -= it->second.size() + it->first.size();
+          }
+          it->second = std::string(v);
+          memtable_bytes_ += k.size() + v.size();
+        }));
+    if (i + 1 == wals.size()) {
+      // Continue appending to the most recent log.
+      wal_ = std::make_unique<WriteAheadLog>(std::move(file));
+    } else {
+      // Older logs should have been deleted at flush time; clean strays.
+      file.reset();
+      (void)fs_->Unlink(path);
+    }
+  }
+  if (wal_ != nullptr) {
+    return OkStatus();
+  }
+  return RotateWal();
+}
+
+Status KvStore::RotateWal() {
+  std::string path = WalPath(next_file_id_++);
+  ASSIGN_OR_RETURN(auto file, OpenWalFile(path, /*create=*/true));
+  wal_ = std::make_unique<WriteAheadLog>(std::move(file));
+  return OkStatus();
+}
+
+namespace {
+
+std::vector<KvWrite> TagValues(const std::vector<KvWrite>& batch, char tag) {
+  std::vector<KvWrite> tagged;
+  tagged.reserve(batch.size());
+  for (const KvWrite& w : batch) {
+    tagged.push_back(KvWrite{w.key, std::string(1, tag) + w.value});
+  }
+  return tagged;
+}
+
+}  // namespace
+
+Status KvStore::ApplyWriteBatch(const std::vector<KvWrite>& batch) {
+  auto done = ApplyBatchInternal(TagValues(batch, kValueTag),
+                                 /*deferred=*/false);
+  return done.ok() ? OkStatus() : done.status();
+}
+
+Result<SimTime> KvStore::ApplyWriteBatchDeferred(
+    const std::vector<KvWrite>& batch) {
+  return ApplyBatchInternal(TagValues(batch, kValueTag), /*deferred=*/true);
+}
+
+Status KvStore::Delete(std::string_view key) {
+  auto done = ApplyBatchInternal(
+      {KvWrite{std::string(key), std::string(1, kTombstoneTag)}},
+      /*deferred=*/false);
+  return done.ok() ? OkStatus() : done.status();
+}
+
+Result<SimTime> KvStore::ApplyBatchInternal(const std::vector<KvWrite>& batch,
+                                            bool deferred) {
+  if (batch.empty()) {
+    return SimTime{0};
+  }
+  // Per-request server CPU cost.
+  sim_->Advance(params_->cpu.kv_op * static_cast<SimTime>(batch.size()));
+  // One log write for the whole batch (application-level batching, §5).
+  // With `deferred`, the flush overlaps subsequent work: the commit
+  // pipeline is busy until the returned time but the server keeps serving.
+  bool sync_now = sync_wal() && !deferred;
+  Status appended = wal_->AppendBatch(batch, sync_now);
+  if (appended.code() == StatusCode::kResourceExhausted) {
+    // NCL log full before the memtable tripped: flush early and retry.
+    RETURN_IF_ERROR(FlushMemtable());
+    appended = wal_->AppendBatch(batch, sync_now);
+  }
+  RETURN_IF_ERROR(appended);
+  SimTime durable_at = 0;
+  if (sync_wal() && deferred) {
+    auto done = wal_->file()->SyncDeferred();
+    if (!done.ok()) {
+      return done.status();
+    }
+    durable_at = *done;
+  }
+  for (const KvWrite& w : batch) {
+    auto [it, inserted] = memtable_.try_emplace(w.key);
+    if (!inserted) {
+      memtable_bytes_ -= it->first.size() + it->second.size();
+    }
+    it->second = w.value;
+    memtable_bytes_ += w.key.size() + w.value.size();
+  }
+  RETURN_IF_ERROR(MaybeFlushAndCompact());
+  return durable_at;
+}
+
+Status KvStore::Put(std::string_view key, std::string_view value) {
+  return ApplyWriteBatch({KvWrite{std::string(key), std::string(value)}});
+}
+
+namespace {
+
+// Decodes a tagged value: tombstone -> kNotFound, value -> the user bytes.
+Result<std::string> DecodeTagged(std::string_view encoded) {
+  if (encoded.empty()) {
+    return DataLossError("empty tagged value");
+  }
+  if (encoded[0] == 0) {
+    return NotFoundError("key deleted");
+  }
+  return std::string(encoded.substr(1));
+}
+
+}  // namespace
+
+Status KvStore::MaybeFlushAndCompact() {
+  if (memtable_bytes_ >= options_.memtable_bytes) {
+    // Write stall: too many L0 files while the dfs backend is still busy
+    // with earlier flushes — the writer must wait (§5.2).
+    if (static_cast<int>(level0_.size()) >= options_.l0_stall_trigger) {
+      sim_->AdvanceTo(fs_->dfs()->cluster()->pipe_busy_until());
+    }
+    RETURN_IF_ERROR(FlushMemtable());
+  }
+  if (static_cast<int>(level0_.size()) >= options_.l0_compaction_trigger) {
+    RETURN_IF_ERROR(Compact());
+  }
+  return OkStatus();
+}
+
+Status KvStore::FlushMemtable() {
+  if (memtable_.empty()) {
+    return OkStatus();
+  }
+  std::string path = SstPath(0, next_file_id_++);
+  SplitOpenOptions opts;
+  auto file = fs_->Open(path, opts);
+  if (!file.ok()) {
+    return file.status();
+  }
+  RETURN_IF_ERROR(SstableBuilder::Write(file->get(), memtable_));
+  SplitOpenOptions ropts;
+  ropts.create = false;
+  auto rfile = fs_->Open(path, ropts);
+  if (!rfile.ok()) {
+    return rfile.status();
+  }
+  ASSIGN_OR_RETURN(auto reader,
+                   SstableReader::Open(std::move(*rfile), block_cache_.get()));
+  level0_.insert(level0_.begin(), std::move(reader));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  // The log's contents are now captured by the sstable: garbage collect by
+  // deleting the log and starting a fresh one (Table 2).
+  std::string old_wal = wal_->path();
+  wal_.reset();
+  RETURN_IF_ERROR(fs_->Unlink(old_wal));
+  return RotateWal();
+}
+
+Status KvStore::Compact() {
+  // Merge newest-to-oldest so newer values win, then rewrite L1.
+  std::map<std::string, std::string> merged;
+  for (auto& table : level0_) {
+    RETURN_IF_ERROR(table->MergeInto(&merged));
+  }
+  for (auto& table : level1_) {
+    RETURN_IF_ERROR(table->MergeInto(&merged));
+  }
+  // The merge reaches the bottom of the tree: tombstones have shadowed
+  // every older value and can be dropped.
+  for (auto it = merged.begin(); it != merged.end();) {
+    if (!it->second.empty() && it->second[0] == kTombstoneTag) {
+      it = merged.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::vector<std::string> obsolete;
+  for (auto& table : level0_) {
+    obsolete.push_back(table->path());
+  }
+  for (auto& table : level1_) {
+    obsolete.push_back(table->path());
+  }
+  level0_.clear();
+  level1_.clear();
+
+  std::string path = SstPath(1, next_file_id_++);
+  SplitOpenOptions opts;
+  auto file = fs_->Open(path, opts);
+  if (!file.ok()) {
+    return file.status();
+  }
+  RETURN_IF_ERROR(SstableBuilder::Write(file->get(), merged));
+  SplitOpenOptions ropts;
+  ropts.create = false;
+  auto rfile = fs_->Open(path, ropts);
+  if (!rfile.ok()) {
+    return rfile.status();
+  }
+  ASSIGN_OR_RETURN(auto reader,
+                   SstableReader::Open(std::move(*rfile), block_cache_.get()));
+  level1_.push_back(std::move(reader));
+  for (const std::string& old : obsolete) {
+    (void)fs_->Unlink(old);
+  }
+  return OkStatus();
+}
+
+Result<std::string> KvStore::Get(std::string_view key) {
+  sim_->Advance(params_->cpu.kv_op);
+  auto it = memtable_.find(std::string(key));
+  if (it != memtable_.end()) {
+    return DecodeTagged(it->second);
+  }
+  for (auto& table : level0_) {
+    auto v = table->Get(key);
+    if (v.ok()) {
+      return DecodeTagged(*v);
+    }
+    if (v.status().code() != StatusCode::kNotFound) {
+      return v.status();
+    }
+  }
+  for (auto& table : level1_) {
+    auto v = table->Get(key);
+    if (v.ok()) {
+      return DecodeTagged(*v);
+    }
+    if (v.status().code() != StatusCode::kNotFound) {
+      return v.status();
+    }
+  }
+  return NotFoundError("key not found");
+}
+
+}  // namespace splitft

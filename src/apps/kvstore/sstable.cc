@@ -1,0 +1,186 @@
+#include "src/apps/kvstore/sstable.h"
+
+#include "src/common/bytes.h"
+#include "src/common/crc32c.h"
+
+namespace splitft {
+
+Status SstableBuilder::Write(
+    SplitFile* file, const std::map<std::string, std::string>& entries) {
+  std::string data;
+  std::string index;
+  uint32_t block_count = 0;
+  std::string index_body;
+
+  uint64_t block_start = 0;
+  std::string first_key;
+  bool block_open = false;
+  auto close_block = [&](uint64_t end) {
+    PutLengthPrefixed(&index_body, first_key);
+    PutFixed64(&index_body, block_start);
+    PutFixed32(&index_body, static_cast<uint32_t>(end - block_start));
+    block_count++;
+    block_open = false;
+  };
+
+  for (const auto& [key, value] : entries) {
+    if (!block_open) {
+      block_start = data.size();
+      first_key = key;
+      block_open = true;
+    }
+    PutLengthPrefixed(&data, key);
+    PutLengthPrefixed(&data, value);
+    if (data.size() - block_start >= kSstableBlockBytes) {
+      close_block(data.size());
+    }
+  }
+  if (block_open) {
+    close_block(data.size());
+  }
+
+  PutFixed32(&index, block_count);
+  index += index_body;
+
+  std::string footer;
+  PutFixed64(&footer, data.size());                   // index offset
+  PutFixed32(&footer, static_cast<uint32_t>(index.size()));
+  PutFixed32(&footer, MaskCrc(Crc32c(index)));
+  PutFixed32(&footer, kSstableMagic);
+
+  RETURN_IF_ERROR(file->Append(data));
+  RETURN_IF_ERROR(file->Append(index));
+  RETURN_IF_ERROR(file->Append(footer));
+  // Compaction/flush writes are large background writes (§3).
+  return file->SyncBackground();
+}
+
+Result<std::unique_ptr<SstableReader>> SstableReader::Open(
+    std::unique_ptr<SplitFile> file, LruCache* block_cache) {
+  uint64_t size = file->Size();
+  if (size < 20) {
+    return DataLossError("sstable too small: " + file->path());
+  }
+  auto footer = file->Read(size - 20, 20);
+  if (!footer.ok()) {
+    return footer.status();
+  }
+  uint64_t index_off = DecodeFixed64(footer->data());
+  uint32_t index_len = DecodeFixed32(footer->data() + 8);
+  uint32_t index_crc = UnmaskCrc(DecodeFixed32(footer->data() + 12));
+  uint32_t magic = DecodeFixed32(footer->data() + 16);
+  if (magic != kSstableMagic) {
+    return DataLossError("bad sstable magic in " + file->path());
+  }
+  auto index_raw = file->Read(index_off, index_len);
+  if (!index_raw.ok()) {
+    return index_raw.status();
+  }
+  if (Crc32c(*index_raw) != index_crc) {
+    return DataLossError("sstable index checksum mismatch in " + file->path());
+  }
+
+  std::unique_ptr<SstableReader> reader(
+      new SstableReader(std::move(file), block_cache));
+  std::string_view raw = *index_raw;
+  if (raw.size() < 4) {
+    return DataLossError("sstable index truncated");
+  }
+  uint32_t count = DecodeFixed32(raw.data());
+  size_t off = 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view first_key;
+    if (!GetLengthPrefixed(raw, &off, &first_key) || off + 12 > raw.size()) {
+      return DataLossError("sstable index truncated");
+    }
+    IndexEntry entry;
+    entry.first_key = std::string(first_key);
+    entry.offset = DecodeFixed64(raw.data() + off);
+    entry.length = DecodeFixed32(raw.data() + off + 8);
+    off += 12;
+    reader->index_.push_back(std::move(entry));
+  }
+  if (!reader->index_.empty()) {
+    reader->smallest_ = reader->index_.front().first_key;
+    // The largest key requires scanning the last block.
+    auto block = reader->ReadBlock(reader->index_.back());
+    if (!block.ok()) {
+      return block.status();
+    }
+    std::string_view b = *block;
+    size_t pos = 0;
+    std::string_view key, value;
+    while (GetLengthPrefixed(b, &pos, &key) &&
+           GetLengthPrefixed(b, &pos, &value)) {
+      reader->largest_ = std::string(key);
+    }
+  }
+  return reader;
+}
+
+Result<std::string> SstableReader::ReadBlock(const IndexEntry& entry) {
+  std::string cache_key = file_->path() + "@" + std::to_string(entry.offset);
+  if (cache_ != nullptr) {
+    auto cached = cache_->Get(cache_key);
+    if (cached.has_value()) {
+      return *cached;
+    }
+  }
+  auto block = file_->Read(entry.offset, entry.length);
+  if (!block.ok()) {
+    return block.status();
+  }
+  if (cache_ != nullptr) {
+    cache_->Put(cache_key, *block);
+  }
+  return *block;
+}
+
+Result<std::string> SstableReader::Get(std::string_view key) {
+  if (index_.empty() || key < smallest_ || key > largest_) {
+    return NotFoundError("not in table range");
+  }
+  // Binary search for the last block whose first key <= key.
+  size_t lo = 0, hi = index_.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (index_[mid].first_key <= key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  auto block = ReadBlock(index_[lo]);
+  if (!block.ok()) {
+    return block.status();
+  }
+  std::string_view b = *block;
+  size_t pos = 0;
+  std::string_view k, v;
+  while (GetLengthPrefixed(b, &pos, &k) && GetLengthPrefixed(b, &pos, &v)) {
+    if (k == key) {
+      return std::string(v);
+    }
+  }
+  return NotFoundError("key absent from block");
+}
+
+Status SstableReader::MergeInto(std::map<std::string, std::string>* out) {
+  // Compaction inputs are background IO: they use the backend's bandwidth
+  // but run on background threads, so they do not stall the write path.
+  for (const IndexEntry& entry : index_) {
+    auto block = file_->ReadBackground(entry.offset, entry.length);
+    if (!block.ok()) {
+      return block.status();
+    }
+    std::string_view b = *block;
+    size_t pos = 0;
+    std::string_view k, v;
+    while (GetLengthPrefixed(b, &pos, &k) && GetLengthPrefixed(b, &pos, &v)) {
+      out->emplace(std::string(k), std::string(v));  // existing (newer) wins
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace splitft

@@ -1,0 +1,80 @@
+// Sorted-string tables for the mini-RocksDB.
+//
+// File layout:
+//   data blocks (each <= block_size):   [klen][key][vlen][value]...
+//   index:                              [count] then per block:
+//                                       [first_klen][first_key][off(8)][len(4)]
+//   footer (20 bytes):                  [index_off(8)][index_len(4)]
+//                                       [masked crc of index (4)][magic (4)]
+//
+// SSTables are written as large background writes to the dfs (the cheap
+// path of the split architecture) and read through a block cache.
+#ifndef SRC_APPS_KVSTORE_SSTABLE_H_
+#define SRC_APPS_KVSTORE_SSTABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/lru_cache.h"
+#include "src/common/status.h"
+#include "src/splitft/split_fs.h"
+
+namespace splitft {
+
+constexpr uint32_t kSstableMagic = 0x73737431;  // "sst1"
+constexpr uint64_t kSstableBlockBytes = 4096;
+
+// Builds an sstable from sorted entries and writes it (as a background bulk
+// write) through the given file handle.
+class SstableBuilder {
+ public:
+  // `entries` must be sorted by key. Writes and (background-)syncs.
+  static Status Write(SplitFile* file,
+                      const std::map<std::string, std::string>& entries);
+};
+
+// Reads an sstable: holds the index in memory, serves point lookups via
+// the shared block cache.
+class SstableReader {
+ public:
+  // Opens the table: reads footer + index (charged dfs reads).
+  static Result<std::unique_ptr<SstableReader>> Open(
+      std::unique_ptr<SplitFile> file, LruCache* block_cache);
+
+  // Point lookup. Returns kNotFound if the key is absent from this table.
+  Result<std::string> Get(std::string_view key);
+
+  const std::string& smallest_key() const { return smallest_; }
+  const std::string& largest_key() const { return largest_; }
+  const std::string& path() const { return file_->path(); }
+  size_t block_count() const { return index_.size(); }
+
+  // Full scan, for compaction: merges every entry into `out` (entries
+  // already in `out` win — callers iterate newest table first).
+  Status MergeInto(std::map<std::string, std::string>* out);
+
+ private:
+  struct IndexEntry {
+    std::string first_key;
+    uint64_t offset;
+    uint32_t length;
+  };
+
+  SstableReader(std::unique_ptr<SplitFile> file, LruCache* block_cache)
+      : file_(std::move(file)), cache_(block_cache) {}
+
+  Result<std::string> ReadBlock(const IndexEntry& entry);
+
+  std::unique_ptr<SplitFile> file_;
+  LruCache* cache_;
+  std::vector<IndexEntry> index_;
+  std::string smallest_;
+  std::string largest_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_APPS_KVSTORE_SSTABLE_H_

@@ -1,0 +1,96 @@
+// Byte-budgeted LRU cache used as the applications' block/page cache
+// (the paper sizes it at 30% of the dataset, §5).
+#ifndef SRC_APPS_LRU_CACHE_H_
+#define SRC_APPS_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace splitft {
+
+class LruCache {
+ public:
+  explicit LruCache(uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  // Inserts or refreshes an entry, evicting LRU entries over budget.
+  void Put(const std::string& key, std::string value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      used_bytes_ -= EntryBytes(it->second->first, it->second->second);
+      entries_.erase(it->second);
+      index_.erase(it);
+    }
+    uint64_t bytes = EntryBytes(key, value);
+    if (bytes > capacity_bytes_) {
+      return;  // would never fit
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_[key] = entries_.begin();
+    used_bytes_ += bytes;
+    while (used_bytes_ > capacity_bytes_ && !entries_.empty()) {
+      auto& back = entries_.back();
+      used_bytes_ -= EntryBytes(back.first, back.second);
+      index_.erase(back.first);
+      entries_.pop_back();
+      evictions_++;
+    }
+  }
+
+  // Returns the value and refreshes recency, or nullopt on miss.
+  std::optional<std::string> Get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      misses_++;
+      return std::nullopt;
+    }
+    hits_++;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->second;
+  }
+
+  void Erase(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return;
+    }
+    used_bytes_ -= EntryBytes(it->second->first, it->second->second);
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+    used_bytes_ = 0;
+  }
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  static uint64_t EntryBytes(const std::string& key, const std::string& value) {
+    return key.size() + value.size();
+  }
+
+  uint64_t capacity_bytes_;
+  uint64_t used_bytes_ = 0;
+  std::list<std::pair<std::string, std::string>> entries_;  // MRU first
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, std::string>>::iterator>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_APPS_LRU_CACHE_H_

@@ -1,0 +1,417 @@
+#include "src/apps/redis/redis.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32c.h"
+#include "src/common/logging.h"
+
+namespace splitft {
+namespace {
+
+// AOF command frames: [masked crc (4)][len (4)] payload where payload is
+// [op (1)] followed by length-prefixed arguments.
+constexpr char kOpSet = 'S';
+constexpr char kOpDel = 'D';
+constexpr char kOpHSet = 'H';
+constexpr char kOpLPush = 'L';
+
+std::string Frame(char op, std::initializer_list<std::string_view> args) {
+  std::string payload;
+  payload.push_back(op);
+  for (std::string_view a : args) {
+    PutLengthPrefixed(&payload, a);
+  }
+  std::string frame;
+  PutFixed32(&frame, MaskCrc(Crc32c(payload)));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+}  // namespace
+
+Redis::Redis(SplitFs* fs, Simulation* sim, const SimParams* params,
+             RedisOptions options)
+    : fs_(fs), sim_(sim), params_(params), options_(std::move(options)) {}
+
+Redis::~Redis() = default;
+
+Result<std::unique_ptr<Redis>> Redis::Open(SplitFs* fs, Simulation* sim,
+                                           const SimParams* params,
+                                           RedisOptions options) {
+  std::unique_ptr<Redis> redis(new Redis(fs, sim, params, std::move(options)));
+  RETURN_IF_ERROR(redis->Recover());
+  return redis;
+}
+
+Result<std::unique_ptr<SplitFile>> Redis::OpenAof(bool create) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/aof-%06" PRIu64, aof_generation_);
+  SplitOpenOptions opts;
+  opts.create = create;
+  opts.oncl = options_.mode == DurabilityMode::kSplitFt;
+  opts.ncl_capacity = options_.aof_capacity;
+  return fs_->Open(options_.dir + buf, opts);
+}
+
+uint64_t Redis::aof_bytes() const { return aof_ == nullptr ? 0 : aof_->Size(); }
+
+std::string Redis::SerializeRdb() const {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(strings_.size()));
+  for (const auto& [k, v] : strings_) {
+    PutLengthPrefixed(&out, k);
+    PutLengthPrefixed(&out, v);
+  }
+  PutFixed32(&out, static_cast<uint32_t>(hashes_.size()));
+  for (const auto& [k, fields] : hashes_) {
+    PutLengthPrefixed(&out, k);
+    PutFixed32(&out, static_cast<uint32_t>(fields.size()));
+    for (const auto& [f, v] : fields) {
+      PutLengthPrefixed(&out, f);
+      PutLengthPrefixed(&out, v);
+    }
+  }
+  PutFixed32(&out, static_cast<uint32_t>(lists_.size()));
+  for (const auto& [k, items] : lists_) {
+    PutLengthPrefixed(&out, k);
+    PutFixed32(&out, static_cast<uint32_t>(items.size()));
+    for (const std::string& item : items) {
+      PutLengthPrefixed(&out, item);
+    }
+  }
+  return out;
+}
+
+Status Redis::LoadRdb(std::string_view raw) {
+  size_t pos = 0;
+  auto read_u32 = [&](uint32_t* v) {
+    if (pos + 4 > raw.size()) {
+      return false;
+    }
+    *v = DecodeFixed32(raw.data() + pos);
+    pos += 4;
+    return true;
+  };
+  uint32_t n = 0;
+  if (!read_u32(&n)) {
+    return DataLossError("rdb truncated");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string_view k, v;
+    if (!GetLengthPrefixed(raw, &pos, &k) ||
+        !GetLengthPrefixed(raw, &pos, &v)) {
+      return DataLossError("rdb truncated (strings)");
+    }
+    strings_[std::string(k)] = std::string(v);
+  }
+  if (!read_u32(&n)) {
+    return DataLossError("rdb truncated");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string_view k;
+    uint32_t fields = 0;
+    if (!GetLengthPrefixed(raw, &pos, &k) || !read_u32(&fields)) {
+      return DataLossError("rdb truncated (hashes)");
+    }
+    auto& hash = hashes_[std::string(k)];
+    for (uint32_t j = 0; j < fields; ++j) {
+      std::string_view f, v;
+      if (!GetLengthPrefixed(raw, &pos, &f) ||
+          !GetLengthPrefixed(raw, &pos, &v)) {
+        return DataLossError("rdb truncated (hash fields)");
+      }
+      hash[std::string(f)] = std::string(v);
+    }
+  }
+  if (!read_u32(&n)) {
+    return DataLossError("rdb truncated");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string_view k;
+    uint32_t items = 0;
+    if (!GetLengthPrefixed(raw, &pos, &k) || !read_u32(&items)) {
+      return DataLossError("rdb truncated (lists)");
+    }
+    auto& list = lists_[std::string(k)];
+    for (uint32_t j = 0; j < items; ++j) {
+      std::string_view item;
+      if (!GetLengthPrefixed(raw, &pos, &item)) {
+        return DataLossError("rdb truncated (list items)");
+      }
+      list.push_back(std::string(item));
+    }
+  }
+  return OkStatus();
+}
+
+Status Redis::ApplyCommand(std::string_view frame) {
+  if (frame.empty()) {
+    return DataLossError("empty aof frame");
+  }
+  char op = frame[0];
+  size_t pos = 1;
+  std::string_view a, b, c;
+  switch (op) {
+    case kOpSet:
+      if (!GetLengthPrefixed(frame, &pos, &a) ||
+          !GetLengthPrefixed(frame, &pos, &b)) {
+        return DataLossError("bad SET frame");
+      }
+      strings_[std::string(a)] = std::string(b);
+      return OkStatus();
+    case kOpDel:
+      if (!GetLengthPrefixed(frame, &pos, &a)) {
+        return DataLossError("bad DEL frame");
+      }
+      strings_.erase(std::string(a));
+      hashes_.erase(std::string(a));
+      lists_.erase(std::string(a));
+      return OkStatus();
+    case kOpHSet:
+      if (!GetLengthPrefixed(frame, &pos, &a) ||
+          !GetLengthPrefixed(frame, &pos, &b) ||
+          !GetLengthPrefixed(frame, &pos, &c)) {
+        return DataLossError("bad HSET frame");
+      }
+      hashes_[std::string(a)][std::string(b)] = std::string(c);
+      return OkStatus();
+    case kOpLPush:
+      if (!GetLengthPrefixed(frame, &pos, &a) ||
+          !GetLengthPrefixed(frame, &pos, &b)) {
+        return DataLossError("bad LPUSH frame");
+      }
+      lists_[std::string(a)].push_front(std::string(b));
+      return OkStatus();
+    default:
+      return DataLossError("unknown aof opcode");
+  }
+}
+
+Status Redis::Recover() {
+  // Load the newest RDB snapshot, then replay AOF generations after it.
+  std::vector<std::string> rdbs = fs_->dfs()->List(options_.dir + "/rdb-");
+  uint64_t rdb_gen = 0;
+  if (!rdbs.empty()) {
+    const std::string& newest = rdbs.back();
+    SplitOpenOptions opts;
+    opts.create = false;
+    auto file = fs_->Open(newest, opts);
+    if (!file.ok()) {
+      return file.status();
+    }
+    auto raw = (*file)->Read(0, (*file)->Size());
+    if (!raw.ok()) {
+      return raw.status();
+    }
+    sim_->Advance(static_cast<SimTime>(raw->size()) *
+                  params_->cpu.parse_log_per_byte_ns);
+    RETURN_IF_ERROR(LoadRdb(*raw));
+    rdb_gen = std::strtoull(newest.substr(newest.rfind('-') + 1).c_str(),
+                            nullptr, 10);
+  }
+
+  // Find live AOF files.
+  std::vector<std::string> aofs =
+      options_.mode == DurabilityMode::kSplitFt
+          ? fs_->ncl()->ListFiles()
+          : fs_->dfs()->List(options_.dir + "/aof-");
+  uint64_t newest_gen = 0;
+  std::string newest_path;
+  for (const std::string& path : aofs) {
+    if (path.rfind(options_.dir + "/aof-", 0) != 0) {
+      continue;
+    }
+    uint64_t gen =
+        std::strtoull(path.substr(path.rfind('-') + 1).c_str(), nullptr, 10);
+    if (gen >= newest_gen) {
+      newest_gen = gen;
+      newest_path = path;
+    }
+  }
+  if (!newest_path.empty() && newest_gen > rdb_gen) {
+    aof_generation_ = newest_gen;
+    ASSIGN_OR_RETURN(auto file, OpenAof(/*create=*/false));
+    auto raw = file->Read(0, file->Size());
+    if (!raw.ok()) {
+      return raw.status();
+    }
+    sim_->Advance(static_cast<SimTime>(raw->size()) *
+                  params_->cpu.parse_log_per_byte_ns);
+    std::string_view data = *raw;
+    size_t pos = 0;
+    while (pos + 8 <= data.size()) {
+      uint32_t crc = UnmaskCrc(DecodeFixed32(data.data() + pos));
+      uint32_t len = DecodeFixed32(data.data() + pos + 4);
+      if (pos + 8 + len > data.size()) {
+        break;  // torn tail
+      }
+      std::string_view payload = data.substr(pos + 8, len);
+      if (Crc32c(payload) != crc) {
+        break;
+      }
+      RETURN_IF_ERROR(ApplyCommand(payload));
+      replayed_commands_++;
+      pos += 8 + len;
+    }
+    aof_ = std::move(file);
+    return OkStatus();
+  }
+  aof_generation_ = std::max<uint64_t>(rdb_gen + 1, 1);
+  ASSIGN_OR_RETURN(auto file, OpenAof(/*create=*/true));
+  aof_ = std::move(file);
+  return OkStatus();
+}
+
+Status Redis::AppendCommands(const std::vector<std::string>& frames,
+                             bool mutate) {
+  (void)mutate;
+  std::string joined;
+  for (const std::string& f : frames) {
+    joined += f;
+  }
+  Status appended = aof_->Append(joined);
+  if (appended.code() == StatusCode::kResourceExhausted) {
+    RETURN_IF_ERROR(MaybeRewriteAof());
+    appended = aof_->Append(joined);
+  }
+  RETURN_IF_ERROR(appended);
+  if (options_.mode == DurabilityMode::kStrong) {
+    RETURN_IF_ERROR(aof_->Sync());
+  }
+  if (aof_->Size() >= options_.aof_rewrite_bytes) {
+    RETURN_IF_ERROR(MaybeRewriteAof());
+  }
+  return OkStatus();
+}
+
+Status Redis::MaybeRewriteAof() {
+  // Snapshot the dataset to an RDB file (large background write), then
+  // delete the AOF and start a new generation.
+  rdb_snapshots_++;
+  char buf[32];
+  uint64_t gen = aof_generation_;
+  std::snprintf(buf, sizeof(buf), "/rdb-%06" PRIu64, gen);
+  SplitOpenOptions opts;
+  auto rdb = fs_->Open(options_.dir + buf, opts);
+  if (!rdb.ok()) {
+    return rdb.status();
+  }
+  RETURN_IF_ERROR((*rdb)->Append(SerializeRdb()));
+  RETURN_IF_ERROR((*rdb)->SyncBackground());
+
+  std::string old_aof = aof_->path();
+  aof_.reset();
+  RETURN_IF_ERROR(fs_->Unlink(old_aof));
+  // Older RDBs are superseded.
+  for (const std::string& path : fs_->dfs()->List(options_.dir + "/rdb-")) {
+    if (path != options_.dir + buf) {
+      (void)fs_->Unlink(path);
+    }
+  }
+  aof_generation_ = gen + 1;
+  ASSIGN_OR_RETURN(auto file, OpenAof(/*create=*/true));
+  aof_ = std::move(file);
+  return OkStatus();
+}
+
+Status Redis::ApplyWriteBatch(const std::vector<KvWrite>& batch) {
+  if (batch.empty()) {
+    return OkStatus();
+  }
+  sim_->Advance(params_->cpu.redis_op * static_cast<SimTime>(batch.size()));
+  std::vector<std::string> frames;
+  frames.reserve(batch.size());
+  for (const KvWrite& w : batch) {
+    frames.push_back(Frame(kOpSet, {w.key, w.value}));
+  }
+  RETURN_IF_ERROR(AppendCommands(frames, true));
+  for (const KvWrite& w : batch) {
+    strings_[w.key] = w.value;
+  }
+  return OkStatus();
+}
+
+Status Redis::Put(std::string_view key, std::string_view value) {
+  return ApplyWriteBatch({KvWrite{std::string(key), std::string(value)}});
+}
+
+Result<std::string> Redis::Get(std::string_view key) {
+  sim_->Advance(params_->cpu.redis_op);
+  auto it = strings_.find(std::string(key));
+  if (it == strings_.end()) {
+    return NotFoundError("no such key");
+  }
+  return it->second;
+}
+
+Status Redis::Del(std::string_view key) {
+  sim_->Advance(params_->cpu.redis_op);
+  RETURN_IF_ERROR(AppendCommands({Frame(kOpDel, {key})}, true));
+  strings_.erase(std::string(key));
+  hashes_.erase(std::string(key));
+  lists_.erase(std::string(key));
+  return OkStatus();
+}
+
+Result<int64_t> Redis::Incr(std::string_view key) {
+  sim_->Advance(params_->cpu.redis_op);
+  int64_t value = 0;
+  auto it = strings_.find(std::string(key));
+  if (it != strings_.end()) {
+    value = std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  value++;
+  std::string text = std::to_string(value);
+  RETURN_IF_ERROR(AppendCommands({Frame(kOpSet, {key, text})}, true));
+  strings_[std::string(key)] = text;
+  return value;
+}
+
+Status Redis::HSet(std::string_view key, std::string_view field,
+                   std::string_view value) {
+  sim_->Advance(params_->cpu.redis_op);
+  RETURN_IF_ERROR(AppendCommands({Frame(kOpHSet, {key, field, value})}, true));
+  hashes_[std::string(key)][std::string(field)] = std::string(value);
+  return OkStatus();
+}
+
+Result<std::string> Redis::HGet(std::string_view key, std::string_view field) {
+  sim_->Advance(params_->cpu.redis_op);
+  auto it = hashes_.find(std::string(key));
+  if (it == hashes_.end()) {
+    return NotFoundError("no such hash");
+  }
+  auto fit = it->second.find(std::string(field));
+  if (fit == it->second.end()) {
+    return NotFoundError("no such field");
+  }
+  return fit->second;
+}
+
+Status Redis::LPush(std::string_view key, std::string_view value) {
+  sim_->Advance(params_->cpu.redis_op);
+  RETURN_IF_ERROR(AppendCommands({Frame(kOpLPush, {key, value})}, true));
+  lists_[std::string(key)].push_front(std::string(value));
+  return OkStatus();
+}
+
+Result<std::string> Redis::LIndex(std::string_view key, int64_t index) {
+  sim_->Advance(params_->cpu.redis_op);
+  auto it = lists_.find(std::string(key));
+  if (it == lists_.end()) {
+    return NotFoundError("no such list");
+  }
+  const auto& list = it->second;
+  if (index < 0) {
+    index += static_cast<int64_t>(list.size());
+  }
+  if (index < 0 || index >= static_cast<int64_t>(list.size())) {
+    return NotFoundError("index out of range");
+  }
+  return list[static_cast<size_t>(index)];
+}
+
+}  // namespace splitft

@@ -1,0 +1,62 @@
+#include "src/blockstore/block_device.h"
+
+namespace splitft {
+
+RemoteBlockDevice::RemoteBlockDevice(Simulation* sim, const SimParams* params,
+                                     uint64_t block_count)
+    : sim_(sim), params_(params), block_count_(block_count) {}
+
+Status RemoteBlockDevice::WriteBlock(uint64_t block, std::string_view data) {
+  if (block >= block_count_) {
+    return InvalidArgumentError("block out of range");
+  }
+  if (data.size() > kBlockBytes) {
+    return InvalidArgumentError("write exceeds the block size");
+  }
+  // Submission into the client-side write-back cache.
+  sim_->Advance(params_->DfsBufferedWriteLatency(data.size()));
+  std::string full(data);
+  full.resize(kBlockBytes, '\0');
+  cache_[block] = std::move(full);
+  blocks_written_++;
+  return OkStatus();
+}
+
+Result<std::string> RemoteBlockDevice::ReadBlock(uint64_t block) {
+  if (block >= block_count_) {
+    return InvalidArgumentError("block out of range");
+  }
+  auto cit = cache_.find(block);
+  if (cit != cache_.end()) {
+    sim_->Advance(params_->dfs.cached_read_base);
+    return cit->second;
+  }
+  auto dit = durable_.find(block);
+  // A remote round trip to the RBD backend.
+  sim_->Advance(params_->dfs.remote_read_base +
+                static_cast<SimTime>(static_cast<double>(kBlockBytes) /
+                                     params_->dfs.read_bytes_per_ns));
+  if (dit == durable_.end()) {
+    return std::string(kBlockBytes, '\0');  // never-written block reads zeros
+  }
+  return dit->second;
+}
+
+Status RemoteBlockDevice::Flush() {
+  if (cache_.empty()) {
+    return OkStatus();
+  }
+  uint64_t bytes = cache_.size() * kBlockBytes;
+  for (auto& [block, data] : cache_) {
+    durable_[block] = std::move(data);
+  }
+  cache_.clear();
+  // The flush pays the same replicated-backend cost as a dfs fsync.
+  sim_->Advance(params_->DfsSyncWriteLatency(bytes));
+  flushes_++;
+  return OkStatus();
+}
+
+void RemoteBlockDevice::DropCache() { cache_.clear(); }
+
+}  // namespace splitft

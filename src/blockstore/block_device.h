@@ -1,0 +1,71 @@
+// Simulated disaggregated block device (CephRBD-like), §4.1: applications
+// may run a *local* file system on a remote replicated block device instead
+// of a distributed file system. The paper observes the same
+// strong-vs-weak trends in that setting (§2.2); src/blockstore lets the
+// benches reproduce the observation.
+//
+// Semantics: fixed-size 4 KiB blocks; writes land in the device's volatile
+// write-back cache and become crash-durable only after Flush() (the SCSI
+// SYNCHRONIZE CACHE / virtio flush command). Reads hit the cache or pay a
+// remote round trip. Costs share the dfs latency model: same OSD backend.
+#ifndef SRC_BLOCKSTORE_BLOCK_DEVICE_H_
+#define SRC_BLOCKSTORE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+
+constexpr uint64_t kBlockBytes = 4096;
+
+class RemoteBlockDevice {
+ public:
+  RemoteBlockDevice(Simulation* sim, const SimParams* params,
+                    uint64_t block_count);
+
+  uint64_t block_count() const { return block_count_; }
+
+  // Writes one full block into the device's write-back cache (fast: one
+  // network submission, no durability yet).
+  Status WriteBlock(uint64_t block, std::string_view data);
+
+  // Reads a block (durable image overlaid with the write-back cache).
+  Result<std::string> ReadBlock(uint64_t block);
+
+  // Makes every cached write crash-durable on the replicated backend.
+  // Costs the dfs sync model for the flushed volume.
+  Status Flush();
+
+  // The device survives application-server crashes, but its *write-back
+  // cache* contents do not (they live on the client side of the RBD
+  // protocol until flushed). Models the app server dying.
+  void DropCache();
+
+  // Charges the local page-cache memcpy cost for a buffered write (used
+  // by the file system layered on top).
+  void ChargeBufferedWrite(uint64_t bytes) {
+    sim_->Advance(params_->DfsBufferedWriteLatency(bytes));
+  }
+
+  uint64_t flushes() const { return flushes_; }
+  uint64_t blocks_written() const { return blocks_written_; }
+
+ private:
+  Simulation* sim_;
+  const SimParams* params_;
+  uint64_t block_count_;
+  std::map<uint64_t, std::string> durable_;  // block -> data
+  std::map<uint64_t, std::string> cache_;    // dirty, not yet flushed
+  uint64_t flushes_ = 0;
+  uint64_t blocks_written_ = 0;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_BLOCKSTORE_BLOCK_DEVICE_H_

@@ -1,0 +1,85 @@
+// A miniature local file system over the remote block device (§4.1's
+// "applications run atop a local file system [on] a disaggregated block
+// store"). Enough POSIX surface for the paper's applications: create /
+// open / append / pwrite / read / fsync / unlink / list.
+//
+// Layout:
+//   block 0..kMetaBlocks-1: serialized metadata (directory + inodes),
+//     rewritten wholesale on every metadata sync (tiny FS, simple design);
+//   remaining blocks:       data, allocated from a free list.
+//
+// Durability contract (matches ext4-with-journal semantics closely enough
+// for the paper's experiments): writes buffer in the page cache; Fsync
+// writes the file's dirty blocks + metadata and issues a device flush. An
+// application-server crash loses everything after the last flush.
+#ifndef SRC_BLOCKSTORE_LOCAL_FS_H_
+#define SRC_BLOCKSTORE_LOCAL_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/blockstore/block_device.h"
+#include "src/common/status.h"
+
+namespace splitft {
+
+class LocalFs {
+ public:
+  static constexpr uint64_t kMetaBlocks = 64;
+
+  // Mounts the file system, recovering metadata from the device (an empty
+  // device mounts as an empty FS).
+  static Result<std::unique_ptr<LocalFs>> Mount(RemoteBlockDevice* device);
+
+  // File operations (paths are flat names).
+  Status Create(const std::string& name);
+  bool Exists(const std::string& name) const;
+  Status Unlink(const std::string& name);
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  Result<uint64_t> FileSize(const std::string& name) const;
+  Status Write(const std::string& name, uint64_t offset,
+               std::string_view data);
+  Status Append(const std::string& name, std::string_view data);
+  Result<std::string> Read(const std::string& name, uint64_t offset,
+                           uint64_t len);
+
+  // Makes the file (and metadata) crash-durable.
+  Status Fsync(const std::string& name);
+
+  // Models the application server crashing: page cache and the device's
+  // write-back cache are dropped; the FS must be re-Mounted.
+  void SimulateCrash();
+
+ private:
+  struct Inode {
+    uint64_t size = 0;
+    std::vector<uint64_t> blocks;
+  };
+
+  explicit LocalFs(RemoteBlockDevice* device) : device_(device) {}
+
+  Status LoadMetadata();
+  Status SyncMetadata();
+  Result<uint64_t> AllocateBlock();
+  // Reads a file block through the page cache.
+  Result<std::string> ReadFileBlock(const Inode& inode, uint64_t index);
+
+  RemoteBlockDevice* device_;
+  std::map<std::string, Inode> files_;
+  std::set<uint64_t> free_blocks_;
+  uint64_t next_fresh_block_ = kMetaBlocks;
+  // Page cache: device block -> data (clean and dirty).
+  std::map<uint64_t, std::string> page_cache_;
+  std::set<uint64_t> dirty_blocks_;
+  bool metadata_dirty_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_BLOCKSTORE_LOCAL_FS_H_

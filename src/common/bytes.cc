@@ -1,0 +1,40 @@
+#include "src/common/bytes.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace splitft {
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string HumanDuration(int64_t nanos) {
+  char buf[32];
+  double v = static_cast<double>(nanos);
+  if (nanos < 1000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " ns", nanos);
+  } else if (nanos < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", v / 1e3);
+  } else if (nanos < 1000 * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", v / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace splitft

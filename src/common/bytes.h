@@ -1,0 +1,68 @@
+// Byte-buffer helpers shared across the code base.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace splitft {
+
+// Little-endian fixed-width encoders/decoders used by the on-"disk" formats
+// (WAL records, SSTable blocks, AOF frames, NCL region headers).
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// Length-prefixed string encoding.
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+// Parses a length-prefixed string starting at *offset within `src`.
+// Returns false (leaving outputs untouched) on truncated input.
+inline bool GetLengthPrefixed(std::string_view src, size_t* offset,
+                              std::string_view* out) {
+  if (*offset + 4 > src.size()) {
+    return false;
+  }
+  uint32_t len = DecodeFixed32(src.data() + *offset);
+  if (*offset + 4 + len > src.size()) {
+    return false;
+  }
+  *out = src.substr(*offset + 4, len);
+  *offset += 4 + len;
+  return true;
+}
+
+// "1.5 KiB", "233 MiB" — used by reports and examples.
+std::string HumanBytes(uint64_t bytes);
+
+// "4.6 us", "2.1 ms", "1.3 s" from nanoseconds.
+std::string HumanDuration(int64_t nanos);
+
+}  // namespace splitft
+
+#endif  // SRC_COMMON_BYTES_H_

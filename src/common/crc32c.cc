@@ -1,0 +1,36 @@
+#include "src/common/crc32c.h"
+
+#include <array>
+
+namespace splitft {
+namespace {
+
+// Table-driven CRC32C, table generated at static-init time from the
+// Castagnoli polynomial (reflected form 0x82f63b78).
+struct Crc32cTable {
+  std::array<uint32_t, 256> t{};
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32cTable kTable;
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t init_crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable.t[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace splitft

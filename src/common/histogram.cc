@@ -1,0 +1,112 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/bytes.h"
+
+namespace splitft {
+
+std::vector<int64_t> Histogram::MakeBounds() {
+  std::vector<int64_t> bounds;
+  // 1ns .. ~1000s with ~4% resolution per bucket.
+  double b = 1.0;
+  while (b < 1e12) {
+    bounds.push_back(static_cast<int64_t>(b));
+    b *= 1.04;
+    // Ensure strictly increasing integer bounds at the low end.
+    if (static_cast<int64_t>(b) <= bounds.back()) {
+      b = static_cast<double>(bounds.back() + 1);
+    }
+  }
+  bounds.push_back(std::numeric_limits<int64_t>::max());
+  return bounds;
+}
+
+const std::vector<int64_t>& Histogram::Bounds() {
+  static const std::vector<int64_t> kBounds = MakeBounds();
+  return kBounds;
+}
+
+Histogram::Histogram() { Reset(); }
+
+void Histogram::Reset() {
+  count_ = 0;
+  min_ = std::numeric_limits<int64_t>::max();
+  max_ = 0;
+  sum_ = 0;
+  buckets_.assign(Bounds().size(), 0);
+}
+
+void Histogram::Add(int64_t value_ns) {
+  if (value_ns < 0) {
+    value_ns = 0;
+  }
+  const auto& bounds = Bounds();
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), value_ns);
+  size_t idx = static_cast<size_t>(it - bounds.begin());
+  if (idx >= buckets_.size()) {
+    idx = buckets_.size() - 1;
+  }
+  buckets_[idx]++;
+  count_++;
+  sum_ += static_cast<double>(value_ns);
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto& bounds = Bounds();
+  double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      int64_t lo = (i == 0) ? 0 : bounds[i - 1];
+      int64_t hi = bounds[std::min(i, bounds.size() - 1)];
+      hi = std::min<int64_t>(hi, max_);
+      lo = std::max<int64_t>(lo, min_);
+      if (hi < lo) {
+        hi = lo;
+      }
+      // Interpolate within the bucket.
+      double frac = buckets_[i] == 0
+                        ? 0.0
+                        : (target - static_cast<double>(seen - buckets_[i])) /
+                              static_cast<double>(buckets_[i]);
+      return static_cast<double>(lo) +
+             frac * static_cast<double>(hi - lo);
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  std::string out = "count=" + std::to_string(count_);
+  out += " mean=" + HumanDuration(static_cast<int64_t>(Mean()));
+  out += " p50=" + HumanDuration(static_cast<int64_t>(P50()));
+  out += " p99=" + HumanDuration(static_cast<int64_t>(P99()));
+  out += " max=" + HumanDuration(max_);
+  return out;
+}
+
+}  // namespace splitft

@@ -1,0 +1,47 @@
+// Latency recorder with log-bucketed histogram percentiles. Used by the
+// harness and the benches to report mean / p50 / p99 latencies in virtual
+// nanoseconds.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace splitft {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(int64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+  // q in [0,1]; returns an interpolated value within the matched bucket.
+  double Percentile(double q) const;
+  double P50() const { return Percentile(0.50); }
+  double P99() const { return Percentile(0.99); }
+
+  // "count=1000 mean=4.6us p50=4.4us p99=8.9us max=12.1us"
+  std::string Summary() const;
+
+ private:
+  // Buckets grow geometrically: bucket i covers [bounds_[i-1], bounds_[i]).
+  static std::vector<int64_t> MakeBounds();
+  static const std::vector<int64_t>& Bounds();
+
+  uint64_t count_;
+  int64_t min_;
+  int64_t max_;
+  double sum_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

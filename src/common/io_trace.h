@@ -1,0 +1,34 @@
+// IO tracing hook used by Fig 1 (IO-size CDFs) and Table 2 (write-pattern
+// inventory): storage layers report each write they service, tagged with the
+// file path and whether it was a synchronous critical-path write or a
+// background bulk write.
+#ifndef SRC_COMMON_IO_TRACE_H_
+#define SRC_COMMON_IO_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace splitft {
+
+struct IoTraceEvent {
+  std::string path;
+  uint64_t bytes = 0;
+  bool sync = false;        // flushed in the critical path
+  bool is_delete = false;   // reclaim events (for Table 2's reclaim column)
+  bool is_overwrite = false;  // write landed over existing bytes
+};
+
+class IoTraceSink {
+ public:
+  void Record(IoTraceEvent ev) { events_.push_back(std::move(ev)); }
+  const std::vector<IoTraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<IoTraceEvent> events_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_COMMON_IO_TRACE_H_

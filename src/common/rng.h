@@ -1,0 +1,42 @@
+// Deterministic PRNG (xoshiro256**). Every simulation component takes an
+// explicit seed so that tests, benches, and the model checker are
+// reproducible run to run.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace splitft {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Exponentially distributed value with the given mean (for think times /
+  // jitter in the latency models).
+  double Exponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace splitft
+
+#endif  // SRC_COMMON_RNG_H_

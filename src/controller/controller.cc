@@ -1,0 +1,284 @@
+#include "src/controller/controller.h"
+
+#include <algorithm>
+
+#include "src/common/bytes.h"
+
+namespace splitft {
+
+Controller::Controller(Simulation* sim, const SimParams* params)
+    : sim_(sim), params_(params) {}
+
+void Controller::ChargeRpc() {
+  rpc_count_++;
+  sim_->Advance(params_->controller.rpc_latency);
+}
+
+std::string Controller::EscapeFile(const std::string& file) {
+  std::string out;
+  out.reserve(file.size());
+  for (char c : file) {
+    if (c == '/') {
+      out += "%2F";
+    } else if (c == '%') {
+      out += "%25";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string Controller::UnescapeFile(const std::string& escaped) {
+  std::string out;
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%' && i + 2 < escaped.size()) {
+      if (escaped.compare(i, 3, "%2F") == 0) {
+        out += '/';
+        i += 2;
+        continue;
+      }
+      if (escaped.compare(i, 3, "%25") == 0) {
+        out += '%';
+        i += 2;
+        continue;
+      }
+    }
+    out += escaped[i];
+  }
+  return out;
+}
+
+std::string Controller::SerializePeer(NodeId node, uint64_t bytes) {
+  std::string out;
+  PutFixed32(&out, node);
+  PutFixed64(&out, bytes);
+  return out;
+}
+
+bool Controller::ParsePeer(const std::string& data, NodeId* node,
+                           uint64_t* bytes) {
+  if (data.size() != 12) {
+    return false;
+  }
+  *node = DecodeFixed32(data.data());
+  *bytes = DecodeFixed64(data.data() + 4);
+  return true;
+}
+
+std::string Controller::SerializeApMap(const ApMapEntry& entry) {
+  std::string out;
+  PutFixed64(&out, entry.epoch);
+  PutFixed32(&out, static_cast<uint32_t>(entry.peers.size()));
+  for (const std::string& p : entry.peers) {
+    PutLengthPrefixed(&out, p);
+  }
+  return out;
+}
+
+bool Controller::ParseApMap(const std::string& data, ApMapEntry* entry) {
+  if (data.size() < 12) {
+    return false;
+  }
+  entry->epoch = DecodeFixed64(data.data());
+  uint32_t n = DecodeFixed32(data.data() + 8);
+  entry->peers.clear();
+  size_t off = 12;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string_view p;
+    if (!GetLengthPrefixed(data, &off, &p)) {
+      return false;
+    }
+    entry->peers.emplace_back(p);
+  }
+  return true;
+}
+
+// ---- Peer registry ---------------------------------------------------------
+
+Status Controller::RegisterPeer(const std::string& name, NodeId node,
+                                uint64_t bytes) {
+  ChargeRpc();
+  std::string path = "/peers/" + name;
+  if (store_.Exists(path)) {
+    // Re-registration after a peer restart replaces the record.
+    return store_.Set(path, SerializePeer(node, bytes));
+  }
+  return store_.Create(path, SerializePeer(node, bytes));
+}
+
+Status Controller::UnregisterPeer(const std::string& name) {
+  ChargeRpc();
+  return store_.Delete("/peers/" + name);
+}
+
+Status Controller::UpdatePeerMemory(const std::string& name, uint64_t bytes) {
+  ChargeRpc();
+  std::string path = "/peers/" + name;
+  auto node = store_.Get(path);
+  if (!node.ok()) {
+    return node.status();
+  }
+  NodeId id;
+  uint64_t old_bytes;
+  if (!ParsePeer(node->data, &id, &old_bytes)) {
+    return InternalError("corrupt peer record");
+  }
+  return store_.Set(path, SerializePeer(id, bytes));
+}
+
+void Controller::UpdatePeerMemoryAsync(const std::string& name,
+                                       uint64_t bytes) {
+  rpc_count_++;
+  std::string path = "/peers/" + name;
+  auto node = store_.Get(path);
+  if (!node.ok()) {
+    return;
+  }
+  NodeId id;
+  uint64_t old_bytes;
+  if (!ParsePeer(node->data, &id, &old_bytes)) {
+    return;
+  }
+  (void)store_.Set(path, SerializePeer(id, bytes));
+}
+
+Result<PeerRecord> Controller::GetPeer(const std::string& name) {
+  ChargeRpc();
+  auto node = store_.Get("/peers/" + name);
+  if (!node.ok()) {
+    return node.status();
+  }
+  PeerRecord rec;
+  rec.name = name;
+  if (!ParsePeer(node->data, &rec.node, &rec.available_bytes)) {
+    return InternalError("corrupt peer record");
+  }
+  return rec;
+}
+
+Result<std::vector<PeerRecord>> Controller::GetPeers(
+    size_t n, uint64_t min_bytes, const std::set<std::string>& exclude) {
+  ChargeRpc();
+  std::vector<PeerRecord> candidates;
+  for (const std::string& name : store_.Children("/peers")) {
+    if (exclude.count(name) > 0) {
+      continue;
+    }
+    auto node = store_.Get("/peers/" + name);
+    if (!node.ok()) {
+      continue;
+    }
+    PeerRecord rec;
+    rec.name = name;
+    if (!ParsePeer(node->data, &rec.node, &rec.available_bytes)) {
+      continue;
+    }
+    if (rec.available_bytes >= min_bytes) {
+      candidates.push_back(std::move(rec));
+    }
+  }
+  if (candidates.size() < n) {
+    return UnavailableError("not enough log peers with sufficient memory");
+  }
+  // Balance load: prefer peers with the most spare memory (stable order for
+  // determinism).
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const PeerRecord& a, const PeerRecord& b) {
+                     return a.available_bytes > b.available_bytes;
+                   });
+  candidates.resize(n);
+  return candidates;
+}
+
+// ---- Application epochs ----------------------------------------------------
+
+Result<uint64_t> Controller::BumpAppEpoch(const std::string& app) {
+  ChargeRpc();
+  std::string path = "/apps/" + app + "/epoch";
+  uint64_t epoch = 1;
+  auto node = store_.Get(path);
+  if (node.ok()) {
+    epoch = DecodeFixed64(node->data.data()) + 1;
+    std::string data;
+    PutFixed64(&data, epoch);
+    RETURN_IF_ERROR(store_.Set(path, std::move(data)));
+  } else {
+    std::string data;
+    PutFixed64(&data, epoch);
+    RETURN_IF_ERROR(store_.Create(path, std::move(data)));
+  }
+  return epoch;
+}
+
+Result<uint64_t> Controller::GetAppEpoch(const std::string& app) {
+  ChargeRpc();
+  auto node = store_.Get("/apps/" + app + "/epoch");
+  if (!node.ok()) {
+    return node.status();
+  }
+  if (node->data.size() != 8) {
+    return InternalError("corrupt epoch record");
+  }
+  return DecodeFixed64(node->data.data());
+}
+
+// ---- ap-map -----------------------------------------------------------------
+
+Status Controller::SetApMap(const std::string& app, const std::string& file,
+                            const ApMapEntry& entry) {
+  ChargeRpc();
+  std::string path = "/apps/" + app + "/files/" + EscapeFile(file);
+  if (store_.Exists(path)) {
+    return store_.Set(path, SerializeApMap(entry));
+  }
+  return store_.Create(path, SerializeApMap(entry));
+}
+
+Result<ApMapEntry> Controller::GetApMap(const std::string& app,
+                                        const std::string& file) {
+  ChargeRpc();
+  auto node = store_.Get("/apps/" + app + "/files/" + EscapeFile(file));
+  if (!node.ok()) {
+    return node.status();
+  }
+  ApMapEntry entry;
+  if (!ParseApMap(node->data, &entry)) {
+    return InternalError("corrupt ap-map entry");
+  }
+  return entry;
+}
+
+Status Controller::DeleteApMap(const std::string& app,
+                               const std::string& file) {
+  ChargeRpc();
+  return store_.Delete("/apps/" + app + "/files/" + EscapeFile(file));
+}
+
+std::vector<std::string> Controller::ListAppFiles(const std::string& app) {
+  ChargeRpc();
+  std::vector<std::string> out;
+  for (const std::string& child : store_.Children("/apps/" + app + "/files")) {
+    out.push_back(UnescapeFile(child));
+  }
+  return out;
+}
+
+// ---- Server lease -----------------------------------------------------------
+
+Result<SessionId> Controller::AcquireServerLease(const std::string& app) {
+  ChargeRpc();
+  SessionId session = store_.OpenSession();
+  Status created = store_.Create("/servers/" + app, "", session);
+  if (!created.ok()) {
+    return AbortedError("another instance of " + app + " holds the lease");
+  }
+  return session;
+}
+
+void Controller::ExpireSession(SessionId session) {
+  // No RPC charge: session expiry is detected by ZooKeeper asynchronously.
+  store_.ExpireSession(session);
+}
+
+}  // namespace splitft

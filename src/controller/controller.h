@@ -1,0 +1,108 @@
+// The NCL controller (§4.3, §4.7): a metadata service built on the znode
+// store. It tracks registered log peers under /peers, application peer
+// assignments (the ap-map) under /apps, per-application epochs for the
+// space-leak GC protocol (§4.5.1), and the single-instance server lease
+// under /servers (ephemeral znodes, first-creation-wins).
+//
+// Every public call charges one controller round trip on the virtual clock,
+// modeling the quorum-committed ZooKeeper operation.
+#ifndef SRC_CONTROLLER_CONTROLLER_H_
+#define SRC_CONTROLLER_CONTROLLER_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/controller/znode_store.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+
+struct PeerRecord {
+  std::string name;
+  NodeId node = kInvalidNode;  // fabric address for QP setup
+  uint64_t available_bytes = 0;
+};
+
+// One ap-map entry: the peers assigned to an (application, ncl-file) pair,
+// stamped with the application epoch in force when it was written.
+struct ApMapEntry {
+  uint64_t epoch = 0;
+  std::vector<std::string> peers;
+};
+
+class Controller {
+ public:
+  Controller(Simulation* sim, const SimParams* params);
+
+  // ---- Peer registry -----------------------------------------------------
+
+  // A compute node registers itself as a log peer, advertising how much
+  // spare memory it lends.
+  Status RegisterPeer(const std::string& name, NodeId node, uint64_t bytes);
+  Status UnregisterPeer(const std::string& name);
+  // Peers update their advertised availability after (de)allocations.
+  Status UpdatePeerMemory(const std::string& name, uint64_t bytes);
+  // Asynchronous variant: the peer fires the update without anyone
+  // waiting on it (§4.3 — controller availability is a stale hint).
+  void UpdatePeerMemoryAsync(const std::string& name, uint64_t bytes);
+  Result<PeerRecord> GetPeer(const std::string& name);
+
+  // Returns up to `n` peers whose advertised available memory is at least
+  // `min_bytes`, excluding `exclude`. The result is a *hint*: availability
+  // may be stale and a peer may reject the allocation (§4.3).
+  Result<std::vector<PeerRecord>> GetPeers(size_t n, uint64_t min_bytes,
+                                           const std::set<std::string>& exclude);
+
+  // ---- Application epochs (space-leak GC, §4.5.1) ------------------------
+
+  // Increments (creating if needed) the application's epoch; called whenever
+  // the application intends to update its ap-map. Returns the new epoch.
+  Result<uint64_t> BumpAppEpoch(const std::string& app);
+  Result<uint64_t> GetAppEpoch(const std::string& app);
+
+  // ---- ap-map -------------------------------------------------------------
+
+  Status SetApMap(const std::string& app, const std::string& file,
+                  const ApMapEntry& entry);
+  Result<ApMapEntry> GetApMap(const std::string& app, const std::string& file);
+  Status DeleteApMap(const std::string& app, const std::string& file);
+  // ncl files recorded for the application (used during app recovery).
+  std::vector<std::string> ListAppFiles(const std::string& app);
+
+  // ---- Single-instance server lease (§4.7) --------------------------------
+
+  // Creates the ephemeral /servers/<app> znode. Only the first concurrent
+  // caller succeeds; others get kAborted. Returns the session whose expiry
+  // releases the lease.
+  Result<SessionId> AcquireServerLease(const std::string& app);
+  // Models the application process dying: its ephemeral znodes vanish.
+  void ExpireSession(SessionId session);
+
+  // Test/diagnostic access.
+  ZnodeStore& store() { return store_; }
+  uint64_t rpc_count() const { return rpc_count_; }
+
+ private:
+  void ChargeRpc();
+  static std::string EscapeFile(const std::string& file);
+  static std::string UnescapeFile(const std::string& escaped);
+  static std::string SerializePeer(NodeId node, uint64_t bytes);
+  static bool ParsePeer(const std::string& data, NodeId* node,
+                        uint64_t* bytes);
+  static std::string SerializeApMap(const ApMapEntry& entry);
+  static bool ParseApMap(const std::string& data, ApMapEntry* entry);
+
+  Simulation* sim_;
+  const SimParams* params_;
+  ZnodeStore store_;
+  uint64_t rpc_count_ = 0;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_CONTROLLER_CONTROLLER_H_

@@ -1,0 +1,412 @@
+#include "src/dfs/dfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace splitft {
+
+// --------------------------------------------------------------- Cluster --
+
+DfsCluster::DfsCluster(Simulation* sim, const SimParams* params)
+    : sim_(sim), params_(params) {}
+
+SimTime DfsCluster::AcquirePipe(SimTime duration, bool foreground) {
+  SimTime start = std::max(sim_->Now(), pipe_busy_until_);
+  SimTime done = start + duration;
+  pipe_busy_until_ = done;
+  if (foreground) {
+    sim_->AdvanceTo(done);
+  }
+  return done;
+}
+
+// ---------------------------------------------------------------- Client --
+
+DfsClient::DfsClient(DfsCluster* cluster, std::string name)
+    : cluster_(cluster), name_(std::move(name)) {}
+
+DfsClient::FileState& DfsClient::GetState(const std::string& path) {
+  return states_[path];
+}
+
+Result<std::unique_ptr<DfsFile>> DfsClient::Open(
+    const std::string& path, const DfsOpenOptions& options) {
+  bool exists = cluster_->files_.count(path) > 0;
+  if (!exists && !options.create) {
+    return NotFoundError("dfs file not found: " + path);
+  }
+  if (!exists) {
+    cluster_->files_[path] = DfsCluster::DurableFile{};
+  }
+  FileState& st = GetState(path);
+  st.deleted = false;
+  st.open_handles++;
+  crashed_ = false;
+  return std::unique_ptr<DfsFile>(
+      new DfsFile(this, path, options.direct_io, epoch_));
+}
+
+bool DfsClient::Exists(const std::string& path) const {
+  return cluster_->files_.count(path) > 0;
+}
+
+Status DfsClient::Unlink(const std::string& path) {
+  if (cluster_->files_.erase(path) == 0) {
+    return NotFoundError("dfs unlink: " + path);
+  }
+  auto it = states_.find(path);
+  if (it != states_.end()) {
+    it->second.dirty.clear();
+    it->second.dirty_bytes = 0;
+    it->second.cached_windows.clear();
+    it->second.deleted = true;
+  }
+  if (cluster_->trace_ != nullptr) {
+    IoTraceEvent ev;
+    ev.path = path;
+    ev.is_delete = true;
+    cluster_->trace_->Record(std::move(ev));
+  }
+  return OkStatus();
+}
+
+Status DfsClient::Rename(const std::string& from, const std::string& to) {
+  auto it = cluster_->files_.find(from);
+  if (it == cluster_->files_.end()) {
+    return NotFoundError("dfs rename source: " + from);
+  }
+  cluster_->files_[to] = std::move(it->second);
+  cluster_->files_.erase(it);
+  states_.erase(to);
+  auto st = states_.find(from);
+  if (st != states_.end()) {
+    states_[to] = std::move(st->second);
+    states_.erase(st);
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> DfsClient::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, file] : cluster_->files_) {
+    if (path.rfind(prefix, 0) == 0) {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
+void DfsClient::SimulateCrash() {
+  // Page cache and dirty buffers are in the (crashed) app server's memory.
+  states_.clear();
+  crashed_ = true;
+  flusher_running_ = false;
+  epoch_++;
+}
+
+uint64_t DfsClient::BackgroundFlushAll() {
+  uint64_t flushed = 0;
+  for (auto& [path, st] : states_) {
+    if (st.dirty.empty() || st.deleted) {
+      continue;
+    }
+    auto fit = cluster_->files_.find(path);
+    if (fit == cluster_->files_.end()) {
+      st.dirty.clear();
+      st.dirty_bytes = 0;
+      continue;
+    }
+    std::string& content = fit->second.content;
+    uint64_t bytes = st.dirty_bytes;
+    for (auto& [offset, data] : st.dirty) {
+      if (content.size() < offset + data.size()) {
+        content.resize(offset + data.size(), '\0');
+      }
+      content.replace(offset, data.size(), data);
+    }
+    st.dirty.clear();
+    st.dirty_bytes = 0;
+    cluster_->AcquirePipe(cluster_->params_->DfsSyncWriteLatency(bytes),
+                          /*foreground=*/false);
+    cluster_->bytes_written_ += bytes;
+    flushed += bytes;
+  }
+  return flushed;
+}
+
+void DfsClient::StartPeriodicFlusher() {
+  if (flusher_running_) {
+    return;
+  }
+  flusher_running_ = true;
+  SimTime interval = cluster_->params_->dfs.flush_interval;
+  cluster_->sim_->Schedule(interval, [this, interval] {
+    if (!flusher_running_) {
+      return;
+    }
+    BackgroundFlushAll();
+    flusher_running_ = false;
+    StartPeriodicFlusher();
+  });
+}
+
+// ------------------------------------------------------------------ File --
+
+DfsFile::DfsFile(DfsClient* client, std::string path, bool direct_io,
+                 uint64_t epoch)
+    : client_(client),
+      path_(std::move(path)),
+      direct_io_(direct_io),
+      epoch_(epoch) {}
+
+Status DfsFile::CheckUsable() const {
+  if (epoch_ != client_->epoch_) {
+    return FailedPreconditionError("file handle from before a client crash");
+  }
+  auto it = client_->states_.find(path_);
+  if (it != client_->states_.end() && it->second.deleted) {
+    return FailedPreconditionError("file was unlinked: " + path_);
+  }
+  if (client_->cluster_->files_.count(path_) == 0) {
+    return NotFoundError("file no longer exists: " + path_);
+  }
+  return OkStatus();
+}
+
+uint64_t DfsFile::Size() const {
+  auto fit = client_->cluster_->files_.find(path_);
+  uint64_t size = fit == client_->cluster_->files_.end()
+                      ? 0
+                      : fit->second.content.size();
+  auto sit = client_->states_.find(path_);
+  if (sit != client_->states_.end()) {
+    for (const auto& [offset, data] : sit->second.dirty) {
+      size = std::max<uint64_t>(size, offset + data.size());
+    }
+  }
+  return size;
+}
+
+uint64_t DfsFile::DirtyBytes() const {
+  auto sit = client_->states_.find(path_);
+  return sit == client_->states_.end() ? 0 : sit->second.dirty_bytes;
+}
+
+Status DfsFile::Append(std::string_view data) {
+  return Write(Size(), data);
+}
+
+Status DfsFile::Write(uint64_t offset, std::string_view data) {
+  RETURN_IF_ERROR(CheckUsable());
+  if (data.empty()) {
+    return OkStatus();
+  }
+  DfsClient::FileState& st = client_->GetState(path_);
+  // Page-cache copy cost.
+  client_->cluster_->sim_->Advance(
+      client_->cluster_->params_->DfsBufferedWriteLatency(data.size()));
+
+  const uint64_t end = offset + data.size();
+
+  // Fast paths against the directly-preceding dirty range.
+  if (!st.dirty.empty()) {
+    auto it = st.dirty.upper_bound(offset);
+    if (it != st.dirty.begin()) {
+      auto prev = std::prev(it);
+      uint64_t prev_end = prev->first + prev->second.size();
+      if (prev_end == offset &&
+          (it == st.dirty.end() || it->first >= end)) {
+        // The common append case.
+        prev->second.append(data);
+        st.dirty_bytes += data.size();
+        return OkStatus();
+      }
+      if (offset >= prev->first && end <= prev_end) {
+        // Overwrite entirely within an existing dirty range.
+        prev->second.replace(offset - prev->first, data.size(), data);
+        return OkStatus();
+      }
+    }
+  }
+
+  // General case: dirty ranges are kept non-overlapping. Trim or split any
+  // range intersecting [offset, end), then insert the new one. Applying the
+  // map in offset order at Sync() is then order-independent.
+  auto it = st.dirty.lower_bound(offset);
+  if (it != st.dirty.begin()) {
+    auto prev = std::prev(it);
+    uint64_t prev_end = prev->first + prev->second.size();
+    if (prev_end > offset) {
+      // prev spans into the new write: keep its head, and its tail if it
+      // extends past the new write's end.
+      std::string tail;
+      if (prev_end > end) {
+        tail = prev->second.substr(end - prev->first);
+      }
+      st.dirty_bytes -= prev->second.size();
+      prev->second.resize(offset - prev->first);
+      st.dirty_bytes += prev->second.size();
+      if (!tail.empty()) {
+        st.dirty_bytes += tail.size();
+        st.dirty.emplace(end, std::move(tail));
+        it = st.dirty.lower_bound(offset);
+      }
+    }
+  }
+  while (it != st.dirty.end() && it->first < end) {
+    uint64_t entry_end = it->first + it->second.size();
+    if (entry_end > end) {
+      std::string tail = it->second.substr(end - it->first);
+      st.dirty_bytes += tail.size();
+      st.dirty.emplace(end, std::move(tail));
+    }
+    st.dirty_bytes -= it->second.size();
+    it = st.dirty.erase(it);
+  }
+  st.dirty.emplace(offset, std::string(data));
+  st.dirty_bytes += data.size();
+  return OkStatus();
+}
+
+Status DfsFile::Sync(bool foreground) {
+  return SyncInternal(foreground, nullptr);
+}
+
+Result<SimTime> DfsFile::SyncDeferred() {
+  SimTime done = client_->cluster_->sim_->Now();
+  RETURN_IF_ERROR(SyncInternal(/*foreground=*/false, &done));
+  return done;
+}
+
+Status DfsFile::SyncInternal(bool foreground, SimTime* done_at) {
+  RETURN_IF_ERROR(CheckUsable());
+  DfsClient::FileState& st = client_->GetState(path_);
+  if (st.dirty.empty()) {
+    return OkStatus();
+  }
+  DfsCluster* cluster = client_->cluster_;
+  std::string& content = cluster->files_[path_].content;
+  uint64_t bytes = st.dirty_bytes;
+  bool overwrote = false;
+  for (auto& [offset, data] : st.dirty) {
+    if (offset < content.size()) {
+      overwrote = true;
+    }
+    if (content.size() < offset + data.size()) {
+      content.resize(offset + data.size(), '\0');
+    }
+    content.replace(offset, data.size(), data);
+  }
+  st.dirty.clear();
+  st.dirty_bytes = 0;
+  SimTime done = cluster->AcquirePipe(
+      cluster->params_->DfsSyncWriteLatency(bytes), foreground);
+  if (done_at != nullptr) {
+    *done_at = done;
+  }
+  cluster->bytes_written_ += bytes;
+  cluster->sync_ops_++;
+  if (cluster->trace_ != nullptr) {
+    IoTraceEvent ev;
+    ev.path = path_;
+    ev.bytes = bytes;
+    ev.sync = foreground || done_at != nullptr;
+    ev.is_overwrite = overwrote;
+    cluster->trace_->Record(std::move(ev));
+  }
+  return OkStatus();
+}
+
+
+Result<std::string> DfsFile::Read(uint64_t offset, uint64_t len) {
+  return ReadInternal(offset, len, /*foreground=*/true);
+}
+
+Result<std::string> DfsFile::ReadBackground(uint64_t offset, uint64_t len) {
+  return ReadInternal(offset, len, /*foreground=*/false);
+}
+
+Result<std::string> DfsFile::ReadInternal(uint64_t offset, uint64_t len,
+                                          bool foreground) {
+  RETURN_IF_ERROR(CheckUsable());
+  const SimParams& params = client_->cluster_->params();
+  Simulation* sim = client_->cluster_->sim_;
+  DfsClient::FileState& st = client_->GetState(path_);
+
+  uint64_t size = Size();
+  if (offset >= size) {
+    return std::string();
+  }
+  len = std::min<uint64_t>(len, size - offset);
+
+  // Materialize only the requested range: durable bytes overlaid with any
+  // intersecting dirty ranges.
+  std::string out;
+  auto fit = client_->cluster_->files_.find(path_);
+  if (fit != client_->cluster_->files_.end() &&
+      offset < fit->second.content.size()) {
+    out = fit->second.content.substr(
+        offset, std::min<uint64_t>(len, fit->second.content.size() - offset));
+  }
+  if (out.size() < len) {
+    out.resize(len, '\0');
+  }
+  if (!st.dirty.empty()) {
+    // Dirty ranges starting before offset+len may intersect; walk back one
+    // entry past the first candidate to catch a range spanning `offset`.
+    auto it = st.dirty.lower_bound(offset);
+    if (it != st.dirty.begin()) {
+      --it;
+    }
+    for (; it != st.dirty.end() && it->first < offset + len; ++it) {
+      uint64_t d_off = it->first;
+      const std::string& data = it->second;
+      uint64_t d_end = d_off + data.size();
+      if (d_end <= offset) {
+        continue;
+      }
+      uint64_t copy_begin = std::max(offset, d_off);
+      uint64_t copy_end = std::min(offset + len, d_end);
+      out.replace(copy_begin - offset, copy_end - copy_begin, data,
+                  copy_begin - d_off, copy_end - copy_begin);
+    }
+  }
+
+  if (direct_io_) {
+    // Every read goes to the backend.
+    client_->cluster_->AcquirePipe(
+        params.dfs.remote_read_base +
+            static_cast<SimTime>(static_cast<double>(len) /
+                                 params.dfs.read_bytes_per_ns),
+        foreground);
+    return out;
+  }
+
+  // Page cache with readahead: a miss fetches the whole readahead window.
+  uint64_t window = params.dfs.readahead_bytes;
+  uint64_t first = offset / window;
+  uint64_t last = (offset + len - 1) / window;
+  for (uint64_t w = first; w <= last; ++w) {
+    if (st.cached_windows.count(w) > 0) {
+      if (foreground) {
+        sim->Advance(params.dfs.cached_read_base +
+                     static_cast<SimTime>(
+                         static_cast<double>(len) /
+                         params.dfs.cached_read_bytes_per_ns));
+      }
+    } else {
+      uint64_t fetch = std::min<uint64_t>(window, size - w * window);
+      client_->cluster_->AcquirePipe(
+          params.dfs.remote_read_base +
+              static_cast<SimTime>(static_cast<double>(fetch) /
+                                   params.dfs.read_bytes_per_ns),
+          foreground);
+      st.cached_windows.insert(w);
+    }
+  }
+  return out;
+}
+
+}  // namespace splitft

@@ -1,0 +1,184 @@
+// Simulated disaggregated file system (CephFS-like).
+//
+// Semantics modeled (the ones the paper's evaluation depends on):
+//   * POSIX-style buffered writes: write() lands in the client's page cache
+//     and is cheap; durability requires fsync, which pushes the dirty bytes
+//     to the replicated storage backend with a high fixed latency plus a
+//     bandwidth term (calibrated to Fig 1d);
+//   * crash consistency: on an application-server crash, everything up to
+//     the last successful fsync survives; dirty data is lost;
+//   * a shared backend "pipe": foreground fsyncs queue behind in-flight
+//     background bulk writes (this is what makes weak-mode applications
+//     suffer write stalls that SplitFT avoids, §5.2);
+//   * client-side page cache with sequential readahead, plus a direct-IO
+//     mode that bypasses it (Fig 11a);
+//   * a background flusher that periodically syncs dirty files, which is
+//     what gives weak-mode applications their "eventually durable" shape.
+#ifndef SRC_DFS_DFS_H_
+#define SRC_DFS_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/io_trace.h"
+#include "src/common/status.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+
+class DfsClient;
+class DfsFile;
+
+// The disaggregated storage service: namespace + durable file contents +
+// the shared backend bandwidth pipe.
+class DfsCluster {
+ public:
+  DfsCluster(Simulation* sim, const SimParams* params);
+
+  Simulation* sim() const { return sim_; }
+  const SimParams& params() const { return *params_; }
+
+  // Optional sink receiving one event per serviced write/delete.
+  void set_trace(IoTraceSink* trace) { trace_ = trace; }
+
+  // Total bytes pushed to the backend since construction.
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t sync_ops() const { return sync_ops_; }
+
+  // When the backend pipe drains; applications use this to model write
+  // stalls (waiting for in-flight background flushes/compactions).
+  SimTime pipe_busy_until() const { return pipe_busy_until_; }
+
+ private:
+  friend class DfsClient;
+  friend class DfsFile;
+
+  struct DurableFile {
+    std::string content;
+  };
+
+  // Serializes an operation of the given duration through the backend.
+  // Foreground ops advance the simulation clock to their completion;
+  // background ops only extend the pipe's busy horizon.
+  // Returns the completion time.
+  SimTime AcquirePipe(SimTime duration, bool foreground);
+
+  Simulation* sim_;
+  const SimParams* params_;
+  std::map<std::string, DurableFile> files_;
+  SimTime pipe_busy_until_ = 0;
+  IoTraceSink* trace_ = nullptr;
+  uint64_t bytes_written_ = 0;
+  uint64_t sync_ops_ = 0;
+};
+
+struct DfsOpenOptions {
+  bool create = true;
+  // Bypass the client page cache on reads (Fig 11a "DFS direct IO").
+  bool direct_io = false;
+};
+
+// A mounted client on one application server. Holds the page cache and the
+// dirty (not yet fsynced) write buffers. One client per app-server process.
+class DfsClient {
+ public:
+  DfsClient(DfsCluster* cluster, std::string name);
+
+  Result<std::unique_ptr<DfsFile>> Open(const std::string& path,
+                                        const DfsOpenOptions& options = {});
+
+  bool Exists(const std::string& path) const;
+  Status Unlink(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  // All durable paths with the given prefix, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  // Models the application server crashing: all dirty buffers and the page
+  // cache are dropped. Open DfsFile handles become unusable.
+  void SimulateCrash();
+
+  // Flushes every dirty file as a *background* operation (the OS flusher /
+  // periodic sync used by weak-mode applications). Returns bytes flushed.
+  uint64_t BackgroundFlushAll();
+
+  // Schedules BackgroundFlushAll every params.dfs.flush_interval.
+  void StartPeriodicFlusher();
+  void StopPeriodicFlusher() { flusher_running_ = false; }
+
+  DfsCluster* cluster() const { return cluster_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class DfsFile;
+
+  struct FileState {
+    // Dirty byte ranges: offset -> data, merged opportunistically.
+    std::map<uint64_t, std::string> dirty;
+    uint64_t dirty_bytes = 0;
+    // Page-cache: indexes of cached readahead windows.
+    std::set<uint64_t> cached_windows;
+    uint64_t open_handles = 0;
+    bool deleted = false;
+  };
+
+  FileState& GetState(const std::string& path);
+
+  DfsCluster* cluster_;
+  std::string name_;
+  std::map<std::string, FileState> states_;
+  bool crashed_ = false;
+  bool flusher_running_ = false;
+  uint64_t epoch_ = 0;  // bumped on crash so stale handles fail
+};
+
+// An open file. All writes are buffered until Sync().
+class DfsFile {
+ public:
+  // Appends at the current logical end (durable size + pending writes).
+  Status Append(std::string_view data);
+  // Positional write (pwrite).
+  Status Write(uint64_t offset, std::string_view data);
+  // Pushes all dirty bytes for this file to the backend.
+  //   foreground=true: the caller blocks (virtual clock advances);
+  //   foreground=false: a background bulk write (compaction/checkpoint).
+  Status Sync(bool foreground = true);
+  // Group-commit variant: starts the flush and returns the virtual time at
+  // which it becomes durable, without blocking the caller. Used by the
+  // harness to overlap the commit pipeline with read service.
+  Result<SimTime> SyncDeferred();
+  // Reads [offset, offset+len) from the file (durable + dirty view).
+  // Charges cached/remote/direct-IO latency per the page-cache state.
+  Result<std::string> Read(uint64_t offset, uint64_t len);
+  // Background variant (compaction inputs): remote fetches occupy the
+  // backend pipe but do not block the caller's clock.
+  Result<std::string> ReadBackground(uint64_t offset, uint64_t len);
+
+  // Logical size including unflushed writes.
+  uint64_t Size() const;
+  uint64_t DirtyBytes() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  friend class DfsClient;
+  DfsFile(DfsClient* client, std::string path, bool direct_io, uint64_t epoch);
+
+  Status CheckUsable() const;
+  Status SyncInternal(bool foreground, SimTime* done_at);
+  Result<std::string> ReadInternal(uint64_t offset, uint64_t len,
+                                   bool foreground);
+
+  DfsClient* client_;
+  std::string path_;
+  bool direct_io_;
+  uint64_t epoch_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_DFS_DFS_H_

@@ -1,0 +1,83 @@
+#include "src/harness/testbed.h"
+
+#include "src/workload/ycsb.h"
+
+namespace splitft {
+
+Testbed::Testbed(TestbedOptions options)
+    : options_(options),
+      fabric_(&sim_, &options_.params),
+      controller_(&sim_, &options_.params),
+      cluster_(&sim_, &options_.params) {
+  app_node_ = fabric_.AddNode("app-server");
+  for (int i = 0; i < options_.num_peers; ++i) {
+    auto peer = std::make_unique<LogPeer>("peer-" + std::to_string(i),
+                                          &fabric_, &controller_,
+                                          options_.peer_memory);
+    (void)peer->Start();
+    directory_.Register(peer.get());
+    peers_.push_back(std::move(peer));
+  }
+}
+
+Testbed::~Testbed() = default;
+
+std::unique_ptr<AppServer> Testbed::MakeServer(const std::string& app_id,
+                                               DurabilityMode mode,
+                                               uint64_t ncl_capacity) {
+  auto server = std::make_unique<AppServer>();
+  server->app_id = app_id;
+  server->dfs = std::make_unique<DfsClient>(&cluster_, app_id);
+  NclConfig config;
+  config.app_id = app_id;
+  config.fault_budget = options_.fault_budget;
+  config.default_capacity = ncl_capacity;
+  server->fs = std::make_unique<SplitFs>(config, server->dfs.get(), &fabric_,
+                                         &controller_, &directory_, app_node_);
+  (void)server->fs->Start();
+  if (mode == DurabilityMode::kWeak) {
+    // Weak mode relies on the OS flusher for eventual durability.
+    server->dfs->StartPeriodicFlusher();
+  }
+  return server;
+}
+
+Result<std::unique_ptr<KvStore>> Testbed::StartKvStore(
+    AppServer* server, KvStoreOptions options) {
+  return KvStore::Open(server->fs.get(), &sim_, &options_.params,
+                       std::move(options));
+}
+
+Result<std::unique_ptr<Redis>> Testbed::StartRedis(AppServer* server,
+                                                   RedisOptions options) {
+  return Redis::Open(server->fs.get(), &sim_, &options_.params,
+                     std::move(options));
+}
+
+Result<std::unique_ptr<SqliteLite>> Testbed::StartSqlite(
+    AppServer* server, SqliteLiteOptions options) {
+  return SqliteLite::Open(server->fs.get(), &sim_, &options_.params,
+                          std::move(options));
+}
+
+void Testbed::CrashServer(AppServer* server) {
+  server->app.reset();
+  server->fs->SimulateCrash();
+}
+
+Status Testbed::LoadRecords(StorageApp* app, uint64_t n, uint64_t seed) {
+  YcsbWorkload loader(YcsbWorkloadKind::kWriteOnly, n, seed);
+  const uint64_t kChunk = 128;
+  std::vector<KvWrite> batch;
+  batch.reserve(kChunk);
+  for (uint64_t id = 0; id < n; ++id) {
+    batch.push_back(KvWrite{YcsbWorkload::KeyFor(id), loader.ValueFor(id)});
+    if (batch.size() == kChunk || id + 1 == n) {
+      RETURN_IF_ERROR(app->ApplyWriteBatch(batch));
+      batch.clear();
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace splitft

@@ -1,0 +1,95 @@
+// Testbed: assembles the full simulated cluster (fabric, controller, log
+// peers, dfs) and application servers on top of it. Shared by the benches
+// and the examples so every experiment runs against the same environment
+// the paper's CloudLab testbed provides.
+#ifndef SRC_HARNESS_TESTBED_H_
+#define SRC_HARNESS_TESTBED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/kvstore/kv_store.h"
+#include "src/apps/redis/redis.h"
+#include "src/apps/sqlitelite/sqlite_lite.h"
+#include "src/apps/storage_app.h"
+#include "src/controller/controller.h"
+#include "src/dfs/dfs.h"
+#include "src/ncl/peer.h"
+#include "src/ncl/peer_directory.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+#include "src/splitft/split_fs.h"
+
+namespace splitft {
+
+struct TestbedOptions {
+  int num_peers = 4;
+  uint64_t peer_memory = 4ull << 30;
+  int fault_budget = 1;
+  SimParams params;
+};
+
+// One application-server process: its dfs mount, SplitFs instance, and the
+// application running on it. Crash/restart cycles replace `fs` and `app`
+// but keep the identity (app_id) so recovery finds the state.
+struct AppServer {
+  std::string app_id;
+  std::unique_ptr<DfsClient> dfs;
+  std::unique_ptr<SplitFs> fs;
+  std::unique_ptr<StorageApp> app;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions options = {});
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  Simulation* sim() { return &sim_; }
+  const SimParams& params() const { return options_.params; }
+  Fabric* fabric() { return &fabric_; }
+  Controller* controller() { return &controller_; }
+  DfsCluster* dfs_cluster() { return &cluster_; }
+  PeerDirectory* directory() { return &directory_; }
+  LogPeer* peer(int i) { return peers_[i].get(); }
+  int num_peers() const { return static_cast<int>(peers_.size()); }
+
+  // Builds a fresh application-server process (dfs mount + SplitFs) for
+  // `app_id`. Weak-mode servers start the periodic dfs flusher.
+  std::unique_ptr<AppServer> MakeServer(const std::string& app_id,
+                                        DurabilityMode mode,
+                                        uint64_t ncl_capacity = 64ull << 20);
+
+  // App constructors on a server. The options' mode must match the server's.
+  Result<std::unique_ptr<KvStore>> StartKvStore(AppServer* server,
+                                                KvStoreOptions options);
+  Result<std::unique_ptr<Redis>> StartRedis(AppServer* server,
+                                            RedisOptions options);
+  Result<std::unique_ptr<SqliteLite>> StartSqlite(AppServer* server,
+                                                  SqliteLiteOptions options);
+
+  // Crashes the server process (drops caches, releases the lease). The
+  // caller must discard `server->app` and rebuild via MakeServer + Start*.
+  void CrashServer(AppServer* server);
+
+  // Bulk-loads `n` records through the app (the YCSB load phase).
+  static Status LoadRecords(StorageApp* app, uint64_t n, uint64_t seed = 1);
+
+ private:
+  TestbedOptions options_;
+  Simulation sim_;
+  Fabric fabric_;
+  Controller controller_;
+  DfsCluster cluster_;
+  PeerDirectory directory_;
+  std::vector<std::unique_ptr<LogPeer>> peers_;
+  NodeId app_node_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_HARNESS_TESTBED_H_

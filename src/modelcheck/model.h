@@ -1,0 +1,55 @@
+// Explicit-state model checker for the NCL replication and recovery
+// protocols (§4.6). The model abstracts an append-only ncl file as a
+// sequence of numbered writes; each write becomes two per-peer WR
+// deliveries (data then sequence-number header — or the reverse under the
+// injected bug). The checker enumerates every interleaving of:
+//   * WR deliveries on each peer,
+//   * application-issued writes (up to a bound),
+//   * peer crashes and replacements,
+//   * application crashes and recoveries (with every f+1-subset of
+//     responding peers as the recovery quorum),
+// and asserts the §4.6 correctness condition after every recovery:
+// everything acknowledged (or previously recovered and externalized) is
+// recovered again, in order and without holes.
+//
+// Re-introducible bugs from the paper, each of which the checker must
+// catch:
+//   * bug_seq_before_data    — header WR posted before the data WR;
+//   * bug_apmap_before_catchup — replacement peer recorded in the ap-map
+//                                before being caught up;
+//   * bug_skip_recovery_catchup — lagging peers not caught up before the
+//                                 recovered data is externalized.
+#ifndef SRC_MODELCHECK_MODEL_H_
+#define SRC_MODELCHECK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace splitft {
+
+struct McConfig {
+  int fault_budget = 1;      // f; n = 2f+1 member peers
+  int spare_peers = 1;       // replacement pool
+  int max_writes = 3;        // writes the application issues
+  int max_peer_crashes = 1;
+  int max_app_crashes = 2;
+  bool bug_seq_before_data = false;
+  bool bug_apmap_before_catchup = false;
+  bool bug_skip_recovery_catchup = false;
+  uint64_t max_states = 10'000'000;  // exploration cap
+};
+
+struct McResult {
+  uint64_t states_explored = 0;
+  uint64_t transitions = 0;
+  bool violation_found = false;
+  std::string violation;       // first violation's description
+  bool exhausted = false;      // full bounded state space explored
+};
+
+// Runs a breadth-first exploration and returns the outcome.
+McResult CheckNcl(const McConfig& config);
+
+}  // namespace splitft
+
+#endif  // SRC_MODELCHECK_MODEL_H_

@@ -1,0 +1,785 @@
+#include "src/ncl/ncl_client.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace splitft {
+
+// ----------------------------------------------------------------- Client --
+
+NclClient::NclClient(NclConfig config, Fabric* fabric, Controller* controller,
+                     PeerDirectory* directory, NodeId node)
+    : config_(std::move(config)),
+      fabric_(fabric),
+      controller_(controller),
+      directory_(directory),
+      node_(node) {}
+
+NclClient::~NclClient() = default;
+
+Result<std::pair<LogPeer*, AllocationGrant>> NclClient::AllocateOnFreshPeer(
+    const std::string& file, uint64_t region_bytes, uint64_t epoch,
+    const std::set<std::string>& exclude) {
+  std::set<std::string> tried = exclude;
+  for (int attempt = 0; attempt < config_.allocation_attempts; ++attempt) {
+    auto peers = controller_->GetPeers(1, region_bytes, tried);
+    if (!peers.ok()) {
+      return peers.status();
+    }
+    const PeerRecord& rec = (*peers)[0];
+    tried.insert(rec.name);
+    LogPeer* peer = directory_->Lookup(rec.name);
+    if (peer == nullptr || !peer->alive()) {
+      // Stale controller registration (peer crashed without unregistering).
+      continue;
+    }
+    auto grant = peer->Allocate(config_.app_id, file, region_bytes, epoch);
+    if (grant.ok()) {
+      return std::make_pair(peer, *grant);
+    }
+    // The controller's availability was a hint; the peer rejected (§4.3).
+  }
+  return UnavailableError("no log peer could grant " +
+                          std::to_string(region_bytes) + " bytes for " + file);
+}
+
+Result<std::unique_ptr<NclFile>> NclClient::Create(const std::string& file,
+                                                   uint64_t capacity) {
+  if (capacity == 0) {
+    capacity = config_.default_capacity;
+  }
+  if (Exists(file)) {
+    return AlreadyExistsError("ncl file exists: " + file);
+  }
+  // Epoch bump: we intend to update the ap-map (§4.5.1).
+  auto epoch = controller_->BumpAppEpoch(config_.app_id);
+  if (!epoch.ok()) {
+    return epoch.status();
+  }
+  std::unique_ptr<NclFile> out(new NclFile(this, file, capacity));
+  out->epoch_ = *epoch;
+
+  uint64_t region_bytes = NclRegionBytes(capacity);
+  for (int i = 0; i < n_peers(); ++i) {
+    auto got = AllocateOnFreshPeer(file, region_bytes, *epoch, out->ever_used_);
+    if (!got.ok()) {
+      // Partial allocations leak until the peers' GC notices the epoch has
+      // no recorded ap-map entry (tested in ncl_gc tests).
+      return got.status();
+    }
+    auto [peer, grant] = *got;
+    NclFile::PeerSlot slot;
+    slot.peer_name = peer->name();
+    slot.peer = peer;
+    slot.node = peer->node();
+    slot.rkey = grant.rkey;
+    slot.qp = std::make_unique<QueuePair>(fabric_, node_, peer->node(),
+                                          MarkConnected(peer->node()));
+    out->slots_.push_back(std::move(slot));
+    out->ever_used_.insert(peer->name());
+  }
+  out->RefreshPeerNames();
+  RETURN_IF_ERROR(out->WriteApMap());
+  return out;
+}
+
+Status NclClient::Delete(const std::string& file) {
+  auto apmap = controller_->GetApMap(config_.app_id, file);
+  if (!apmap.ok()) {
+    return apmap.status();
+  }
+  for (const std::string& name : apmap->peers) {
+    LogPeer* peer = directory_->Lookup(name);
+    if (peer != nullptr && peer->alive()) {
+      (void)peer->Release(config_.app_id, file);
+    }
+  }
+  return controller_->DeleteApMap(config_.app_id, file);
+}
+
+std::vector<std::string> NclClient::ListFiles() {
+  return controller_->ListAppFiles(config_.app_id);
+}
+
+bool NclClient::Exists(const std::string& file) {
+  return controller_->GetApMap(config_.app_id, file).ok();
+}
+
+Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
+  last_recovery_ = RecoveryBreakdown{};
+  Simulation* sim = fabric_->sim();
+
+  // Phase 1: peer list from the controller.
+  SimTime t0 = sim->Now();
+  auto apmap = controller_->GetApMap(config_.app_id, file);
+  if (!apmap.ok()) {
+    return apmap.status();
+  }
+  last_recovery_.get_peers = sim->Now() - t0;
+
+  // Phase 2: contact the peers; each either grants the region or rejects
+  // (it crashed and lost its mr-map, §4.5.1).
+  t0 = sim->Now();
+  std::unique_ptr<NclFile> out(new NclFile(this, file, 0));
+  for (const std::string& name : apmap->peers) {
+    NclFile::PeerSlot slot;
+    slot.peer_name = name;
+    slot.alive = false;
+    out->ever_used_.insert(name);
+    LogPeer* peer = directory_->Lookup(name);
+    if (peer != nullptr && peer->alive()) {
+      auto grant = peer->LookupForRecovery(config_.app_id, file);
+      if (grant.ok()) {
+        slot.peer = peer;
+        slot.node = peer->node();
+        slot.rkey = grant->rkey;
+        slot.qp = std::make_unique<QueuePair>(fabric_, node_, peer->node(),
+                                              MarkConnected(peer->node()));
+        slot.alive = true;
+        out->capacity_ =
+            std::max(out->capacity_, grant->region_bytes - kNclRegionHeaderBytes);
+      }
+    }
+    out->slots_.push_back(std::move(slot));
+  }
+  if (out->alive_peers() < majority()) {
+    // More than f peers lost the region: correctly make the file
+    // unavailable rather than lose acknowledged writes (§4.2).
+    return UnavailableError("only " + std::to_string(out->alive_peers()) +
+                            " of " + std::to_string(n_peers()) +
+                            " peers hold " + file);
+  }
+  last_recovery_.connect = sim->Now() - t0;
+
+  // Phase 3: read headers from all reachable peers; wait for a majority.
+  t0 = sim->Now();
+  struct HeaderRead {
+    int slot_idx;
+    uint64_t wr_id;
+    bool done = false;
+    NclRegionHeader header;
+  };
+  std::vector<HeaderRead> reads;
+  for (size_t i = 0; i < out->slots_.size(); ++i) {
+    NclFile::PeerSlot& slot = out->slots_[i];
+    if (!slot.alive) {
+      continue;
+    }
+    HeaderRead hr;
+    hr.slot_idx = static_cast<int>(i);
+    hr.wr_id = slot.qp->PostRead(slot.rkey, 0, kNclRegionHeaderBytes);
+    reads.push_back(hr);
+  }
+  auto count_done = [&reads] {
+    int done = 0;
+    for (const HeaderRead& hr : reads) {
+      if (hr.done) {
+        done++;
+      }
+    }
+    return done;
+  };
+  bool ok = sim->RunUntilPredicate([&] {
+    for (HeaderRead& hr : reads) {
+      if (hr.done) {
+        continue;
+      }
+      NclFile::PeerSlot& slot = out->slots_[hr.slot_idx];
+      Completion c;
+      while (slot.qp->PollCq(&c)) {
+        if (c.status != WcStatus::kSuccess) {
+          slot.alive = false;
+          break;
+        }
+        if (c.wr_id == hr.wr_id) {
+          hr.header = NclRegionHeader::Decode(c.read_data);
+          hr.done = true;
+        }
+      }
+    }
+    // All reachable peers either answered or failed.
+    int pending = 0;
+    for (const HeaderRead& hr : reads) {
+      if (!hr.done && out->slots_[hr.slot_idx].alive) {
+        pending++;
+      }
+    }
+    return pending == 0;
+  });
+  (void)ok;
+  if (count_done() < majority()) {
+    return UnavailableError("fewer than f+1 peers answered recovery reads");
+  }
+
+  // The maximum sequence number across f+1 (here: all) responses is the
+  // most up-to-date state (§4.5.1).
+  int best = -1;
+  NclRegionHeader best_header;
+  for (const HeaderRead& hr : reads) {
+    if (hr.done && (best < 0 || hr.header.seq > best_header.seq)) {
+      best = hr.slot_idx;
+      best_header = hr.header;
+    }
+  }
+  out->recovery_slot_ = best;
+  out->seq_ = best_header.seq;
+  out->length_ = best_header.length;
+
+  // Fetch the full contents from the recovery peer. In prefetch mode this
+  // also becomes the buffer that serves application reads (Fig 11a).
+  if (out->length_ > 0) {
+    NclFile::PeerSlot& rslot = out->slots_[best];
+    uint64_t wr = rslot.qp->PostRead(rslot.rkey, kNclRegionHeaderBytes,
+                                     out->length_);
+    Completion c;
+    bool got = sim->RunUntilPredicate([&] {
+      Completion tmp;
+      while (rslot.qp->PollCq(&tmp)) {
+        if (tmp.wr_id == wr) {
+          c = tmp;
+          return true;
+        }
+      }
+      return false;
+    });
+    if (!got || c.status != WcStatus::kSuccess) {
+      return UnavailableError("recovery peer failed during region read");
+    }
+    out->buffer_ = std::move(c.read_data);
+  }
+  out->serve_reads_locally_ = config_.prefetch_on_recovery;
+  last_recovery_.rdma_read = sim->Now() - t0;
+
+  // Phase 4: catch every reachable peer up with the recovered state via
+  // the atomic staged-region switch, then replace unreachable peers, then
+  // record the new ap-map. Only after this is it safe to let the
+  // application act on the recovered data (§4.5.1).
+  t0 = sim->Now();
+  auto epoch = controller_->BumpAppEpoch(config_.app_id);
+  if (!epoch.ok()) {
+    return epoch.status();
+  }
+  out->epoch_ = *epoch;
+  if (!config_.unsafe_skip_recovery_catchup) {
+    for (NclFile::PeerSlot& slot : out->slots_) {
+      if (!slot.alive) {
+        continue;
+      }
+      Status st = out->CatchUpViaStagedRegion(&slot);
+      if (!st.ok()) {
+        slot.alive = false;
+      }
+    }
+    if (out->alive_peers() < majority()) {
+      return UnavailableError("peers failed during recovery catch-up");
+    }
+  } else {
+    for (NclFile::PeerSlot& slot : out->slots_) {
+      if (slot.alive) {
+        slot.acked_seq = out->seq_;  // (unsafely) assumed up to date
+      }
+    }
+  }
+  for (NclFile::PeerSlot& slot : out->slots_) {
+    if (!slot.alive) {
+      // Best effort: maintain the fault-tolerance level. Failure here is
+      // tolerable as long as a majority is alive.
+      (void)out->ReplaceSlot(&slot);
+    }
+  }
+  out->RefreshPeerNames();
+  RETURN_IF_ERROR(out->WriteApMap());
+  last_recovery_.sync_peers = sim->Now() - t0;
+  return out;
+}
+
+// ------------------------------------------------------------------- File --
+
+NclFile::NclFile(NclClient* client, std::string name, uint64_t capacity)
+    : client_(client), name_(std::move(name)), capacity_(capacity) {}
+
+NclFile::~NclFile() = default;
+
+int NclFile::alive_peers() const {
+  int alive = 0;
+  for (const PeerSlot& slot : slots_) {
+    if (slot.alive) {
+      alive++;
+    }
+  }
+  return alive;
+}
+
+void NclFile::RefreshPeerNames() {
+  peer_names_.clear();
+  for (const PeerSlot& slot : slots_) {
+    peer_names_.push_back(slot.peer_name);
+  }
+}
+
+Status NclFile::WriteApMap() {
+  ApMapEntry entry;
+  entry.epoch = epoch_;
+  entry.peers = peer_names_;
+  return client_->controller_->SetApMap(client_->config_.app_id, name_, entry);
+}
+
+Status NclFile::Append(std::string_view data) {
+  return Record(length_, data);
+}
+
+Status NclFile::Write(uint64_t offset, std::string_view data) {
+  return Record(offset, data);
+}
+
+Status NclFile::Truncate() {
+  // Reset the logical contents; the sequence number keeps increasing so
+  // recovery still identifies the newest state.
+  return Record(0, std::string_view());
+}
+
+Status NclFile::Record(uint64_t offset, std::string_view data) {
+  if (deleted_) {
+    return FailedPreconditionError("ncl file was deleted: " + name_);
+  }
+  if (offset + data.size() > capacity_) {
+    return ResourceExhaustedError("write past ncl capacity of " + name_);
+  }
+  const NclConfig& config = client_->config_;
+
+  // Apply locally first (§4.4): the local buffer is also the catch-up
+  // source for replacement peers.
+  bool truncate = data.empty() && offset == 0;
+  if (truncate) {
+    buffer_.clear();
+    length_ = 0;
+  } else {
+    if (buffer_.size() < offset + data.size()) {
+      buffer_.resize(offset + data.size(), '\0');
+    }
+    buffer_.replace(offset, data.size(), data);
+    length_ = std::max<uint64_t>(length_, offset + data.size());
+  }
+  seq_++;
+  std::string header = NclRegionHeader{seq_, length_}.Encode();
+
+  int posted = 0;
+  for (PeerSlot& slot : slots_) {
+    if (!slot.alive) {
+      continue;
+    }
+    if (config.test_crash_after_posting >= 0 &&
+        posted >= config.test_crash_after_posting) {
+      break;
+    }
+    if (config.unsafe_seq_before_data) {
+      // BUG (for §4.6 validation): header lands before the data; a peer
+      // holding the header but not the data can win recovery.
+      uint64_t header_wr = slot.qp->PostWrite(slot.rkey, 0, header);
+      slot.inflight.emplace_back(header_wr, 0);
+      if (!truncate) {
+        uint64_t data_wr =
+            slot.qp->PostWrite(slot.rkey, kNclRegionHeaderBytes + offset, data);
+        slot.inflight.emplace_back(data_wr, seq_);
+      } else {
+        slot.inflight.back().second = seq_;
+      }
+    } else {
+      // Safe order: data first, then the header; SQ ordering makes the
+      // header's arrival imply the data's (§4.4).
+      if (!truncate) {
+        uint64_t data_wr =
+            slot.qp->PostWrite(slot.rkey, kNclRegionHeaderBytes + offset, data);
+        slot.inflight.emplace_back(data_wr, 0);
+      }
+      uint64_t header_wr = slot.qp->PostWrite(slot.rkey, 0, header);
+      slot.inflight.emplace_back(header_wr, seq_);
+    }
+    posted++;
+  }
+  if (config.test_crash_after_posting >= 0) {
+    return AbortedError("test hook: simulated crash mid-replication");
+  }
+
+  // Wait until a majority of peers completed this write and all before it.
+  Simulation* sim = client_->fabric_->sim();
+  while (CountAcked(seq_) < client_->majority()) {
+    bool progressed = PumpCompletions();
+    if (CountAcked(seq_) >= client_->majority()) {
+      break;
+    }
+    if (alive_peers() < client_->majority()) {
+      // More than f peers failed: writes block until replacements are
+      // caught up (§4.5.2). Replace just enough to regain a majority; the
+      // rest are replaced off the critical path below.
+      for (PeerSlot& slot : slots_) {
+        if (alive_peers() >= client_->majority()) {
+          break;
+        }
+        if (!slot.alive) {
+          Status replaced = ReplaceSlot(&slot);
+          if (replaced.code() == StatusCode::kAborted) {
+            return replaced;  // test hook: simulated app crash
+          }
+        }
+      }
+      if (alive_peers() < client_->majority()) {
+        return UnavailableError("more than f log peers are unavailable");
+      }
+      continue;
+    }
+    if (!progressed && !sim->RunOne()) {
+      return InternalError("replication stalled with no pending events");
+    }
+  }
+
+  // Off the ack path: restore the fault-tolerance level eagerly.
+  if (config.eager_peer_replacement) {
+    for (PeerSlot& slot : slots_) {
+      if (!slot.alive) {
+        Status replaced = ReplaceSlot(&slot);
+        if (replaced.code() == StatusCode::kAborted) {
+          return replaced;  // test hook: simulated app crash
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+bool NclFile::PumpCompletions() {
+  bool progressed = false;
+  for (PeerSlot& slot : slots_) {
+    if (!slot.alive || slot.qp == nullptr) {
+      continue;
+    }
+    Completion c;
+    while (slot.qp->PollCq(&c)) {
+      progressed = true;
+      if (c.status != WcStatus::kSuccess) {
+        // Peer failure detected via the WR error (§4.5.2).
+        slot.alive = false;
+        slot.inflight.clear();
+        break;
+      }
+      if (!slot.inflight.empty() && slot.inflight.front().first == c.wr_id) {
+        uint64_t committed = slot.inflight.front().second;
+        slot.inflight.pop_front();
+        if (committed > 0) {
+          slot.acked_seq = committed;
+        }
+      }
+    }
+  }
+  return progressed;
+}
+
+int NclFile::CountAcked(uint64_t seq) const {
+  int acked = 0;
+  for (const PeerSlot& slot : slots_) {
+    if (slot.alive && slot.acked_seq >= seq) {
+      acked++;
+    }
+  }
+  return acked;
+}
+
+Status NclFile::BulkCatchUp(PeerSlot* slot, RKey rkey) {
+  std::vector<uint64_t> wanted;
+  if (!buffer_.empty()) {
+    wanted.push_back(
+        slot->qp->PostWrite(rkey, kNclRegionHeaderBytes, buffer_));
+  }
+  std::string header = NclRegionHeader{seq_, length_}.Encode();
+  wanted.push_back(slot->qp->PostWrite(rkey, 0, header));
+
+  Simulation* sim = client_->fabric_->sim();
+  size_t done = 0;
+  bool failed = false;
+  bool ok = sim->RunUntilPredicate([&] {
+    Completion c;
+    while (slot->qp->PollCq(&c)) {
+      if (c.status != WcStatus::kSuccess) {
+        failed = true;
+        return true;
+      }
+      for (uint64_t id : wanted) {
+        if (c.wr_id == id) {
+          done++;
+        }
+      }
+    }
+    return done == wanted.size();
+  });
+  if (!ok || failed) {
+    return UnavailableError("catch-up transfer to " + slot->peer_name +
+                            " failed");
+  }
+  return OkStatus();
+}
+
+namespace {
+
+// Contiguous ranges where `a` and `b` differ (b is the target content).
+// Nearby ranges are merged so each becomes one WR.
+struct DiffRange {
+  uint64_t offset;
+  uint64_t len;
+};
+
+std::vector<DiffRange> ComputeDiffRanges(std::string_view a,
+                                         std::string_view b) {
+  constexpr uint64_t kMergeGap = 64;
+  std::vector<DiffRange> out;
+  uint64_t n = b.size();
+  uint64_t i = 0;
+  while (i < n) {
+    bool differs = i >= a.size() || a[i] != b[i];
+    if (!differs) {
+      ++i;
+      continue;
+    }
+    uint64_t start = i;
+    uint64_t last_diff = i;
+    ++i;
+    while (i < n) {
+      bool d = i >= a.size() || a[i] != b[i];
+      if (d) {
+        last_diff = i;
+        ++i;
+      } else if (i - last_diff <= kMergeGap) {
+        ++i;
+      } else {
+        break;
+      }
+    }
+    out.push_back(DiffRange{start, last_diff - start + 1});
+  }
+  return out;
+}
+
+}  // namespace
+
+Status NclFile::CatchUpViaStagedRegion(PeerSlot* slot) {
+  const NclConfig& config = client_->config_;
+  LogPeer* peer = slot->peer;
+  if (peer == nullptr) {
+    return UnavailableError("peer process unreachable: " + slot->peer_name);
+  }
+  Simulation* sim = client_->fabric_->sim();
+
+  if (config.diff_catchup) {
+    // §4.5.1 optimization: clone the peer's current region locally on the
+    // peer and ship only the bytewise difference.
+    //
+    // First read the peer's current contents so we can diff against them.
+    std::string remote;
+    if (length_ > 0) {
+      uint64_t wr = slot->qp->PostRead(slot->rkey, kNclRegionHeaderBytes,
+                                       std::min<uint64_t>(length_, capacity_));
+      bool failed = false;
+      bool ok = sim->RunUntilPredicate([&] {
+        Completion c;
+        while (slot->qp->PollCq(&c)) {
+          if (c.status != WcStatus::kSuccess) {
+            failed = true;
+            return true;
+          }
+          if (c.wr_id == wr) {
+            remote = std::move(c.read_data);
+            return true;
+          }
+        }
+        return false;
+      });
+      if (!ok || failed) {
+        return UnavailableError("diff catch-up read failed");
+      }
+    }
+    auto staged = peer->CloneRegionForCatchup(client_->config_.app_id, name_,
+                                              epoch_);
+    if (!staged.ok()) {
+      return staged.status();
+    }
+    std::vector<uint64_t> wanted;
+    for (const DiffRange& r : ComputeDiffRanges(remote, buffer_)) {
+      wanted.push_back(slot->qp->PostWrite(
+          staged->rkey, kNclRegionHeaderBytes + r.offset,
+          std::string_view(buffer_).substr(r.offset, r.len)));
+    }
+    std::string header = NclRegionHeader{seq_, length_}.Encode();
+    wanted.push_back(slot->qp->PostWrite(staged->rkey, 0, header));
+    size_t done = 0;
+    bool failed = false;
+    bool ok = sim->RunUntilPredicate([&] {
+      Completion c;
+      while (slot->qp->PollCq(&c)) {
+        if (c.status != WcStatus::kSuccess) {
+          failed = true;
+          return true;
+        }
+        for (uint64_t id : wanted) {
+          if (c.wr_id == id) {
+            done++;
+          }
+        }
+      }
+      return done == wanted.size();
+    });
+    if (!ok || failed) {
+      return UnavailableError("diff catch-up transfer failed");
+    }
+    RETURN_IF_ERROR(peer->SwitchRegion(client_->config_.app_id, name_,
+                                       staged->rkey));
+    slot->rkey = staged->rkey;
+  } else {
+    auto staged = peer->AllocateCatchupRegion(
+        client_->config_.app_id, name_, NclRegionBytes(capacity_), epoch_);
+    if (!staged.ok()) {
+      return staged.status();
+    }
+    RETURN_IF_ERROR(BulkCatchUp(slot, staged->rkey));
+    RETURN_IF_ERROR(peer->SwitchRegion(client_->config_.app_id, name_,
+                                       staged->rkey));
+    slot->rkey = staged->rkey;
+  }
+  slot->acked_seq = seq_;
+  slot->inflight.clear();
+  return OkStatus();
+}
+
+Status NclFile::ReplaceSlot(PeerSlot* slot) {
+  NclClient* client = client_;
+  const NclConfig& config = client->config_;
+
+  // New epoch: we intend to update the ap-map (§4.5.1).
+  auto epoch = client->controller_->BumpAppEpoch(config.app_id);
+  if (!epoch.ok()) {
+    return epoch.status();
+  }
+  epoch_ = *epoch;
+
+  // Exclude only the file's *other* current members. Any other peer —
+  // including one used in the past, or this failed slot's own peer after a
+  // restart/revocation — is safe to reuse: Allocate replaces any stale
+  // region with a fresh empty one, and the catch-up precedes the ap-map
+  // update, so the §4.6 quorum argument holds.
+  std::set<std::string> exclude;
+  for (const PeerSlot& s : slots_) {
+    if (&s != slot) {
+      exclude.insert(s.peer_name);
+    }
+  }
+  auto got = client->AllocateOnFreshPeer(name_, NclRegionBytes(capacity_),
+                                         epoch_, exclude);
+  if (!got.ok()) {
+    return got.status();
+  }
+  auto [peer, grant] = *got;
+
+  PeerSlot fresh;
+  fresh.peer_name = peer->name();
+  fresh.peer = peer;
+  fresh.node = peer->node();
+  fresh.rkey = grant.rkey;
+  fresh.qp = std::make_unique<QueuePair>(client->fabric_, client->node_,
+                                         peer->node(),
+                                         client->MarkConnected(peer->node()));
+  fresh.alive = true;
+
+  if (config.unsafe_apmap_before_catchup) {
+    // BUG (for §4.6 validation): recording the new peer before it is caught
+    // up makes the Fig 7(iii) data loss possible.
+    *slot = std::move(fresh);
+    ever_used_.insert(peer->name());
+    RefreshPeerNames();
+    RETURN_IF_ERROR(WriteApMap());
+    if (config.test_crash_after_apmap_update) {
+      return AbortedError("test hook: simulated crash after ap-map update");
+    }
+    RETURN_IF_ERROR(BulkCatchUp(slot, slot->rkey));
+    slot->acked_seq = seq_;
+    client->peers_replaced_++;
+    return OkStatus();
+  }
+
+  // Safe order: catch the new peer up from the local buffer, then update
+  // the ap-map (§4.5.2).
+  RETURN_IF_ERROR(BulkCatchUp(&fresh, fresh.rkey));
+  fresh.acked_seq = seq_;
+  *slot = std::move(fresh);
+  ever_used_.insert(peer->name());
+  RefreshPeerNames();
+  RETURN_IF_ERROR(WriteApMap());
+  client->peers_replaced_++;
+  return OkStatus();
+}
+
+Result<std::string> NclFile::Read(uint64_t offset, uint64_t len) {
+  if (deleted_) {
+    return FailedPreconditionError("ncl file was deleted: " + name_);
+  }
+  if (offset >= length_) {
+    return std::string();
+  }
+  len = std::min<uint64_t>(len, length_ - offset);
+  Simulation* sim = client_->fabric_->sim();
+  const SimParams& params = client_->fabric_->params();
+
+  if (serve_reads_locally_ || recovery_slot_ < 0) {
+    // Served from the prefetched local buffer.
+    sim->Advance(params.MemReadLatency(len));
+    return buffer_.substr(offset, len);
+  }
+
+  // No-prefetch variant (Fig 11a): one RDMA read per application read.
+  PeerSlot& slot = slots_[recovery_slot_];
+  if (!slot.alive) {
+    // Fall back to the local copy held for catch-up purposes.
+    sim->Advance(params.MemReadLatency(len));
+    return buffer_.substr(offset, len);
+  }
+  uint64_t wr = slot.qp->PostRead(slot.rkey, kNclRegionHeaderBytes + offset,
+                                  len);
+  std::string data;
+  bool failed = false;
+  bool ok = sim->RunUntilPredicate([&] {
+    Completion c;
+    while (slot.qp->PollCq(&c)) {
+      if (c.status != WcStatus::kSuccess) {
+        failed = true;
+        return true;
+      }
+      if (c.wr_id == wr) {
+        data = std::move(c.read_data);
+        return true;
+      }
+    }
+    return false;
+  });
+  if (!ok || failed) {
+    slot.alive = false;
+    sim->Advance(params.MemReadLatency(len));
+    return buffer_.substr(offset, len);
+  }
+  return data;
+}
+
+Status NclFile::Delete() {
+  if (deleted_) {
+    return FailedPreconditionError("ncl file already deleted: " + name_);
+  }
+  for (PeerSlot& slot : slots_) {
+    if (slot.alive && slot.peer != nullptr) {
+      (void)slot.peer->Release(client_->config_.app_id, name_);
+    }
+  }
+  Status st =
+      client_->controller_->DeleteApMap(client_->config_.app_id, name_);
+  deleted_ = true;
+  return st;
+}
+
+}  // namespace splitft

@@ -1,0 +1,239 @@
+// ncl-lib: the application-side NCL library (§4.2–§4.5).
+//
+// NclClient manages one application instance's ncl files. NclFile implements
+// the replication protocol:
+//   * every application write becomes two ordered RDMA WRITE WRs per peer
+//     (data, then the sequence-number header);
+//   * a write is acknowledged once a majority (f+1) of the n = 2f+1 peers
+//     have completed it *and every preceding write* (in-order majority
+//     replication);
+//   * peer failures are detected via WR errors; the failed peer is replaced
+//     with a fresh one, which is caught up from the local buffer *before*
+//     the ap-map is updated (§4.5.2, Fig 7iii);
+//   * recovery reads the header from at least f+1 peers, picks the maximum
+//     sequence number, prefetches the region from that recovery peer, and
+//     atomically catches every reachable peer up before returning data to
+//     the application (§4.5.1, Fig 7i–ii).
+#ifndef SRC_NCL_NCL_CLIENT_H_
+#define SRC_NCL_NCL_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/controller/controller.h"
+#include "src/ncl/peer.h"
+#include "src/ncl/peer_directory.h"
+#include "src/ncl/region_format.h"
+#include "src/rdma/fabric.h"
+
+namespace splitft {
+
+struct NclConfig {
+  std::string app_id = "app";
+  // Failure budget f: each ncl file is replicated on n = 2f+1 log peers.
+  int fault_budget = 1;
+  // Content capacity reserved per ncl file (applications size their logs
+  // via configuration; the paper's experiments use 60-100 MB logs).
+  uint64_t default_capacity = 64ull << 20;
+  // Prefetch the whole region from the recovery peer on recovery (Fig 11a).
+  bool prefetch_on_recovery = true;
+  // Ship a bytewise diff instead of the full contents during catch-up
+  // (§4.5.1 optimization; ablation_catchup).
+  bool diff_catchup = false;
+  // Replace failed peers as soon as the failure is detected.
+  bool eager_peer_replacement = true;
+  // How many allocation candidates to try before giving up (§4.3: the
+  // controller's availability is a hint; peers may reject).
+  int allocation_attempts = 8;
+
+  // Fault-injection switches reproducing the "subtle bugs" of §4.6. They
+  // exist so tests and the model checker can demonstrate that the safe
+  // orderings matter; never enable outside tests.
+  bool unsafe_seq_before_data = false;
+  bool unsafe_apmap_before_catchup = false;
+  bool unsafe_skip_recovery_catchup = false;
+  // Test hook: when >= 0, Record posts WRs to at most this many peers and
+  // then returns kAborted without waiting — simulating the application
+  // crashing mid-replication (the Fig 7i divergence).
+  int test_crash_after_posting = -1;
+  // Test hook: with unsafe_apmap_before_catchup, makes ReplaceSlot stop
+  // right after the ap-map update — the application crash window that
+  // produces the Fig 7(iii) data loss.
+  bool test_crash_after_apmap_update = false;
+};
+
+// Recovery latency breakdown (Fig 11b / Table 3 reporting).
+struct RecoveryBreakdown {
+  SimTime get_peers = 0;    // controller lookups
+  SimTime connect = 0;      // QP setup + recovery lookups on peers
+  SimTime rdma_read = 0;    // header reads + region prefetch
+  SimTime sync_peers = 0;   // catch-up + atomic switch + ap-map update
+};
+
+class NclFile;
+
+class NclClient {
+ public:
+  // `node` is the application server's fabric address.
+  NclClient(NclConfig config, Fabric* fabric, Controller* controller,
+            PeerDirectory* directory, NodeId node);
+  ~NclClient();
+
+  NclClient(const NclClient&) = delete;
+  NclClient& operator=(const NclClient&) = delete;
+
+  // initialize() (§4.2): allocates regions on n fresh peers and records the
+  // ap-map. Fails if fewer than n peers can grant the allocation.
+  Result<std::unique_ptr<NclFile>> Create(const std::string& file,
+                                          uint64_t capacity = 0);
+
+  // recover() (§4.2): rebuilds the most up-to-date contents from the peers.
+  // Fails kUnavailable when fewer than f+1 peers still hold the region —
+  // NCL "correctly makes the file unavailable" (§4.2).
+  Result<std::unique_ptr<NclFile>> Recover(const std::string& file);
+
+  // Deletes an ncl file without recovering it first: releases the regions
+  // on every reachable peer (best effort; the leak GC reclaims the rest)
+  // and removes the ap-map entry.
+  Status Delete(const std::string& file);
+
+  // ncl files this application had before a crash (from the controller).
+  std::vector<std::string> ListFiles();
+
+  // True if an ap-map entry exists for the file.
+  bool Exists(const std::string& file);
+
+  const NclConfig& config() const { return config_; }
+  const RecoveryBreakdown& last_recovery() const { return last_recovery_; }
+  int peers_replaced() const { return peers_replaced_; }
+
+ private:
+  friend class NclFile;
+
+  int n_peers() const { return 2 * config_.fault_budget + 1; }
+  int majority() const { return config_.fault_budget + 1; }
+
+  // Finds a peer (excluding `exclude`) that grants `region_bytes`, trying
+  // several candidates because controller info is a hint.
+  Result<std::pair<LogPeer*, AllocationGrant>> AllocateOnFreshPeer(
+      const std::string& file, uint64_t region_bytes, uint64_t epoch,
+      const std::set<std::string>& exclude);
+
+  // True once this client has connected to the node before (connection
+  // kept warm across log rotations).
+  bool MarkConnected(NodeId node) {
+    return !connected_nodes_.insert(node).second;
+  }
+
+  NclConfig config_;
+  Fabric* fabric_;
+  Controller* controller_;
+  PeerDirectory* directory_;
+  NodeId node_;
+  std::set<NodeId> connected_nodes_;
+  RecoveryBreakdown last_recovery_;
+  int peers_replaced_ = 0;
+};
+
+class NclFile {
+ public:
+  ~NclFile();
+
+  NclFile(const NclFile&) = delete;
+  NclFile& operator=(const NclFile&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint64_t size() const { return length_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t seq() const { return seq_; }
+
+  // record() (§4.2): appends at the current end of the log.
+  Status Append(std::string_view data);
+
+  // Positional write for circular logs (SQLite-style reuse, Fig 7ii).
+  Status Write(uint64_t offset, std::string_view data);
+
+  // Reads from the local buffer (after recovery, from the recovered
+  // contents — prefetched or fetched on demand per config).
+  Result<std::string> Read(uint64_t offset, uint64_t len);
+
+  // release() (§4.2): frees the regions on all peers and removes the
+  // ap-map entry. The file ceases to exist in NCL.
+  Status Delete();
+
+  // Resets the logical content to empty without releasing regions — used
+  // by circular-log applications on checkpoint (the file is reused).
+  Status Truncate();
+
+  // Number of peers currently considered alive for this file.
+  int alive_peers() const;
+  const std::vector<std::string>& peer_names() const { return peer_names_; }
+
+ private:
+  friend class NclClient;
+
+  struct PeerSlot {
+    std::string peer_name;
+    LogPeer* peer = nullptr;  // may be null if unreachable by name
+    NodeId node = kInvalidNode;
+    RKey rkey = 0;
+    std::unique_ptr<QueuePair> qp;
+    bool alive = true;
+    // Sequence number of the last write fully completed (header landed).
+    uint64_t acked_seq = 0;
+    // In-flight header WRs: (wr_id of the header WR, seq it commits).
+    std::deque<std::pair<uint64_t, uint64_t>> inflight;
+  };
+
+  NclFile(NclClient* client, std::string name, uint64_t capacity);
+
+  // The replication critical path: posts data+header WRs to all alive
+  // peers and blocks (pumping the simulation) until a majority completes.
+  Status Record(uint64_t offset, std::string_view data);
+
+  // Polls every slot's CQ; returns true if anything progressed. Marks
+  // failed slots dead.
+  bool PumpCompletions();
+  int CountAcked(uint64_t seq) const;
+
+  // Replaces a dead slot with a freshly allocated, caught-up peer and
+  // updates the ap-map (§4.5.2). On success the slot is alive and fully
+  // caught up.
+  Status ReplaceSlot(PeerSlot* slot);
+  // Bulk-writes the current buffer + header into (rkey on slot's QP) and
+  // waits for completion.
+  Status BulkCatchUp(PeerSlot* slot, RKey rkey);
+  // Recovery catch-up (§4.5.1): stages a fresh (or cloned, in diff mode)
+  // region on the peer, fills it with the recovered contents, and commits
+  // it with the atomic mr-map switch.
+  Status CatchUpViaStagedRegion(PeerSlot* slot);
+  Status WriteApMap();
+  void RefreshPeerNames();
+
+  NclClient* client_;
+  std::string name_;
+  uint64_t capacity_;
+  uint64_t epoch_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t length_ = 0;
+  std::string buffer_;  // local copy of the file contents
+  std::vector<PeerSlot> slots_;
+  std::vector<std::string> peer_names_;
+  // Peers ever assigned to this file; Create uses it to pick n distinct
+  // peers. Replacement only excludes *current* members (see ReplaceSlot).
+  std::set<std::string> ever_used_;
+  bool deleted_ = false;
+  // After a no-prefetch recovery, reads are served by per-call RDMA reads
+  // from the recovery peer instead of the local buffer (Fig 11a variant).
+  bool serve_reads_locally_ = true;
+  int recovery_slot_ = -1;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_NCL_NCL_CLIENT_H_

@@ -1,0 +1,302 @@
+#include "src/ncl/peer.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/ncl/region_format.h"
+
+namespace splitft {
+
+LogPeer::LogPeer(std::string name, Fabric* fabric, Controller* controller,
+                 uint64_t lend_bytes)
+    : name_(std::move(name)),
+      fabric_(fabric),
+      controller_(controller),
+      lend_bytes_(lend_bytes),
+      available_bytes_(lend_bytes) {
+  node_ = fabric_->AddNode(name_);
+}
+
+Status LogPeer::Start() {
+  alive_ = true;
+  return controller_->RegisterPeer(name_, node_, available_bytes_);
+}
+
+Status LogPeer::CheckAlive() const {
+  if (!alive_) {
+    return UnavailableError("log peer " + name_ + " is down");
+  }
+  return OkStatus();
+}
+
+void LogPeer::ChargeRpc() {
+  fabric_->sim()->Advance(fabric_->params().rdma.setup_rpc_latency);
+}
+
+void LogPeer::RecycleRegion(RKey rkey, uint64_t region_bytes) {
+  auto fresh = fabric_->RecycleRegion(node_, rkey);
+  if (fresh.ok()) {
+    free_regions_.emplace(region_bytes, *fresh);
+  } else {
+    (void)fabric_->DeregisterRegion(node_, rkey);
+  }
+}
+
+Result<RKey> LogPeer::TakeRecycled(uint64_t region_bytes) {
+  auto it = free_regions_.find(region_bytes);
+  if (it == free_regions_.end()) {
+    return NotFoundError("no recycled region of this size");
+  }
+  RKey rkey = it->second;
+  free_regions_.erase(it);
+  return rkey;
+}
+
+void LogPeer::UpdateAvailabilityOnController() {
+  // Step 4a in Fig 4: fired asynchronously — nobody blocks on it, which is
+  // exactly why the controller's availability numbers are stale hints.
+  controller_->UpdatePeerMemoryAsync(name_, available_bytes_);
+}
+
+Result<AllocationGrant> LogPeer::AllocateInternal(
+    const std::string& app, const std::string& file, uint64_t region_bytes,
+    uint64_t epoch, bool staging, bool clone_existing) {
+  RETURN_IF_ERROR(CheckAlive());
+  ChargeRpc();
+  MrKey key{app, file};
+  auto it = mr_map_.find(key);
+
+  if (staging || clone_existing) {
+    if (it == mr_map_.end()) {
+      return NotFoundError("no region to stage catch-up for " + file);
+    }
+    if (clone_existing) {
+      region_bytes = it->second.region_bytes;
+    }
+  } else if (it != mr_map_.end()) {
+    // Fresh creation over a stale entry: free the old region first.
+    RecycleRegion(it->second.rkey, it->second.region_bytes);
+    available_bytes_ += it->second.region_bytes;
+    if (it->second.staged_rkey != 0) {
+      RecycleRegion(it->second.staged_rkey, it->second.region_bytes);
+      available_bytes_ += it->second.region_bytes;
+    }
+    mr_map_.erase(it);
+    it = mr_map_.end();
+  }
+
+  if (region_bytes > available_bytes_) {
+    // The controller's availability figure was stale (§4.3): reject; the
+    // application will retry with a different peer.
+    return ResourceExhaustedError("peer " + name_ + " lacks " +
+                                  std::to_string(region_bytes) + " bytes");
+  }
+  // Prefer a recycled region: the memory is already pinned and registered
+  // with the NIC, skipping the expensive MR setup (§5.4.3's common case).
+  Result<RKey> rkey = TakeRecycled(region_bytes);
+  if (!rkey.ok()) {
+    rkey = fabric_->RegisterRegion(node_, region_bytes);
+    if (!rkey.ok()) {
+      return rkey.status();
+    }
+  }
+  available_bytes_ -= region_bytes;
+  UpdateAvailabilityOnController();
+
+  if (staging || clone_existing) {
+    MrEntry& entry = mr_map_[key];
+    if (entry.staged_rkey != 0) {
+      // Abandoned previous staging attempt.
+      (void)fabric_->DeregisterRegion(node_, entry.staged_rkey);
+      available_bytes_ += entry.region_bytes;
+    }
+    entry.staged_rkey = *rkey;
+    if (clone_existing) {
+      // Local memcpy of the current contents into the staging region; the
+      // application then ships only the bytewise diff.
+      auto src = fabric_->RegionBuffer(node_, entry.rkey);
+      auto dst = fabric_->RegionBuffer(node_, *rkey);
+      if (src.ok() && dst.ok()) {
+        **dst = **src;
+      }
+    }
+    return AllocationGrant{*rkey, region_bytes};
+  }
+
+  MrEntry entry;
+  entry.rkey = *rkey;
+  entry.region_bytes = region_bytes;
+  entry.epoch = epoch;
+  entry.allocated_at = fabric_->sim()->Now();
+  mr_map_[key] = entry;
+  return AllocationGrant{*rkey, region_bytes};
+}
+
+Result<AllocationGrant> LogPeer::Allocate(const std::string& app,
+                                          const std::string& file,
+                                          uint64_t region_bytes,
+                                          uint64_t epoch) {
+  return AllocateInternal(app, file, region_bytes, epoch, /*staging=*/false,
+                          /*clone_existing=*/false);
+}
+
+Result<AllocationGrant> LogPeer::AllocateCatchupRegion(
+    const std::string& app, const std::string& file, uint64_t region_bytes,
+    uint64_t epoch) {
+  return AllocateInternal(app, file, region_bytes, epoch, /*staging=*/true,
+                          /*clone_existing=*/false);
+}
+
+Result<AllocationGrant> LogPeer::CloneRegionForCatchup(const std::string& app,
+                                                       const std::string& file,
+                                                       uint64_t epoch) {
+  return AllocateInternal(app, file, /*region_bytes=*/0, epoch,
+                          /*staging=*/false, /*clone_existing=*/true);
+}
+
+Result<AllocationGrant> LogPeer::LookupForRecovery(const std::string& app,
+                                                   const std::string& file) {
+  RETURN_IF_ERROR(CheckAlive());
+  ChargeRpc();
+  auto it = mr_map_.find(MrKey{app, file});
+  if (it == mr_map_.end()) {
+    // The peer crashed and recovered (or never held the region): reject so
+    // the recovering application does not count us toward its quorum.
+    return NotFoundError("peer " + name_ + " does not hold " + file);
+  }
+  return AllocationGrant{it->second.rkey, it->second.region_bytes};
+}
+
+Status LogPeer::Release(const std::string& app, const std::string& file) {
+  RETURN_IF_ERROR(CheckAlive());
+  ChargeRpc();
+  auto it = mr_map_.find(MrKey{app, file});
+  if (it == mr_map_.end()) {
+    return NotFoundError("peer " + name_ + " does not hold " + file);
+  }
+  RecycleRegion(it->second.rkey, it->second.region_bytes);
+  available_bytes_ += it->second.region_bytes;
+  if (it->second.staged_rkey != 0) {
+    RecycleRegion(it->second.staged_rkey, it->second.region_bytes);
+    available_bytes_ += it->second.region_bytes;
+  }
+  mr_map_.erase(it);
+  UpdateAvailabilityOnController();
+  return OkStatus();
+}
+
+Status LogPeer::SwitchRegion(const std::string& app, const std::string& file,
+                             RKey staged_rkey) {
+  RETURN_IF_ERROR(CheckAlive());
+  ChargeRpc();
+  auto it = mr_map_.find(MrKey{app, file});
+  if (it == mr_map_.end() || it->second.staged_rkey != staged_rkey) {
+    return FailedPreconditionError("no matching staged region for " + file);
+  }
+  // The switch is the atomic commit point: recovery lookups now return the
+  // caught-up region; the old region is recycled.
+  RecycleRegion(it->second.rkey, it->second.region_bytes);
+  available_bytes_ += it->second.region_bytes;
+  it->second.rkey = staged_rkey;
+  it->second.staged_rkey = 0;
+  it->second.allocated_at = fabric_->sim()->Now();
+  return OkStatus();
+}
+
+Status LogPeer::Revoke(const std::string& app, const std::string& file) {
+  RETURN_IF_ERROR(CheckAlive());
+  // Local and instantaneous: no RPC, no distributed coordination (§4.5.2).
+  auto it = mr_map_.find(MrKey{app, file});
+  if (it == mr_map_.end()) {
+    return NotFoundError("peer " + name_ + " does not hold " + file);
+  }
+  // The reclaimed memory goes back to the host machine (for its VMs or
+  // other processes), not to the lending pool: availability is *not*
+  // credited, so the allocator deprioritizes this peer.
+  (void)fabric_->InvalidateRegion(node_, it->second.rkey);
+  if (it->second.staged_rkey != 0) {
+    (void)fabric_->InvalidateRegion(node_, it->second.staged_rkey);
+  }
+  lend_bytes_ -= std::min(lend_bytes_, it->second.region_bytes);
+  mr_map_.erase(it);
+  UpdateAvailabilityOnController();
+  return OkStatus();
+}
+
+void LogPeer::Crash() {
+  alive_ = false;
+  mr_map_.clear();  // the mr-map lives in (volatile) peer memory
+  free_regions_.clear();
+  available_bytes_ = lend_bytes_;
+  fabric_->CrashNode(node_);
+  // A crashed peer cannot update the controller; its stale registration
+  // remains until it restarts or an operator removes it.
+}
+
+Status LogPeer::Restart() {
+  fabric_->RestartNode(node_);
+  alive_ = true;
+  return controller_->RegisterPeer(name_, node_, available_bytes_);
+}
+
+int LogPeer::RunLeakGc(SimTime min_age) {
+  if (!alive_) {
+    return 0;
+  }
+  SimTime now = fabric_->sim()->Now();
+  int freed = 0;
+  for (auto it = mr_map_.begin(); it != mr_map_.end();) {
+    const auto& [app, file] = it->first;
+    MrEntry& entry = it->second;
+    if (now - entry.allocated_at < min_age) {
+      ++it;
+      continue;
+    }
+    bool free_it = false;
+    auto apmap = controller_->GetApMap(app, file);
+    if (apmap.ok()) {
+      if (apmap->epoch > entry.epoch) {
+        // The application moved to a newer epoch for this file without us:
+        // our allocation was abandoned.
+        free_it = true;
+      } else if (apmap->epoch == entry.epoch) {
+        bool member = false;
+        for (const std::string& p : apmap->peers) {
+          if (p == name_) {
+            member = true;
+            break;
+          }
+        }
+        free_it = !member;
+      }
+      // apmap->epoch < entry.epoch: our allocation is newer than the
+      // recorded entry — the ap-map update is still in progress; keep.
+    } else {
+      // No ap-map entry for the file. Compare against the app-wide epoch:
+      // if the app has moved past our allocation epoch it will never record
+      // us, so the space leaked (§4.5.1).
+      auto app_epoch = controller_->GetAppEpoch(app);
+      if (app_epoch.ok() && *app_epoch > entry.epoch) {
+        free_it = true;
+      }
+    }
+    if (free_it) {
+      RecycleRegion(entry.rkey, entry.region_bytes);
+      available_bytes_ += entry.region_bytes;
+      if (entry.staged_rkey != 0) {
+        RecycleRegion(entry.staged_rkey, entry.region_bytes);
+        available_bytes_ += entry.region_bytes;
+      }
+      it = mr_map_.erase(it);
+      freed++;
+    } else {
+      ++it;
+    }
+  }
+  if (freed > 0) {
+    UpdateAvailabilityOnController();
+  }
+  return freed;
+}
+
+}  // namespace splitft

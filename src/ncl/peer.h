@@ -1,0 +1,144 @@
+// A log peer (§4.3): any compute node lending spare memory to the NCL pool.
+// The peer runs a lightweight control-plane process handling region setup,
+// recovery lookups, release, and the atomic catch-up switch; the data path
+// is one-sided RDMA and involves no peer CPU.
+#ifndef SRC_NCL_PEER_H_
+#define SRC_NCL_PEER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/controller/controller.h"
+#include "src/rdma/fabric.h"
+
+namespace splitft {
+
+// What an application gets back from a successful allocation or recovery
+// lookup: everything needed to address the region with one-sided RDMA.
+struct AllocationGrant {
+  RKey rkey = 0;
+  uint64_t region_bytes = 0;
+};
+
+class LogPeer {
+ public:
+  // `lend_bytes` is how much spare memory this node contributes to the pool.
+  LogPeer(std::string name, Fabric* fabric, Controller* controller,
+          uint64_t lend_bytes);
+
+  // Registers the peer on the controller. Must be called before the peer
+  // can be handed to applications.
+  Status Start();
+
+  const std::string& name() const { return name_; }
+  NodeId node() const { return node_; }
+  bool alive() const { return alive_; }
+  uint64_t available_bytes() const { return available_bytes_; }
+  size_t active_regions() const { return mr_map_.size(); }
+
+  // ---- Control-plane RPCs from ncl-lib (charge setup RPC latency) --------
+
+  // Sets up a memory region for (app, file). `epoch` is the application
+  // epoch in force (space-leak GC, §4.5.1). The controller's availability
+  // numbers are hints, so this can reject with kResourceExhausted.
+  // Re-allocation for an existing (app, file) frees the old region first
+  // (fresh creation after an incomplete delete).
+  Result<AllocationGrant> Allocate(const std::string& app,
+                                   const std::string& file,
+                                   uint64_t region_bytes, uint64_t epoch);
+
+  // Recovery lookup (§4.5.1): returns the grant if this peer still holds
+  // the region; rejects if the peer crashed and lost its mr-map.
+  Result<AllocationGrant> LookupForRecovery(const std::string& app,
+                                            const std::string& file);
+
+  // Frees the region when the application deletes the ncl file.
+  Status Release(const std::string& app, const std::string& file);
+
+  // ---- Atomic catch-up (§4.5.1) ------------------------------------------
+
+  // Allocates a staging region the application will fill with the recovered
+  // contents. Not visible to recovery until SwitchRegion commits it.
+  Result<AllocationGrant> AllocateCatchupRegion(const std::string& app,
+                                                const std::string& file,
+                                                uint64_t region_bytes,
+                                                uint64_t epoch);
+  // Like AllocateCatchupRegion but seeds the staging region with a local
+  // copy of the current region's contents, so the application only ships a
+  // bytewise diff (§4.5.1 optimization).
+  Result<AllocationGrant> CloneRegionForCatchup(const std::string& app,
+                                                const std::string& file,
+                                                uint64_t epoch);
+  // Atomically repoints the mr-map entry at the staging region and frees
+  // the old one. After this, recovery sees only the new region.
+  Status SwitchRegion(const std::string& app, const std::string& file,
+                      RKey staged_rkey);
+
+  // ---- Failure & reclamation ----------------------------------------------
+
+  // Memory revocation at the peer's will (§4.5.2): local and instantaneous;
+  // subsequent RDMA on the region fails and the app treats it as a peer
+  // failure.
+  Status Revoke(const std::string& app, const std::string& file);
+
+  // Crash: loses all regions and the in-memory mr-map.
+  void Crash();
+  // Restart with empty memory; re-registers on the controller.
+  Status Restart();
+
+  // ---- Space-leak GC (§4.5.1) ----------------------------------------------
+
+  // Scans the mr-map and frees allocations whose application has moved on.
+  // `min_age` guards in-progress allocations (an allocation made at the
+  // app's current epoch whose ap-map write has not landed yet looks
+  // identical to a leaked one; the paper's protocol assumes the probe does
+  // not race the initialization, which we make explicit with a grace
+  // period). Returns the number of regions freed.
+  int RunLeakGc(SimTime min_age = Millis(50));
+
+ private:
+  struct MrEntry {
+    RKey rkey = 0;
+    uint64_t region_bytes = 0;
+    uint64_t epoch = 0;
+    SimTime allocated_at = 0;
+    // Staged catch-up region, if a switch is pending.
+    RKey staged_rkey = 0;
+  };
+
+  using MrKey = std::pair<std::string, std::string>;  // (app, file)
+
+  Status CheckAlive() const;
+  void ChargeRpc();
+  // Moves a region to the free list (invalidating its rkey but keeping the
+  // memory pinned) so future same-size allocations skip MR registration
+  // (§4.3: peers "recycle the memory region for future use").
+  void RecycleRegion(RKey rkey, uint64_t region_bytes);
+  // Takes a recycled region of exactly `region_bytes` if available.
+  Result<RKey> TakeRecycled(uint64_t region_bytes);
+  Result<AllocationGrant> AllocateInternal(const std::string& app,
+                                           const std::string& file,
+                                           uint64_t region_bytes,
+                                           uint64_t epoch, bool staging,
+                                           bool clone_existing);
+  void UpdateAvailabilityOnController();
+
+  std::string name_;
+  Fabric* fabric_;
+  Controller* controller_;
+  NodeId node_;
+  uint64_t lend_bytes_;
+  uint64_t available_bytes_;
+  bool alive_ = false;
+  std::map<MrKey, MrEntry> mr_map_;
+  // Recycled (pinned, registered) regions by size.
+  std::multimap<uint64_t, RKey> free_regions_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_NCL_PEER_H_

@@ -1,0 +1,34 @@
+// Name -> LogPeer lookup. In the real system ncl-lib reaches a peer's
+// setup process over TCP using the address stored in the controller; in the
+// simulation the directory resolves the name to the in-process LogPeer
+// object (latencies are still charged by the peer's RPC handlers).
+#ifndef SRC_NCL_PEER_DIRECTORY_H_
+#define SRC_NCL_PEER_DIRECTORY_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/ncl/peer.h"
+
+namespace splitft {
+
+class PeerDirectory {
+ public:
+  void Register(LogPeer* peer) { peers_[peer->name()] = peer; }
+  void Unregister(const std::string& name) { peers_.erase(name); }
+
+  // nullptr when the peer's setup process is unreachable.
+  LogPeer* Lookup(const std::string& name) const {
+    auto it = peers_.find(name);
+    return it == peers_.end() ? nullptr : it->second;
+  }
+
+  size_t size() const { return peers_.size(); }
+
+ private:
+  std::unordered_map<std::string, LogPeer*> peers_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_NCL_PEER_DIRECTORY_H_

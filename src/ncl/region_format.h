@@ -1,0 +1,53 @@
+// On-peer memory-region layout for an ncl file.
+//
+//   [0, 8)   sequence number of the last completed write (§4.4)
+//   [8, 16)  committed logical length of the file
+//   [16, ..) file contents ("physical contents of the log", §4.4)
+//
+// Every application-level write turns into two RDMA WRITE work requests per
+// peer: the data WR into the contents area, then the header WR. Send-queue
+// ordering guarantees the header lands only after the data, which is what
+// recovery's max-sequence-number rule relies on.
+#ifndef SRC_NCL_REGION_FORMAT_H_
+#define SRC_NCL_REGION_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+
+namespace splitft {
+
+constexpr uint64_t kNclRegionHeaderBytes = 16;
+
+struct NclRegionHeader {
+  uint64_t seq = 0;
+  uint64_t length = 0;
+
+  std::string Encode() const {
+    std::string out;
+    out.reserve(kNclRegionHeaderBytes);
+    PutFixed64(&out, seq);
+    PutFixed64(&out, length);
+    return out;
+  }
+
+  static NclRegionHeader Decode(std::string_view raw) {
+    NclRegionHeader h;
+    if (raw.size() >= kNclRegionHeaderBytes) {
+      h.seq = DecodeFixed64(raw.data());
+      h.length = DecodeFixed64(raw.data() + 8);
+    }
+    return h;
+  }
+};
+
+// Total region size needed for a file with `capacity` content bytes.
+inline constexpr uint64_t NclRegionBytes(uint64_t capacity) {
+  return kNclRegionHeaderBytes + capacity;
+}
+
+}  // namespace splitft
+
+#endif  // SRC_NCL_REGION_FORMAT_H_

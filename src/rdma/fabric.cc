@@ -1,0 +1,293 @@
+#include "src/rdma/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace splitft {
+
+std::string_view WcStatusName(WcStatus status) {
+  switch (status) {
+    case WcStatus::kSuccess:
+      return "SUCCESS";
+    case WcStatus::kRemoteAccessError:
+      return "REMOTE_ACCESS_ERROR";
+    case WcStatus::kRetryExceeded:
+      return "RETRY_EXCEEDED";
+    case WcStatus::kFlushError:
+      return "FLUSH_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+// Shared QP state. Fabric delivery events hold a shared_ptr so that a WR in
+// flight when the initiating application "crashes" (drops its QueuePair)
+// still executes against the remote region — exactly the behaviour that
+// produces the divergent peer states of Fig 7(i).
+struct Fabric::QpState {
+  NodeId local;
+  NodeId remote;
+  bool error = false;        // QP moved to error state after a failed WR
+  bool closed = false;       // local endpoint destroyed
+  SimTime busy_until = 0;    // SQ ordering: next WR completes after this
+  uint64_t next_wr_id = 1;
+  std::deque<Completion> cq;
+  size_t outstanding = 0;
+};
+
+Fabric::Fabric(Simulation* sim, const SimParams* params)
+    : sim_(sim), params_(params) {}
+
+Fabric::~Fabric() = default;
+
+NodeId Fabric::AddNode(std::string name) {
+  nodes_.push_back(Node{std::move(name), /*alive=*/true, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const std::string& Fabric::NodeName(NodeId id) const {
+  return nodes_.at(id).name;
+}
+
+bool Fabric::IsAlive(NodeId id) const { return nodes_.at(id).alive; }
+
+void Fabric::CrashNode(NodeId id) {
+  Node& node = nodes_.at(id);
+  node.alive = false;
+  // Volatile memory: contents are gone and rkeys invalid.
+  node.regions.clear();
+}
+
+void Fabric::RestartNode(NodeId id) { nodes_.at(id).alive = true; }
+
+uint64_t Fabric::PartitionKey(NodeId a, NodeId b) const {
+  NodeId lo = std::min(a, b);
+  NodeId hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+void Fabric::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  if (partitioned) {
+    partitions_.insert(PartitionKey(a, b));
+  } else {
+    partitions_.erase(PartitionKey(a, b));
+  }
+}
+
+bool Fabric::IsPartitioned(NodeId a, NodeId b) const {
+  return partitions_.count(PartitionKey(a, b)) > 0;
+}
+
+Result<RKey> Fabric::RegisterRegion(NodeId node_id, uint64_t size) {
+  Node& node = nodes_.at(node_id);
+  if (!node.alive) {
+    return UnavailableError("node " + node.name + " is down");
+  }
+  // Page pinning + NIC registration cost, charged to the caller's timeline
+  // (the peer's lightweight setup process performs it synchronously).
+  sim_->Advance(params_->MrRegisterLatency(size));
+  RKey rkey = next_rkey_++;
+  node.regions[rkey] = Region{std::string(size, '\0'), /*valid=*/true};
+  return rkey;
+}
+
+Status Fabric::InvalidateRegion(NodeId node_id, RKey rkey) {
+  Node& node = nodes_.at(node_id);
+  auto it = node.regions.find(rkey);
+  if (it == node.regions.end()) {
+    return NotFoundError("no such region");
+  }
+  it->second.valid = false;
+  return OkStatus();
+}
+
+Result<RKey> Fabric::RecycleRegion(NodeId node_id, RKey rkey) {
+  Node& node = nodes_.at(node_id);
+  if (!node.alive) {
+    return UnavailableError("node " + node.name + " is down");
+  }
+  auto it = node.regions.find(rkey);
+  if (it == node.regions.end()) {
+    return NotFoundError("no such region");
+  }
+  Region region = std::move(it->second);
+  node.regions.erase(it);
+  // Zero the reused memory (local peer-side memset).
+  std::fill(region.buffer.begin(), region.buffer.end(), '\0');
+  sim_->Advance(static_cast<SimTime>(
+      static_cast<double>(region.buffer.size()) / 12.0));  // ~12 GB/s memset
+  region.valid = true;
+  RKey fresh = next_rkey_++;
+  node.regions[fresh] = std::move(region);
+  return fresh;
+}
+
+Status Fabric::DeregisterRegion(NodeId node_id, RKey rkey) {
+  Node& node = nodes_.at(node_id);
+  if (node.regions.erase(rkey) == 0) {
+    return NotFoundError("no such region");
+  }
+  return OkStatus();
+}
+
+Result<std::string*> Fabric::RegionBuffer(NodeId node_id, RKey rkey) {
+  Node& node = nodes_.at(node_id);
+  if (!node.alive) {
+    return UnavailableError("node " + node.name + " is down");
+  }
+  auto it = node.regions.find(rkey);
+  if (it == node.regions.end() || !it->second.valid) {
+    return PermissionDeniedError("invalid rkey");
+  }
+  return &it->second.buffer;
+}
+
+Result<uint64_t> Fabric::RegionSize(NodeId node_id, RKey rkey) const {
+  const Node& node = nodes_.at(node_id);
+  auto it = node.regions.find(rkey);
+  if (it == node.regions.end() || !it->second.valid) {
+    return PermissionDeniedError("invalid rkey");
+  }
+  return static_cast<uint64_t>(it->second.buffer.size());
+}
+
+void Fabric::CompleteWr(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
+                        WcStatus status, std::string read_data) {
+  if (status != WcStatus::kSuccess) {
+    qp->error = true;
+    stats_.failed_wrs++;
+  }
+  if (qp->closed) {
+    // Initiator is gone; nobody will poll this CQ.
+    qp->outstanding--;
+    return;
+  }
+  qp->cq.push_back(Completion{wr_id, status, std::move(read_data)});
+  qp->outstanding--;
+}
+
+void Fabric::DeliverWr(std::shared_ptr<QpState> qp, WorkRequest wr) {
+  // Executed at the WR's scheduled completion time.
+  Node& target = nodes_.at(qp->remote);
+  if (qp->error) {
+    CompleteWr(qp, wr.wr_id, WcStatus::kFlushError, {});
+    return;
+  }
+  if (!target.alive || IsPartitioned(qp->local, qp->remote)) {
+    CompleteWr(qp, wr.wr_id, WcStatus::kRetryExceeded, {});
+    return;
+  }
+  auto region_it = target.regions.find(wr.rkey);
+  if (region_it == target.regions.end() || !region_it->second.valid) {
+    CompleteWr(qp, wr.wr_id, WcStatus::kRemoteAccessError, {});
+    return;
+  }
+  std::string& buf = region_it->second.buffer;
+  if (wr.is_read) {
+    if (wr.remote_offset + wr.read_len > buf.size()) {
+      CompleteWr(qp, wr.wr_id, WcStatus::kRemoteAccessError, {});
+      return;
+    }
+    CompleteWr(qp, wr.wr_id, WcStatus::kSuccess,
+               buf.substr(wr.remote_offset, wr.read_len));
+  } else {
+    if (wr.remote_offset + wr.data.size() > buf.size()) {
+      CompleteWr(qp, wr.wr_id, WcStatus::kRemoteAccessError, {});
+      return;
+    }
+    // One-sided write: lands in remote memory with no remote CPU.
+    buf.replace(wr.remote_offset, wr.data.size(), wr.data);
+    CompleteWr(qp, wr.wr_id, WcStatus::kSuccess, {});
+  }
+}
+
+QueuePair::QueuePair(Fabric* fabric, NodeId local, NodeId remote, bool warm)
+    : fabric_(fabric), local_(local), remote_(remote) {
+  state_ = std::make_shared<Fabric::QpState>();
+  state_->local = local;
+  state_->remote = remote;
+  // QP handshake cost; skipped when piggybacking on a warm connection.
+  if (!warm) {
+    fabric_->sim_->Advance(fabric_->params_->rdma.connect_latency);
+  }
+  if (!fabric_->IsAlive(remote) || fabric_->IsPartitioned(local, remote)) {
+    state_->error = true;
+  }
+}
+
+QueuePair::~QueuePair() {
+  if (state_ != nullptr) {
+    state_->closed = true;
+  }
+}
+
+uint64_t QueuePair::PostWrite(RKey rkey, uint64_t remote_offset,
+                              std::string_view data) {
+  Fabric::WorkRequest wr;
+  wr.wr_id = state_->next_wr_id++;
+  wr.is_read = false;
+  wr.rkey = rkey;
+  wr.remote_offset = remote_offset;
+  wr.data = std::string(data);
+  wr.read_len = 0;
+
+  fabric_->stats_.writes_posted++;
+  fabric_->stats_.write_bytes += data.size();
+  fabric_->sim_->Advance(fabric_->params_->rdma.post_overhead);
+
+  // SQ ordering: this WR completes only after every earlier WR on this QP.
+  SimTime now = fabric_->sim_->Now();
+  SimTime done = std::max(now, state_->busy_until) +
+                 fabric_->params_->RdmaWriteLatency(data.size());
+  state_->busy_until = done;
+  state_->outstanding++;
+  auto state = state_;
+  Fabric* fabric = fabric_;
+  uint64_t id = wr.wr_id;
+  fabric_->sim_->ScheduleAt(done, [fabric, state, w = std::move(wr)]() mutable {
+    fabric->DeliverWr(state, std::move(w));
+  });
+  return id;
+}
+
+uint64_t QueuePair::PostRead(RKey rkey, uint64_t remote_offset, uint64_t len) {
+  Fabric::WorkRequest wr;
+  wr.wr_id = state_->next_wr_id++;
+  wr.is_read = true;
+  wr.rkey = rkey;
+  wr.remote_offset = remote_offset;
+  wr.read_len = len;
+
+  fabric_->stats_.reads_posted++;
+  fabric_->stats_.read_bytes += len;
+  fabric_->sim_->Advance(fabric_->params_->rdma.post_overhead);
+
+  SimTime now = fabric_->sim_->Now();
+  SimTime done =
+      std::max(now, state_->busy_until) + fabric_->params_->RdmaReadLatency(len);
+  state_->busy_until = done;
+  state_->outstanding++;
+  auto state = state_;
+  Fabric* fabric = fabric_;
+  uint64_t id = wr.wr_id;
+  fabric_->sim_->ScheduleAt(done, [fabric, state, w = std::move(wr)]() mutable {
+    fabric->DeliverWr(state, std::move(w));
+  });
+  return id;
+}
+
+bool QueuePair::PollCq(Completion* out) {
+  if (state_->cq.empty()) {
+    return false;
+  }
+  *out = std::move(state_->cq.front());
+  state_->cq.pop_front();
+  return true;
+}
+
+size_t QueuePair::Outstanding() const { return state_->outstanding; }
+
+bool QueuePair::in_error_state() const { return state_->error; }
+
+}  // namespace splitft

@@ -1,0 +1,206 @@
+// Simulated one-sided RDMA fabric (ibverbs-like semantics).
+//
+// This replaces the RoCE/InfiniBand hardware + the `infinity` ibverbs
+// library used by the paper. It models exactly the semantics NCL's
+// correctness depends on:
+//   * memory regions with rkeys; access fails once an rkey is invalidated
+//     (peer crash, revocation, deregistration);
+//   * queue pairs with send-queue ordering: work requests complete on the
+//     remote memory in post order (§4.4 relies on this);
+//   * one-sided WRITE/READ that need no CPU at the target node;
+//   * a queue pair enters an error state after a failed WR and flushes all
+//     subsequent WRs with errors (standard ibverbs behaviour);
+//   * node crashes wipe memory-region contents (volatile DRAM) and
+//     invalidate rkeys; partitions make WRs fail with retry-exceeded after
+//     a timeout;
+//   * in-flight WRs posted before an *initiator* crash still land on the
+//     target (this produces the divergent-peer states of Fig 7).
+//
+// Latencies come from SimParams and accrue on the owning Simulation's
+// virtual clock.
+#ifndef SRC_RDMA_FABRIC_H_
+#define SRC_RDMA_FABRIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+
+using NodeId = uint32_t;
+using RKey = uint64_t;
+
+constexpr NodeId kInvalidNode = 0xffffffffu;
+
+// Work-completion status, mirroring the ibverbs codes NCL cares about.
+enum class WcStatus {
+  kSuccess,
+  kRemoteAccessError,  // invalid/revoked rkey or out-of-bounds access
+  kRetryExceeded,      // target unreachable (crash or partition)
+  kFlushError,         // QP was in error state; WR flushed without executing
+};
+
+std::string_view WcStatusName(WcStatus status);
+
+struct Completion {
+  uint64_t wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  // For RDMA READ completions: the data read from the remote region.
+  std::string read_data;
+};
+
+// Aggregate transfer statistics, exposed for benches and tests.
+struct FabricStats {
+  uint64_t writes_posted = 0;
+  uint64_t reads_posted = 0;
+  uint64_t write_bytes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t failed_wrs = 0;
+};
+
+class QueuePair;
+
+class Fabric {
+ public:
+  Fabric(Simulation* sim, const SimParams* params);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // ---- Topology & failure injection -------------------------------------
+
+  NodeId AddNode(std::string name);
+  const std::string& NodeName(NodeId id) const;
+  bool IsAlive(NodeId id) const;
+
+  // Crashing a node wipes every memory region it hosts (DRAM is volatile)
+  // and invalidates all rkeys. In-flight WRs targeting it will fail.
+  void CrashNode(NodeId id);
+  // Brings the node back with empty memory; old rkeys stay invalid.
+  void RestartNode(NodeId id);
+
+  // Symmetric link partition between two nodes.
+  void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+  bool IsPartitioned(NodeId a, NodeId b) const;
+
+  // ---- Memory regions (peer-side, CPU-involving setup path) -------------
+
+  // Allocates and registers a region of `size` bytes on `node`, charging the
+  // virtual clock for page pinning + NIC registration. Returns the rkey.
+  Result<RKey> RegisterRegion(NodeId node, uint64_t size);
+
+  // Revokes remote access (memory reclamation, §4.5.2): instantaneous and
+  // local; subsequent one-sided ops on the rkey fail.
+  Status InvalidateRegion(NodeId node, RKey rkey);
+
+  // Frees the region entirely.
+  Status DeregisterRegion(NodeId node, RKey rkey);
+
+  // Recycles a region (§4.3): invalidates the old rkey but keeps the
+  // memory pinned and NIC-registered, returning a fresh rkey over the
+  // zeroed buffer. Vastly cheaper than DeregisterRegion + RegisterRegion.
+  Result<RKey> RecycleRegion(NodeId node, RKey rkey);
+
+  // Local (same-node, CPU) access to a region's bytes; used by peer-side
+  // logic (mr-map bookkeeping, tests). Fails if the rkey is invalid.
+  Result<std::string*> RegionBuffer(NodeId node, RKey rkey);
+  Result<uint64_t> RegionSize(NodeId node, RKey rkey) const;
+
+  Simulation* sim() const { return sim_; }
+  const SimParams& params() const { return *params_; }
+  const FabricStats& stats() const { return stats_; }
+
+ private:
+  friend class QueuePair;
+
+  struct Region {
+    std::string buffer;
+    bool valid = true;
+  };
+
+  struct Node {
+    std::string name;
+    bool alive = true;
+    std::unordered_map<RKey, Region> regions;
+  };
+
+  struct QpState;
+
+  struct WorkRequest {
+    uint64_t wr_id;
+    bool is_read;
+    RKey rkey;
+    uint64_t remote_offset;
+    std::string data;    // payload for writes
+    uint64_t read_len;   // length for reads
+  };
+
+  uint64_t PartitionKey(NodeId a, NodeId b) const;
+  void DeliverWr(std::shared_ptr<QpState> qp, WorkRequest wr);
+  void CompleteWr(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
+                  WcStatus status, std::string read_data);
+
+  Simulation* sim_;
+  const SimParams* params_;
+  std::vector<Node> nodes_;
+  std::unordered_set<uint64_t> partitions_;
+  RKey next_rkey_ = 1;
+  FabricStats stats_;
+};
+
+// A queue pair connecting a local node to one remote node. One-sided
+// operations execute against remote memory regions with no remote CPU.
+// Completion order on the remote equals post order (SQ ordering).
+class QueuePair {
+ public:
+  // Establishing the QP charges the connection-handshake latency unless
+  // `warm` (an existing connection to this node is being multiplexed —
+  // ncl-lib keeps connections to known peers alive across log rotations).
+  QueuePair(Fabric* fabric, NodeId local, NodeId remote, bool warm = false);
+  ~QueuePair();
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  NodeId remote() const { return remote_; }
+
+  // Posts a one-sided RDMA WRITE; returns the wr_id that will appear in the
+  // completion queue. Never blocks.
+  uint64_t PostWrite(RKey rkey, uint64_t remote_offset, std::string_view data);
+
+  // Posts a one-sided RDMA READ of `len` bytes.
+  uint64_t PostRead(RKey rkey, uint64_t remote_offset, uint64_t len);
+
+  // Non-blocking completion poll; returns true and fills `out` if a
+  // completion was available.
+  bool PollCq(Completion* out);
+
+  // Number of WRs posted but not yet surfaced in the CQ.
+  size_t Outstanding() const;
+
+  // True once any WR failed; subsequent posts complete with kFlushError.
+  bool in_error_state() const;
+
+ private:
+  friend class Fabric;
+  struct Impl;
+
+  Fabric* fabric_;
+  NodeId local_;
+  NodeId remote_;
+  std::shared_ptr<Fabric::QpState> state_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_RDMA_FABRIC_H_

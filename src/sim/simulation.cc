@@ -1,0 +1,69 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+#include <utility>
+
+namespace splitft {
+
+void Simulation::Schedule(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulation::RunOne() {
+  if (events_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast which is safe
+  // because we pop immediately after.
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  // A synchronous Advance() may have moved the clock past this event's
+  // timestamp; never move the clock backwards.
+  if (ev.when > now_) {
+    now_ = ev.when;
+  }
+  ev.fn();
+  return true;
+}
+
+void Simulation::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime when) {
+  while (!events_.empty() && events_.top().when <= when) {
+    RunOne();
+  }
+  if (now_ < when) {
+    now_ = when;
+  }
+}
+
+bool Simulation::RunUntilPredicate(const std::function<bool()>& pred) {
+  if (pred()) {
+    return true;
+  }
+  while (RunOne()) {
+    if (pred()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Simulation::AdvanceTo(SimTime when) {
+  if (when > now_) {
+    now_ = when;
+  }
+}
+
+}  // namespace splitft

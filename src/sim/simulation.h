@@ -1,0 +1,89 @@
+// Discrete-event simulation core. All SplitFT components run against a
+// virtual clock owned by a Simulation instance; latencies are modeled, so
+// every benchmark figure is deterministic and runs in milliseconds of real
+// time regardless of the virtual duration simulated.
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace splitft {
+
+// Virtual time in nanoseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosPerMicro = 1000;
+constexpr SimTime kNanosPerMilli = 1000 * 1000;
+constexpr SimTime kNanosPerSecond = 1000 * 1000 * 1000;
+
+inline constexpr SimTime Micros(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+inline constexpr SimTime Millis(double ms) {
+  return static_cast<SimTime>(ms * 1e6);
+}
+inline constexpr SimTime Seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` ns from now. Events with equal timestamps
+  // run in scheduling order (FIFO), which keeps runs deterministic.
+  void Schedule(SimTime delay, std::function<void()> fn);
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Runs the earliest pending event, advancing the clock to its timestamp.
+  // Returns false if no events are pending.
+  bool RunOne();
+
+  // Runs events until the queue is empty.
+  void RunUntilIdle();
+
+  // Runs all events with timestamp <= `when`, then advances the clock to
+  // `when` (even if idle earlier).
+  void RunUntil(SimTime when);
+
+  // Runs events until `pred()` returns true (checked after each event).
+  // Returns false if the queue drained without the predicate holding.
+  bool RunUntilPredicate(const std::function<bool()>& pred);
+
+  // Advances the clock without running events; models synchronous CPU work
+  // performed by the currently-executing actor. Asserts monotonicity.
+  void AdvanceTo(SimTime when);
+  void Advance(SimTime delta) { AdvanceTo(now_ + delta); }
+
+  size_t pending_events() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // tiebreaker for FIFO ordering of same-time events
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_SIM_SIMULATION_H_

@@ -1,0 +1,290 @@
+#include "src/splitft/split_fs.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/logging.h"
+
+namespace splitft {
+namespace {
+
+// ---- dfs-backed file --------------------------------------------------------
+
+class DfsBackedFile : public SplitFile {
+ public:
+  explicit DfsBackedFile(std::unique_ptr<DfsFile> file)
+      : file_(std::move(file)) {}
+
+  Status Append(std::string_view data) override { return file_->Append(data); }
+  Status WriteAt(uint64_t offset, std::string_view data) override {
+    return file_->Write(offset, data);
+  }
+  Status Sync() override { return file_->Sync(/*foreground=*/true); }
+  Status SyncBackground() override { return file_->Sync(/*foreground=*/false); }
+  Result<SimTime> SyncDeferred() override { return file_->SyncDeferred(); }
+  Result<std::string> Read(uint64_t offset, uint64_t len) override {
+    return file_->Read(offset, len);
+  }
+  Result<std::string> ReadBackground(uint64_t offset, uint64_t len) override {
+    return file_->ReadBackground(offset, len);
+  }
+  uint64_t Size() const override { return file_->Size(); }
+  const std::string& path() const override { return file_->path(); }
+  bool ncl_backed() const override { return false; }
+
+ private:
+  std::unique_ptr<DfsFile> file_;
+};
+
+// ---- NCL-backed file --------------------------------------------------------
+
+class NclBackedFile : public SplitFile {
+ public:
+  explicit NclBackedFile(std::unique_ptr<NclFile> file)
+      : file_(std::move(file)) {}
+
+  Status Append(std::string_view data) override { return file_->Append(data); }
+  Status WriteAt(uint64_t offset, std::string_view data) override {
+    return file_->Write(offset, data);
+  }
+  // Writes were replicated synchronously; there is nothing to flush.
+  Status Sync() override { return OkStatus(); }
+  // Already durable: return a time in the past so callers treat the commit
+  // as immediately complete.
+  Result<SimTime> SyncDeferred() override { return SimTime{0}; }
+  Result<std::string> Read(uint64_t offset, uint64_t len) override {
+    return file_->Read(offset, len);
+  }
+  uint64_t Size() const override { return file_->size(); }
+  const std::string& path() const override { return file_->name(); }
+  bool ncl_backed() const override { return true; }
+
+  NclFile* ncl_file() { return file_.get(); }
+
+ private:
+  std::unique_ptr<NclFile> file_;
+};
+
+// ---- fine-grained split file (§6) ------------------------------------------
+//
+// The file's bulk image lives on the dfs; small writes are journaled in an
+// NCL file as framed records. Large writes append a barrier record so that
+// recovery replays small and large writes in their original order over the
+// dfs image. The journal is truncated whenever the merged image is
+// checkpointed to the dfs.
+//
+// Journal frame: [u8 kind][u64 offset][u32 len][data if kind==small]
+constexpr char kFrameSmall = 1;
+constexpr char kFrameLarge = 2;
+
+class FineGrainedFile : public SplitFile {
+ public:
+  FineGrainedFile(std::unique_ptr<DfsFile> base, std::unique_ptr<NclFile> log,
+                  uint64_t threshold, std::string path)
+      : base_(std::move(base)),
+        log_(std::move(log)),
+        threshold_(threshold),
+        path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    return WriteAt(Size(), data);
+  }
+
+  Status WriteAt(uint64_t offset, std::string_view data) override {
+    if (view_.size() < offset + data.size()) {
+      view_.resize(offset + data.size(), '\0');
+    }
+    view_.replace(offset, data.size(), data);
+    if (data.size() < threshold_) {
+      std::string frame;
+      frame.push_back(kFrameSmall);
+      PutFixed64(&frame, offset);
+      PutFixed32(&frame, static_cast<uint32_t>(data.size()));
+      frame.append(data);
+      Status st = log_->Append(frame);
+      if (st.code() == StatusCode::kResourceExhausted) {
+        // Journal full: checkpoint the merged image and retry.
+        RETURN_IF_ERROR(Checkpoint());
+        st = log_->Append(frame);
+      }
+      return st;
+    }
+    // Large write: straight to the dfs (synchronously — large writes are
+    // cheap per byte there), plus an ordering barrier in the journal.
+    RETURN_IF_ERROR(base_->Write(offset, data));
+    RETURN_IF_ERROR(base_->Sync(/*foreground=*/true));
+    std::string frame;
+    frame.push_back(kFrameLarge);
+    PutFixed64(&frame, offset);
+    PutFixed32(&frame, static_cast<uint32_t>(data.size()));
+    return log_->Append(frame);
+  }
+
+  Status Sync() override { return OkStatus(); }  // both paths are durable
+  Result<SimTime> SyncDeferred() override { return SimTime{0}; }
+
+  Result<std::string> Read(uint64_t offset, uint64_t len) override {
+    if (offset >= view_.size()) {
+      return std::string();
+    }
+    len = std::min<uint64_t>(len, view_.size() - offset);
+    return view_.substr(offset, len);
+  }
+
+  uint64_t Size() const override { return view_.size(); }
+  const std::string& path() const override { return path_; }
+  bool ncl_backed() const override { return true; }
+
+  // Writes the merged image to the dfs and resets the journal.
+  Status Checkpoint() {
+    RETURN_IF_ERROR(base_->Write(0, view_));
+    RETURN_IF_ERROR(base_->Sync(/*foreground=*/true));
+    return log_->Truncate();
+  }
+
+  // Rebuilds the in-memory view: dfs image + journal replay, in order.
+  Status RecoverView() {
+    auto base = base_->Read(0, base_->Size());
+    if (!base.ok()) {
+      return base.status();
+    }
+    view_ = std::move(*base);
+    auto journal = log_->Read(0, log_->size());
+    if (!journal.ok()) {
+      return journal.status();
+    }
+    std::string_view j = *journal;
+    size_t pos = 0;
+    while (pos + 13 <= j.size()) {
+      char kind = j[pos];
+      uint64_t offset = DecodeFixed64(j.data() + pos + 1);
+      uint32_t len = DecodeFixed32(j.data() + pos + 9);
+      pos += 13;
+      if (kind == kFrameSmall) {
+        if (pos + len > j.size()) {
+          break;  // torn tail record: unacknowledged, safe to drop
+        }
+        if (view_.size() < offset + len) {
+          view_.resize(offset + len, '\0');
+        }
+        view_.replace(offset, len, j.substr(pos, len));
+        pos += len;
+      } else if (kind == kFrameLarge) {
+        // Re-copy the (final) dfs bytes for the range, preserving order
+        // relative to later small writes.
+        auto chunk = base_->Read(offset, len);
+        if (!chunk.ok()) {
+          return chunk.status();
+        }
+        if (view_.size() < offset + chunk->size()) {
+          view_.resize(offset + chunk->size(), '\0');
+        }
+        view_.replace(offset, chunk->size(), *chunk);
+      } else {
+        break;  // corrupt frame: stop at the torn tail
+      }
+    }
+    return OkStatus();
+  }
+
+ private:
+  std::unique_ptr<DfsFile> base_;
+  std::unique_ptr<NclFile> log_;
+  uint64_t threshold_;
+  std::string path_;
+  std::string view_;
+};
+
+}  // namespace
+
+// ---- SplitFs ---------------------------------------------------------------
+
+SplitFs::SplitFs(NclConfig ncl_config, DfsClient* dfs, Fabric* fabric,
+                 Controller* controller, PeerDirectory* directory,
+                 NodeId app_node)
+    : ncl_(std::make_unique<NclClient>(std::move(ncl_config), fabric,
+                                       controller, directory, app_node)),
+      dfs_(dfs),
+      controller_(controller) {}
+
+SplitFs::~SplitFs() = default;
+
+Status SplitFs::Start() {
+  auto lease = controller_->AcquireServerLease(ncl_->config().app_id);
+  if (!lease.ok()) {
+    return lease.status();
+  }
+  lease_ = *lease;
+  return OkStatus();
+}
+
+Result<std::unique_ptr<SplitFile>> SplitFs::Open(
+    const std::string& path, const SplitOpenOptions& options) {
+  if (options.fine_grained) {
+    DfsOpenOptions dfs_opts;
+    dfs_opts.create = options.create;
+    dfs_opts.direct_io = options.direct_io;
+    auto base = dfs_->Open(path, dfs_opts);
+    if (!base.ok()) {
+      return base.status();
+    }
+    std::string journal_path = path + ".ncl-journal";
+    Result<std::unique_ptr<NclFile>> log =
+        ncl_->Exists(journal_path)
+            ? ncl_->Recover(journal_path)
+            : ncl_->Create(journal_path, options.ncl_capacity);
+    if (!log.ok()) {
+      return log.status();
+    }
+    auto file = std::make_unique<FineGrainedFile>(
+        std::move(*base), std::move(*log), options.small_write_threshold,
+        path);
+    RETURN_IF_ERROR(file->RecoverView());
+    return std::unique_ptr<SplitFile>(std::move(file));
+  }
+
+  if (options.oncl) {
+    // An ncl file that already exists in the controller is being reopened
+    // after a crash: run recovery. Otherwise create it fresh.
+    Result<std::unique_ptr<NclFile>> file =
+        ncl_->Exists(path) ? ncl_->Recover(path)
+                           : ncl_->Create(path, options.ncl_capacity);
+    if (!file.ok()) {
+      return file.status();
+    }
+    return std::unique_ptr<SplitFile>(
+        std::make_unique<NclBackedFile>(std::move(*file)));
+  }
+
+  DfsOpenOptions dfs_opts;
+  dfs_opts.create = options.create;
+  dfs_opts.direct_io = options.direct_io;
+  auto file = dfs_->Open(path, dfs_opts);
+  if (!file.ok()) {
+    return file.status();
+  }
+  return std::unique_ptr<SplitFile>(
+      std::make_unique<DfsBackedFile>(std::move(*file)));
+}
+
+Status SplitFs::Unlink(const std::string& path) {
+  if (ncl_->Exists(path)) {
+    return ncl_->Delete(path);
+  }
+  return dfs_->Unlink(path);
+}
+
+bool SplitFs::Exists(const std::string& path) {
+  return ncl_->Exists(path) || dfs_->Exists(path);
+}
+
+void SplitFs::SimulateCrash() {
+  dfs_->SimulateCrash();
+  if (lease_ != kNoSession) {
+    controller_->ExpireSession(lease_);
+    lease_ = kNoSession;
+  }
+}
+
+}  // namespace splitft

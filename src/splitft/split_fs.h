@@ -1,0 +1,106 @@
+// SplitFs: the SplitFT file-system facade (§4.1).
+//
+// Applications open files through SplitFs exactly as they would through
+// POSIX. Files opened with the kONcl flag (the paper's O_NCL) are backed by
+// near-compute logs: every write is synchronously replicated to the log
+// peers and fsync is a no-op. All other files go to the disaggregated file
+// system: writes are buffered and fsync pays the dfs cost. The §6 extension
+// (kFineGrained) splits writes within a single file by size: small writes
+// are journaled in NCL, large writes go straight to the dfs, and recovery
+// replays the journal over the dfs image.
+#ifndef SRC_SPLITFT_SPLIT_FS_H_
+#define SRC_SPLITFT_SPLIT_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/controller/controller.h"
+#include "src/dfs/dfs.h"
+#include "src/ncl/ncl_client.h"
+#include "src/ncl/peer_directory.h"
+#include "src/rdma/fabric.h"
+
+namespace splitft {
+
+// Open flags (the interesting subset of the POSIX surface).
+struct SplitOpenOptions {
+  bool create = true;
+  // The paper's O_NCL: this file receives small synchronous writes and is
+  // made fault tolerant by the near-compute log layer.
+  bool oncl = false;
+  // §6 extension: route writes within this file by size.
+  bool fine_grained = false;
+  uint64_t small_write_threshold = 4096;
+  // Content capacity for NCL-backed files (apps configure log sizes).
+  uint64_t ncl_capacity = 0;  // 0: NclConfig::default_capacity
+  bool direct_io = false;     // dfs reads bypass the page cache
+};
+
+// Uniform file handle over the three backends.
+class SplitFile {
+ public:
+  virtual ~SplitFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status WriteAt(uint64_t offset, std::string_view data) = 0;
+  // Durability barrier. For NCL-backed files this is free: every write was
+  // already replicated before it returned.
+  virtual Status Sync() = 0;
+  // Bulk background flush (compaction/checkpoint writes).
+  virtual Status SyncBackground() { return Sync(); }
+  // Group-commit barrier: starts the flush and returns the virtual time at
+  // which it is durable without blocking the caller. NCL-backed files are
+  // durable immediately. Default: blocking Sync.
+  virtual Result<SimTime> SyncDeferred() = 0;
+  virtual Result<std::string> Read(uint64_t offset, uint64_t len) = 0;
+  // Background-IO read (compaction inputs): remote fetches occupy the
+  // storage backend but do not block the caller. Default: normal Read.
+  virtual Result<std::string> ReadBackground(uint64_t offset, uint64_t len) {
+    return Read(offset, len);
+  }
+  virtual uint64_t Size() const = 0;
+  virtual const std::string& path() const = 0;
+  // True when the file is NCL-backed (diagnostics/Table 2).
+  virtual bool ncl_backed() const = 0;
+};
+
+class SplitFs {
+ public:
+  // The caller keeps ownership of the infrastructure objects; `ncl_config`
+  // carries the application identity and failure budget.
+  SplitFs(NclConfig ncl_config, DfsClient* dfs, Fabric* fabric,
+          Controller* controller, PeerDirectory* directory, NodeId app_node);
+  ~SplitFs();
+
+  // Acquires the single-instance server lease (§4.7). Returns kAborted if
+  // another live instance of this application holds it.
+  Status Start();
+
+  Result<std::unique_ptr<SplitFile>> Open(const std::string& path,
+                                          const SplitOpenOptions& options);
+
+  Status Unlink(const std::string& path);
+  bool Exists(const std::string& path);
+
+  // Models this application-server process crashing: the dfs page cache and
+  // dirty buffers are dropped and the controller lease is released. All
+  // open SplitFile handles become invalid (behaviour inherited from the
+  // backends).
+  void SimulateCrash();
+
+  NclClient* ncl() { return ncl_.get(); }
+  DfsClient* dfs() { return dfs_; }
+
+ private:
+  std::unique_ptr<NclClient> ncl_;
+  DfsClient* dfs_;
+  Controller* controller_;
+  SessionId lease_ = kNoSession;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_SPLITFT_SPLIT_FS_H_

@@ -1,0 +1,116 @@
+// YCSB-style workload generation (Cooper et al., SoCC '10), matching the
+// paper's evaluation: workloads A, B, C, D, and F plus a write-only
+// workload, with 24-byte keys and 100-byte values (§5).
+#ifndef SRC_WORKLOAD_YCSB_H_
+#define SRC_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace splitft {
+
+// Zipfian-distributed values in [0, n) with the YCSB constant 0.99.
+// Implements the Gray et al. quick method with incremental zeta updates.
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng* rng);
+  // Grows the item space (used when inserts extend the keyspace).
+  void SetItemCount(uint64_t n);
+  uint64_t item_count() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta, double initial_sum = 0,
+                     uint64_t from = 0);
+  void Refresh();
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+// Zipfian popularity scattered over the keyspace via hashing, so hot keys
+// are not clustered (YCSB's "scrambled zipfian").
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n);
+  uint64_t Next(Rng* rng);
+  void SetItemCount(uint64_t n);
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t n_;
+};
+
+// Skewed towards recently inserted keys (YCSB-D's "latest" distribution).
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t n);
+  uint64_t Next(Rng* rng);
+  void SetItemCount(uint64_t n);
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t n_;
+};
+
+enum class YcsbOpType {
+  kRead,
+  kUpdate,
+  kInsert,
+  kReadModifyWrite,
+};
+
+struct YcsbOp {
+  YcsbOpType type;
+  std::string key;
+  std::string value;  // empty for reads
+};
+
+enum class YcsbWorkloadKind {
+  kA,          // 50% read / 50% update, zipfian
+  kB,          // 95% read / 5% update, zipfian
+  kC,          // 100% read, zipfian
+  kD,          // 95% read / 5% insert, latest
+  kF,          // 50% read / 50% read-modify-write, zipfian
+  kWriteOnly,  // 100% update (the §5.2 workload)
+};
+
+std::string_view YcsbWorkloadName(YcsbWorkloadKind kind);
+
+// Stateful generator producing a stream of operations over `record_count`
+// preloaded records. Inserts (workload D) extend the keyspace.
+class YcsbWorkload {
+ public:
+  YcsbWorkload(YcsbWorkloadKind kind, uint64_t record_count, uint64_t seed);
+
+  YcsbOp Next();
+
+  // Key/value construction, shared with the load phase: 24 B keys,
+  // 100 B values as in the paper (§5).
+  static std::string KeyFor(uint64_t id);
+  std::string ValueFor(uint64_t id);
+
+  uint64_t record_count() const { return record_count_; }
+  YcsbWorkloadKind kind() const { return kind_; }
+
+  static constexpr size_t kKeyBytes = 24;
+  static constexpr size_t kValueBytes = 100;
+
+ private:
+  YcsbWorkloadKind kind_;
+  uint64_t record_count_;
+  Rng rng_;
+  ScrambledZipfianGenerator zipf_;
+  LatestGenerator latest_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_WORKLOAD_YCSB_H_

@@ -1,0 +1,559 @@
+// Tests for the three mini-applications in all three durability modes,
+// including the crash-durability semantics each mode promises.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/kvstore/kv_store.h"
+#include "src/apps/kvstore/wal.h"
+#include "src/apps/lru_cache.h"
+#include "src/apps/redis/redis.h"
+#include "src/apps/sqlitelite/sqlite_lite.h"
+#include "src/controller/controller.h"
+#include "src/dfs/dfs.h"
+#include "src/ncl/peer.h"
+#include "src/rdma/fabric.h"
+#include "src/splitft/split_fs.h"
+
+namespace splitft {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest()
+      : fabric_(&sim_, &params_),
+        controller_(&sim_, &params_),
+        cluster_(&sim_, &params_),
+        dfs_(&cluster_, "app-server") {
+    app_node_ = fabric_.AddNode("app-server");
+    for (int i = 0; i < 4; ++i) {
+      auto peer = std::make_unique<LogPeer>("p" + std::to_string(i), &fabric_,
+                                            &controller_, 512ull << 20);
+      EXPECT_TRUE(peer->Start().ok());
+      directory_.Register(peer.get());
+      peers_.push_back(std::move(peer));
+    }
+  }
+
+  std::unique_ptr<SplitFs> MakeFs(const std::string& app) {
+    NclConfig config;
+    config.app_id = app;
+    config.default_capacity = 8 << 20;
+    return std::make_unique<SplitFs>(config, &dfs_, &fabric_, &controller_,
+                                     &directory_, app_node_);
+  }
+
+  Simulation sim_;
+  SimParams params_;
+  Fabric fabric_;
+  Controller controller_;
+  DfsCluster cluster_;
+  DfsClient dfs_;
+  PeerDirectory directory_;
+  std::vector<std::unique_ptr<LogPeer>> peers_;
+  NodeId app_node_;
+};
+
+// --------------------------------------------------------------- LruCache --
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(30);
+  cache.Put("a", "0123456789");  // 11 bytes
+  cache.Put("b", "0123456789");
+  ASSERT_TRUE(cache.Get("a").has_value());  // refresh a
+  cache.Put("c", "0123456789");             // evicts b
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(LruCacheTest, OversizedEntryRejected) {
+  LruCache cache(8);
+  cache.Put("key", std::string(100, 'x'));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, UpdateReplacesValueAndAccounting) {
+  LruCache cache(100);
+  cache.Put("k", "aaaa");
+  cache.Put("k", "bb");
+  EXPECT_EQ(cache.used_bytes(), 3u);
+  EXPECT_EQ(*cache.Get("k"), "bb");
+}
+
+// -------------------------------------------------------------------- WAL --
+
+TEST(WalFormatTest, RoundTrip) {
+  std::vector<KvWrite> batch = {{"k1", "v1"}, {"k2", "v2"}};
+  std::string raw = WriteAheadLog::EncodeRecord(batch);
+  std::vector<std::pair<std::string, std::string>> got;
+  int batches = WriteAheadLog::Replay(raw, [&](auto k, auto v) {
+    got.emplace_back(std::string(k), std::string(v));
+  });
+  EXPECT_EQ(batches, 1);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, "k1");
+  EXPECT_EQ(got[1].second, "v2");
+}
+
+TEST(WalFormatTest, TornTailIsDropped) {
+  std::string raw = WriteAheadLog::EncodeRecord({{"k1", "v1"}});
+  raw += WriteAheadLog::EncodeRecord({{"k2", "v2"}});
+  raw.resize(raw.size() - 3);  // tear the second record
+  int applied = 0;
+  int batches = WriteAheadLog::Replay(raw, [&](auto, auto) { applied++; });
+  EXPECT_EQ(batches, 1);
+  EXPECT_EQ(applied, 1);
+}
+
+TEST(WalFormatTest, CorruptRecordStopsReplay) {
+  std::string raw = WriteAheadLog::EncodeRecord({{"k1", "v1"}});
+  raw[10] ^= 0x40;  // flip a payload bit
+  int batches = WriteAheadLog::Replay(raw, [&](auto, auto) {});
+  EXPECT_EQ(batches, 0);
+}
+
+// ---------------------------------------------------------------- KvStore --
+
+class KvStoreModeTest : public AppsTest,
+                        public ::testing::WithParamInterface<DurabilityMode> {
+ protected:
+  KvStoreOptions SmallOptions() {
+    KvStoreOptions options;
+    options.mode = GetParam();
+    options.memtable_bytes = 16 << 10;
+    options.block_cache_bytes = 64 << 10;
+    options.wal_capacity = 256 << 10;
+    return options;
+  }
+};
+
+TEST_P(KvStoreModeTest, PutGetRoundTrip) {
+  auto fs = MakeFs("kv-app");
+  auto store = KvStore::Open(fs.get(), &sim_, &params_, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("key1", "value1").ok());
+  auto v = (*store)->Get("key1");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "value1");
+  EXPECT_EQ((*store)->Get("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST_P(KvStoreModeTest, OverwriteReturnsLatest) {
+  auto fs = MakeFs("kv-app");
+  auto store = KvStore::Open(fs.get(), &sim_, &params_, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "v1").ok());
+  ASSERT_TRUE((*store)->Put("k", "v2").ok());
+  EXPECT_EQ(*(*store)->Get("k"), "v2");
+}
+
+TEST_P(KvStoreModeTest, MemtableFlushCreatesSstableAndRotatesWal) {
+  auto fs = MakeFs("kv-app");
+  auto store = KvStore::Open(fs.get(), &sim_, &params_, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  // ~64 KiB of writes: several flushes at a 16 KiB memtable.
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_TRUE((*store)
+                    ->Put("key-" + std::to_string(i), std::string(100, 'v'))
+                    .ok());
+  }
+  EXPECT_GT((*store)->l0_tables() + (*store)->l1_tables(), 0u);
+  // All values remain readable across memtable/sstable boundaries.
+  for (int i = 0; i < 512; i += 37) {
+    auto v = (*store)->Get("key-" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(v->size(), 100u);
+  }
+}
+
+TEST_P(KvStoreModeTest, CompactionPreservesNewestValues) {
+  auto fs = MakeFs("kv-app");
+  KvStoreOptions options = SmallOptions();
+  options.l0_compaction_trigger = 2;
+  auto store = KvStore::Open(fs.get(), &sim_, &params_, options);
+  ASSERT_TRUE(store.ok());
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*store)
+                      ->Put("key-" + std::to_string(i),
+                            "round-" + std::to_string(round))
+                      .ok());
+    }
+  }
+  EXPECT_LE((*store)->l0_tables(), 2u);
+  for (int i = 0; i < 200; i += 13) {
+    auto v = (*store)->Get("key-" + std::to_string(i));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "round-5");
+  }
+}
+
+TEST_P(KvStoreModeTest, RecoversAfterCleanFlush) {
+  DurabilityMode mode = GetParam();
+  auto fs = MakeFs("kv-app");
+  {
+    auto store = KvStore::Open(fs.get(), &sim_, &params_, SmallOptions());
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(
+          (*store)->Put("key-" + std::to_string(i), std::string(100, 'x')).ok());
+    }
+    ASSERT_TRUE((*store)->FlushMemtable().ok());  // all data in sstables
+    fs->SimulateCrash();
+  }
+  sim_.RunUntilIdle();
+  auto fs2 = MakeFs("kv-app");
+  auto store = KvStore::Open(fs2.get(), &sim_, &params_, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 300; i += 29) {
+    EXPECT_TRUE((*store)->Get("key-" + std::to_string(i)).ok())
+        << "mode=" << DurabilityModeName(mode) << " key " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, KvStoreModeTest,
+                         ::testing::Values(DurabilityMode::kWeak,
+                                           DurabilityMode::kStrong,
+                                           DurabilityMode::kSplitFt),
+                         [](const auto& param_info) {
+                           return std::string(DurabilityModeName(param_info.param));
+                         });
+
+TEST_F(AppsTest, KvStoreWeakModeLosesUnflushedWrites) {
+  KvStoreOptions options;
+  options.mode = DurabilityMode::kWeak;
+  auto fs = MakeFs("kv-weak");
+  {
+    auto store = KvStore::Open(fs.get(), &sim_, &params_, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("acked", "but-volatile").ok());
+    fs->SimulateCrash();  // before any flush
+  }
+  sim_.RunUntilIdle();
+  auto fs2 = MakeFs("kv-weak");
+  auto store = KvStore::Open(fs2.get(), &sim_, &params_, options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->Get("acked").status().code(), StatusCode::kNotFound)
+      << "weak mode unexpectedly kept unflushed data";
+}
+
+TEST_F(AppsTest, KvStoreStrongModeKeepsEveryAckedWrite) {
+  KvStoreOptions options;
+  options.mode = DurabilityMode::kStrong;
+  auto fs = MakeFs("kv-strong");
+  {
+    auto store = KvStore::Open(fs.get(), &sim_, &params_, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("acked", "durable").ok());
+    fs->SimulateCrash();
+  }
+  sim_.RunUntilIdle();
+  auto fs2 = MakeFs("kv-strong");
+  auto store = KvStore::Open(fs2.get(), &sim_, &params_, options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(*(*store)->Get("acked"), "durable");
+}
+
+TEST_F(AppsTest, KvStoreSplitFtKeepsEveryAckedWriteCheaply) {
+  KvStoreOptions options;
+  options.mode = DurabilityMode::kSplitFt;
+  auto fs = MakeFs("kv-sft");
+  SimTime put_latency;
+  {
+    auto store = KvStore::Open(fs.get(), &sim_, &params_, options);
+    ASSERT_TRUE(store.ok());
+    SimTime t0 = sim_.Now();
+    ASSERT_TRUE((*store)->Put("acked", "durable").ok());
+    put_latency = sim_.Now() - t0;
+    fs->SimulateCrash();
+  }
+  sim_.RunUntilIdle();
+  auto fs2 = MakeFs("kv-sft");
+  auto store = KvStore::Open(fs2.get(), &sim_, &params_, options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(*(*store)->Get("acked"), "durable");
+  EXPECT_GT((*store)->recovered_batches(), 0u);
+  // Strong durability at near-weak latency: microseconds, not milliseconds.
+  EXPECT_LT(put_latency, Micros(50));
+}
+
+TEST_F(AppsTest, KvStoreBatchIsOneLogWrite) {
+  KvStoreOptions options;
+  options.mode = DurabilityMode::kStrong;
+  auto fs = MakeFs("kv-batch");
+  auto store = KvStore::Open(fs.get(), &sim_, &params_, options);
+  ASSERT_TRUE(store.ok());
+  uint64_t syncs_before = cluster_.sync_ops();
+  std::vector<KvWrite> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back({"bk-" + std::to_string(i), "v"});
+  }
+  ASSERT_TRUE((*store)->ApplyWriteBatch(batch).ok());
+  EXPECT_EQ(cluster_.sync_ops() - syncs_before, 1u)
+      << "group commit should issue exactly one synchronous log write";
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE((*store)->Get("bk-" + std::to_string(i)).ok());
+  }
+}
+
+// ------------------------------------------------------------------ Redis --
+
+class RedisModeTest : public AppsTest,
+                      public ::testing::WithParamInterface<DurabilityMode> {
+ protected:
+  RedisOptions SmallOptions() {
+    RedisOptions options;
+    options.mode = GetParam();
+    options.aof_rewrite_bytes = 64 << 10;
+    options.aof_capacity = 256 << 10;
+    return options;
+  }
+};
+
+TEST_P(RedisModeTest, StringsHashesListsCounters) {
+  auto fs = MakeFs("redis-app");
+  auto redis = Redis::Open(fs.get(), &sim_, &params_, SmallOptions());
+  ASSERT_TRUE(redis.ok());
+
+  ASSERT_TRUE((*redis)->Put("greeting", "hello").ok());
+  EXPECT_EQ(*(*redis)->Get("greeting"), "hello");
+
+  ASSERT_TRUE((*redis)->HSet("user:1", "name", "ada").ok());
+  ASSERT_TRUE((*redis)->HSet("user:1", "lang", "c++").ok());
+  EXPECT_EQ(*(*redis)->HGet("user:1", "name"), "ada");
+  EXPECT_FALSE((*redis)->HGet("user:1", "ghost").ok());
+
+  ASSERT_TRUE((*redis)->LPush("queue", "job1").ok());
+  ASSERT_TRUE((*redis)->LPush("queue", "job2").ok());
+  EXPECT_EQ(*(*redis)->LIndex("queue", 0), "job2");
+  EXPECT_EQ(*(*redis)->LIndex("queue", -1), "job1");
+
+  auto counter = (*redis)->Incr("hits");
+  ASSERT_TRUE(counter.ok());
+  EXPECT_EQ(*counter, 1);
+  counter = (*redis)->Incr("hits");
+  EXPECT_EQ(*counter, 2);
+
+  ASSERT_TRUE((*redis)->Del("greeting").ok());
+  EXPECT_FALSE((*redis)->Get("greeting").ok());
+}
+
+TEST_P(RedisModeTest, AofRewriteReclaimsLog) {
+  auto fs = MakeFs("redis-app");
+  auto redis = Redis::Open(fs.get(), &sim_, &params_, SmallOptions());
+  ASSERT_TRUE(redis.ok());
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_TRUE(
+        (*redis)->Put("key-" + std::to_string(i % 50), std::string(100, 'v')).ok());
+  }
+  EXPECT_GT((*redis)->rdb_snapshots(), 0);
+  // The AOF was truncated by the rewrite: it is far smaller than the total
+  // bytes written.
+  EXPECT_LT((*redis)->aof_bytes(), 128u << 10);
+  EXPECT_EQ(*(*redis)->Get("key-1"), std::string(100, 'v'));
+}
+
+TEST_P(RedisModeTest, RecoversFromRdbPlusAof) {
+  DurabilityMode mode = GetParam();
+  auto fs = MakeFs("redis-app");
+  {
+    auto redis = Redis::Open(fs.get(), &sim_, &params_, SmallOptions());
+    ASSERT_TRUE(redis.ok());
+    for (int i = 0; i < 600; ++i) {
+      ASSERT_TRUE((*redis)
+                      ->Put("key-" + std::to_string(i), std::string(100, 'v'))
+                      .ok());
+    }
+    ASSERT_TRUE((*redis)->HSet("h", "f", "v").ok());
+    if (mode == DurabilityMode::kWeak) {
+      // Give the lazy flusher a chance; weak mode only promises eventual
+      // durability.
+      fs->dfs()->BackgroundFlushAll();
+    }
+    fs->SimulateCrash();
+  }
+  sim_.RunUntilIdle();
+  auto fs2 = MakeFs("redis-app");
+  auto redis = Redis::Open(fs2.get(), &sim_, &params_, SmallOptions());
+  ASSERT_TRUE(redis.ok());
+  EXPECT_EQ(*(*redis)->Get("key-599"), std::string(100, 'v'));
+  EXPECT_EQ(*(*redis)->HGet("h", "f"), "v");
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RedisModeTest,
+                         ::testing::Values(DurabilityMode::kWeak,
+                                           DurabilityMode::kStrong,
+                                           DurabilityMode::kSplitFt),
+                         [](const auto& param_info) {
+                           return std::string(DurabilityModeName(param_info.param));
+                         });
+
+TEST_F(AppsTest, RedisWeakLosesRecentSplitFtDoesNot) {
+  for (DurabilityMode mode :
+       {DurabilityMode::kWeak, DurabilityMode::kSplitFt}) {
+    std::string app =
+        std::string("redis-") + std::string(DurabilityModeName(mode));
+    RedisOptions options;
+    options.mode = mode;
+    auto fs = MakeFs(app);
+    {
+      auto redis = Redis::Open(fs.get(), &sim_, &params_, options);
+      ASSERT_TRUE(redis.ok());
+      ASSERT_TRUE((*redis)->Put("acked", "data").ok());
+      fs->SimulateCrash();
+    }
+    sim_.RunUntilIdle();
+    auto fs2 = MakeFs(app);
+    auto redis = Redis::Open(fs2.get(), &sim_, &params_, options);
+    ASSERT_TRUE(redis.ok());
+    if (mode == DurabilityMode::kWeak) {
+      EXPECT_FALSE((*redis)->Get("acked").ok());
+    } else {
+      EXPECT_EQ(*(*redis)->Get("acked"), "data");
+    }
+  }
+}
+
+// ------------------------------------------------------------- SqliteLite --
+
+class SqliteModeTest : public AppsTest,
+                       public ::testing::WithParamInterface<DurabilityMode> {
+ protected:
+  SqliteLiteOptions SmallOptions() {
+    SqliteLiteOptions options;
+    options.mode = GetParam();
+    options.wal_capacity = 32 << 10;
+    options.page_cache_bytes = 16 << 10;
+    return options;
+  }
+};
+
+TEST_P(SqliteModeTest, TransactionsCommitAtomically) {
+  auto fs = MakeFs("sql-app");
+  auto db = SqliteLite::Open(fs.get(), &sim_, &params_, SmallOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->ExecTransaction({{"alice", "100"}, {"bob", "200"}})
+                  .ok());
+  EXPECT_EQ(*(*db)->Get("alice"), "100");
+  EXPECT_EQ(*(*db)->Get("bob"), "200");
+}
+
+TEST_P(SqliteModeTest, WalWrapsCircularly) {
+  auto fs = MakeFs("sql-app");
+  auto db = SqliteLite::Open(fs.get(), &sim_, &params_, SmallOptions());
+  ASSERT_TRUE(db.ok());
+  uint64_t gen0 = (*db)->wal_generation();
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        (*db)->Put("row-" + std::to_string(i % 40), std::string(100, 'x')).ok());
+  }
+  // The 32 KiB WAL cannot hold 400 x ~130 B frames: it must have
+  // checkpointed and wrapped (same file, overwrite reclaim).
+  EXPECT_GT((*db)->checkpoints(), 0);
+  EXPECT_GT((*db)->wal_generation(), gen0);
+  EXPECT_LT((*db)->wal_write_offset(), 32u << 10);
+  EXPECT_EQ(*(*db)->Get("row-1"), std::string(100, 'x'));
+}
+
+TEST_P(SqliteModeTest, RecoversCommittedRows) {
+  DurabilityMode mode = GetParam();
+  auto fs = MakeFs("sql-app");
+  {
+    auto db = SqliteLite::Open(fs.get(), &sim_, &params_, SmallOptions());
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(
+          (*db)->Put("row-" + std::to_string(i), "val-" + std::to_string(i)).ok());
+    }
+    if (mode == DurabilityMode::kWeak) {
+      fs->dfs()->BackgroundFlushAll();
+    }
+    fs->SimulateCrash();
+  }
+  sim_.RunUntilIdle();
+  auto fs2 = MakeFs("sql-app");
+  auto db = SqliteLite::Open(fs2.get(), &sim_, &params_, SmallOptions());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 300; i += 23) {
+    auto v = (*db)->Get("row-" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << "row " << i;
+    EXPECT_EQ(*v, "val-" + std::to_string(i));
+  }
+}
+
+TEST_P(SqliteModeTest, RecoveryIgnoresStaleGenerationFrames) {
+  // After a checkpoint wraps the WAL, old-generation frames beyond the
+  // write pointer must not be replayed.
+  auto fs = MakeFs("sql-app");
+  SqliteLiteOptions options = SmallOptions();
+  {
+    auto db = SqliteLite::Open(fs.get(), &sim_, &params_, options);
+    ASSERT_TRUE(db.ok());
+    // Fill most of the WAL with generation-1 frames.
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*db)->Put("old-" + std::to_string(i), "gen1").ok());
+    }
+    // Force a checkpoint, then write a couple of gen-2 frames.
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_TRUE((*db)->Put("new-1", "gen2").ok());
+    ASSERT_TRUE((*db)->Put("new-2", "gen2").ok());
+    if (options.mode == DurabilityMode::kWeak) {
+      fs->dfs()->BackgroundFlushAll();
+    }
+    fs->SimulateCrash();
+  }
+  sim_.RunUntilIdle();
+  auto fs2 = MakeFs("sql-app");
+  auto db = SqliteLite::Open(fs2.get(), &sim_, &params_, options);
+  ASSERT_TRUE(db.ok());
+  // Only the two gen-2 frames replay; the checkpointed rows come from db.
+  EXPECT_EQ((*db)->replayed_frames(), 2u);
+  EXPECT_EQ(*(*db)->Get("new-2"), "gen2");
+  EXPECT_EQ(*(*db)->Get("old-5"), "gen1");
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SqliteModeTest,
+                         ::testing::Values(DurabilityMode::kWeak,
+                                           DurabilityMode::kStrong,
+                                           DurabilityMode::kSplitFt),
+                         [](const auto& param_info) {
+                           return std::string(DurabilityModeName(param_info.param));
+                         });
+
+TEST_F(AppsTest, SqliteSplitFtCircularWalSurvivesPeerFailure) {
+  // End-to-end: circular WAL on NCL, a peer crash mid-run, then an app
+  // crash — committed rows survive both.
+  SqliteLiteOptions options;
+  options.mode = DurabilityMode::kSplitFt;
+  options.wal_capacity = 32 << 10;
+  auto fs = MakeFs("sql-e2e");
+  {
+    auto db = SqliteLite::Open(fs.get(), &sim_, &params_, options);
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 150; ++i) {
+      ASSERT_TRUE((*db)->Put("row-" + std::to_string(i), "before").ok());
+    }
+    peers_[1]->Crash();  // one peer dies; writes continue
+    for (int i = 0; i < 150; ++i) {
+      ASSERT_TRUE((*db)->Put("row-" + std::to_string(i), "after").ok());
+    }
+    fs->SimulateCrash();
+  }
+  sim_.RunUntilIdle();
+  auto fs2 = MakeFs("sql-e2e");
+  auto db = SqliteLite::Open(fs2.get(), &sim_, &params_, options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 150; i += 17) {
+    auto v = (*db)->Get("row-" + std::to_string(i));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "after");
+  }
+}
+
+}  // namespace
+}  // namespace splitft

@@ -1,0 +1,206 @@
+// Tests for the disaggregated block device and the local file system on
+// top of it (§4.1's CephRBD setting).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/blockstore/block_device.h"
+#include "src/blockstore/local_fs.h"
+#include "src/common/rng.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+namespace {
+
+class BlockstoreTest : public ::testing::Test {
+ protected:
+  BlockstoreTest() : device_(&sim_, &params_, 4096) {}
+
+  Simulation sim_;
+  SimParams params_;
+  RemoteBlockDevice device_;
+};
+
+// ---------------------------------------------------------------- Device --
+
+TEST_F(BlockstoreTest, WriteReadBlock) {
+  ASSERT_TRUE(device_.WriteBlock(100, "hello").ok());
+  auto data = device_.ReadBlock(100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->substr(0, 5), "hello");
+  EXPECT_EQ(data->size(), kBlockBytes);
+}
+
+TEST_F(BlockstoreTest, OutOfRangeRejected) {
+  EXPECT_FALSE(device_.WriteBlock(4096, "x").ok());
+  EXPECT_FALSE(device_.ReadBlock(9999).ok());
+  EXPECT_FALSE(device_.WriteBlock(0, std::string(kBlockBytes + 1, 'x')).ok());
+}
+
+TEST_F(BlockstoreTest, UnflushedWritesDieWithTheCache) {
+  ASSERT_TRUE(device_.WriteBlock(1, "durable").ok());
+  ASSERT_TRUE(device_.Flush().ok());
+  ASSERT_TRUE(device_.WriteBlock(1, "volatile").ok());
+  device_.DropCache();
+  auto data = device_.ReadBlock(1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->substr(0, 7), "durable");
+}
+
+TEST_F(BlockstoreTest, NeverWrittenBlockReadsZeros) {
+  auto data = device_.ReadBlock(7);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, std::string(kBlockBytes, '\0'));
+}
+
+TEST_F(BlockstoreTest, FlushCostsTheReplicatedBackend) {
+  ASSERT_TRUE(device_.WriteBlock(1, "x").ok());
+  SimTime before = sim_.Now();
+  ASSERT_TRUE(device_.Flush().ok());
+  EXPECT_GT(sim_.Now() - before, Millis(1));
+  // An empty flush is free.
+  before = sim_.Now();
+  ASSERT_TRUE(device_.Flush().ok());
+  EXPECT_EQ(sim_.Now(), before);
+}
+
+// --------------------------------------------------------------- LocalFs --
+
+TEST_F(BlockstoreTest, CreateWriteReadAcrossBlocks) {
+  auto fs = LocalFs::Mount(&device_);
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE((*fs)->Create("wal").ok());
+  std::string big(3 * kBlockBytes + 123, 'x');
+  ASSERT_TRUE((*fs)->Append("wal", big).ok());
+  auto size = (*fs)->FileSize("wal");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, big.size());
+  auto data = (*fs)->Read("wal", 0, big.size());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, big);
+  // Positional overwrite straddling a block boundary.
+  ASSERT_TRUE((*fs)->Write("wal", kBlockBytes - 2, "ABCD").ok());
+  data = (*fs)->Read("wal", kBlockBytes - 2, 4);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "ABCD");
+}
+
+TEST_F(BlockstoreTest, FsyncMakesDataCrashDurable) {
+  {
+    auto fs = LocalFs::Mount(&device_);
+    ASSERT_TRUE(fs.ok());
+    ASSERT_TRUE((*fs)->Create("wal").ok());
+    ASSERT_TRUE((*fs)->Append("wal", "synced|").ok());
+    ASSERT_TRUE((*fs)->Fsync("wal").ok());
+    ASSERT_TRUE((*fs)->Append("wal", "unsynced").ok());
+    (*fs)->SimulateCrash();
+    EXPECT_FALSE((*fs)->Append("wal", "x").ok());  // must re-mount
+  }
+  auto fs = LocalFs::Mount(&device_);
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE((*fs)->Exists("wal"));
+  auto size = (*fs)->FileSize("wal");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 7u);
+  auto data = (*fs)->Read("wal", 0, 100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "synced|");
+}
+
+TEST_F(BlockstoreTest, UnsyncedFileVanishesOnCrash) {
+  {
+    auto fs = LocalFs::Mount(&device_);
+    ASSERT_TRUE(fs.ok());
+    ASSERT_TRUE((*fs)->Create("tmp").ok());
+    ASSERT_TRUE((*fs)->Append("tmp", "data").ok());
+    (*fs)->SimulateCrash();  // no fsync: metadata never reached the device
+  }
+  auto fs = LocalFs::Mount(&device_);
+  ASSERT_TRUE(fs.ok());
+  EXPECT_FALSE((*fs)->Exists("tmp"));
+}
+
+TEST_F(BlockstoreTest, UnlinkFreesBlocksForReuse) {
+  auto fs = LocalFs::Mount(&device_);
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE((*fs)->Create("a").ok());
+  ASSERT_TRUE((*fs)->Append("a", std::string(8 * kBlockBytes, 'a')).ok());
+  ASSERT_TRUE((*fs)->Fsync("a").ok());
+  ASSERT_TRUE((*fs)->Unlink("a").ok());
+  EXPECT_FALSE((*fs)->Exists("a"));
+  // The freed blocks satisfy a new allocation without growing the device.
+  ASSERT_TRUE((*fs)->Create("b").ok());
+  ASSERT_TRUE((*fs)->Append("b", std::string(8 * kBlockBytes, 'b')).ok());
+  ASSERT_TRUE((*fs)->Fsync("b").ok());
+  auto data = (*fs)->Read("b", 0, 8);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "bbbbbbbb");
+}
+
+TEST_F(BlockstoreTest, ListFiltersByPrefix) {
+  auto fs = LocalFs::Mount(&device_);
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE((*fs)->Create("wal-1").ok());
+  ASSERT_TRUE((*fs)->Create("wal-2").ok());
+  ASSERT_TRUE((*fs)->Create("sst-1").ok());
+  EXPECT_EQ((*fs)->List("wal-").size(), 2u);
+  EXPECT_EQ((*fs)->List("").size(), 3u);
+}
+
+TEST_F(BlockstoreTest, RandomizedCrashConsistencyFuzz) {
+  // Same property as the dfs fuzz: after a crash, content equals the state
+  // at the last fsync.
+  for (uint64_t seed = 31; seed <= 34; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    RemoteBlockDevice device(&sim_, &params_, 8192);
+    auto fs = LocalFs::Mount(&device);
+    ASSERT_TRUE(fs.ok());
+    ASSERT_TRUE((*fs)->Create("f").ok());
+    std::string applied, durable;
+    for (int i = 0; i < 80; ++i) {
+      int action = static_cast<int>(rng.Uniform(10));
+      if (action < 6) {
+        std::string data(1 + rng.Uniform(6000),
+                         static_cast<char>('a' + rng.Uniform(26)));
+        if (rng.Bernoulli(0.3) && !applied.empty()) {
+          uint64_t offset = rng.Uniform(applied.size());
+          ASSERT_TRUE((*fs)->Write("f", offset, data).ok());
+          if (applied.size() < offset + data.size()) {
+            applied.resize(offset + data.size(), '\0');
+          }
+          applied.replace(offset, data.size(), data);
+        } else {
+          ASSERT_TRUE((*fs)->Append("f", data).ok());
+          applied += data;
+        }
+      } else if (action < 8) {
+        ASSERT_TRUE((*fs)->Fsync("f").ok());
+        durable = applied;
+      } else {
+        (*fs)->SimulateCrash();
+        fs = LocalFs::Mount(&device);
+        ASSERT_TRUE(fs.ok());
+        if (durable.empty()) {
+          if (!(*fs)->Exists("f")) {
+            ASSERT_TRUE((*fs)->Create("f").ok());
+          }
+          applied.clear();
+          auto size = (*fs)->FileSize("f");
+          ASSERT_TRUE(size.ok());
+          applied.assign(*(*fs)->Read("f", 0, *size));
+          durable = applied;
+          continue;
+        }
+        auto content = (*fs)->Read("f", 0, durable.size() + 10000);
+        ASSERT_TRUE(content.ok());
+        ASSERT_EQ(*content, durable) << "crash consistency violated";
+        applied = durable;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splitft

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/controller/controller.h"
+#include "src/controller/znode_store.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+namespace {
+
+// ------------------------------------------------------------ ZnodeStore --
+
+TEST(ZnodeStoreTest, CreateGetSetDelete) {
+  ZnodeStore store;
+  ASSERT_TRUE(store.Create("/a", "v0").ok());
+  auto node = store.Get("/a");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->data, "v0");
+  EXPECT_EQ(node->version, 0);
+
+  ASSERT_TRUE(store.Set("/a", "v1").ok());
+  node = store.Get("/a");
+  EXPECT_EQ(node->data, "v1");
+  EXPECT_EQ(node->version, 1);
+
+  ASSERT_TRUE(store.Delete("/a").ok());
+  EXPECT_FALSE(store.Exists("/a"));
+  EXPECT_EQ(store.Get("/a").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ZnodeStoreTest, CreateIsFirstWins) {
+  ZnodeStore store;
+  ASSERT_TRUE(store.Create("/lease", "owner1").ok());
+  Status second = store.Create("/lease", "owner2");
+  EXPECT_EQ(second.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(store.Get("/lease")->data, "owner1");
+}
+
+TEST(ZnodeStoreTest, VersionedSetRejectsStaleWriter) {
+  ZnodeStore store;
+  ASSERT_TRUE(store.Create("/n", "a").ok());
+  ASSERT_TRUE(store.Set("/n", "b", 0).ok());
+  EXPECT_EQ(store.Set("/n", "c", 0).code(), StatusCode::kAborted);
+  EXPECT_TRUE(store.Set("/n", "c", 1).ok());
+}
+
+TEST(ZnodeStoreTest, EphemeralNodesDieWithSession) {
+  ZnodeStore store;
+  SessionId s1 = store.OpenSession();
+  SessionId s2 = store.OpenSession();
+  ASSERT_TRUE(store.Create("/servers/app1", "", s1).ok());
+  ASSERT_TRUE(store.Create("/servers/app2", "", s2).ok());
+  ASSERT_TRUE(store.Create("/persistent", "").ok());
+
+  store.ExpireSession(s1);
+  EXPECT_FALSE(store.Exists("/servers/app1"));
+  EXPECT_TRUE(store.Exists("/servers/app2"));
+  EXPECT_TRUE(store.Exists("/persistent"));
+}
+
+TEST(ZnodeStoreTest, ChildrenListsDirectOnly) {
+  ZnodeStore store;
+  ASSERT_TRUE(store.Create("/peers/p1", "").ok());
+  ASSERT_TRUE(store.Create("/peers/p2", "").ok());
+  ASSERT_TRUE(store.Create("/peers/p2/sub", "").ok());
+  ASSERT_TRUE(store.Create("/other/x", "").ok());
+  auto children = store.Children("/peers");
+  EXPECT_EQ(children, (std::vector<std::string>{"p1", "p2"}));
+  EXPECT_TRUE(store.Children("/empty").empty());
+}
+
+// ------------------------------------------------------------ Controller --
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() : controller_(&sim_, &params_) {}
+
+  Simulation sim_;
+  SimParams params_;
+  Controller controller_;
+};
+
+TEST_F(ControllerTest, PeerRegistrationAndLookup) {
+  ASSERT_TRUE(controller_.RegisterPeer("p1", 7, 1 << 30).ok());
+  auto rec = controller_.GetPeer("p1");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->node, 7u);
+  EXPECT_EQ(rec->available_bytes, 1u << 30);
+}
+
+TEST_F(ControllerTest, ReRegistrationReplacesRecord) {
+  ASSERT_TRUE(controller_.RegisterPeer("p1", 7, 100).ok());
+  ASSERT_TRUE(controller_.RegisterPeer("p1", 9, 200).ok());
+  auto rec = controller_.GetPeer("p1");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->node, 9u);
+  EXPECT_EQ(rec->available_bytes, 200u);
+}
+
+TEST_F(ControllerTest, GetPeersFiltersByMemoryAndExclusion) {
+  ASSERT_TRUE(controller_.RegisterPeer("p1", 1, 1000).ok());
+  ASSERT_TRUE(controller_.RegisterPeer("p2", 2, 2000).ok());
+  ASSERT_TRUE(controller_.RegisterPeer("p3", 3, 3000).ok());
+  ASSERT_TRUE(controller_.RegisterPeer("p4", 4, 50).ok());
+
+  auto peers = controller_.GetPeers(3, 500, {});
+  ASSERT_TRUE(peers.ok());
+  ASSERT_EQ(peers->size(), 3u);
+  // Sorted by available memory, most first.
+  EXPECT_EQ((*peers)[0].name, "p3");
+  EXPECT_EQ((*peers)[1].name, "p2");
+  EXPECT_EQ((*peers)[2].name, "p1");
+
+  auto excl = controller_.GetPeers(2, 500, {"p2"});
+  ASSERT_TRUE(excl.ok());
+  EXPECT_EQ((*excl)[0].name, "p3");
+  EXPECT_EQ((*excl)[1].name, "p1");
+}
+
+TEST_F(ControllerTest, GetPeersFailsWhenNotEnough) {
+  ASSERT_TRUE(controller_.RegisterPeer("p1", 1, 1000).ok());
+  auto peers = controller_.GetPeers(3, 500, {});
+  EXPECT_EQ(peers.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ControllerTest, UpdatePeerMemoryChangesAllocationChoices) {
+  ASSERT_TRUE(controller_.RegisterPeer("p1", 1, 1000).ok());
+  ASSERT_TRUE(controller_.UpdatePeerMemory("p1", 10).ok());
+  auto peers = controller_.GetPeers(1, 500, {});
+  EXPECT_FALSE(peers.ok());
+  EXPECT_EQ(controller_.UpdatePeerMemory("ghost", 5).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ControllerTest, UnregisterPeerRemoves) {
+  ASSERT_TRUE(controller_.RegisterPeer("p1", 1, 1000).ok());
+  ASSERT_TRUE(controller_.UnregisterPeer("p1").ok());
+  EXPECT_FALSE(controller_.GetPeer("p1").ok());
+}
+
+TEST_F(ControllerTest, EpochBumpsMonotonically) {
+  EXPECT_FALSE(controller_.GetAppEpoch("app").ok());
+  auto e1 = controller_.BumpAppEpoch("app");
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(*e1, 1u);
+  auto e2 = controller_.BumpAppEpoch("app");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(*e2, 2u);
+  auto cur = controller_.GetAppEpoch("app");
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(*cur, 2u);
+}
+
+TEST_F(ControllerTest, ApMapRoundTripWithSlashyFilenames) {
+  ApMapEntry entry;
+  entry.epoch = 3;
+  entry.peers = {"p1", "p2", "p3"};
+  ASSERT_TRUE(controller_.SetApMap("app", "/db/wal/000042.log", entry).ok());
+
+  auto got = controller_.GetApMap("app", "/db/wal/000042.log");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->epoch, 3u);
+  EXPECT_EQ(got->peers, entry.peers);
+
+  auto files = controller_.ListAppFiles("app");
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], "/db/wal/000042.log");
+
+  ASSERT_TRUE(controller_.DeleteApMap("app", "/db/wal/000042.log").ok());
+  EXPECT_FALSE(controller_.GetApMap("app", "/db/wal/000042.log").ok());
+  EXPECT_TRUE(controller_.ListAppFiles("app").empty());
+}
+
+TEST_F(ControllerTest, ApMapOverwriteUpdatesPeers) {
+  ApMapEntry entry;
+  entry.epoch = 1;
+  entry.peers = {"p1", "p2", "p3"};
+  ASSERT_TRUE(controller_.SetApMap("app", "f", entry).ok());
+  entry.epoch = 2;
+  entry.peers = {"p1", "p2", "p9"};  // p3 replaced
+  ASSERT_TRUE(controller_.SetApMap("app", "f", entry).ok());
+  auto got = controller_.GetApMap("app", "f");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->epoch, 2u);
+  EXPECT_EQ(got->peers.back(), "p9");
+}
+
+TEST_F(ControllerTest, ServerLeaseIsExclusive) {
+  auto lease1 = controller_.AcquireServerLease("app");
+  ASSERT_TRUE(lease1.ok());
+  auto lease2 = controller_.AcquireServerLease("app");
+  EXPECT_EQ(lease2.status().code(), StatusCode::kAborted);
+
+  // The lease is released when the owning session dies (app crash), after
+  // which a new instance can acquire it.
+  controller_.ExpireSession(*lease1);
+  auto lease3 = controller_.AcquireServerLease("app");
+  EXPECT_TRUE(lease3.ok());
+}
+
+TEST_F(ControllerTest, DifferentAppsHaveIndependentLeases) {
+  ASSERT_TRUE(controller_.AcquireServerLease("app-a").ok());
+  EXPECT_TRUE(controller_.AcquireServerLease("app-b").ok());
+}
+
+TEST_F(ControllerTest, RpcsChargeVirtualTime) {
+  SimTime before = sim_.Now();
+  ASSERT_TRUE(controller_.RegisterPeer("p1", 1, 1000).ok());
+  EXPECT_GE(sim_.Now() - before, params_.controller.rpc_latency);
+  EXPECT_EQ(controller_.rpc_count(), 1u);
+}
+
+}  // namespace
+}  // namespace splitft

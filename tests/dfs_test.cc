@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/dfs/dfs.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+namespace {
+
+class DfsTest : public ::testing::Test {
+ protected:
+  DfsTest() : cluster_(&sim_, &params_), client_(&cluster_, "app-server") {}
+
+  Simulation sim_;
+  SimParams params_;
+  DfsCluster cluster_;
+  DfsClient client_;
+};
+
+TEST_F(DfsTest, CreateWriteSyncRead) {
+  auto file = client_.Open("/data/f1");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto data = (*file)->Read(0, 11);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello world");
+}
+
+TEST_F(DfsTest, OpenWithoutCreateFailsOnMissing) {
+  DfsOpenOptions opts;
+  opts.create = false;
+  EXPECT_FALSE(client_.Open("/missing", opts).ok());
+}
+
+TEST_F(DfsTest, ReadSeesUnflushedWrites) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("buffered").ok());
+  auto data = (*file)->Read(0, 8);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "buffered");  // POSIX: reads see the page cache
+}
+
+TEST_F(DfsTest, CrashLosesDirtyDataButKeepsSynced) {
+  auto file = client_.Open("/wal");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable|").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("volatile").ok());
+
+  client_.SimulateCrash();
+
+  // Handle from before the crash is unusable.
+  EXPECT_FALSE((*file)->Append("x").ok());
+
+  auto reopened = client_.Open("/wal");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Size(), 8u);
+  auto data = (*reopened)->Read(0, 100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "durable|");
+}
+
+TEST_F(DfsTest, PositionalOverwrite) {
+  auto file = client_.Open("/circular");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("AAAAAAAA").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Write(2, "BB").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto data = (*file)->Read(0, 8);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "AABBAAAA");
+  EXPECT_EQ((*file)->Size(), 8u);
+}
+
+TEST_F(DfsTest, SyncChargesHighFixedLatency) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(128, 'x')).ok());
+  SimTime before = sim_.Now();
+  ASSERT_TRUE((*file)->Sync().ok());
+  SimTime elapsed = sim_.Now() - before;
+  EXPECT_GT(elapsed, Millis(1.5));
+  EXPECT_LT(elapsed, Millis(3.5));
+}
+
+TEST_F(DfsTest, BufferedWriteIsCheap) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  SimTime before = sim_.Now();
+  ASSERT_TRUE((*file)->Append(std::string(128, 'x')).ok());
+  EXPECT_LT(sim_.Now() - before, Micros(5));
+}
+
+TEST_F(DfsTest, EmptySyncIsFree) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  SimTime before = sim_.Now();
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ(sim_.Now(), before);
+  EXPECT_EQ(cluster_.sync_ops(), 0u);
+}
+
+TEST_F(DfsTest, BackgroundSyncDoesNotBlockCaller) {
+  auto file = client_.Open("/sstable");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(8 << 20, 's')).ok());
+  SimTime before = sim_.Now();
+  ASSERT_TRUE((*file)->Sync(/*foreground=*/false).ok());
+  EXPECT_EQ(sim_.Now(), before);  // caller did not wait
+  // Data is durable nonetheless.
+  client_.SimulateCrash();
+  auto reopened = client_.Open("/sstable");
+  EXPECT_EQ((*reopened)->Size(), static_cast<uint64_t>(8 << 20));
+}
+
+TEST_F(DfsTest, ForegroundSyncQueuesBehindBackgroundWrite) {
+  // A large background compaction write occupies the backend pipe; a small
+  // foreground fsync issued right after must wait for it (write stalls).
+  auto big = client_.Open("/sstable");
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE((*big)->Append(std::string(64 << 20, 's')).ok());
+  ASSERT_TRUE((*big)->Sync(/*foreground=*/false).ok());
+
+  auto wal = client_.Open("/wal");
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append("tiny").ok());
+  SimTime before = sim_.Now();
+  ASSERT_TRUE((*wal)->Sync().ok());
+  SimTime elapsed = sim_.Now() - before;
+  // 64 MiB at ~0.7 B/ns is ~96 ms; the small sync had to queue behind it.
+  EXPECT_GT(elapsed, Millis(50));
+}
+
+TEST_F(DfsTest, UnlinkRemovesFile) {
+  auto file = client_.Open("/tmp1");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE(client_.Unlink("/tmp1").ok());
+  EXPECT_FALSE(client_.Exists("/tmp1"));
+  EXPECT_FALSE((*file)->Append("y").ok());
+  EXPECT_EQ(client_.Unlink("/tmp1").code(), StatusCode::kNotFound);
+}
+
+TEST_F(DfsTest, RenameMovesContent) {
+  auto file = client_.Open("/old");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("payload").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE(client_.Rename("/old", "/new").ok());
+  EXPECT_FALSE(client_.Exists("/old"));
+  auto renamed = client_.Open("/new");
+  ASSERT_TRUE(renamed.ok());
+  auto data = (*renamed)->Read(0, 7);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "payload");
+}
+
+TEST_F(DfsTest, ListFiltersByPrefix) {
+  for (const char* p : {"/db/sst/1", "/db/sst/2", "/db/wal/1", "/other"}) {
+    auto f = client_.Open(p);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  auto ssts = client_.List("/db/sst/");
+  EXPECT_EQ(ssts.size(), 2u);
+  EXPECT_EQ(client_.List("/db/").size(), 3u);
+  EXPECT_EQ(client_.List("/nope").size(), 0u);
+}
+
+TEST_F(DfsTest, PeriodicFlusherMakesWeakDataEventuallyDurable) {
+  auto file = client_.Open("/aof");
+  ASSERT_TRUE(file.ok());
+  client_.StartPeriodicFlusher();
+  ASSERT_TRUE((*file)->Append("acknowledged-but-unsynced").ok());
+  // Before the flush interval elapses, a crash would lose the data; run the
+  // sim past the interval.
+  sim_.RunUntil(sim_.Now() + params_.dfs.flush_interval + Millis(1));
+  client_.StopPeriodicFlusher();
+  client_.SimulateCrash();
+  auto reopened = client_.Open("/aof");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Size(), 25u);
+}
+
+TEST_F(DfsTest, CachedReadIsFasterThanFirstRead) {
+  auto file = client_.Open("/log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(1 << 20, 'z')).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  client_.SimulateCrash();  // drop the page cache
+
+  auto f2 = client_.Open("/log");
+  ASSERT_TRUE(f2.ok());
+  SimTime t0 = sim_.Now();
+  ASSERT_TRUE((*f2)->Read(0, 4096).ok());
+  SimTime miss = sim_.Now() - t0;
+
+  t0 = sim_.Now();
+  ASSERT_TRUE((*f2)->Read(4096, 4096).ok());
+  SimTime hit = sim_.Now() - t0;
+
+  EXPECT_GT(miss, hit * 10);
+}
+
+TEST_F(DfsTest, DirectIoBypassesCache) {
+  {
+    auto file = client_.Open("/log");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(64 << 10, 'z')).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  DfsOpenOptions opts;
+  opts.direct_io = true;
+  auto file = client_.Open("/log", opts);
+  ASSERT_TRUE(file.ok());
+  SimTime t0 = sim_.Now();
+  ASSERT_TRUE((*file)->Read(0, 128).ok());
+  SimTime first = sim_.Now() - t0;
+  t0 = sim_.Now();
+  ASSERT_TRUE((*file)->Read(0, 128).ok());
+  SimTime second = sim_.Now() - t0;
+  // No caching: both reads pay the remote cost.
+  EXPECT_GT(second, first / 2);
+  EXPECT_GT(second, Millis(1));
+}
+
+TEST_F(DfsTest, ReadPastEofReturnsShortData) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abc").ok());
+  auto data = (*file)->Read(1, 100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "bc");
+  auto past = (*file)->Read(10, 5);
+  ASSERT_TRUE(past.ok());
+  EXPECT_EQ(*past, "");
+}
+
+TEST_F(DfsTest, TraceRecordsSyncSizesAndDeletes) {
+  IoTraceSink trace;
+  cluster_.set_trace(&trace);
+  auto file = client_.Open("/wal-1");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(200, 'x')).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE(client_.Unlink("/wal-1").ok());
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].path, "/wal-1");
+  EXPECT_EQ(trace.events()[0].bytes, 200u);
+  EXPECT_TRUE(trace.events()[0].sync);
+  EXPECT_TRUE(trace.events()[1].is_delete);
+  cluster_.set_trace(nullptr);
+}
+
+// Property sweep: the modeled sync-write throughput must grow monotonically
+// with block size (shape of Fig 1d).
+class DfsThroughputSweep : public DfsTest,
+                           public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(DfsThroughputSweep, ThroughputMonotoneInBlockSize) {
+  uint64_t block = GetParam();
+  double small_tput =
+      static_cast<double>(block) /
+      static_cast<double>(params_.DfsSyncWriteLatency(block));
+  double big_tput =
+      static_cast<double>(block * 8) /
+      static_cast<double>(params_.DfsSyncWriteLatency(block * 8));
+  EXPECT_GT(big_tput, small_tput);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, DfsThroughputSweep,
+                         ::testing::Values(512, 4096, 65536, 1 << 20,
+                                           8 << 20));
+
+}  // namespace
+}  // namespace splitft

@@ -1,0 +1,154 @@
+// Tests for the §6 discussion application: KVell-mini, a no-log store
+// whose random in-place writes are absorbed by NCL in SplitFT mode.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/apps/kvell/kvell_mini.h"
+#include "src/common/rng.h"
+#include "src/harness/testbed.h"
+
+namespace splitft {
+namespace {
+
+class KvellTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<AppServer> MakeServer(Testbed* testbed,
+                                        const std::string& app,
+                                        DurabilityMode mode) {
+    return testbed->MakeServer(app, mode, 8 << 20);
+  }
+
+  KvellOptions SmallOptions(DurabilityMode mode) {
+    KvellOptions options;
+    options.mode = mode;
+    options.slot_count = 256;
+    options.journal_bytes = 256 << 10;
+    return options;
+  }
+};
+
+class KvellModeTest : public KvellTest,
+                      public ::testing::WithParamInterface<DurabilityMode> {};
+
+TEST_P(KvellModeTest, PutGetDeleteRoundTrip) {
+  Testbed testbed;
+  auto server = MakeServer(&testbed, "kvell", GetParam());
+  auto store = KvellMini::Open(server->fs.get(), testbed.sim(),
+                               &testbed.params(), SmallOptions(GetParam()));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("alpha", "1").ok());
+  ASSERT_TRUE((*store)->Put("beta", "2").ok());
+  EXPECT_EQ(*(*store)->Get("alpha"), "1");
+  ASSERT_TRUE((*store)->Put("alpha", "updated").ok());
+  EXPECT_EQ(*(*store)->Get("alpha"), "updated");
+  ASSERT_TRUE((*store)->Delete("alpha").ok());
+  EXPECT_FALSE((*store)->Get("alpha").ok());
+  EXPECT_EQ(*(*store)->Get("beta"), "2");
+  EXPECT_EQ((*store)->live_records(), 1u);
+}
+
+TEST_P(KvellModeTest, SlotReuseAfterDelete) {
+  Testbed testbed;
+  auto server = MakeServer(&testbed, "kvell", GetParam());
+  KvellOptions options = SmallOptions(GetParam());
+  options.slot_count = 4;
+  auto store = KvellMini::Open(server->fs.get(), testbed.sim(),
+                               &testbed.params(), options);
+  ASSERT_TRUE(store.ok());
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(
+          (*store)->Put("k" + std::to_string(i), std::to_string(round)).ok());
+    }
+    // The file is full: a fifth key must be rejected...
+    EXPECT_EQ((*store)->Put("overflow", "x").code(),
+              StatusCode::kResourceExhausted);
+    // ...until a slot frees up.
+    ASSERT_TRUE((*store)->Delete("k0").ok());
+    ASSERT_TRUE((*store)->Put("k0", "back").ok());
+  }
+}
+
+TEST_P(KvellModeTest, OversizedRecordRejected) {
+  Testbed testbed;
+  auto server = MakeServer(&testbed, "kvell", GetParam());
+  auto store = KvellMini::Open(server->fs.get(), testbed.sim(),
+                               &testbed.params(), SmallOptions(GetParam()));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->Put("k", std::string(1024, 'x')).code(),
+            StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, KvellModeTest,
+                         ::testing::Values(DurabilityMode::kWeak,
+                                           DurabilityMode::kStrong,
+                                           DurabilityMode::kSplitFt),
+                         [](const auto& param_info) {
+                           return std::string(DurabilityModeName(param_info.param));
+                         });
+
+TEST_F(KvellTest, SplitFtSurvivesCrashStrongToo) {
+  for (DurabilityMode mode :
+       {DurabilityMode::kStrong, DurabilityMode::kSplitFt}) {
+    SCOPED_TRACE(std::string(DurabilityModeName(mode)));
+    Testbed testbed;
+    std::string app = "kvell-" + std::string(DurabilityModeName(mode));
+    std::map<std::string, std::string> reference;
+    {
+      auto server = MakeServer(&testbed, app, mode);
+      auto store = KvellMini::Open(server->fs.get(), testbed.sim(),
+                                   &testbed.params(), SmallOptions(mode));
+      ASSERT_TRUE(store.ok());
+      Rng rng(7);
+      for (int i = 0; i < 150; ++i) {
+        std::string k = "key-" + std::to_string(rng.Uniform(40));
+        std::string v = "v" + std::to_string(i);
+        ASSERT_TRUE((*store)->Put(k, v).ok());
+        reference[k] = v;
+      }
+      testbed.CrashServer(server.get());
+    }
+    testbed.sim()->RunUntilIdle();
+    auto server = MakeServer(&testbed, app, mode);
+    auto store = KvellMini::Open(server->fs.get(), testbed.sim(),
+                                 &testbed.params(), SmallOptions(mode));
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ((*store)->live_records(), reference.size());
+    for (const auto& [k, v] : reference) {
+      auto got = (*store)->Get(k);
+      ASSERT_TRUE(got.ok()) << k;
+      EXPECT_EQ(*got, v);
+    }
+  }
+}
+
+TEST_F(KvellTest, SplitFtAbsorbsRandomWritesFarFasterThanStrong) {
+  // §6: random small in-place writes are the dfs's worst case; the NCL
+  // journal absorbs them at microsecond latency.
+  auto measure = [&](DurabilityMode mode) {
+    Testbed testbed;
+    auto server = MakeServer(
+        &testbed, "kvell-perf-" + std::string(DurabilityModeName(mode)), mode);
+    auto store = KvellMini::Open(server->fs.get(), testbed.sim(),
+                                 &testbed.params(), SmallOptions(mode));
+    EXPECT_TRUE(store.ok());
+    Rng rng(3);
+    SimTime t0 = testbed.sim()->Now();
+    const int kOps = 200;
+    for (int i = 0; i < kOps; ++i) {
+      std::string k = "key-" + std::to_string(rng.Uniform(100));
+      (void)(*store)->Put(k, "value");
+    }
+    return static_cast<double>(testbed.sim()->Now() - t0) / kOps;
+  };
+  double strong_ns = measure(DurabilityMode::kStrong);
+  double splitft_ns = measure(DurabilityMode::kSplitFt);
+  EXPECT_GT(strong_ns, splitft_ns * 20)
+      << "strong=" << strong_ns << " splitft=" << splitft_ns;
+}
+
+}  // namespace
+}  // namespace splitft

@@ -1,0 +1,89 @@
+// The model checker must (a) certify the safe protocol over the bounded
+// state space and (b) catch each of the three injected bugs from §4.6.
+#include <gtest/gtest.h>
+
+#include "src/modelcheck/model.h"
+
+namespace splitft {
+namespace {
+
+McConfig SmallConfig() {
+  McConfig config;
+  config.fault_budget = 1;
+  config.spare_peers = 1;
+  config.max_writes = 2;
+  config.max_peer_crashes = 1;
+  config.max_app_crashes = 2;
+  config.max_states = 2'000'000;
+  return config;
+}
+
+TEST(ModelCheckTest, SafeProtocolHasNoViolations) {
+  McResult result = CheckNcl(SmallConfig());
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_TRUE(result.exhausted) << "state space not fully explored";
+  EXPECT_GT(result.states_explored, 1000u);
+}
+
+TEST(ModelCheckTest, SafeProtocolWithDeeperBoundsStillHolds) {
+  McConfig config = SmallConfig();
+  config.max_writes = 3;
+  config.max_peer_crashes = 2;
+  config.spare_peers = 2;
+  McResult result = CheckNcl(config);
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_GT(result.states_explored, 10000u);
+}
+
+TEST(ModelCheckTest, SeqBeforeDataBugIsCaught) {
+  McConfig config = SmallConfig();
+  config.bug_seq_before_data = true;
+  McResult result = CheckNcl(config);
+  EXPECT_TRUE(result.violation_found)
+      << "checker missed the seq-before-data bug";
+  EXPECT_NE(result.violation.find("holes"), std::string::npos)
+      << result.violation;
+}
+
+TEST(ModelCheckTest, ApMapBeforeCatchupBugIsCaught) {
+  McConfig config = SmallConfig();
+  config.bug_apmap_before_catchup = true;
+  McResult result = CheckNcl(config);
+  EXPECT_TRUE(result.violation_found)
+      << "checker missed the ap-map-before-catch-up bug";
+}
+
+TEST(ModelCheckTest, SkipRecoveryCatchupBugIsCaught) {
+  McConfig config = SmallConfig();
+  config.bug_skip_recovery_catchup = true;
+  config.max_app_crashes = 3;  // needs a crash-recover-crash-recover chain
+  config.max_peer_crashes = 2;
+  config.spare_peers = 2;
+  McResult result = CheckNcl(config);
+  EXPECT_TRUE(result.violation_found)
+      << "checker missed the skipped-catch-up bug";
+}
+
+TEST(ModelCheckTest, LargerFaultBudgetAlsoSafe) {
+  McConfig config;
+  config.fault_budget = 2;  // n = 5 peers
+  config.spare_peers = 0;
+  config.max_writes = 2;
+  config.max_peer_crashes = 2;
+  config.max_app_crashes = 1;
+  config.max_states = 4'000'000;
+  McResult result = CheckNcl(config);
+  EXPECT_FALSE(result.violation_found) << result.violation;
+}
+
+TEST(ModelCheckTest, StateCapRespected) {
+  McConfig config = SmallConfig();
+  config.max_states = 100;
+  McResult result = CheckNcl(config);
+  EXPECT_LE(result.states_explored, 100u);
+  EXPECT_FALSE(result.exhausted);
+}
+
+}  // namespace
+}  // namespace splitft

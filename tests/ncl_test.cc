@@ -1,0 +1,849 @@
+// Tests for the NCL core: replication, recovery, peer failures, catch-up,
+// space-leak GC, and the unsafe-variant demonstrations of §4.6.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/controller/controller.h"
+#include "src/ncl/ncl_client.h"
+#include "src/ncl/peer.h"
+#include "src/ncl/peer_directory.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+namespace {
+
+constexpr uint64_t kLend = 512ull << 20;
+
+class NclTest : public ::testing::Test {
+ protected:
+  NclTest() : fabric_(&sim_, &params_), controller_(&sim_, &params_) {
+    app_node_ = fabric_.AddNode("app-server");
+  }
+
+  // Creates `n` peers named p0..p{n-1}, started and registered.
+  void StartPeers(int n, uint64_t lend = kLend) {
+    for (int i = 0; i < n; ++i) {
+      auto peer = std::make_unique<LogPeer>("p" + std::to_string(i), &fabric_,
+                                            &controller_, lend);
+      EXPECT_TRUE(peer->Start().ok());
+      directory_.Register(peer.get());
+      peers_.push_back(std::move(peer));
+    }
+  }
+
+  std::unique_ptr<NclClient> MakeClient(NclConfig config = {}) {
+    if (config.app_id == "app") {
+      config.app_id = "test-app";
+    }
+    if (config.default_capacity == 64ull << 20) {
+      config.default_capacity = 1 << 20;  // keep tests snappy
+    }
+    return std::make_unique<NclClient>(config, &fabric_, &controller_,
+                                       &directory_, app_node_);
+  }
+
+  LogPeer* PeerNamed(const std::string& name) {
+    return directory_.Lookup(name);
+  }
+
+  // Reads the file fully via the library.
+  std::string Contents(NclFile* file) {
+    auto data = file->Read(0, file->size());
+    EXPECT_TRUE(data.ok());
+    return data.ok() ? *data : std::string();
+  }
+
+  Simulation sim_;
+  SimParams params_;
+  Fabric fabric_;
+  Controller controller_;
+  PeerDirectory directory_;
+  std::vector<std::unique_ptr<LogPeer>> peers_;
+  NodeId app_node_;
+};
+
+// ------------------------------------------------------------ Log peers --
+
+TEST_F(NclTest, PeerRegistersOnController) {
+  StartPeers(1);
+  auto rec = controller_.GetPeer("p0");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->available_bytes, kLend);
+}
+
+TEST_F(NclTest, PeerAllocationDecrementsAvailability) {
+  StartPeers(1);
+  auto grant = peers_[0]->Allocate("app", "f", 1 << 20, 1);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(peers_[0]->available_bytes(), kLend - (1 << 20));
+  auto rec = controller_.GetPeer("p0");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->available_bytes, kLend - (1 << 20));
+  ASSERT_TRUE(peers_[0]->Release("app", "f").ok());
+  EXPECT_EQ(peers_[0]->available_bytes(), kLend);
+}
+
+TEST_F(NclTest, PeerRejectsWhenOutOfMemory) {
+  StartPeers(1, /*lend=*/1 << 20);
+  auto grant = peers_[0]->Allocate("app", "f", 2 << 20, 1);
+  EXPECT_EQ(grant.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NclTest, PeerLookupAfterCrashRejects) {
+  StartPeers(1);
+  ASSERT_TRUE(peers_[0]->Allocate("app", "f", 1 << 20, 1).ok());
+  peers_[0]->Crash();
+  ASSERT_TRUE(peers_[0]->Restart().ok());
+  // mr-map was lost with the crash: the peer must reject, not return junk.
+  EXPECT_FALSE(peers_[0]->LookupForRecovery("app", "f").ok());
+  EXPECT_EQ(peers_[0]->available_bytes(), kLend);
+}
+
+TEST_F(NclTest, StagedSwitchIsAtomic) {
+  StartPeers(1);
+  auto grant = peers_[0]->Allocate("app", "f", 1024, 1);
+  ASSERT_TRUE(grant.ok());
+  (*fabric_.RegionBuffer(peers_[0]->node(), grant->rkey))->replace(0, 3, "old");
+
+  auto staged = peers_[0]->AllocateCatchupRegion("app", "f", 1024, 2);
+  ASSERT_TRUE(staged.ok());
+  (*fabric_.RegionBuffer(peers_[0]->node(), staged->rkey))
+      ->replace(0, 3, "new");
+
+  // Before the switch, recovery still sees the old region.
+  auto lookup = peers_[0]->LookupForRecovery("app", "f");
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_EQ(lookup->rkey, grant->rkey);
+
+  ASSERT_TRUE(peers_[0]->SwitchRegion("app", "f", staged->rkey).ok());
+  lookup = peers_[0]->LookupForRecovery("app", "f");
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_EQ(lookup->rkey, staged->rkey);
+  // The old region was freed.
+  EXPECT_FALSE(fabric_.RegionBuffer(peers_[0]->node(), grant->rkey).ok());
+  EXPECT_EQ(peers_[0]->available_bytes(), kLend - 1024);
+}
+
+TEST_F(NclTest, SwitchRejectsUnknownStagedRegion) {
+  StartPeers(1);
+  ASSERT_TRUE(peers_[0]->Allocate("app", "f", 1024, 1).ok());
+  EXPECT_EQ(peers_[0]->SwitchRegion("app", "f", 999).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ----------------------------------------------------- Create and record --
+
+TEST_F(NclTest, CreateAllocatesOnNPeers) {
+  StartPeers(4);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->peer_names().size(), 3u);  // n = 2f+1 with f=1
+  EXPECT_EQ((*file)->alive_peers(), 3);
+  EXPECT_TRUE(client->Exists("/wal/1"));
+  auto apmap = controller_.GetApMap("test-app", "/wal/1");
+  ASSERT_TRUE(apmap.ok());
+  EXPECT_EQ(apmap->peers.size(), 3u);
+}
+
+TEST_F(NclTest, CreateFailsWithTooFewPeers) {
+  StartPeers(2);  // f=1 needs 3
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1");
+  EXPECT_EQ(file.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NclTest, CreateDuplicateFails) {
+  StartPeers(3);
+  auto client = MakeClient();
+  ASSERT_TRUE(client->Create("/wal/1").ok());
+  EXPECT_EQ(client->Create("/wal/1").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(NclTest, AppendReplicatesToMajorityAndLocally) {
+  StartPeers(3);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello").ok());
+  ASSERT_TRUE((*file)->Append(" world").ok());
+  EXPECT_EQ((*file)->size(), 11u);
+  EXPECT_EQ((*file)->seq(), 2u);
+  EXPECT_EQ(Contents(file->get()), "hello world");
+  // Let every in-flight WR land, then inspect the peers' memory directly.
+  sim_.RunUntilIdle();
+  int holding = 0;
+  for (auto& peer : peers_) {
+    auto grant = peer->LookupForRecovery("test-app", "/wal/1");
+    if (!grant.ok()) {
+      continue;
+    }
+    auto buf = fabric_.RegionBuffer(peer->node(), grant->rkey);
+    ASSERT_TRUE(buf.ok());
+    if ((*buf)->substr(kNclRegionHeaderBytes, 11) == "hello world") {
+      holding++;
+    }
+  }
+  EXPECT_EQ(holding, 3);
+}
+
+TEST_F(NclTest, WriteLatencyMatchesPaperMicrobenchmark) {
+  // §5.1: a 128 B NCL write completes in single-digit microseconds (the
+  // paper measures 4.6 us); a dfs sync write costs milliseconds.
+  StartPeers(3);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("warmup").ok());
+  SimTime before = sim_.Now();
+  ASSERT_TRUE((*file)->Append(std::string(128, 'x')).ok());
+  SimTime lat = sim_.Now() - before;
+  EXPECT_GT(lat, Micros(2));
+  EXPECT_LT(lat, Micros(10));
+}
+
+TEST_F(NclTest, PositionalOverwriteForCircularLogs) {
+  StartPeers(3);
+  auto client = MakeClient();
+  auto file = client->Create("/db-wal", 64);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("AAAABBBB").ok());
+  ASSERT_TRUE((*file)->Write(0, "CCCC").ok());  // wrap around
+  EXPECT_EQ(Contents(file->get()), "CCCCBBBB");
+  EXPECT_EQ((*file)->size(), 8u);
+}
+
+TEST_F(NclTest, AppendPastCapacityFails) {
+  StartPeers(3);
+  auto client = MakeClient();
+  auto file = client->Create("/wal", 16);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123456789abcdef").ok());
+  EXPECT_EQ((*file)->Append("x").code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NclTest, TruncateResetsContentButKeepsSeqGrowing) {
+  StartPeers(3);
+  auto client = MakeClient();
+  auto file = client->Create("/aof", 1024);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("old-data").ok());
+  uint64_t seq_before = (*file)->seq();
+  ASSERT_TRUE((*file)->Truncate().ok());
+  EXPECT_EQ((*file)->size(), 0u);
+  EXPECT_GT((*file)->seq(), seq_before);
+  ASSERT_TRUE((*file)->Append("fresh").ok());
+  EXPECT_EQ(Contents(file->get()), "fresh");
+}
+
+TEST_F(NclTest, DeleteReleasesRegionsAndApMap) {
+  StartPeers(3);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1", 1 << 20);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  ASSERT_TRUE((*file)->Delete().ok());
+  EXPECT_FALSE(client->Exists("/wal/1"));
+  for (auto& peer : peers_) {
+    EXPECT_EQ(peer->available_bytes(), kLend);
+    EXPECT_EQ(peer->active_regions(), 0u);
+  }
+  EXPECT_EQ((*file)->Append("y").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(NclTest, ListFilesReflectsApMap) {
+  StartPeers(3);
+  auto client = MakeClient();
+  ASSERT_TRUE(client->Create("/wal/1").ok());
+  auto f2 = client->Create("/wal/2");
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(client->ListFiles().size(), 2u);
+  ASSERT_TRUE((*f2)->Delete().ok());
+  EXPECT_EQ(client->ListFiles().size(), 1u);
+}
+
+TEST_F(NclTest, AllocationRetriesPastRejectingPeer) {
+  // p0 advertises plenty but actually has little (stale hint): the
+  // allocation must fall through to other peers and still succeed.
+  StartPeers(4);
+  // Drain p0's real memory with a direct allocation, then restore its
+  // controller record to pretend it is still empty.
+  ASSERT_TRUE(peers_[0]->Allocate("other", "/x", kLend - 1024, 1).ok());
+  ASSERT_TRUE(controller_.UpdatePeerMemory("p0", kLend).ok());
+
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1", 1 << 20);
+  ASSERT_TRUE(file.ok());
+  for (const std::string& name : (*file)->peer_names()) {
+    EXPECT_NE(name, "p0");
+  }
+}
+
+// ------------------------------------------------------------- Recovery --
+
+TEST_F(NclTest, RecoverReturnsAllAckedWritesInOrder) {
+  StartPeers(3);
+  std::string expect;
+  {
+    auto client = MakeClient();
+    auto file = client->Create("/wal/1");
+    ASSERT_TRUE(file.ok());
+    for (int i = 0; i < 50; ++i) {
+      std::string rec = "record-" + std::to_string(i) + ";";
+      ASSERT_TRUE((*file)->Append(rec).ok());
+      expect += rec;
+    }
+    // Application crashes: the NclFile is dropped without Delete.
+  }
+  sim_.RunUntilIdle();
+
+  auto client2 = MakeClient();
+  ASSERT_EQ(client2->ListFiles().size(), 1u);
+  auto recovered = client2->Recover("/wal/1");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->size(), expect.size());
+  EXPECT_EQ(Contents(recovered->get()), expect);
+  // The file remains writable after recovery.
+  ASSERT_TRUE((*recovered)->Append("more").ok());
+  EXPECT_EQ(Contents(recovered->get()), expect + "more");
+}
+
+TEST_F(NclTest, RecoverUnknownFileIsNotFound) {
+  StartPeers(3);
+  auto client = MakeClient();
+  EXPECT_EQ(client->Recover("/nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(NclTest, RecoverToleratesFPeerCrashes) {
+  StartPeers(3);
+  {
+    auto client = MakeClient();
+    auto file = client->Create("/wal/1");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("acked-data").ok());
+  }
+  sim_.RunUntilIdle();
+  peers_[1]->Crash();  // one of three: within the budget
+
+  auto client2 = MakeClient();
+  auto recovered = client2->Recover("/wal/1");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Contents(recovered->get()), "acked-data");
+}
+
+TEST_F(NclTest, RecoverUnavailableWhenMajorityLost) {
+  StartPeers(3);
+  {
+    auto client = MakeClient();
+    auto file = client->Create("/wal/1");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("acked-data").ok());
+  }
+  sim_.RunUntilIdle();
+  peers_[0]->Crash();
+  peers_[1]->Crash();
+
+  auto client2 = MakeClient();
+  auto recovered = client2->Recover("/wal/1");
+  // NCL correctly makes the file unavailable instead of silently losing
+  // acknowledged data (§4.2).
+  EXPECT_EQ(recovered.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NclTest, RecoverPicksMaximumSequenceNumber) {
+  // Fig 7(i): the app crashes mid-replication; one peer received the new
+  // write, the others did not. Recovery must return the newest state that
+  // could have been acknowledged... and after recovery the state must
+  // survive the loss of the ahead peer.
+  StartPeers(3);
+  NclConfig config;
+  config.app_id = "test-app";
+  config.default_capacity = 1 << 20;
+  {
+    auto client = MakeClient(config);
+    auto file = client->Create("/wal/1");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("a").ok());
+    // Crash mid-replication of "b": WRs posted to one peer only.
+    auto& mutable_config =
+        const_cast<NclConfig&>(client->config());
+    mutable_config.test_crash_after_posting = 1;
+    EXPECT_EQ((*file)->Append("b").code(), StatusCode::kAborted);
+  }
+  sim_.RunUntilIdle();  // in-flight WRs land on the one peer
+
+  auto client2 = MakeClient(config);
+  auto recovered = client2->Recover("/wal/1");
+  ASSERT_TRUE(recovered.ok());
+  // "b" was unacknowledged; recovering it is allowed but not required.
+  // Recovery chose the max sequence number, so here it is recovered.
+  std::string first_recovery = Contents(recovered->get());
+  EXPECT_EQ(first_recovery, "ab");
+
+  // Now the divergence test: the peer that was ahead dies together with
+  // the app. Because recovery caught the other peers up before returning
+  // data, the same state must be recovered again (§4.5.1).
+  std::string ahead_peer = (*recovered)->peer_names()[0];
+  recovered->reset();
+  sim_.RunUntilIdle();
+  for (auto& peer : peers_) {
+    if (peer->name() == ahead_peer) {
+      peer->Crash();
+    }
+  }
+  auto client3 = MakeClient(config);
+  auto again = client3->Recover("/wal/1");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(Contents(again->get()), first_recovery)
+      << "externalized state lost after second failure";
+}
+
+TEST_F(NclTest, SkippingRecoveryCatchUpIsUnsafe) {
+  // Same scenario as above but with the catch-up disabled (§4.6 bug): the
+  // second recovery returns older data than was externalized.
+  StartPeers(3);
+  NclConfig config;
+  config.app_id = "test-app";
+  config.default_capacity = 1 << 20;
+  config.unsafe_skip_recovery_catchup = true;
+  {
+    auto client = MakeClient(config);
+    auto file = client->Create("/wal/1");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("a").ok());
+    auto& mutable_config = const_cast<NclConfig&>(client->config());
+    mutable_config.test_crash_after_posting = 1;
+    EXPECT_EQ((*file)->Append("b").code(), StatusCode::kAborted);
+  }
+  sim_.RunUntilIdle();
+
+  auto client2 = MakeClient(config);
+  auto recovered = client2->Recover("/wal/1");
+  ASSERT_TRUE(recovered.ok());
+  std::string externalized = Contents(recovered->get());
+  ASSERT_EQ(externalized, "ab");
+  std::string ahead_peer = (*recovered)->peer_names()[0];
+  recovered->reset();
+  sim_.RunUntilIdle();
+  for (auto& peer : peers_) {
+    if (peer->name() == ahead_peer) {
+      peer->Crash();
+    }
+  }
+  auto client3 = MakeClient(config);
+  auto again = client3->Recover("/wal/1");
+  ASSERT_TRUE(again.ok());
+  // Data loss: the bug reproduces, which is exactly why the safe protocol
+  // performs the catch-up.
+  EXPECT_NE(Contents(again->get()), externalized);
+}
+
+TEST_F(NclTest, CircularLogRecoveryAfterOverwrite) {
+  // Fig 7(ii): reused (circular) logs cannot be caught up by shipping a
+  // tail; the full-region catch-up must reproduce overwritten state.
+  StartPeers(3);
+  {
+    auto client = MakeClient();
+    auto file = client->Create("/db-wal", 8);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("aaaa").ok());
+    ASSERT_TRUE((*file)->Append("bbbb").ok());
+    ASSERT_TRUE((*file)->Write(0, "cccc").ok());  // wraps, overwriting "aaaa"
+  }
+  sim_.RunUntilIdle();
+  auto client2 = MakeClient();
+  auto recovered = client2->Recover("/db-wal");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Contents(recovered->get()), "ccccbbbb");
+}
+
+TEST_F(NclTest, RecoveryBreakdownPopulated) {
+  StartPeers(3);
+  {
+    auto client = MakeClient();
+    auto file = client->Create("/wal/1", 1 << 20);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(512 << 10, 'x')).ok());
+  }
+  sim_.RunUntilIdle();
+  auto client2 = MakeClient();
+  ASSERT_TRUE(client2->Recover("/wal/1").ok());
+  const RecoveryBreakdown& b = client2->last_recovery();
+  EXPECT_GT(b.get_peers, 0);
+  EXPECT_GT(b.connect, 0);
+  EXPECT_GT(b.rdma_read, 0);
+  EXPECT_GT(b.sync_peers, 0);
+}
+
+// -------------------------------------------------- Peer failure handling --
+
+TEST_F(NclTest, SinglePeerCrashDoesNotBlockWrites) {
+  StartPeers(4);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("before").ok());
+
+  // Crash one of the three assigned peers.
+  PeerNamed((*file)->peer_names()[0])->Crash();
+  ASSERT_TRUE((*file)->Append("after").ok());
+  EXPECT_EQ(Contents(file->get()), "beforeafter");
+  // The failed peer was replaced with the spare (p3) and caught up.
+  EXPECT_EQ(client->peers_replaced(), 1);
+  EXPECT_EQ((*file)->alive_peers(), 3);
+  auto apmap = controller_.GetApMap("test-app", "/wal/1");
+  ASSERT_TRUE(apmap.ok());
+  bool has_spare = false;
+  for (const std::string& name : apmap->peers) {
+    if (name == "p3") {
+      has_spare = true;
+    }
+  }
+  EXPECT_TRUE(has_spare);
+}
+
+TEST_F(NclTest, TwoSimultaneousCrashesBlockThenRecover) {
+  StartPeers(5);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+
+  PeerNamed((*file)->peer_names()[0])->Crash();
+  PeerNamed((*file)->peer_names()[1])->Crash();
+  SimTime before = sim_.Now();
+  ASSERT_TRUE((*file)->Append("y").ok());
+  // The write had to wait for at least one replacement (tens of ms for MR
+  // registration + catch-up, Table 3) instead of the usual microseconds.
+  EXPECT_GT(sim_.Now() - before, Millis(5));
+  EXPECT_EQ(Contents(file->get()), "xy");
+  EXPECT_EQ((*file)->alive_peers(), 3);
+  EXPECT_EQ(client->peers_replaced(), 2);
+}
+
+TEST_F(NclTest, WritesFailWhenNoReplacementAvailable) {
+  StartPeers(3);  // no spares
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  PeerNamed((*file)->peer_names()[0])->Crash();
+  PeerNamed((*file)->peer_names()[1])->Crash();
+  EXPECT_EQ((*file)->Append("y").code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NclTest, ReplacementSurvivesSubsequentRecovery) {
+  // After a peer is replaced and the app crashes, recovery must find the
+  // data on the *new* peer set (catch-up before ap-map update, §4.5.2).
+  StartPeers(4);
+  {
+    auto client = MakeClient();
+    auto file = client->Create("/wal/1");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("payload-1|").ok());
+    PeerNamed((*file)->peer_names()[0])->Crash();
+    ASSERT_TRUE((*file)->Append("payload-2|").ok());
+  }
+  sim_.RunUntilIdle();
+  auto client2 = MakeClient();
+  auto recovered = client2->Recover("/wal/1");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Contents(recovered->get()), "payload-1|payload-2|");
+}
+
+TEST_F(NclTest, ApMapBeforeCatchUpLosesData) {
+  // Fig 7(iii) with the unsafe ordering: writes a,b acked on {p0,p1}; p2
+  // lags with only a; p1 is "replaced" by p3 with the ap-map updated before
+  // catch-up; the app crashes in that window; p0 then dies. Recovery from
+  // {p3 (empty), p2 (only a)} silently loses write b.
+  StartPeers(4);
+  NclConfig config;
+  config.app_id = "test-app";
+  config.default_capacity = 1 << 20;
+  config.unsafe_apmap_before_catchup = true;
+  config.test_crash_after_apmap_update = true;
+  // Keep the partitioned (lagging) peer in place rather than replacing it
+  // off the ack path: the scenario needs a genuinely lagging quorum member.
+  config.eager_peer_replacement = false;
+  std::string peer_a, peer_b, peer_lag;
+  {
+    auto client = MakeClient(config);
+    auto file = client->Create("/wal/1");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("a").ok());
+    sim_.RunUntilIdle();  // all three peers have "a"
+    // Make p2 (third assigned peer) lag: partition it, then write "b".
+    peer_a = (*file)->peer_names()[0];
+    peer_b = (*file)->peer_names()[1];
+    peer_lag = (*file)->peer_names()[2];
+    fabric_.SetPartitioned(app_node_, PeerNamed(peer_lag)->node(), true);
+    ASSERT_TRUE((*file)->Append("b").ok());  // acked by peer_a, peer_b
+    // peer_b crashes; the unsafe replacement updates the ap-map and then
+    // "crashes" before catching the new peer up.
+    PeerNamed(peer_b)->Crash();
+    EXPECT_EQ((*file)->Append("c").code(), StatusCode::kAborted);
+  }
+  sim_.RunUntilIdle();
+  fabric_.SetPartitioned(app_node_, PeerNamed(peer_lag)->node(), false);
+  // The only remaining holder of "b" dies.
+  PeerNamed(peer_a)->Crash();
+
+  auto client2 = MakeClient(config);
+  auto recovered = client2->Recover("/wal/1");
+  ASSERT_TRUE(recovered.ok());
+  // Acked write "b" is gone: the bug reproduces, demonstrating why the
+  // catch-up must precede the ap-map update.
+  EXPECT_EQ(Contents(recovered->get()), "a");
+}
+
+TEST_F(NclTest, SafeOrderingSurvivesSameScenario) {
+  // Identical failure schedule with the safe protocol: "b" survives.
+  StartPeers(4);
+  NclConfig config;
+  config.app_id = "test-app";
+  config.default_capacity = 1 << 20;
+  config.eager_peer_replacement = false;
+  std::string peer_a, peer_b, peer_lag;
+  {
+    auto client = MakeClient(config);
+    auto file = client->Create("/wal/1");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("a").ok());
+    sim_.RunUntilIdle();
+    peer_a = (*file)->peer_names()[0];
+    peer_b = (*file)->peer_names()[1];
+    peer_lag = (*file)->peer_names()[2];
+    fabric_.SetPartitioned(app_node_, PeerNamed(peer_lag)->node(), true);
+    ASSERT_TRUE((*file)->Append("b").ok());
+    PeerNamed(peer_b)->Crash();
+    // Safe replacement: catch-up precedes the ap-map update; the app then
+    // crashes (file dropped) right after the replacement write completes.
+    ASSERT_TRUE((*file)->Append("c").ok());
+  }
+  sim_.RunUntilIdle();
+  fabric_.SetPartitioned(app_node_, PeerNamed(peer_lag)->node(), false);
+  PeerNamed(peer_a)->Crash();
+
+  auto client2 = MakeClient(config);
+  auto recovered = client2->Recover("/wal/1");
+  ASSERT_TRUE(recovered.ok());
+  std::string contents = Contents(recovered->get());
+  EXPECT_NE(contents.find("b"), std::string::npos)
+      << "acked write lost under the safe protocol";
+}
+
+TEST_F(NclTest, MemoryRevocationTreatedAsPeerFailure) {
+  StartPeers(4);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("before").ok());
+  // A peer revokes the region to reclaim memory (§4.5.2).
+  std::string victim = (*file)->peer_names()[1];
+  ASSERT_TRUE(PeerNamed(victim)->Revoke("test-app", "/wal/1").ok());
+  ASSERT_TRUE((*file)->Append("after").ok());
+  EXPECT_EQ(Contents(file->get()), "beforeafter");
+  EXPECT_EQ(client->peers_replaced(), 1);
+  for (const std::string& name : (*file)->peer_names()) {
+    EXPECT_NE(name, victim);
+  }
+}
+
+// ------------------------------------------------------------- Leak GC --
+
+TEST_F(NclTest, LeakedAllocationFreedAfterAppMovesOn) {
+  StartPeers(3);
+  auto client = MakeClient();
+  // Simulate: app bumps epoch, allocates on p0, crashes before writing the
+  // ap-map.
+  auto epoch = controller_.BumpAppEpoch("test-app");
+  ASSERT_TRUE(epoch.ok());
+  ASSERT_TRUE(peers_[0]->Allocate("test-app", "/leaked", 1 << 20, *epoch).ok());
+  EXPECT_EQ(peers_[0]->active_regions(), 1u);
+
+  // GC must not free it yet: the app might still be initializing.
+  sim_.Advance(Millis(100));
+  EXPECT_EQ(peers_[0]->RunLeakGc(), 0);
+
+  // The app restarts and moves to a new epoch (creates another file).
+  ASSERT_TRUE(controller_.BumpAppEpoch("test-app").ok());
+  EXPECT_EQ(peers_[0]->RunLeakGc(), 1);
+  EXPECT_EQ(peers_[0]->active_regions(), 0u);
+  EXPECT_EQ(peers_[0]->available_bytes(), kLend);
+}
+
+TEST_F(NclTest, GcFreesAllocationNotInApMapAtSameEpoch) {
+  StartPeers(4);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1");
+  ASSERT_TRUE(file.ok());
+  // p3 holds a stale allocation at the same epoch but is not in the ap-map.
+  auto apmap = controller_.GetApMap("test-app", "/wal/1");
+  ASSERT_TRUE(apmap.ok());
+  ASSERT_TRUE(
+      peers_[3]->Allocate("test-app", "/wal/1", 1 << 20, apmap->epoch).ok());
+  sim_.Advance(Millis(100));
+  EXPECT_EQ(peers_[3]->RunLeakGc(), 1);
+}
+
+TEST_F(NclTest, GcKeepsLiveAllocations) {
+  StartPeers(3);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("data").ok());
+  sim_.Advance(Seconds(10));
+  for (auto& peer : peers_) {
+    EXPECT_EQ(peer->RunLeakGc(), 0) << peer->name();
+  }
+  // The file is still recoverable.
+  sim_.RunUntilIdle();
+  auto client2 = MakeClient();
+  EXPECT_TRUE(client2->Recover("/wal/1").ok());
+}
+
+TEST_F(NclTest, GcGracePeriodProtectsInProgressInit) {
+  StartPeers(3);
+  auto epoch = controller_.BumpAppEpoch("fresh-app");
+  ASSERT_TRUE(epoch.ok());
+  ASSERT_TRUE(peers_[0]->Allocate("fresh-app", "/f", 1024, *epoch).ok());
+  // Probe immediately: within the grace period nothing is freed even
+  // though the ap-map entry does not exist yet.
+  EXPECT_EQ(peers_[0]->RunLeakGc(), 0);
+}
+
+// -------------------------------------------- Catch-up transfer variants --
+
+TEST_F(NclTest, DiffCatchupRecoversSameContent) {
+  StartPeers(3);
+  std::string expect;
+  {
+    auto client = MakeClient();
+    auto file = client->Create("/wal/1", 64 << 10);
+    ASSERT_TRUE(file.ok());
+    for (int i = 0; i < 20; ++i) {
+      std::string rec(1000, static_cast<char>('a' + (i % 26)));
+      ASSERT_TRUE((*file)->Append(rec).ok());
+      expect += rec;
+    }
+  }
+  sim_.RunUntilIdle();
+  NclConfig config;
+  config.app_id = "test-app";
+  config.diff_catchup = true;
+  auto client2 = MakeClient(config);
+  auto recovered = client2->Recover("/wal/1");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Contents(recovered->get()), expect);
+  // And remains usable.
+  ASSERT_TRUE((*recovered)->Append("!").ok());
+}
+
+TEST_F(NclTest, DiffCatchupShipsFewerBytesWhenPeersCurrent) {
+  StartPeers(3);
+  const uint64_t kBig = 256 << 10;
+  {
+    auto client = MakeClient();
+    auto file = client->Create("/wal/1", kBig);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(kBig - 16, 'x')).ok());
+  }
+  sim_.RunUntilIdle();
+
+  uint64_t before_full = fabric_.stats().write_bytes;
+  {
+    auto client2 = MakeClient();
+    ASSERT_TRUE(client2->Recover("/wal/1").ok());
+  }
+  uint64_t full_bytes = fabric_.stats().write_bytes - before_full;
+
+  sim_.RunUntilIdle();
+  uint64_t before_diff = fabric_.stats().write_bytes;
+  {
+    NclConfig config;
+    config.app_id = "test-app";
+    config.diff_catchup = true;
+    auto client3 = MakeClient(config);
+    ASSERT_TRUE(client3->Recover("/wal/1").ok());
+  }
+  uint64_t diff_bytes = fabric_.stats().write_bytes - before_diff;
+  // All peers were already up to date: the diff is (nearly) empty while the
+  // full-copy catch-up re-ships the whole region to every peer.
+  EXPECT_LT(diff_bytes * 10, full_bytes);
+}
+
+TEST_F(NclTest, NoPrefetchReadsPayPerReadRdmaCost) {
+  StartPeers(3);
+  {
+    auto client = MakeClient();
+    auto file = client->Create("/wal/1", 1 << 20);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(256 << 10, 'x')).ok());
+  }
+  sim_.RunUntilIdle();
+
+  NclConfig prefetch_config;
+  prefetch_config.app_id = "test-app";
+  auto c1 = MakeClient(prefetch_config);
+  auto with_prefetch = c1->Recover("/wal/1");
+  ASSERT_TRUE(with_prefetch.ok());
+  SimTime t0 = sim_.Now();
+  ASSERT_TRUE((*with_prefetch)->Read(0, 128).ok());
+  SimTime local_read = sim_.Now() - t0;
+
+  NclConfig nop_config;
+  nop_config.app_id = "test-app";
+  nop_config.prefetch_on_recovery = false;
+  auto c2 = MakeClient(nop_config);
+  auto without_prefetch = c2->Recover("/wal/1");
+  ASSERT_TRUE(without_prefetch.ok());
+  t0 = sim_.Now();
+  ASSERT_TRUE((*without_prefetch)->Read(0, 128).ok());
+  SimTime remote_read = sim_.Now() - t0;
+
+  // Fig 11(a): without prefetch every read pays the fabric round trip.
+  EXPECT_GT(remote_read, local_read * 3);
+}
+
+// Parameterized across failure budgets: the protocol works for any f.
+class NclFaultBudgetSweep : public NclTest,
+                            public ::testing::WithParamInterface<int> {};
+
+TEST_P(NclFaultBudgetSweep, WritesSurviveFFailures) {
+  int f = GetParam();
+  int n = 2 * f + 1;
+  StartPeers(n + 1);
+  NclConfig config;
+  config.app_id = "test-app";
+  config.fault_budget = f;
+  config.default_capacity = 1 << 20;
+  {
+    auto client = MakeClient(config);
+    auto file = client->Create("/wal/1");
+    ASSERT_TRUE(file.ok());
+    ASSERT_EQ((*file)->peer_names().size(), static_cast<size_t>(n));
+    ASSERT_TRUE((*file)->Append("survivor").ok());
+    // Crash exactly f of the assigned peers after the write acked.
+    sim_.RunUntilIdle();
+    for (int i = 0; i < f; ++i) {
+      PeerNamed((*file)->peer_names()[i])->Crash();
+    }
+  }
+  sim_.RunUntilIdle();
+  auto client2 = MakeClient(config);
+  auto recovered = client2->Recover("/wal/1");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Contents(recovered->get()), "survivor");
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultBudgets, NclFaultBudgetSweep,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace splitft

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/rdma/fabric.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+namespace {
+
+class RdmaTest : public ::testing::Test {
+ protected:
+  RdmaTest() : fabric_(&sim_, &params_) {
+    app_ = fabric_.AddNode("app");
+    peer_ = fabric_.AddNode("peer1");
+  }
+
+  // Pumps the simulation until a completion is available on `qp`.
+  Completion WaitCompletion(QueuePair* qp) {
+    Completion c;
+    EXPECT_TRUE(sim_.RunUntilPredicate([&] { return qp->PollCq(&c); }));
+    return c;
+  }
+
+  Simulation sim_;
+  SimParams params_;
+  Fabric fabric_;
+  NodeId app_;
+  NodeId peer_;
+};
+
+TEST_F(RdmaTest, RegisterAndAccessRegion) {
+  auto rkey = fabric_.RegisterRegion(peer_, 1024);
+  ASSERT_TRUE(rkey.ok());
+  auto buf = fabric_.RegionBuffer(peer_, *rkey);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ((*buf)->size(), 1024u);
+}
+
+TEST_F(RdmaTest, RegistrationChargesVirtualTime) {
+  SimTime before = sim_.Now();
+  ASSERT_TRUE(fabric_.RegisterRegion(peer_, 60ull * 1024 * 1024).ok());
+  EXPECT_GT(sim_.Now() - before, Millis(10));
+}
+
+TEST_F(RdmaTest, OneSidedWriteLandsInRemoteMemory) {
+  auto rkey = fabric_.RegisterRegion(peer_, 64);
+  ASSERT_TRUE(rkey.ok());
+  QueuePair qp(&fabric_, app_, peer_);
+  uint64_t id = qp.PostWrite(*rkey, 8, "hello");
+  Completion c = WaitCompletion(&qp);
+  EXPECT_EQ(c.wr_id, id);
+  EXPECT_EQ(c.status, WcStatus::kSuccess);
+  auto buf = fabric_.RegionBuffer(peer_, *rkey);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ((*buf)->substr(8, 5), "hello");
+}
+
+TEST_F(RdmaTest, OneSidedReadReturnsData) {
+  auto rkey = fabric_.RegisterRegion(peer_, 64);
+  ASSERT_TRUE(rkey.ok());
+  (*fabric_.RegionBuffer(peer_, *rkey))->replace(0, 4, "data");
+  QueuePair qp(&fabric_, app_, peer_);
+  qp.PostRead(*rkey, 0, 4);
+  Completion c = WaitCompletion(&qp);
+  EXPECT_EQ(c.status, WcStatus::kSuccess);
+  EXPECT_EQ(c.read_data, "data");
+}
+
+TEST_F(RdmaTest, SendQueueOrderingPreserved) {
+  auto rkey = fabric_.RegisterRegion(peer_, 16);
+  ASSERT_TRUE(rkey.ok());
+  QueuePair qp(&fabric_, app_, peer_);
+  // Post several writes to the same offset; SQ ordering means the last one
+  // posted must be the final value, and completions surface in post order.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(qp.PostWrite(*rkey, 0, std::string(1, 'a' + i)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    Completion c = WaitCompletion(&qp);
+    EXPECT_EQ(c.wr_id, ids[i]) << "completion out of post order";
+    EXPECT_EQ(c.status, WcStatus::kSuccess);
+  }
+  EXPECT_EQ((*fabric_.RegionBuffer(peer_, *rkey))->substr(0, 1), "e");
+}
+
+TEST_F(RdmaTest, WriteBeyondRegionFails) {
+  auto rkey = fabric_.RegisterRegion(peer_, 16);
+  ASSERT_TRUE(rkey.ok());
+  QueuePair qp(&fabric_, app_, peer_);
+  qp.PostWrite(*rkey, 12, "too-long-payload");
+  Completion c = WaitCompletion(&qp);
+  EXPECT_EQ(c.status, WcStatus::kRemoteAccessError);
+}
+
+TEST_F(RdmaTest, InvalidatedRegionRejectsWrites) {
+  auto rkey = fabric_.RegisterRegion(peer_, 64);
+  ASSERT_TRUE(rkey.ok());
+  ASSERT_TRUE(fabric_.InvalidateRegion(peer_, *rkey).ok());
+  QueuePair qp(&fabric_, app_, peer_);
+  qp.PostWrite(*rkey, 0, "x");
+  Completion c = WaitCompletion(&qp);
+  EXPECT_EQ(c.status, WcStatus::kRemoteAccessError);
+  // Local access also fails after revocation.
+  EXPECT_FALSE(fabric_.RegionBuffer(peer_, *rkey).ok());
+}
+
+TEST_F(RdmaTest, CrashWipesMemoryAndInvalidatesRkeys) {
+  auto rkey = fabric_.RegisterRegion(peer_, 64);
+  ASSERT_TRUE(rkey.ok());
+  QueuePair qp(&fabric_, app_, peer_);
+  qp.PostWrite(*rkey, 0, "will-be-lost");
+  WaitCompletion(&qp);
+
+  fabric_.CrashNode(peer_);
+  EXPECT_FALSE(fabric_.IsAlive(peer_));
+  fabric_.RestartNode(peer_);
+  EXPECT_TRUE(fabric_.IsAlive(peer_));
+  // Old rkey is gone even after restart: DRAM is volatile.
+  EXPECT_FALSE(fabric_.RegionBuffer(peer_, *rkey).ok());
+}
+
+TEST_F(RdmaTest, WriteToCrashedNodeFailsAndQpEntersErrorState) {
+  auto rkey = fabric_.RegisterRegion(peer_, 64);
+  ASSERT_TRUE(rkey.ok());
+  QueuePair qp(&fabric_, app_, peer_);
+  fabric_.CrashNode(peer_);
+  qp.PostWrite(*rkey, 0, "x");
+  Completion c = WaitCompletion(&qp);
+  EXPECT_EQ(c.status, WcStatus::kRetryExceeded);
+  EXPECT_TRUE(qp.in_error_state());
+  // Subsequent WRs are flushed with errors (ibverbs semantics).
+  qp.PostWrite(*rkey, 0, "y");
+  c = WaitCompletion(&qp);
+  EXPECT_EQ(c.status, WcStatus::kFlushError);
+}
+
+TEST_F(RdmaTest, PartitionMakesWritesFail) {
+  auto rkey = fabric_.RegisterRegion(peer_, 64);
+  ASSERT_TRUE(rkey.ok());
+  QueuePair qp(&fabric_, app_, peer_);
+  fabric_.SetPartitioned(app_, peer_, true);
+  qp.PostWrite(*rkey, 0, "x");
+  Completion c = WaitCompletion(&qp);
+  EXPECT_EQ(c.status, WcStatus::kRetryExceeded);
+  // Unlike a crash, a partition does not wipe memory.
+  fabric_.SetPartitioned(app_, peer_, false);
+  EXPECT_TRUE(fabric_.RegionBuffer(peer_, *rkey).ok());
+}
+
+TEST_F(RdmaTest, InFlightWriteSurvivesInitiatorCrash) {
+  // The application posts a WR and "crashes" (QueuePair destroyed) before
+  // the WR completes. The data must still land on the peer — this is the
+  // mechanism behind the divergent-peer scenario of Fig 7(i).
+  auto rkey = fabric_.RegisterRegion(peer_, 64);
+  ASSERT_TRUE(rkey.ok());
+  {
+    QueuePair qp(&fabric_, app_, peer_);
+    qp.PostWrite(*rkey, 0, "landed");
+    // Destroy the QP without polling: app crash.
+  }
+  sim_.RunUntilIdle();
+  auto buf = fabric_.RegionBuffer(peer_, *rkey);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ((*buf)->substr(0, 6), "landed");
+}
+
+TEST_F(RdmaTest, WriteLatencyMatchesModel) {
+  auto rkey = fabric_.RegisterRegion(peer_, 4096);
+  ASSERT_TRUE(rkey.ok());
+  QueuePair qp(&fabric_, app_, peer_);
+  SimTime start = sim_.Now();
+  qp.PostWrite(*rkey, 0, std::string(128, 'x'));
+  WaitCompletion(&qp);
+  SimTime elapsed = sim_.Now() - start;
+  // One 128 B WR: ~1.3 us fabric latency + payload + post overhead.
+  EXPECT_GT(elapsed, Micros(1.0));
+  EXPECT_LT(elapsed, Micros(3.0));
+}
+
+TEST_F(RdmaTest, StatsAccumulate) {
+  auto rkey = fabric_.RegisterRegion(peer_, 1024);
+  ASSERT_TRUE(rkey.ok());
+  QueuePair qp(&fabric_, app_, peer_);
+  qp.PostWrite(*rkey, 0, std::string(100, 'x'));
+  qp.PostRead(*rkey, 0, 50);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(fabric_.stats().writes_posted, 1u);
+  EXPECT_EQ(fabric_.stats().reads_posted, 1u);
+  EXPECT_EQ(fabric_.stats().write_bytes, 100u);
+  EXPECT_EQ(fabric_.stats().read_bytes, 50u);
+}
+
+TEST_F(RdmaTest, DeregisterFreesRegion) {
+  auto rkey = fabric_.RegisterRegion(peer_, 64);
+  ASSERT_TRUE(rkey.ok());
+  ASSERT_TRUE(fabric_.DeregisterRegion(peer_, *rkey).ok());
+  EXPECT_FALSE(fabric_.RegionBuffer(peer_, *rkey).ok());
+  EXPECT_EQ(fabric_.DeregisterRegion(peer_, *rkey).code(),
+            StatusCode::kNotFound);
+}
+
+// Parameterized sweep: payload size vs modeled latency monotonicity.
+class RdmaLatencySweep : public RdmaTest,
+                         public ::testing::WithParamInterface<size_t> {};
+
+TEST_P(RdmaLatencySweep, LatencyGrowsWithPayload) {
+  size_t size = GetParam();
+  auto rkey = fabric_.RegisterRegion(peer_, 1 << 20);
+  ASSERT_TRUE(rkey.ok());
+  QueuePair qp(&fabric_, app_, peer_);
+
+  SimTime start = sim_.Now();
+  qp.PostWrite(*rkey, 0, std::string(size, 'x'));
+  Completion c;
+  ASSERT_TRUE(sim_.RunUntilPredicate([&] { return qp.PollCq(&c); }));
+  SimTime small_lat = sim_.Now() - start;
+
+  start = sim_.Now();
+  qp.PostWrite(*rkey, 0, std::string(size * 4, 'x'));
+  ASSERT_TRUE(sim_.RunUntilPredicate([&] { return qp.PollCq(&c); }));
+  SimTime big_lat = sim_.Now() - start;
+
+  EXPECT_GT(big_lat, small_lat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RdmaLatencySweep,
+                         ::testing::Values(128, 1024, 8192, 65536));
+
+}  // namespace
+}  // namespace splitft

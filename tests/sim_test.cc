@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+namespace {
+
+TEST(SimulationTest, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(SimulationTest, RunOneAdvancesClock) {
+  Simulation sim;
+  bool ran = false;
+  sim.Schedule(Micros(5), [&] { ran = true; });
+  EXPECT_TRUE(sim.RunOne());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.Now(), Micros(5));
+  EXPECT_FALSE(sim.RunOne());
+}
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Micros(30), [&] { order.push_back(3); });
+  sim.Schedule(Micros(10), [&] { order.push_back(1); });
+  sim.Schedule(Micros(20), [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, SameTimeEventsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(Micros(10), [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, NestedScheduling) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Micros(1), [&] {
+    fired++;
+    sim.Schedule(Micros(1), [&] { fired++; });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), Micros(2));
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Micros(10), [&] { fired++; });
+  sim.Schedule(Micros(50), [&] { fired++; });
+  sim.RunUntil(Micros(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Micros(20));
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, RunUntilPredicate) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(Micros(i), [&] { count++; });
+  }
+  EXPECT_TRUE(sim.RunUntilPredicate([&] { return count == 3; }));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.Now(), Micros(3));
+  EXPECT_FALSE(sim.RunUntilPredicate([&] { return count == 100; }));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulationTest, AdvanceIsMonotonic) {
+  Simulation sim;
+  sim.Advance(Micros(100));
+  EXPECT_EQ(sim.Now(), Micros(100));
+  sim.AdvanceTo(Micros(50));  // no-op: never move backwards
+  EXPECT_EQ(sim.Now(), Micros(100));
+}
+
+TEST(SimulationTest, EventBeforeAdvancedClockRunsAtCurrentTime) {
+  Simulation sim;
+  SimTime observed = -1;
+  sim.Schedule(Micros(10), [&] { observed = sim.Now(); });
+  sim.Advance(Micros(100));  // actor did synchronous CPU work past the event
+  sim.RunUntilIdle();
+  EXPECT_EQ(observed, Micros(100));
+}
+
+TEST(SimParamsTest, DfsSmallWriteMatchesPaperFig1d) {
+  SimParams params;
+  // 512 B synchronous write ~ 2.1 ms  =>  ~249 KB/s as in Fig 1(d).
+  SimTime lat = params.DfsSyncWriteLatency(512);
+  double kb_per_s = 512.0 / (static_cast<double>(lat) / 1e9) / 1000.0;
+  EXPECT_GT(kb_per_s, 150.0);
+  EXPECT_LT(kb_per_s, 350.0);
+}
+
+TEST(SimParamsTest, LatencyHierarchyHolds) {
+  SimParams params;
+  // buffered write < RDMA write < dfs sync write, each by a wide margin.
+  SimTime buffered = params.DfsBufferedWriteLatency(128);
+  SimTime rdma = params.RdmaWriteLatency(128);
+  SimTime sync = params.DfsSyncWriteLatency(128);
+  EXPECT_LT(buffered, rdma);
+  EXPECT_LT(rdma * 50, sync);
+}
+
+TEST(SimParamsTest, LargeWritesAreBandwidthBound) {
+  SimParams params;
+  SimTime small = params.DfsSyncWriteLatency(512);
+  SimTime large = params.DfsSyncWriteLatency(64ull * 1024 * 1024);
+  double tput_small = 512.0 / static_cast<double>(small);
+  double tput_large =
+      static_cast<double>(64ull * 1024 * 1024) / static_cast<double>(large);
+  // Roughly three orders of magnitude difference (paper: Fig 1d).
+  EXPECT_GT(tput_large / tput_small, 500.0);
+}
+
+TEST(SimParamsTest, MrRegistrationCostMatchesTable3Scale) {
+  SimParams params;
+  // Table 3: connecting + registering a 60 MB region ~ 50-65 ms.
+  SimTime t = params.MrRegisterLatency(60ull * 1024 * 1024) +
+              params.rdma.connect_latency;
+  EXPECT_GT(t, Millis(20));
+  EXPECT_LT(t, Millis(120));
+}
+
+}  // namespace
+}  // namespace splitft

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/workload/ycsb.h"
+
+namespace splitft {
+namespace {
+
+TEST(ZipfianTest, ValuesInRange) {
+  ZipfianGenerator gen(1000);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.Next(&rng), 1000u);
+  }
+}
+
+TEST(ZipfianTest, IsSkewed) {
+  ZipfianGenerator gen(10000);
+  Rng rng(2);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[gen.Next(&rng)]++;
+  }
+  // Rank-0 item should receive a large share (zipf theta=0.99 over 10k
+  // items gives roughly 10%); uniform would give 0.01%.
+  EXPECT_GT(counts[0], n / 50);
+  // And the head dominates the tail.
+  int head = 0;
+  for (uint64_t i = 0; i < 10; ++i) {
+    head += counts[i];
+  }
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(ZipfianTest, GrowingItemCountKeepsRangeValid) {
+  ZipfianGenerator gen(100);
+  Rng rng(3);
+  gen.SetItemCount(200);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(gen.Next(&rng), 200u);
+  }
+  EXPECT_EQ(gen.item_count(), 200u);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  ScrambledZipfianGenerator gen(10000);
+  Rng rng(4);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = gen.Next(&rng);
+    ASSERT_LT(v, 10000u);
+    counts[v]++;
+  }
+  // The hottest key should not be key 0 systematically (scrambled), but
+  // skew must remain: some key is much hotter than the median.
+  int max_count = 0;
+  for (const auto& [k, c] : counts) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, 500);
+}
+
+TEST(LatestTest, FavorsRecentKeys) {
+  LatestGenerator gen(10000);
+  Rng rng(5);
+  int recent = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next(&rng) >= 9900) {
+      recent++;  // in the newest 1% of keys
+    }
+  }
+  EXPECT_GT(recent, n / 4);
+}
+
+TEST(YcsbTest, KeyFormat) {
+  std::string key = YcsbWorkload::KeyFor(42);
+  EXPECT_EQ(key.size(), YcsbWorkload::kKeyBytes);
+  EXPECT_EQ(key.substr(0, 4), "user");
+  // Distinct ids give distinct keys, and ordering is preserved.
+  EXPECT_LT(YcsbWorkload::KeyFor(41), key);
+  EXPECT_LT(key, YcsbWorkload::KeyFor(43));
+}
+
+TEST(YcsbTest, ValueSize) {
+  YcsbWorkload w(YcsbWorkloadKind::kA, 100, 7);
+  EXPECT_EQ(w.ValueFor(5).size(), YcsbWorkload::kValueBytes);
+}
+
+struct MixExpectation {
+  YcsbWorkloadKind kind;
+  double read_lo, read_hi;
+  double write_lo, write_hi;  // update + insert + rmw
+};
+
+class YcsbMixTest : public ::testing::TestWithParam<MixExpectation> {};
+
+TEST_P(YcsbMixTest, OperationMixMatchesSpec) {
+  const MixExpectation& expect = GetParam();
+  YcsbWorkload w(expect.kind, 10000, 11);
+  const int n = 20000;
+  int reads = 0, writes = 0;
+  for (int i = 0; i < n; ++i) {
+    YcsbOp op = w.Next();
+    if (op.type == YcsbOpType::kRead) {
+      reads++;
+      EXPECT_TRUE(op.value.empty());
+    } else {
+      writes++;
+      EXPECT_EQ(op.value.size(), YcsbWorkload::kValueBytes);
+    }
+  }
+  double read_frac = static_cast<double>(reads) / n;
+  double write_frac = static_cast<double>(writes) / n;
+  EXPECT_GE(read_frac, expect.read_lo);
+  EXPECT_LE(read_frac, expect.read_hi);
+  EXPECT_GE(write_frac, expect.write_lo);
+  EXPECT_LE(write_frac, expect.write_hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, YcsbMixTest,
+    ::testing::Values(
+        MixExpectation{YcsbWorkloadKind::kA, 0.47, 0.53, 0.47, 0.53},
+        MixExpectation{YcsbWorkloadKind::kB, 0.93, 0.97, 0.03, 0.07},
+        MixExpectation{YcsbWorkloadKind::kC, 1.0, 1.0, 0.0, 0.0},
+        MixExpectation{YcsbWorkloadKind::kD, 0.93, 0.97, 0.03, 0.07},
+        MixExpectation{YcsbWorkloadKind::kF, 0.47, 0.53, 0.47, 0.53},
+        MixExpectation{YcsbWorkloadKind::kWriteOnly, 0.0, 0.0, 1.0, 1.0}));
+
+TEST(YcsbTest, InsertsExtendKeyspace) {
+  YcsbWorkload w(YcsbWorkloadKind::kD, 1000, 13);
+  uint64_t before = w.record_count();
+  std::set<std::string> inserted;
+  for (int i = 0; i < 2000; ++i) {
+    YcsbOp op = w.Next();
+    if (op.type == YcsbOpType::kInsert) {
+      EXPECT_TRUE(inserted.insert(op.key).second) << "duplicate insert key";
+    }
+  }
+  EXPECT_GT(w.record_count(), before);
+  EXPECT_EQ(w.record_count() - before, inserted.size());
+}
+
+TEST(YcsbTest, DeterministicForSeed) {
+  YcsbWorkload a(YcsbWorkloadKind::kA, 1000, 99);
+  YcsbWorkload b(YcsbWorkloadKind::kA, 1000, 99);
+  for (int i = 0; i < 100; ++i) {
+    YcsbOp oa = a.Next();
+    YcsbOp ob = b.Next();
+    EXPECT_EQ(oa.key, ob.key);
+    EXPECT_EQ(static_cast<int>(oa.type), static_cast<int>(ob.type));
+  }
+}
+
+}  // namespace
+}  // namespace splitft
