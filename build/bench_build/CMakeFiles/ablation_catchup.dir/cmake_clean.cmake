@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_catchup"
+  "../bench/ablation_catchup.pdb"
+  "CMakeFiles/ablation_catchup.dir/ablation_catchup.cc.o"
+  "CMakeFiles/ablation_catchup.dir/ablation_catchup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_catchup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

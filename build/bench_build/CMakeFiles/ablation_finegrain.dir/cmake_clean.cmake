@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_finegrain"
+  "../bench/ablation_finegrain.pdb"
+  "CMakeFiles/ablation_finegrain.dir/ablation_finegrain.cc.o"
+  "CMakeFiles/ablation_finegrain.dir/ablation_finegrain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_finegrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

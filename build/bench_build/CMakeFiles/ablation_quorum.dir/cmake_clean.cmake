@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_quorum"
+  "../bench/ablation_quorum.pdb"
+  "CMakeFiles/ablation_quorum.dir/ablation_quorum.cc.o"
+  "CMakeFiles/ablation_quorum.dir/ablation_quorum.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

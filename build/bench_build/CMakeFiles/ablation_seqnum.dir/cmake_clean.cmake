@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_seqnum"
+  "../bench/ablation_seqnum.pdb"
+  "CMakeFiles/ablation_seqnum.dir/ablation_seqnum.cc.o"
+  "CMakeFiles/ablation_seqnum.dir/ablation_seqnum.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seqnum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

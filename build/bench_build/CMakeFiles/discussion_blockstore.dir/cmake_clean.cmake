@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/discussion_blockstore"
+  "../bench/discussion_blockstore.pdb"
+  "CMakeFiles/discussion_blockstore.dir/discussion_blockstore.cc.o"
+  "CMakeFiles/discussion_blockstore.dir/discussion_blockstore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_blockstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for discussion_blockstore.
+# This may be replaced when dependencies are built.

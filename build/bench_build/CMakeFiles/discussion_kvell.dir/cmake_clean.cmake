@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/discussion_kvell"
+  "../bench/discussion_kvell.pdb"
+  "CMakeFiles/discussion_kvell.dir/discussion_kvell.cc.o"
+  "CMakeFiles/discussion_kvell.dir/discussion_kvell.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_kvell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_ycsb"
+  "../bench/fig10_ycsb.pdb"
+  "CMakeFiles/fig10_ycsb.dir/fig10_ycsb.cc.o"
+  "CMakeFiles/fig10_ycsb.dir/fig10_ycsb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_recovery"
+  "../bench/fig11_recovery.pdb"
+  "CMakeFiles/fig11_recovery.dir/fig11_recovery.cc.o"
+  "CMakeFiles/fig11_recovery.dir/fig11_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_peer_failures"
+  "../bench/fig12_peer_failures.pdb"
+  "CMakeFiles/fig12_peer_failures.dir/fig12_peer_failures.cc.o"
+  "CMakeFiles/fig12_peer_failures.dir/fig12_peer_failures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_peer_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_io_sizes"
+  "../bench/fig1_io_sizes.pdb"
+  "CMakeFiles/fig1_io_sizes.dir/fig1_io_sizes.cc.o"
+  "CMakeFiles/fig1_io_sizes.dir/fig1_io_sizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_io_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

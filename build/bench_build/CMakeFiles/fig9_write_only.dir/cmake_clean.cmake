@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_write_only"
+  "../bench/fig9_write_only.pdb"
+  "CMakeFiles/fig9_write_only.dir/fig9_write_only.cc.o"
+  "CMakeFiles/fig9_write_only.dir/fig9_write_only.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_write_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_strong_vs_weak"
+  "../bench/table1_strong_vs_weak.pdb"
+  "CMakeFiles/table1_strong_vs_weak.dir/table1_strong_vs_weak.cc.o"
+  "CMakeFiles/table1_strong_vs_weak.dir/table1_strong_vs_weak.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_strong_vs_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

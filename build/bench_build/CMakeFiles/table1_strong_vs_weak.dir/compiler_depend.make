@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_strong_vs_weak.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_strong_vs_weak.
+# This may be replaced when dependencies are built.

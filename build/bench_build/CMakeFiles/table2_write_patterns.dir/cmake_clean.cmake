@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_write_patterns"
+  "../bench/table2_write_patterns.pdb"
+  "CMakeFiles/table2_write_patterns.dir/table2_write_patterns.cc.o"
+  "CMakeFiles/table2_write_patterns.dir/table2_write_patterns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_write_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

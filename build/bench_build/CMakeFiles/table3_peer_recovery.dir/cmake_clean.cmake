@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_peer_recovery"
+  "../bench/table3_peer_recovery.pdb"
+  "CMakeFiles/table3_peer_recovery.dir/table3_peer_recovery.cc.o"
+  "CMakeFiles/table3_peer_recovery.dir/table3_peer_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_peer_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

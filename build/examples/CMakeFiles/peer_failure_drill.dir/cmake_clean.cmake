@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_failure_drill.dir/peer_failure_drill.cpp.o"
+  "CMakeFiles/peer_failure_drill.dir/peer_failure_drill.cpp.o.d"
+  "peer_failure_drill"
+  "peer_failure_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_failure_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

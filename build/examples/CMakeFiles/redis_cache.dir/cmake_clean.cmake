@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_cache.dir/redis_cache.cpp.o"
+  "CMakeFiles/redis_cache.dir/redis_cache.cpp.o.d"
+  "redis_cache"
+  "redis_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_ledger.dir/sql_ledger.cpp.o"
+  "CMakeFiles/sql_ledger.dir/sql_ledger.cpp.o.d"
+  "sql_ledger"
+  "sql_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/kvell/kvell_mini.cc" "src/apps/CMakeFiles/splitft_apps.dir/kvell/kvell_mini.cc.o" "gcc" "src/apps/CMakeFiles/splitft_apps.dir/kvell/kvell_mini.cc.o.d"
+  "/root/repo/src/apps/kvstore/kv_store.cc" "src/apps/CMakeFiles/splitft_apps.dir/kvstore/kv_store.cc.o" "gcc" "src/apps/CMakeFiles/splitft_apps.dir/kvstore/kv_store.cc.o.d"
+  "/root/repo/src/apps/kvstore/sstable.cc" "src/apps/CMakeFiles/splitft_apps.dir/kvstore/sstable.cc.o" "gcc" "src/apps/CMakeFiles/splitft_apps.dir/kvstore/sstable.cc.o.d"
+  "/root/repo/src/apps/kvstore/wal.cc" "src/apps/CMakeFiles/splitft_apps.dir/kvstore/wal.cc.o" "gcc" "src/apps/CMakeFiles/splitft_apps.dir/kvstore/wal.cc.o.d"
+  "/root/repo/src/apps/redis/redis.cc" "src/apps/CMakeFiles/splitft_apps.dir/redis/redis.cc.o" "gcc" "src/apps/CMakeFiles/splitft_apps.dir/redis/redis.cc.o.d"
+  "/root/repo/src/apps/sqlitelite/sqlite_lite.cc" "src/apps/CMakeFiles/splitft_apps.dir/sqlitelite/sqlite_lite.cc.o" "gcc" "src/apps/CMakeFiles/splitft_apps.dir/sqlitelite/sqlite_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/splitft/CMakeFiles/splitft_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/splitft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncl/CMakeFiles/splitft_ncl.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/splitft_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/splitft_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/splitft_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/splitft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/splitft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

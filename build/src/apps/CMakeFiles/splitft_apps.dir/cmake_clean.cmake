@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_apps.dir/kvell/kvell_mini.cc.o"
+  "CMakeFiles/splitft_apps.dir/kvell/kvell_mini.cc.o.d"
+  "CMakeFiles/splitft_apps.dir/kvstore/kv_store.cc.o"
+  "CMakeFiles/splitft_apps.dir/kvstore/kv_store.cc.o.d"
+  "CMakeFiles/splitft_apps.dir/kvstore/sstable.cc.o"
+  "CMakeFiles/splitft_apps.dir/kvstore/sstable.cc.o.d"
+  "CMakeFiles/splitft_apps.dir/kvstore/wal.cc.o"
+  "CMakeFiles/splitft_apps.dir/kvstore/wal.cc.o.d"
+  "CMakeFiles/splitft_apps.dir/redis/redis.cc.o"
+  "CMakeFiles/splitft_apps.dir/redis/redis.cc.o.d"
+  "CMakeFiles/splitft_apps.dir/sqlitelite/sqlite_lite.cc.o"
+  "CMakeFiles/splitft_apps.dir/sqlitelite/sqlite_lite.cc.o.d"
+  "libsplitft_apps.a"
+  "libsplitft_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_blockstore.dir/block_device.cc.o"
+  "CMakeFiles/splitft_blockstore.dir/block_device.cc.o.d"
+  "CMakeFiles/splitft_blockstore.dir/local_fs.cc.o"
+  "CMakeFiles/splitft_blockstore.dir/local_fs.cc.o.d"
+  "libsplitft_blockstore.a"
+  "libsplitft_blockstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_blockstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_common.dir/bytes.cc.o"
+  "CMakeFiles/splitft_common.dir/bytes.cc.o.d"
+  "CMakeFiles/splitft_common.dir/crc32c.cc.o"
+  "CMakeFiles/splitft_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/splitft_common.dir/histogram.cc.o"
+  "CMakeFiles/splitft_common.dir/histogram.cc.o.d"
+  "CMakeFiles/splitft_common.dir/logging.cc.o"
+  "CMakeFiles/splitft_common.dir/logging.cc.o.d"
+  "CMakeFiles/splitft_common.dir/rng.cc.o"
+  "CMakeFiles/splitft_common.dir/rng.cc.o.d"
+  "CMakeFiles/splitft_common.dir/status.cc.o"
+  "CMakeFiles/splitft_common.dir/status.cc.o.d"
+  "libsplitft_common.a"
+  "libsplitft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

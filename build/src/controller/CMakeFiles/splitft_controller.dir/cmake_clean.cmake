@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_controller.dir/controller.cc.o"
+  "CMakeFiles/splitft_controller.dir/controller.cc.o.d"
+  "CMakeFiles/splitft_controller.dir/znode_store.cc.o"
+  "CMakeFiles/splitft_controller.dir/znode_store.cc.o.d"
+  "libsplitft_controller.a"
+  "libsplitft_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_dfs.dir/dfs.cc.o"
+  "CMakeFiles/splitft_dfs.dir/dfs.cc.o.d"
+  "libsplitft_dfs.a"
+  "libsplitft_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

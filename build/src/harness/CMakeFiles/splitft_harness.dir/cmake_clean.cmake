@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_harness.dir/closed_loop.cc.o"
+  "CMakeFiles/splitft_harness.dir/closed_loop.cc.o.d"
+  "CMakeFiles/splitft_harness.dir/testbed.cc.o"
+  "CMakeFiles/splitft_harness.dir/testbed.cc.o.d"
+  "libsplitft_harness.a"
+  "libsplitft_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

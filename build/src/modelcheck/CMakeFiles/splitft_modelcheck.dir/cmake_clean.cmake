@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_modelcheck.dir/model.cc.o"
+  "CMakeFiles/splitft_modelcheck.dir/model.cc.o.d"
+  "libsplitft_modelcheck.a"
+  "libsplitft_modelcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_modelcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

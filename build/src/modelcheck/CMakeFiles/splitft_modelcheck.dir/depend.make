@@ -1,0 +1,2 @@
+# Empty dependencies file for splitft_modelcheck.
+# This may be replaced when dependencies are built.

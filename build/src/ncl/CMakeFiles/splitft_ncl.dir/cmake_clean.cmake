@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_ncl.dir/ncl_client.cc.o"
+  "CMakeFiles/splitft_ncl.dir/ncl_client.cc.o.d"
+  "CMakeFiles/splitft_ncl.dir/peer.cc.o"
+  "CMakeFiles/splitft_ncl.dir/peer.cc.o.d"
+  "libsplitft_ncl.a"
+  "libsplitft_ncl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_ncl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_rdma.dir/fabric.cc.o"
+  "CMakeFiles/splitft_rdma.dir/fabric.cc.o.d"
+  "libsplitft_rdma.a"
+  "libsplitft_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

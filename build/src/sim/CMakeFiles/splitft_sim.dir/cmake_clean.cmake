@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_sim.dir/simulation.cc.o"
+  "CMakeFiles/splitft_sim.dir/simulation.cc.o.d"
+  "libsplitft_sim.a"
+  "libsplitft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

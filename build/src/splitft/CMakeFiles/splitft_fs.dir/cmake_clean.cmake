@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_fs.dir/split_fs.cc.o"
+  "CMakeFiles/splitft_fs.dir/split_fs.cc.o.d"
+  "libsplitft_fs.a"
+  "libsplitft_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

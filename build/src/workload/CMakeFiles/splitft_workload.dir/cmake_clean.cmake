@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_workload.dir/ycsb.cc.o"
+  "CMakeFiles/splitft_workload.dir/ycsb.cc.o.d"
+  "libsplitft_workload.a"
+  "libsplitft_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

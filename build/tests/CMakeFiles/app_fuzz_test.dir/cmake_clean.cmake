@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_fuzz_test.dir/app_fuzz_test.cc.o"
+  "CMakeFiles/app_fuzz_test.dir/app_fuzz_test.cc.o.d"
+  "app_fuzz_test"
+  "app_fuzz_test.pdb"
+  "app_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

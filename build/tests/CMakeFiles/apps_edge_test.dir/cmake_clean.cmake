@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_edge_test.dir/apps_edge_test.cc.o"
+  "CMakeFiles/apps_edge_test.dir/apps_edge_test.cc.o.d"
+  "apps_edge_test"
+  "apps_edge_test.pdb"
+  "apps_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

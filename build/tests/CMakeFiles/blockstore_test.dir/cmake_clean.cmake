@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockstore_test.dir/blockstore_test.cc.o"
+  "CMakeFiles/blockstore_test.dir/blockstore_test.cc.o.d"
+  "blockstore_test"
+  "blockstore_test.pdb"
+  "blockstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

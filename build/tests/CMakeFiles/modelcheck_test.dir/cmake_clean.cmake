@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelcheck_test.dir/modelcheck_test.cc.o"
+  "CMakeFiles/modelcheck_test.dir/modelcheck_test.cc.o.d"
+  "modelcheck_test"
+  "modelcheck_test.pdb"
+  "modelcheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_fuzz_test.dir/ncl_fuzz_test.cc.o"
+  "CMakeFiles/ncl_fuzz_test.dir/ncl_fuzz_test.cc.o.d"
+  "ncl_fuzz_test"
+  "ncl_fuzz_test.pdb"
+  "ncl_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

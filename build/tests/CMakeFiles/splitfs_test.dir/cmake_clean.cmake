@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitfs_test.dir/splitfs_test.cc.o"
+  "CMakeFiles/splitfs_test.dir/splitfs_test.cc.o.d"
+  "splitfs_test"
+  "splitfs_test.pdb"
+  "splitfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

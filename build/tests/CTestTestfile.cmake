@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_test[1]_include.cmake")
+include("/root/repo/build/tests/splitfs_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/modelcheck_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/app_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/kvell_test[1]_include.cmake")
+include("/root/repo/build/tests/blockstore_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
