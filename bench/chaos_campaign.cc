@@ -1,0 +1,58 @@
+// Chaos campaign driver: sweeps N seeded random fault schedules against the
+// replication protocol and reports the fault/retry/recovery accounting plus
+// any invariant violations. SPLITFT_SEED=<n> replays one schedule;
+// SPLITFT_CHAOS_RUNS=<n> overrides the run count.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/chaos/campaign.h"
+
+int main() {
+  using namespace splitft;
+  bench::Title("Chaos campaign: seeded fault schedules vs. the protocol");
+
+  CampaignOptions options;
+  options.base_seed = bench::SeedFromEnv(options.base_seed);
+  const char* runs_env = std::getenv("SPLITFT_CHAOS_RUNS");
+  if (runs_env != nullptr && runs_env[0] != '\0') {
+    options.runs = std::atoi(runs_env);
+  }
+  CampaignResult result = RunChaosCampaign(options);
+
+  const CampaignStats& s = result.stats;
+  std::printf("  runs:                     %d\n", s.runs);
+  std::printf("  faults injected:          %d\n", s.faults_injected);
+  std::printf("  appends acked:            %d\n", s.appends_acked);
+  std::printf("  append failures:          %d\n", s.append_failures);
+  std::printf("  recoveries ok:            %d\n", s.recoveries_ok);
+  std::printf("  recoveries unavailable:   %d\n", s.recoveries_unavailable);
+  std::printf("  peers replaced:           %d\n", s.peers_replaced);
+  bench::Rule();
+  std::printf("  suspect retries:          %llu\n",
+              static_cast<unsigned long long>(s.suspect_retries));
+  std::printf("  transient recoveries:     %llu\n",
+              static_cast<unsigned long long>(s.transient_recoveries));
+  std::printf("  permanent demotions:      %llu\n",
+              static_cast<unsigned long long>(s.permanent_demotions));
+  std::printf("  controller RPC retries:   %llu\n",
+              static_cast<unsigned long long>(s.controller_rpc_retries));
+  std::printf("  directory lookup retries: %llu\n",
+              static_cast<unsigned long long>(s.directory_lookup_retries));
+  std::printf("  release failures logged:  %llu\n",
+              static_cast<unsigned long long>(s.release_failures));
+  bench::Rule();
+  if (result.ok()) {
+    std::printf("  invariants: all held (%d schedules)\n", s.runs);
+    return 0;
+  }
+  std::printf("  INVARIANT VIOLATIONS: %zu\n", result.violations.size());
+  for (const CampaignViolation& v : result.violations) {
+    std::printf("  [%s] seed=%llu: %s\n", v.invariant.c_str(),
+                static_cast<unsigned long long>(v.seed), v.detail.c_str());
+    std::printf("    reproduce with SPLITFT_SEED=%llu\n",
+                static_cast<unsigned long long>(v.seed));
+    std::printf("%s", v.schedule.c_str());
+  }
+  return 1;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/chaos_campaign"
+  "../bench/chaos_campaign.pdb"
+  "CMakeFiles/chaos_campaign.dir/chaos_campaign.cc.o"
+  "CMakeFiles/chaos_campaign.dir/chaos_campaign.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

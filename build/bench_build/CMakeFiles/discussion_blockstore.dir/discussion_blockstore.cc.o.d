@@ -149,6 +149,8 @@ bench_build/CMakeFiles/discussion_blockstore.dir/discussion_blockstore.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/blockstore/local_fs.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -228,10 +230,10 @@ bench_build/CMakeFiles/discussion_blockstore.dir/discussion_blockstore.cc.o: \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/splitft/split_fs.h \
  /root/repo/src/controller/controller.h \
  /root/repo/src/controller/znode_store.h /root/repo/src/rdma/fabric.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/dfs/dfs.h \
- /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
+ /root/repo/src/dfs/dfs.h /root/repo/src/common/io_trace.h \
+ /root/repo/src/ncl/ncl_client.h /root/repo/src/common/rng.h \
  /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
- /root/repo/src/ncl/region_format.h /root/repo/src/apps/kvstore/wal.h \
- /root/repo/src/apps/storage_app.h /root/repo/src/apps/redis/redis.h \
+ /root/repo/src/ncl/region_format.h /root/repo/src/sim/retry.h \
+ /root/repo/src/apps/kvstore/wal.h /root/repo/src/apps/storage_app.h \
+ /root/repo/src/apps/redis/redis.h \
  /root/repo/src/apps/sqlitelite/sqlite_lite.h

@@ -228,11 +228,11 @@ bench_build/CMakeFiles/micro_components.dir/micro_components.cc.o: \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/dfs/dfs.h /root/repo/src/common/io_trace.h \
- /root/repo/src/ncl/ncl_client.h /root/repo/src/ncl/peer.h \
- /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
- /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/apps/kvstore/wal.h /root/repo/src/apps/storage_app.h \
- /root/repo/src/common/crc32c.h /root/repo/src/common/histogram.h \
- /root/repo/src/common/rng.h /root/repo/src/modelcheck/model.h \
+ /root/repo/src/ncl/ncl_client.h /root/repo/src/common/rng.h \
+ /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
+ /root/repo/src/ncl/region_format.h /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/sim/retry.h /root/repo/src/apps/kvstore/wal.h \
+ /root/repo/src/apps/storage_app.h /root/repo/src/common/crc32c.h \
+ /root/repo/src/common/histogram.h /root/repo/src/modelcheck/model.h \
  /root/repo/src/workload/ycsb.h

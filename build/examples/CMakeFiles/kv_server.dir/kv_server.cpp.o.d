@@ -149,6 +149,8 @@ examples/CMakeFiles/kv_server.dir/kv_server.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/common/histogram.h /root/repo/src/workload/ycsb.h \
  /root/repo/src/common/rng.h /root/repo/src/harness/testbed.h \
  /usr/include/c++/12/memory \
@@ -231,10 +233,9 @@ examples/CMakeFiles/kv_server.dir/kv_server.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/controller/znode_store.h /root/repo/src/rdma/fabric.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/params.h \
- /root/repo/src/dfs/dfs.h /root/repo/src/common/io_trace.h \
- /root/repo/src/ncl/ncl_client.h /root/repo/src/ncl/peer.h \
- /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
+ /root/repo/src/sim/params.h /root/repo/src/dfs/dfs.h \
+ /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
+ /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
+ /root/repo/src/ncl/region_format.h /root/repo/src/sim/retry.h \
  /root/repo/src/apps/kvstore/wal.h /root/repo/src/apps/redis/redis.h \
  /root/repo/src/apps/sqlitelite/sqlite_lite.h

@@ -231,7 +231,8 @@ examples/CMakeFiles/peer_failure_drill.dir/peer_failure_drill.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dfs/dfs.h \
  /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
- /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
- /root/repo/src/ncl/region_format.h /root/repo/src/apps/kvstore/wal.h \
+ /root/repo/src/common/rng.h /root/repo/src/ncl/peer.h \
+ /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
+ /root/repo/src/sim/retry.h /root/repo/src/apps/kvstore/wal.h \
  /root/repo/src/apps/storage_app.h /root/repo/src/apps/redis/redis.h \
  /root/repo/src/apps/sqlitelite/sqlite_lite.h

@@ -11,6 +11,7 @@ subdirs("dfs")
 subdirs("blockstore")
 subdirs("controller")
 subdirs("ncl")
+subdirs("chaos")
 subdirs("splitft")
 subdirs("workload")
 subdirs("apps")

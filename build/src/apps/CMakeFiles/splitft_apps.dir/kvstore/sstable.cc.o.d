@@ -225,7 +225,8 @@ src/apps/CMakeFiles/splitft_apps.dir/kvstore/sstable.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dfs/dfs.h \
  /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
- /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
- /root/repo/src/ncl/region_format.h /root/repo/src/common/bytes.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/rng.h /root/repo/src/ncl/peer.h \
+ /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
+ /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/sim/retry.h \
  /root/repo/src/common/crc32c.h /usr/include/c++/12/cstddef

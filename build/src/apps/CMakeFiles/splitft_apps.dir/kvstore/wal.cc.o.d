@@ -214,18 +214,19 @@ src/apps/CMakeFiles/splitft_apps.dir/kvstore/wal.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/simulation.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/splitft/split_fs.h \
- /root/repo/src/controller/controller.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/splitft/split_fs.h /root/repo/src/controller/controller.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/controller/znode_store.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/rdma/fabric.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/params.h \
- /root/repo/src/dfs/dfs.h /root/repo/src/common/io_trace.h \
- /root/repo/src/ncl/ncl_client.h /root/repo/src/ncl/peer.h \
+ /root/repo/src/sim/params.h /root/repo/src/dfs/dfs.h \
+ /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
+ /root/repo/src/common/rng.h /root/repo/src/ncl/peer.h \
  /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
  /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/sim/retry.h \
  /root/repo/src/common/crc32c.h /usr/include/c++/12/cstddef

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chaos/campaign.cc" "src/chaos/CMakeFiles/splitft_chaos.dir/campaign.cc.o" "gcc" "src/chaos/CMakeFiles/splitft_chaos.dir/campaign.cc.o.d"
+  "/root/repo/src/chaos/chaos_engine.cc" "src/chaos/CMakeFiles/splitft_chaos.dir/chaos_engine.cc.o" "gcc" "src/chaos/CMakeFiles/splitft_chaos.dir/chaos_engine.cc.o.d"
+  "/root/repo/src/chaos/fault_plan.cc" "src/chaos/CMakeFiles/splitft_chaos.dir/fault_plan.cc.o" "gcc" "src/chaos/CMakeFiles/splitft_chaos.dir/fault_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ncl/CMakeFiles/splitft_ncl.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/splitft_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/splitft_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/splitft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/splitft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_chaos.dir/campaign.cc.o"
+  "CMakeFiles/splitft_chaos.dir/campaign.cc.o.d"
+  "CMakeFiles/splitft_chaos.dir/chaos_engine.cc.o"
+  "CMakeFiles/splitft_chaos.dir/chaos_engine.cc.o.d"
+  "CMakeFiles/splitft_chaos.dir/fault_plan.cc.o"
+  "CMakeFiles/splitft_chaos.dir/fault_plan.cc.o.d"
+  "libsplitft_chaos.a"
+  "libsplitft_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

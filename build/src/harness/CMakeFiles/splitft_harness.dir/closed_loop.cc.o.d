@@ -148,6 +148,8 @@ src/harness/CMakeFiles/splitft_harness.dir/closed_loop.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/common/histogram.h /root/repo/src/workload/ycsb.h \
  /root/repo/src/common/rng.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

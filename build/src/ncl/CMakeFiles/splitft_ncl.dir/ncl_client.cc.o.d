@@ -195,19 +195,19 @@ src/ncl/CMakeFiles/splitft_ncl.dir/ncl_client.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/rng.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/controller/controller.h \
  /root/repo/src/controller/znode_store.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
@@ -226,7 +226,7 @@ src/ncl/CMakeFiles/splitft_ncl.dir/ncl_client.cc.o: \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/ncl/peer.h \
  /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
  /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/sim/retry.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

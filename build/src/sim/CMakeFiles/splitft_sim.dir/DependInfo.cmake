@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/retry.cc" "src/sim/CMakeFiles/splitft_sim.dir/retry.cc.o" "gcc" "src/sim/CMakeFiles/splitft_sim.dir/retry.cc.o.d"
   "/root/repo/src/sim/simulation.cc" "src/sim/CMakeFiles/splitft_sim.dir/simulation.cc.o" "gcc" "src/sim/CMakeFiles/splitft_sim.dir/simulation.cc.o.d"
   )
 

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/splitft_sim.dir/retry.cc.o"
+  "CMakeFiles/splitft_sim.dir/retry.cc.o.d"
   "CMakeFiles/splitft_sim.dir/simulation.cc.o"
   "CMakeFiles/splitft_sim.dir/simulation.cc.o.d"
   "libsplitft_sim.a"

@@ -226,9 +226,10 @@ src/splitft/CMakeFiles/splitft_fs.dir/split_fs.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dfs/dfs.h \
  /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
- /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
- /root/repo/src/ncl/region_format.h /root/repo/src/common/bytes.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/rng.h /root/repo/src/ncl/peer.h \
+ /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
+ /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/sim/retry.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

@@ -308,6 +308,7 @@ tests/CMakeFiles/app_fuzz_test.dir/app_fuzz_test.cc.o: \
  /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
  /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
  /root/repo/src/ncl/region_format.h /root/repo/src/common/bytes.h \
- /usr/include/c++/12/cstring /root/repo/src/apps/kvstore/wal.h \
- /root/repo/src/apps/storage_app.h /root/repo/src/apps/redis/redis.h \
+ /usr/include/c++/12/cstring /root/repo/src/sim/retry.h \
+ /root/repo/src/apps/kvstore/wal.h /root/repo/src/apps/storage_app.h \
+ /root/repo/src/apps/redis/redis.h \
  /root/repo/src/apps/sqlitelite/sqlite_lite.h

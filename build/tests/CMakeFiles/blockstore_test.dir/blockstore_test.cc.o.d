@@ -297,5 +297,6 @@ tests/CMakeFiles/blockstore_test.dir/blockstore_test.cc.o: \
  /root/repo/src/sim/params.h /root/repo/src/sim/simulation.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/blockstore/local_fs.h /root/repo/src/common/rng.h

@@ -297,4 +297,5 @@ tests/CMakeFiles/dfs_test.dir/dfs_test.cc.o: /root/repo/tests/dfs_test.cc \
  /root/repo/src/sim/params.h /root/repo/src/sim/simulation.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h

@@ -297,19 +297,20 @@ tests/CMakeFiles/harness_test.dir/harness_test.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/apps/storage_app.h /root/repo/src/common/status.h \
- /root/repo/src/sim/simulation.h /root/repo/src/common/histogram.h \
- /root/repo/src/workload/ycsb.h /root/repo/src/common/rng.h \
- /root/repo/src/harness/testbed.h /root/repo/src/apps/kvstore/kv_store.h \
+ /root/repo/src/sim/simulation.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/common/histogram.h /root/repo/src/workload/ycsb.h \
+ /root/repo/src/common/rng.h /root/repo/src/harness/testbed.h \
+ /root/repo/src/apps/kvstore/kv_store.h \
  /root/repo/src/apps/kvstore/sstable.h /root/repo/src/apps/lru_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/splitft/split_fs.h \
  /root/repo/src/controller/controller.h \
  /root/repo/src/controller/znode_store.h /root/repo/src/rdma/fabric.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/params.h \
- /root/repo/src/dfs/dfs.h /root/repo/src/common/io_trace.h \
- /root/repo/src/ncl/ncl_client.h /root/repo/src/ncl/peer.h \
- /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
- /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
+ /root/repo/src/sim/params.h /root/repo/src/dfs/dfs.h \
+ /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
+ /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
+ /root/repo/src/ncl/region_format.h /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/cstring /root/repo/src/sim/retry.h \
  /root/repo/src/apps/kvstore/wal.h /root/repo/src/apps/redis/redis.h \
  /root/repo/src/apps/sqlitelite/sqlite_lite.h

@@ -303,4 +303,4 @@ tests/CMakeFiles/ncl_fuzz_test.dir/ncl_fuzz_test.cc.o: \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/ncl/ncl_client.h \
  /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
  /root/repo/src/ncl/region_format.h /root/repo/src/common/bytes.h \
- /usr/include/c++/12/cstring
+ /usr/include/c++/12/cstring /root/repo/src/sim/retry.h

@@ -300,6 +300,7 @@ tests/CMakeFiles/ncl_test.dir/ncl_test.cc.o: /root/repo/tests/ncl_test.cc \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/params.h \
  /root/repo/src/sim/simulation.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/ncl/ncl_client.h \
- /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
- /root/repo/src/ncl/region_format.h /root/repo/src/common/bytes.h \
- /usr/include/c++/12/cstring
+ /root/repo/src/common/rng.h /root/repo/src/ncl/peer.h \
+ /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
+ /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
+ /root/repo/src/sim/retry.h

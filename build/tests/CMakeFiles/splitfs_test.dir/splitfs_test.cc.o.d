@@ -302,5 +302,6 @@ tests/CMakeFiles/splitfs_test.dir/splitfs_test.cc.o: \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dfs/dfs.h \
  /root/repo/src/common/io_trace.h /root/repo/src/ncl/peer.h \
  /root/repo/src/ncl/peer_directory.h /root/repo/src/splitft/split_fs.h \
- /root/repo/src/ncl/ncl_client.h /root/repo/src/ncl/region_format.h \
- /root/repo/src/common/bytes.h /usr/include/c++/12/cstring
+ /root/repo/src/ncl/ncl_client.h /root/repo/src/common/rng.h \
+ /root/repo/src/ncl/region_format.h /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/cstring /root/repo/src/sim/retry.h

@@ -21,3 +21,4 @@ include("/root/repo/build/tests/app_fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/kvell_test[1]_include.cmake")
 include("/root/repo/build/tests/blockstore_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")

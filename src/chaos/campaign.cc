@@ -1,0 +1,310 @@
+#include "src/chaos/campaign.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/chaos/chaos_engine.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/controller/controller.h"
+#include "src/ncl/ncl_client.h"
+#include "src/ncl/peer.h"
+#include "src/ncl/peer_directory.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/params.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+
+namespace {
+
+constexpr char kFileName[] = "chaos-wal";
+
+// One run's cluster, torn down and rebuilt per seed so runs are independent.
+struct MiniCluster {
+  explicit MiniCluster(const CampaignOptions& options) {
+    params.rdma.unreachable_retry_timeout = options.nic_retry_window;
+    fabric = std::make_unique<Fabric>(&sim, &params);
+    controller = std::make_unique<Controller>(&sim, &params);
+    for (int i = 0; i < options.num_peers; ++i) {
+      peers.push_back(std::make_unique<LogPeer>(
+          "peer-" + std::to_string(i), fabric.get(), controller.get(),
+          options.peer_memory));
+      (void)peers.back()->Start();
+      directory.Register(peers.back().get());
+    }
+    app_node = fabric->AddNode("chaos-app");
+  }
+
+  ChaosTargets Targets() {
+    ChaosTargets t;
+    t.sim = &sim;
+    t.fabric = fabric.get();
+    t.controller = controller.get();
+    t.directory = &directory;
+    for (auto& p : peers) {
+      t.peers.push_back(p.get());
+    }
+    t.app_node = app_node;
+    return t;
+  }
+
+  Simulation sim;
+  SimParams params;
+  std::unique_ptr<Fabric> fabric;
+  std::unique_ptr<Controller> controller;
+  PeerDirectory directory;
+  std::vector<std::unique_ptr<LogPeer>> peers;
+  NodeId app_node = kInvalidNode;
+};
+
+NclConfig MakeConfig(const CampaignOptions& options, uint64_t rng_seed) {
+  NclConfig config;
+  config.app_id = "chaos";
+  config.fault_budget = options.fault_budget;
+  config.default_capacity = options.capacity;
+  config.retry = options.retry;
+  config.rng_seed = rng_seed;
+  return config;
+}
+
+void AddViolation(CampaignResult* result, uint64_t seed,
+                  const std::string& invariant, const std::string& detail,
+                  const FaultPlan& plan) {
+  CampaignViolation v;
+  v.seed = seed;
+  v.invariant = invariant;
+  v.detail = detail;
+  v.schedule = plan.Describe();
+  result->violations.push_back(std::move(v));
+}
+
+// Counts current file members that are faulty right now or were ever the
+// target of a fault this run. "Ever faulted" avoids a false positive when
+// a transient fault heals between the demotion it caused and this check.
+int CountFaultyMembers(const MiniCluster& cluster, const ChaosEngine& engine,
+                       const std::vector<std::string>& members) {
+  int faulty = 0;
+  for (const std::string& name : members) {
+    if (engine.faulted_peers().count(name) > 0) {
+      faulty++;
+      continue;
+    }
+    LogPeer* peer = cluster.directory.Lookup(name);
+    if (peer == nullptr || !peer->alive() ||
+        cluster.fabric->IsPartitioned(cluster.app_node, peer->node())) {
+      faulty++;
+    }
+  }
+  return faulty;
+}
+
+void Accumulate(CampaignStats* stats, const NclStats& ncl) {
+  stats->suspect_retries += ncl.suspect_retries;
+  stats->transient_recoveries += ncl.transient_recoveries;
+  stats->permanent_demotions += ncl.permanent_demotions;
+  stats->controller_rpc_retries += ncl.controller_rpc_retries;
+  stats->directory_lookup_retries += ncl.directory_lookup_retries;
+  stats->release_failures += ncl.release_failures;
+}
+
+}  // namespace
+
+void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
+                      CampaignResult* result) {
+  MiniCluster cluster(options);
+  ChaosEngine engine(cluster.Targets());
+  RandomPlanOptions plan_options = options.plan;
+  plan_options.num_peers = options.num_peers;
+  if (seed % 4 == 0) {
+    // Every fourth schedule is crash-heavy so quorum loss, replacement
+    // exhaustion, and justified unavailability get exercised, not just the
+    // transient faults the retry policy absorbs.
+    plan_options.num_events += 4;
+    plan_options.crash_weight = 4;
+  }
+  FaultPlan plan = FaultPlan::Random(seed, plan_options);
+
+  result->stats.runs++;
+  NclClient client(MakeConfig(options, seed * 2654435761ull + 1),
+                   cluster.fabric.get(), cluster.controller.get(),
+                   &cluster.directory, cluster.app_node);
+  auto file = client.Create(kFileName);
+  if (!file.ok()) {
+    AddViolation(result, seed, "setup",
+                 "Create failed before any fault: " +
+                     file.status().ToString(),
+                 plan);
+    return;
+  }
+
+  // Unleash the schedule and drive the append workload across it.
+  engine.Schedule(plan);
+  Rng workload_rng(seed ^ 0x3c0ad5ull);
+  std::string shadow;        // every append applied locally (the oracle)
+  uint64_t acked_len = 0;    // durable prefix: through the last OK append
+  SimTime gap = plan_options.horizon /
+                std::max(1, options.appends_per_run);
+  bool unavailable = false;
+  for (int k = 0; k < options.appends_per_run; ++k) {
+    uint64_t len = workload_rng.UniformRange(1, options.max_append_bytes);
+    if (shadow.size() + len > options.capacity) {
+      break;
+    }
+    std::string payload(len, static_cast<char>('a' + (k % 26)));
+    shadow.append(payload);
+
+    SimTime t0 = cluster.sim.Now();
+    Status st = (*file)->Append(payload);
+    if (cluster.sim.Now() - t0 > options.max_stall) {
+      AddViolation(result, seed, "liveness",
+                   "append " + std::to_string(k) + " stalled for " +
+                       std::to_string((cluster.sim.Now() - t0) / 1000000) +
+                       "ms",
+                   plan);
+      return;
+    }
+    if (st.ok()) {
+      acked_len = shadow.size();
+      result->stats.appends_acked++;
+      cluster.sim.RunUntil(cluster.sim.Now() + gap);
+      continue;
+    }
+    result->stats.append_failures++;
+    if (st.code() == StatusCode::kUnavailable) {
+      // Invariant 3: unavailability must be backed by > f faulty members.
+      int faulty =
+          CountFaultyMembers(cluster, engine, (*file)->peer_names());
+      if (faulty <= options.fault_budget) {
+        AddViolation(result, seed, "fault-budget",
+                     "append failed kUnavailable with only " +
+                         std::to_string(faulty) + " faulty member(s)",
+                     plan);
+        return;
+      }
+      unavailable = true;
+    } else {
+      AddViolation(result, seed, "liveness",
+                   "append " + std::to_string(k) +
+                       " failed: " + st.ToString(),
+                   plan);
+      return;
+    }
+    break;
+  }
+  result->stats.faults_injected += engine.faults_injected();
+  result->stats.peers_replaced += client.peers_replaced();
+  Accumulate(&result->stats, client.stats());
+
+  // Crash the application: drop the file handle without releasing anything,
+  // retire transient faults (crashed peers stay crashed), and recover with
+  // a fresh client.
+  file->reset();
+  engine.HealAll();
+  NclClient fresh(MakeConfig(options, seed * 2654435761ull + 2),
+                  cluster.fabric.get(), cluster.controller.get(),
+                  &cluster.directory, cluster.app_node);
+  auto recovered_file = fresh.Recover(kFileName);
+  if (!recovered_file.ok()) {
+    result->stats.recoveries_unavailable++;
+    // Unavailability is justified only when fewer than f+1 of the recorded
+    // members still hold the region.
+    auto apmap = cluster.controller->GetApMap("chaos", kFileName);
+    int holders = 0;
+    if (apmap.ok()) {
+      for (const std::string& name : apmap->peers) {
+        LogPeer* peer = cluster.directory.Lookup(name);
+        if (peer != nullptr && peer->alive() &&
+            peer->LookupForRecovery("chaos", kFileName).ok()) {
+          holders++;
+        }
+      }
+    }
+    if (holders >= options.fault_budget + 1) {
+      AddViolation(result, seed, "availability",
+                   "recovery failed (" + recovered_file.status().ToString() +
+                       ") although " + std::to_string(holders) +
+                       " members still hold the region",
+                   plan);
+    }
+    return;
+  }
+  result->stats.recoveries_ok++;
+
+  // Invariants 1 + 2: the recovered contents cover every acknowledged byte
+  // and match the shadow oracle bytewise.
+  NclFile* rec = recovered_file->get();
+  auto contents = rec->Read(0, rec->size());
+  if (!contents.ok()) {
+    AddViolation(result, seed, "oracle",
+                 "recovered read failed: " + contents.status().ToString(),
+                 plan);
+    return;
+  }
+  if (contents->size() < acked_len) {
+    AddViolation(result, seed, "durability",
+                 "acknowledged write lost: recovered " +
+                     std::to_string(contents->size()) + " bytes, " +
+                     std::to_string(acked_len) + " were acknowledged",
+                 plan);
+    return;
+  }
+  if (contents->size() > shadow.size() ||
+      shadow.compare(0, contents->size(), *contents) != 0) {
+    AddViolation(result, seed, "oracle",
+                 "recovered " + std::to_string(contents->size()) +
+                     " bytes do not match the shadow oracle prefix",
+                 plan);
+    return;
+  }
+  (void)unavailable;
+
+  // Liveness after recovery: the file must accept writes again.
+  Status post = rec->Append("post-recovery");
+  if (!post.ok()) {
+    AddViolation(result, seed, "liveness",
+                 "post-recovery append failed: " + post.ToString(), plan);
+    return;
+  }
+  // Exercise the release path (previously-swallowed failures are counted).
+  (void)rec->Delete();
+  result->stats.peers_replaced += fresh.peers_replaced();
+  Accumulate(&result->stats, fresh.stats());
+}
+
+CampaignResult RunChaosCampaign(const CampaignOptions& options) {
+  CampaignResult result;
+  if (options.seed_from_env) {
+    const char* env = std::getenv("SPLITFT_SEED");
+    char* end = nullptr;
+    uint64_t seed = env != nullptr ? std::strtoull(env, &end, 0) : 0;
+    if (env != nullptr && env[0] != '\0' && end == env) {
+      LOG_WARNING << "ignoring unparsable SPLITFT_SEED='" << env << "'";
+    } else if (env != nullptr && env[0] != '\0') {
+      LOG_INFO << "chaos campaign: SPLITFT_SEED=" << seed
+               << " — running only that schedule";
+      RunChaosSchedule(seed, options, &result);
+      for (const CampaignViolation& v : result.violations) {
+        LOG_ERROR << "chaos violation [" << v.invariant << "] seed=" << v.seed
+                  << ": " << v.detail << "\nschedule:\n"
+                  << v.schedule;
+      }
+      return result;
+    }
+  }
+  for (int k = 0; k < options.runs; ++k) {
+    RunChaosSchedule(options.base_seed + static_cast<uint64_t>(k), options,
+                     &result);
+  }
+  for (const CampaignViolation& v : result.violations) {
+    LOG_ERROR << "chaos violation [" << v.invariant << "] seed=" << v.seed
+              << ": " << v.detail
+              << "\nreproduce with SPLITFT_SEED=" << v.seed
+              << "\nschedule:\n" << v.schedule;
+  }
+  return result;
+}
+
+}  // namespace splitft

@@ -1,0 +1,124 @@
+#include "src/chaos/chaos_engine.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace splitft {
+
+void ChaosEngine::Schedule(const FaultPlan& plan) {
+  SimTime base = t_.sim->Now();
+  for (const FaultEvent& ev : plan.events()) {
+    heal_tokens_.push_back(t_.sim->ScheduleCancelableAt(
+        base + ev.at, [this, ev] { Inject(ev); }));
+  }
+}
+
+void ChaosEngine::Note(const FaultEvent& event, const std::string& detail) {
+  std::ostringstream out;
+  out << "t=" << (static_cast<double>(t_.sim->Now()) / 1e6) << "ms "
+      << FaultKindName(event.kind);
+  if (!detail.empty()) {
+    out << " " << detail;
+  }
+  log_.push_back(out.str());
+  LOG_DEBUG << "chaos: " << log_.back();
+}
+
+void ChaosEngine::Inject(const FaultEvent& event) {
+  LogPeer* peer = nullptr;
+  if (event.kind != FaultKind::kControllerOutage) {
+    if (event.peer < 0 || event.peer >= static_cast<int>(t_.peers.size())) {
+      return;
+    }
+    peer = t_.peers[event.peer];
+  }
+  switch (event.kind) {
+    case FaultKind::kPeerCrash:
+      if (!peer->alive()) {
+        return;  // already down
+      }
+      peer->Crash();
+      faulted_peers_.insert(peer->name());
+      Note(event, peer->name());
+      break;
+    case FaultKind::kPeerRestart: {
+      if (peer->alive()) {
+        return;  // nothing to restart
+      }
+      Status st = peer->Restart();
+      Note(event, peer->name() + (st.ok() ? "" : " (failed: " +
+                                                     std::string(st.message()) +
+                                                     ")"));
+      break;
+    }
+    case FaultKind::kTransientPartition:
+      if (t_.fabric->IsPartitioned(t_.app_node, peer->node())) {
+        return;  // don't stack heals on the same link
+      }
+      heal_tokens_.push_back(t_.fabric->PartitionFor(
+          t_.app_node, peer->node(), event.duration));
+      faulted_peers_.insert(peer->name());
+      Note(event, peer->name());
+      break;
+    case FaultKind::kLinkDelaySpike: {
+      NodeId a = t_.app_node;
+      NodeId b = peer->node();
+      if (t_.fabric->LinkDelay(a, b) > 0) {
+        return;
+      }
+      t_.fabric->SetLinkDelay(a, b, event.magnitude);
+      heal_tokens_.push_back(t_.sim->ScheduleCancelableAt(
+          t_.sim->Now() + event.duration,
+          [this, a, b] { t_.fabric->SetLinkDelay(a, b, 0); }));
+      Note(event, peer->name());
+      break;
+    }
+    case FaultKind::kCompletionDelay: {
+      NodeId a = t_.app_node;
+      NodeId b = peer->node();
+      if (t_.fabric->CompletionDelay(a, b) > 0) {
+        return;
+      }
+      t_.fabric->SetCompletionDelay(a, b, event.magnitude);
+      heal_tokens_.push_back(t_.sim->ScheduleCancelableAt(
+          t_.sim->Now() + event.duration,
+          [this, a, b] { t_.fabric->SetCompletionDelay(a, b, 0); }));
+      Note(event, peer->name());
+      break;
+    }
+    case FaultKind::kControllerOutage:
+      if (t_.controller->unavailable()) {
+        return;  // don't shorten an in-progress outage with an early heal
+      }
+      heal_tokens_.push_back(t_.controller->OutageFor(event.duration));
+      Note(event, "");
+      break;
+    case FaultKind::kPeerUnreachable: {
+      if (t_.directory->IsUnreachable(peer->name())) {
+        return;
+      }
+      std::string name = peer->name();
+      t_.directory->SetUnreachable(name, true);
+      heal_tokens_.push_back(t_.sim->ScheduleCancelableAt(
+          t_.sim->Now() + event.duration,
+          [this, name] { t_.directory->SetUnreachable(name, false); }));
+      faulted_peers_.insert(name);
+      Note(event, name);
+      break;
+    }
+  }
+  faults_injected_++;
+}
+
+void ChaosEngine::HealAll() {
+  for (uint64_t token : heal_tokens_) {
+    t_.sim->Cancel(token);
+  }
+  heal_tokens_.clear();
+  t_.fabric->ClearLinkFaults();
+  t_.controller->SetUnavailable(false);
+  t_.directory->ClearUnreachable();
+}
+
+}  // namespace splitft

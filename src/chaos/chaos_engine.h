@@ -1,0 +1,70 @@
+// ChaosEngine: injects FaultPlan events against a live simulated cluster.
+// It owns the mapping from abstract fault kinds to concrete mutations of
+// the fabric / controller / directory / peers, schedules the heals for
+// transient faults, and keeps an event log plus fault bookkeeping the
+// campaign invariants consult (e.g. which peers were ever faulted).
+#ifndef SRC_CHAOS_CHAOS_ENGINE_H_
+#define SRC_CHAOS_CHAOS_ENGINE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/chaos/fault_plan.h"
+#include "src/controller/controller.h"
+#include "src/ncl/peer.h"
+#include "src/ncl/peer_directory.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+
+// Everything the engine needs a handle on. The harness Testbed or a
+// hand-built cluster fills this in; chaos does not depend on the harness.
+struct ChaosTargets {
+  Simulation* sim = nullptr;
+  Fabric* fabric = nullptr;
+  Controller* controller = nullptr;
+  PeerDirectory* directory = nullptr;
+  std::vector<LogPeer*> peers;
+  // The application server's fabric node; link faults cut/degrade the
+  // app<->peer links (the replication path).
+  NodeId app_node = kInvalidNode;
+};
+
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(ChaosTargets targets) : t_(std::move(targets)) {}
+
+  // Schedules every event of `plan` relative to now. Heals for transient
+  // faults are scheduled automatically.
+  void Schedule(const FaultPlan& plan);
+
+  // Injects one event immediately (tests drive exact interleavings).
+  void Inject(const FaultEvent& event);
+
+  // Retires every outstanding transient fault: heals partitions, clears
+  // delay spikes and completion delays, ends the controller outage, makes
+  // setup processes reachable, and cancels the now-moot scheduled heals.
+  // Crashed peers stay crashed (their memory is gone either way).
+  void HealAll();
+
+  int faults_injected() const { return faults_injected_; }
+  const std::vector<std::string>& log() const { return log_; }
+  // Peers that were the target of any fault so far (campaign invariants
+  // use this to decide whether an unavailability was justified).
+  const std::set<std::string>& faulted_peers() const { return faulted_peers_; }
+
+ private:
+  void Note(const FaultEvent& event, const std::string& detail);
+
+  ChaosTargets t_;
+  int faults_injected_ = 0;
+  std::vector<std::string> log_;
+  std::set<std::string> faulted_peers_;
+  std::vector<uint64_t> heal_tokens_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_CHAOS_CHAOS_ENGINE_H_

@@ -1,0 +1,78 @@
+// FaultPlan: a schedule of fault events to inject against the simulated
+// cluster. Plans are either authored deterministically (tests pin exact
+// timings) or generated from a seed (campaigns sweep hundreds of random
+// schedules). Times are relative to the moment the plan is scheduled, so
+// the same plan can run against clusters built at different virtual times.
+#ifndef SRC_CHAOS_FAULT_PLAN_H_
+#define SRC_CHAOS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+
+// The failure model, beyond the seed repo's two kinds (crash, permanent
+// partition): transient faults that heal, delay faults that slow without
+// breaking, and control-plane faults.
+enum class FaultKind {
+  kPeerCrash,          // volatile memory lost; rkeys invalidated
+  kPeerRestart,        // crashed peer rejoins with empty memory
+  kTransientPartition, // app<->peer link cut, heals after `duration`
+  kLinkDelaySpike,     // +`magnitude` ns latency on the link for `duration`
+  kCompletionDelay,    // CQ entries surface `magnitude` ns late for `duration`
+  kControllerOutage,   // controller RPCs fail kTimedOut for `duration`
+  kPeerUnreachable,    // setup-process lookups fail for `duration`
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  SimTime at = 0;        // injection time, relative to scheduling
+  FaultKind kind = FaultKind::kPeerCrash;
+  int peer = -1;         // target peer index (ignored for controller outage)
+  SimTime duration = 0;  // heal/outage window (where applicable)
+  SimTime magnitude = 0; // extra latency for delay faults
+};
+
+struct RandomPlanOptions {
+  int num_events = 6;
+  int num_peers = 5;
+  // Events are injected uniformly over [0, horizon).
+  SimTime horizon = Millis(200);
+  SimTime min_duration = Micros(100);
+  SimTime max_duration = Millis(10);
+  SimTime max_delay_spike = Micros(500);
+  // Relative weight of crash (and restart) events against the transient
+  // kinds. Campaigns raise it for a fraction of runs so quorum loss,
+  // replacement exhaustion, and unavailable recoveries get exercised too.
+  int crash_weight = 1;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan& Add(FaultEvent event) {
+    events_.push_back(event);
+    return *this;
+  }
+
+  // Seeded random schedule; the same (seed, options) pair always yields the
+  // same plan, which is what makes campaign failures reproducible.
+  static FaultPlan Random(uint64_t seed, const RandomPlanOptions& options);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // Human-readable schedule, printed when an invariant fails.
+  std::string Describe() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_CHAOS_FAULT_PLAN_H_

@@ -14,6 +14,20 @@ void Controller::ChargeRpc() {
   sim_->Advance(params_->controller.rpc_latency);
 }
 
+Status Controller::Rpc() {
+  ChargeRpc();
+  if (unavailable_) {
+    return TimedOutError("controller outage: RPC timed out");
+  }
+  return OkStatus();
+}
+
+uint64_t Controller::OutageFor(SimTime duration) {
+  unavailable_ = true;
+  return sim_->ScheduleCancelableAt(sim_->Now() + duration,
+                                    [this] { unavailable_ = false; });
+}
+
 std::string Controller::EscapeFile(const std::string& file) {
   std::string out;
   out.reserve(file.size());
@@ -98,7 +112,7 @@ bool Controller::ParseApMap(const std::string& data, ApMapEntry* entry) {
 
 Status Controller::RegisterPeer(const std::string& name, NodeId node,
                                 uint64_t bytes) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   std::string path = "/peers/" + name;
   if (store_.Exists(path)) {
     // Re-registration after a peer restart replaces the record.
@@ -108,12 +122,12 @@ Status Controller::RegisterPeer(const std::string& name, NodeId node,
 }
 
 Status Controller::UnregisterPeer(const std::string& name) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   return store_.Delete("/peers/" + name);
 }
 
 Status Controller::UpdatePeerMemory(const std::string& name, uint64_t bytes) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   std::string path = "/peers/" + name;
   auto node = store_.Get(path);
   if (!node.ok()) {
@@ -144,7 +158,7 @@ void Controller::UpdatePeerMemoryAsync(const std::string& name,
 }
 
 Result<PeerRecord> Controller::GetPeer(const std::string& name) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   auto node = store_.Get("/peers/" + name);
   if (!node.ok()) {
     return node.status();
@@ -159,7 +173,7 @@ Result<PeerRecord> Controller::GetPeer(const std::string& name) {
 
 Result<std::vector<PeerRecord>> Controller::GetPeers(
     size_t n, uint64_t min_bytes, const std::set<std::string>& exclude) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   std::vector<PeerRecord> candidates;
   for (const std::string& name : store_.Children("/peers")) {
     if (exclude.count(name) > 0) {
@@ -194,7 +208,7 @@ Result<std::vector<PeerRecord>> Controller::GetPeers(
 // ---- Application epochs ----------------------------------------------------
 
 Result<uint64_t> Controller::BumpAppEpoch(const std::string& app) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   std::string path = "/apps/" + app + "/epoch";
   uint64_t epoch = 1;
   auto node = store_.Get(path);
@@ -212,7 +226,7 @@ Result<uint64_t> Controller::BumpAppEpoch(const std::string& app) {
 }
 
 Result<uint64_t> Controller::GetAppEpoch(const std::string& app) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   auto node = store_.Get("/apps/" + app + "/epoch");
   if (!node.ok()) {
     return node.status();
@@ -227,7 +241,7 @@ Result<uint64_t> Controller::GetAppEpoch(const std::string& app) {
 
 Status Controller::SetApMap(const std::string& app, const std::string& file,
                             const ApMapEntry& entry) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   std::string path = "/apps/" + app + "/files/" + EscapeFile(file);
   if (store_.Exists(path)) {
     return store_.Set(path, SerializeApMap(entry));
@@ -237,7 +251,7 @@ Status Controller::SetApMap(const std::string& app, const std::string& file,
 
 Result<ApMapEntry> Controller::GetApMap(const std::string& app,
                                         const std::string& file) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   auto node = store_.Get("/apps/" + app + "/files/" + EscapeFile(file));
   if (!node.ok()) {
     return node.status();
@@ -251,12 +265,14 @@ Result<ApMapEntry> Controller::GetApMap(const std::string& app,
 
 Status Controller::DeleteApMap(const std::string& app,
                                const std::string& file) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   return store_.Delete("/apps/" + app + "/files/" + EscapeFile(file));
 }
 
 std::vector<std::string> Controller::ListAppFiles(const std::string& app) {
-  ChargeRpc();
+  if (!Rpc().ok()) {
+    return {};  // outage: the listing RPC timed out
+  }
   std::vector<std::string> out;
   for (const std::string& child : store_.Children("/apps/" + app + "/files")) {
     out.push_back(UnescapeFile(child));
@@ -267,7 +283,7 @@ std::vector<std::string> Controller::ListAppFiles(const std::string& app) {
 // ---- Server lease -----------------------------------------------------------
 
 Result<SessionId> Controller::AcquireServerLease(const std::string& app) {
-  ChargeRpc();
+  RETURN_IF_ERROR(Rpc());
   SessionId session = store_.OpenSession();
   Status created = store_.Create("/servers/" + app, "", session);
   if (!created.ok()) {

@@ -83,12 +83,28 @@ class Controller {
   // Models the application process dying: its ephemeral znodes vanish.
   void ExpireSession(SessionId session);
 
+  // ---- Fault injection (chaos harness) ------------------------------------
+
+  // Outage window: while unavailable, every RPC still charges its round
+  // trip on the virtual clock (the client waits out the timeout) but fails
+  // kTimedOut. Models a controller quorum loss / leader election window.
+  void SetUnavailable(bool unavailable) { unavailable_ = unavailable; }
+  bool unavailable() const { return unavailable_; }
+  // Convenience: outage that heals itself after `duration`. Returns the
+  // Simulation cancellation token for the pending heal.
+  uint64_t OutageFor(SimTime duration);
+
   // Test/diagnostic access.
   ZnodeStore& store() { return store_; }
   uint64_t rpc_count() const { return rpc_count_; }
+  Simulation* sim() const { return sim_; }
 
  private:
   void ChargeRpc();
+  // Charges the round trip and reports kTimedOut during an outage window.
+  // Every public RPC starts with RETURN_IF_ERROR(Rpc()) (or the Result
+  // equivalent) so outages hit all control-plane paths uniformly.
+  Status Rpc();
   static std::string EscapeFile(const std::string& file);
   static std::string UnescapeFile(const std::string& escaped);
   static std::string SerializePeer(NodeId node, uint64_t bytes);
@@ -101,6 +117,7 @@ class Controller {
   const SimParams* params_;
   ZnodeStore store_;
   uint64_t rpc_count_ = 0;
+  bool unavailable_ = false;
 };
 
 }  // namespace splitft

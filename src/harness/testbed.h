@@ -57,6 +57,7 @@ class Testbed {
   PeerDirectory* directory() { return &directory_; }
   LogPeer* peer(int i) { return peers_[i].get(); }
   int num_peers() const { return static_cast<int>(peers_.size()); }
+  NodeId app_node() const { return app_node_; }
 
   // Builds a fresh application-server process (dfs mount + SplitFs) for
   // `app_id`. Weak-mode servers start the periodic dfs flusher.

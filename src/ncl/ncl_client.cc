@@ -15,16 +15,33 @@ NclClient::NclClient(NclConfig config, Fabric* fabric, Controller* controller,
       fabric_(fabric),
       controller_(controller),
       directory_(directory),
-      node_(node) {}
+      node_(node),
+      rng_(config_.rng_seed) {}
 
 NclClient::~NclClient() = default;
+
+LogPeer* NclClient::LookupPeerWithRetry(const std::string& name) {
+  LogPeer* peer = directory_->Lookup(name);
+  if (peer != nullptr || config_.retry.max_attempts <= 1) {
+    return peer;
+  }
+  Simulation* sim = fabric_->sim();
+  RetryState state(&config_.retry, sim->Now());
+  while (peer == nullptr && state.ShouldRetry(sim->Now())) {
+    stats_.directory_lookup_retries++;
+    sim->RunUntil(sim->Now() + state.NextBackoff(&rng_));
+    peer = directory_->Lookup(name);
+  }
+  return peer;
+}
 
 Result<std::pair<LogPeer*, AllocationGrant>> NclClient::AllocateOnFreshPeer(
     const std::string& file, uint64_t region_bytes, uint64_t epoch,
     const std::set<std::string>& exclude) {
   std::set<std::string> tried = exclude;
   for (int attempt = 0; attempt < config_.allocation_attempts; ++attempt) {
-    auto peers = controller_->GetPeers(1, region_bytes, tried);
+    auto peers = RetryControllerRpc(
+        [&] { return controller_->GetPeers(1, region_bytes, tried); });
     if (!peers.ok()) {
       return peers.status();
     }
@@ -54,7 +71,8 @@ Result<std::unique_ptr<NclFile>> NclClient::Create(const std::string& file,
     return AlreadyExistsError("ncl file exists: " + file);
   }
   // Epoch bump: we intend to update the ap-map (§4.5.1).
-  auto epoch = controller_->BumpAppEpoch(config_.app_id);
+  auto epoch =
+      RetryControllerRpc([&] { return controller_->BumpAppEpoch(config_.app_id); });
   if (!epoch.ok()) {
     return epoch.status();
   }
@@ -86,17 +104,26 @@ Result<std::unique_ptr<NclFile>> NclClient::Create(const std::string& file,
 }
 
 Status NclClient::Delete(const std::string& file) {
-  auto apmap = controller_->GetApMap(config_.app_id, file);
+  auto apmap = RetryControllerRpc(
+      [&] { return controller_->GetApMap(config_.app_id, file); });
   if (!apmap.ok()) {
     return apmap.status();
   }
   for (const std::string& name : apmap->peers) {
-    LogPeer* peer = directory_->Lookup(name);
+    LogPeer* peer = LookupPeerWithRetry(name);
     if (peer != nullptr && peer->alive()) {
-      (void)peer->Release(config_.app_id, file);
+      Status released = peer->Release(config_.app_id, file);
+      if (!released.ok()) {
+        // The region leaks until the peer's epoch GC reclaims it; that is
+        // tolerable, silently losing the signal is not.
+        stats_.release_failures++;
+        LOG_WARNING << "release of " << file << " on " << name
+                    << " failed: " << released.message();
+      }
     }
   }
-  return controller_->DeleteApMap(config_.app_id, file);
+  return RetryControllerRpc(
+      [&] { return controller_->DeleteApMap(config_.app_id, file); });
 }
 
 std::vector<std::string> NclClient::ListFiles() {
@@ -104,7 +131,9 @@ std::vector<std::string> NclClient::ListFiles() {
 }
 
 bool NclClient::Exists(const std::string& file) {
-  return controller_->GetApMap(config_.app_id, file).ok();
+  return RetryControllerRpc(
+             [&] { return controller_->GetApMap(config_.app_id, file); })
+      .ok();
 }
 
 Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
@@ -113,7 +142,8 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
 
   // Phase 1: peer list from the controller.
   SimTime t0 = sim->Now();
-  auto apmap = controller_->GetApMap(config_.app_id, file);
+  auto apmap = RetryControllerRpc(
+      [&] { return controller_->GetApMap(config_.app_id, file); });
   if (!apmap.ok()) {
     return apmap.status();
   }
@@ -128,7 +158,7 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
     slot.peer_name = name;
     slot.alive = false;
     out->ever_used_.insert(name);
-    LogPeer* peer = directory_->Lookup(name);
+    LogPeer* peer = LookupPeerWithRetry(name);
     if (peer != nullptr && peer->alive()) {
       auto grant = peer->LookupForRecovery(config_.app_id, file);
       if (grant.ok()) {
@@ -257,7 +287,8 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
   // record the new ap-map. Only after this is it safe to let the
   // application act on the recovered data (§4.5.1).
   t0 = sim->Now();
-  auto epoch = controller_->BumpAppEpoch(config_.app_id);
+  auto epoch =
+      RetryControllerRpc([&] { return controller_->BumpAppEpoch(config_.app_id); });
   if (!epoch.ok()) {
     return epoch.status();
   }
@@ -323,7 +354,10 @@ Status NclFile::WriteApMap() {
   ApMapEntry entry;
   entry.epoch = epoch_;
   entry.peers = peer_names_;
-  return client_->controller_->SetApMap(client_->config_.app_id, name_, entry);
+  return client_->RetryControllerRpc([&] {
+    return client_->controller_->SetApMap(client_->config_.app_id, name_,
+                                          entry);
+  });
 }
 
 Status NclFile::Append(std::string_view data) {
@@ -367,7 +401,9 @@ Status NclFile::Record(uint64_t offset, std::string_view data) {
 
   int posted = 0;
   for (PeerSlot& slot : slots_) {
-    if (!slot.alive) {
+    if (!slot.alive || slot.suspect) {
+      // Suspect slots get the full state on resurrection instead of
+      // individual appends (their QP is down between attempts).
       continue;
     }
     if (config.test_crash_after_posting >= 0 &&
@@ -407,6 +443,9 @@ Status NclFile::Record(uint64_t offset, std::string_view data) {
   Simulation* sim = client_->fabric_->sim();
   while (CountAcked(seq_) < client_->majority()) {
     bool progressed = PumpCompletions();
+    if (MaybeRetrySuspects()) {
+      progressed = true;
+    }
     if (CountAcked(seq_) >= client_->majority()) {
       break;
     }
@@ -430,13 +469,25 @@ Status NclFile::Record(uint64_t offset, std::string_view data) {
       }
       continue;
     }
-    if (!progressed && !sim->RunOne()) {
-      return InternalError("replication stalled with no pending events");
+    if (!progressed) {
+      // If suspect slots are waiting out their backoff, run the fabric
+      // only up to the earliest resurrection attempt — a far-future event
+      // (say, a partition heal) must not leapfrog the retry schedule and
+      // blow the deadline. Otherwise take the next event; if there is
+      // none, the protocol is genuinely stuck.
+      SimTime due = NextSuspectRetryAt();
+      if (due >= 0) {
+        sim->RunUntil(std::max(due, sim->Now()));
+      } else if (!sim->RunOne()) {
+        return InternalError("replication stalled with no pending events");
+      }
     }
   }
 
-  // Off the ack path: restore the fault-tolerance level eagerly.
+  // Off the ack path: restore the fault-tolerance level eagerly. Expired
+  // suspects are demoted first so they become eligible for replacement.
   if (config.eager_peer_replacement) {
+    (void)MaybeRetrySuspects();
     for (PeerSlot& slot : slots_) {
       if (!slot.alive) {
         Status replaced = ReplaceSlot(&slot);
@@ -459,9 +510,9 @@ bool NclFile::PumpCompletions() {
     while (slot.qp->PollCq(&c)) {
       progressed = true;
       if (c.status != WcStatus::kSuccess) {
-        // Peer failure detected via the WR error (§4.5.2).
-        slot.alive = false;
-        slot.inflight.clear();
+        // Peer failure detected via the WR error (§4.5.2). Transient
+        // failures make the slot suspect; permanent ones demote it.
+        OnSlotError(&slot, c.status);
         break;
       }
       if (!slot.inflight.empty() && slot.inflight.front().first == c.wr_id) {
@@ -472,8 +523,130 @@ bool NclFile::PumpCompletions() {
         }
       }
     }
+    if (slot.suspect && slot.qp != nullptr && slot.inflight.empty()) {
+      // The resurrection repost fully drained: the QP is healthy again and
+      // the region holds a consistent snapshot at acked_seq. Clear suspect
+      // right away; if appends raced the repost the snapshot is stale, so
+      // ship the missing tail on the same QP — SQ ordering keeps later
+      // appends behind it, and the slot only counts toward a majority once
+      // it acks the current sequence.
+      slot.suspect = false;
+      slot.retry.reset();
+      client_->stats_.transient_recoveries++;
+      if (slot.acked_seq != seq_) {
+        PostFullState(&slot);
+      }
+    }
   }
   return progressed;
+}
+
+void NclFile::OnSlotError(PeerSlot* slot, WcStatus status) {
+  const RetryPolicy& policy = client_->config_.retry;
+  Simulation* sim = client_->fabric_->sim();
+  // kRetryExceeded means the target was unreachable — possibly a transient
+  // partition. Anything else (revoked rkey, flushed WR on an already-failed
+  // QP surfacing late) is treated as permanent.
+  if (status == WcStatus::kRetryExceeded && policy.max_attempts > 1) {
+    if (!slot->suspect) {
+      MarkSuspect(slot);
+    }
+    if (slot->retry->ShouldRetry(sim->Now())) {
+      slot->next_retry_at = sim->Now() + slot->retry->NextBackoff(&client_->rng_);
+      slot->inflight.clear();
+      // Drop the errored QP; stale flush completions die with it and the
+      // next resurrection attempt starts on a fresh QP.
+      slot->qp.reset();
+      return;
+    }
+  }
+  DemoteSlot(slot);
+}
+
+void NclFile::MarkSuspect(PeerSlot* slot) {
+  Simulation* sim = client_->fabric_->sim();
+  slot->suspect = true;
+  slot->suspect_since = sim->Now();
+  slot->retry.emplace(&client_->config_.retry, sim->Now());
+}
+
+void NclFile::DemoteSlot(PeerSlot* slot) {
+  slot->alive = false;
+  slot->suspect = false;
+  slot->retry.reset();
+  slot->inflight.clear();
+  slot->qp.reset();
+  client_->stats_.permanent_demotions++;
+}
+
+void NclFile::RepostSuspect(PeerSlot* slot) {
+  NclClient* client = client_;
+  client->stats_.suspect_retries++;
+  slot->qp = std::make_unique<QueuePair>(client->fabric_, client->node_,
+                                         slot->node,
+                                         client->MarkConnected(slot->node));
+  PostFullState(slot);
+}
+
+void NclFile::PostFullState(PeerSlot* slot) {
+  slot->inflight.clear();
+  // Full-state post, data before header (§4.4 ordering still applies: the
+  // header's arrival implies the contents').
+  if (!buffer_.empty()) {
+    uint64_t data_wr =
+        slot->qp->PostWrite(slot->rkey, kNclRegionHeaderBytes, buffer_);
+    slot->inflight.emplace_back(data_wr, 0);
+  }
+  std::string header = NclRegionHeader{seq_, length_}.Encode();
+  uint64_t header_wr = slot->qp->PostWrite(slot->rkey, 0, header);
+  slot->inflight.emplace_back(header_wr, seq_);
+}
+
+bool NclFile::MaybeRetrySuspects() {
+  Simulation* sim = client_->fabric_->sim();
+  const RetryPolicy& policy = client_->config_.retry;
+  bool posted = false;
+  for (PeerSlot& slot : slots_) {
+    if (!slot.alive || !slot.suspect || slot.qp != nullptr) {
+      continue;  // qp != nullptr: a resurrection attempt is in flight
+    }
+    if (sim->Now() < slot.next_retry_at) {
+      continue;
+    }
+    if (sim->Now() - slot.retry->start() >= policy.deadline) {
+      DemoteSlot(&slot);
+      continue;
+    }
+    if (!client_->fabric_->IsAlive(slot.node) ||
+        client_->fabric_->IsPartitioned(client_->node_, slot.node)) {
+      // Still unreachable: a resurrection QP would start in error state and
+      // flush, which reads as permanent. Burn a retry attempt and back off
+      // again instead; the deadline bounds how long this can go on.
+      if (!slot.retry->ShouldRetry(sim->Now())) {
+        DemoteSlot(&slot);
+        continue;
+      }
+      client_->stats_.suspect_retries++;
+      slot.next_retry_at = sim->Now() + slot.retry->NextBackoff(&client_->rng_);
+      continue;
+    }
+    RepostSuspect(&slot);
+    posted = true;
+  }
+  return posted;
+}
+
+SimTime NclFile::NextSuspectRetryAt() const {
+  SimTime earliest = -1;
+  for (const PeerSlot& slot : slots_) {
+    if (!slot.alive || !slot.suspect || slot.qp != nullptr) {
+      continue;
+    }
+    if (earliest < 0 || slot.next_retry_at < earliest) {
+      earliest = slot.next_retry_at;
+    }
+  }
+  return earliest;
 }
 
 int NclFile::CountAcked(uint64_t seq) const {
@@ -655,7 +828,8 @@ Status NclFile::ReplaceSlot(PeerSlot* slot) {
   const NclConfig& config = client->config_;
 
   // New epoch: we intend to update the ap-map (§4.5.1).
-  auto epoch = client->controller_->BumpAppEpoch(config.app_id);
+  auto epoch = client->RetryControllerRpc(
+      [&] { return client->controller_->BumpAppEpoch(config.app_id); });
   if (!epoch.ok()) {
     return epoch.status();
   }
@@ -736,7 +910,7 @@ Result<std::string> NclFile::Read(uint64_t offset, uint64_t len) {
 
   // No-prefetch variant (Fig 11a): one RDMA read per application read.
   PeerSlot& slot = slots_[recovery_slot_];
-  if (!slot.alive) {
+  if (!slot.alive || slot.suspect || slot.qp == nullptr) {
     // Fall back to the local copy held for catch-up purposes.
     sim->Advance(params.MemReadLatency(len));
     return buffer_.substr(offset, len);
@@ -773,11 +947,19 @@ Status NclFile::Delete() {
   }
   for (PeerSlot& slot : slots_) {
     if (slot.alive && slot.peer != nullptr) {
-      (void)slot.peer->Release(client_->config_.app_id, name_);
+      Status released = slot.peer->Release(client_->config_.app_id, name_);
+      if (!released.ok()) {
+        // The region leaks until the peer's epoch GC reclaims it; that is
+        // tolerable, silently losing the signal is not.
+        client_->stats_.release_failures++;
+        LOG_WARNING << "release of " << name_ << " on " << slot.peer_name
+                    << " failed: " << released.message();
+      }
     }
   }
-  Status st =
-      client_->controller_->DeleteApMap(client_->config_.app_id, name_);
+  Status st = client_->RetryControllerRpc([&] {
+    return client_->controller_->DeleteApMap(client_->config_.app_id, name_);
+  });
   deleted_ = true;
   return st;
 }

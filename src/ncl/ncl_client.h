@@ -20,16 +20,19 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/controller/controller.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
 #include "src/ncl/region_format.h"
 #include "src/rdma/fabric.h"
+#include "src/sim/retry.h"
 
 namespace splitft {
 
@@ -51,6 +54,19 @@ struct NclConfig {
   // controller's availability is a hint; peers may reject).
   int allocation_attempts = 8;
 
+  // Unified transient-fault policy. The default (max_attempts = 1) keeps
+  // the seed behaviour: every WR error, failed directory lookup, or
+  // controller RPC failure is final. Raising max_attempts turns
+  // kRetryExceeded WR errors into *suspect* slots that are resurrected
+  // with exponential backoff until the policy is exhausted, retries
+  // kTimedOut controller RPCs (outage windows), and retries unreachable
+  // setup-process lookups — only after exhaustion is a peer demoted to
+  // dead and replaced.
+  RetryPolicy retry;
+  // Seed for the client's deterministic RNG (backoff jitter). Campaigns
+  // derive it from the schedule seed so failures reproduce exactly.
+  uint64_t rng_seed = 0xC1A05EEDull;
+
   // Fault-injection switches reproducing the "subtle bugs" of §4.6. They
   // exist so tests and the model checker can demonstrate that the safe
   // orderings matter; never enable outside tests.
@@ -65,6 +81,23 @@ struct NclConfig {
   // right after the ap-map update — the application crash window that
   // produces the Fig 7(iii) data loss.
   bool test_crash_after_apmap_update = false;
+};
+
+// Client-side fault-handling counters (chaos campaigns assert on these;
+// they also surface previously-swallowed errors like Release failures).
+struct NclStats {
+  // peer->Release RPCs that failed during Delete (previously swallowed).
+  uint64_t release_failures = 0;
+  // Resurrection attempts posted to suspect slots.
+  uint64_t suspect_retries = 0;
+  // Suspect slots that caught back up without being replaced.
+  uint64_t transient_recoveries = 0;
+  // Slots demoted to dead (immediately, or after policy exhaustion).
+  uint64_t permanent_demotions = 0;
+  // Controller RPCs retried after a kTimedOut (outage window).
+  uint64_t controller_rpc_retries = 0;
+  // Directory lookups retried while a setup process was unreachable.
+  uint64_t directory_lookup_retries = 0;
 };
 
 // Recovery latency breakdown (Fig 11b / Table 3 reporting).
@@ -110,6 +143,7 @@ class NclClient {
 
   const NclConfig& config() const { return config_; }
   const RecoveryBreakdown& last_recovery() const { return last_recovery_; }
+  const NclStats& stats() const { return stats_; }
   int peers_replaced() const { return peers_replaced_; }
 
  private:
@@ -124,6 +158,38 @@ class NclClient {
       const std::string& file, uint64_t region_bytes, uint64_t epoch,
       const std::set<std::string>& exclude);
 
+  // Directory lookup that retries (under config.retry) while the peer's
+  // setup process is momentarily unreachable, instead of treating the
+  // first nullptr as a crash.
+  LogPeer* LookupPeerWithRetry(const std::string& name);
+
+  static bool RpcTimedOut(const Status& st) {
+    return st.code() == StatusCode::kTimedOut;
+  }
+  template <typename T>
+  static bool RpcTimedOut(const Result<T>& r) {
+    return !r.ok() && r.status().code() == StatusCode::kTimedOut;
+  }
+
+  // Runs a controller RPC, retrying kTimedOut failures (outage windows)
+  // under config.retry. Permanent failures (kUnavailable "not enough
+  // peers", kNotFound, ...) are returned immediately.
+  template <typename Fn>
+  auto RetryControllerRpc(Fn&& fn) -> decltype(fn()) {
+    auto r = fn();
+    if (!RpcTimedOut(r)) {
+      return r;
+    }
+    Simulation* sim = fabric_->sim();
+    RetryState state(&config_.retry, sim->Now());
+    while (RpcTimedOut(r) && state.ShouldRetry(sim->Now())) {
+      stats_.controller_rpc_retries++;
+      sim->RunUntil(sim->Now() + state.NextBackoff(&rng_));
+      r = fn();
+    }
+    return r;
+  }
+
   // True once this client has connected to the node before (connection
   // kept warm across log rotations).
   bool MarkConnected(NodeId node) {
@@ -135,8 +201,10 @@ class NclClient {
   Controller* controller_;
   PeerDirectory* directory_;
   NodeId node_;
+  Rng rng_;
   std::set<NodeId> connected_nodes_;
   RecoveryBreakdown last_recovery_;
+  NclStats stats_;
   int peers_replaced_ = 0;
 };
 
@@ -184,6 +252,16 @@ class NclFile {
     RKey rkey = 0;
     std::unique_ptr<QueuePair> qp;
     bool alive = true;
+    // Transient-fault handling: a slot whose WR failed with kRetryExceeded
+    // under an active RetryPolicy is *suspect*, not dead. It is resurrected
+    // (fresh QP + full-state repost) with exponential backoff until either
+    // its header lands again (recovered) or the policy is exhausted
+    // (demoted to dead and replaced). While suspect, qp == nullptr between
+    // resurrection attempts and no new appends are posted to it.
+    bool suspect = false;
+    SimTime suspect_since = 0;
+    SimTime next_retry_at = 0;
+    std::optional<RetryState> retry;
     // Sequence number of the last write fully completed (header landed).
     uint64_t acked_seq = 0;
     // In-flight header WRs: (wr_id of the header WR, seq it commits).
@@ -196,10 +274,25 @@ class NclFile {
   // peers and blocks (pumping the simulation) until a majority completes.
   Status Record(uint64_t offset, std::string_view data);
 
-  // Polls every slot's CQ; returns true if anything progressed. Marks
-  // failed slots dead.
+  // Polls every slot's CQ; returns true if anything progressed. Classifies
+  // WR failures: transient ones mark the slot suspect, permanent ones
+  // demote it to dead.
   bool PumpCompletions();
   int CountAcked(uint64_t seq) const;
+
+  // ---- Suspect-slot machinery (transient faults) -------------------------
+  void OnSlotError(PeerSlot* slot, WcStatus status);
+  void MarkSuspect(PeerSlot* slot);
+  void DemoteSlot(PeerSlot* slot);
+  // Posts a full-state repost (buffer + header) on a fresh QP; completions
+  // flow through the regular inflight pump.
+  void RepostSuspect(PeerSlot* slot);
+  void PostFullState(PeerSlot* slot);
+  // Fires due resurrection attempts; demotes slots whose deadline expired.
+  // Returns true if any WRs were posted.
+  bool MaybeRetrySuspects();
+  // Earliest pending resurrection time across suspect slots, or -1.
+  SimTime NextSuspectRetryAt() const;
 
   // Replaces a dead slot with a freshly allocated, caught-up peer and
   // updates the ap-map (§4.5.2). On success the slot is alive and fully

@@ -7,6 +7,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/ncl/peer.h"
 
@@ -19,14 +20,34 @@ class PeerDirectory {
 
   // nullptr when the peer's setup process is unreachable.
   LogPeer* Lookup(const std::string& name) const {
+    if (unreachable_.count(name) > 0) {
+      return nullptr;
+    }
     auto it = peers_.find(name);
     return it == peers_.end() ? nullptr : it->second;
   }
+
+  // Chaos hook: while marked unreachable the peer stays registered but
+  // Lookup reports its setup process as down (TCP connect timeout). This is
+  // the transient cousin of Unregister — callers with a RetryPolicy should
+  // retry the lookup instead of declaring the peer crashed.
+  void SetUnreachable(const std::string& name, bool unreachable) {
+    if (unreachable) {
+      unreachable_.insert(name);
+    } else {
+      unreachable_.erase(name);
+    }
+  }
+  bool IsUnreachable(const std::string& name) const {
+    return unreachable_.count(name) > 0;
+  }
+  void ClearUnreachable() { unreachable_.clear(); }
 
   size_t size() const { return peers_.size(); }
 
  private:
   std::unordered_map<std::string, LogPeer*> peers_;
+  std::unordered_set<std::string> unreachable_;
 };
 
 }  // namespace splitft

@@ -34,6 +34,12 @@ struct Fabric::QpState {
   uint64_t next_wr_id = 1;
   std::deque<Completion> cq;
   size_t outstanding = 0;
+  // NIC retransmission state: while the head-of-line WR is retrying toward
+  // an unreachable target, later WRs queue here instead of executing —
+  // otherwise a heal between two retry ticks could land a header before
+  // its data and break the SQ-ordering guarantee NCL depends on.
+  bool retrying = false;
+  std::deque<WorkRequest> stalled;
 };
 
 Fabric::Fabric(Simulation* sim, const SimParams* params)
@@ -77,6 +83,44 @@ void Fabric::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
 
 bool Fabric::IsPartitioned(NodeId a, NodeId b) const {
   return partitions_.count(PartitionKey(a, b)) > 0;
+}
+
+uint64_t Fabric::PartitionFor(NodeId a, NodeId b, SimTime heal_after) {
+  SetPartitioned(a, b, true);
+  return sim_->ScheduleCancelableAt(sim_->Now() + heal_after,
+                                    [this, a, b] { SetPartitioned(a, b, false); });
+}
+
+void Fabric::SetLinkDelay(NodeId a, NodeId b, SimTime extra) {
+  if (extra > 0) {
+    link_delays_[PartitionKey(a, b)] = extra;
+  } else {
+    link_delays_.erase(PartitionKey(a, b));
+  }
+}
+
+SimTime Fabric::LinkDelay(NodeId a, NodeId b) const {
+  auto it = link_delays_.find(PartitionKey(a, b));
+  return it == link_delays_.end() ? 0 : it->second;
+}
+
+void Fabric::SetCompletionDelay(NodeId a, NodeId b, SimTime delay) {
+  if (delay > 0) {
+    completion_delays_[PartitionKey(a, b)] = delay;
+  } else {
+    completion_delays_.erase(PartitionKey(a, b));
+  }
+}
+
+SimTime Fabric::CompletionDelay(NodeId a, NodeId b) const {
+  auto it = completion_delays_.find(PartitionKey(a, b));
+  return it == completion_delays_.end() ? 0 : it->second;
+}
+
+void Fabric::ClearLinkFaults() {
+  partitions_.clear();
+  link_delays_.clear();
+  completion_delays_.clear();
 }
 
 Result<RKey> Fabric::RegisterRegion(NodeId node_id, uint64_t size) {
@@ -152,12 +196,8 @@ Result<uint64_t> Fabric::RegionSize(NodeId node_id, RKey rkey) const {
   return static_cast<uint64_t>(it->second.buffer.size());
 }
 
-void Fabric::CompleteWr(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
-                        WcStatus status, std::string read_data) {
-  if (status != WcStatus::kSuccess) {
-    qp->error = true;
-    stats_.failed_wrs++;
-  }
+void Fabric::PushCompletion(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
+                            WcStatus status, std::string read_data) {
   if (qp->closed) {
     // Initiator is gone; nobody will poll this CQ.
     qp->outstanding--;
@@ -167,39 +207,105 @@ void Fabric::CompleteWr(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
   qp->outstanding--;
 }
 
-void Fabric::DeliverWr(std::shared_ptr<QpState> qp, WorkRequest wr) {
-  // Executed at the WR's scheduled completion time.
+void Fabric::CompleteWr(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
+                        WcStatus status, std::string read_data) {
+  if (status != WcStatus::kSuccess) {
+    // The QP enters the error state immediately (the NIC knows), even if
+    // the completion itself surfaces late.
+    qp->error = true;
+    stats_.failed_wrs++;
+  }
+  SimTime delay = CompletionDelay(qp->local, qp->remote);
+  if (delay > 0) {
+    sim_->Schedule(delay, [this, qp, wr_id, status,
+                           data = std::move(read_data)]() mutable {
+      PushCompletion(qp, wr_id, status, std::move(data));
+    });
+    return;
+  }
+  PushCompletion(qp, wr_id, status, std::move(read_data));
+}
+
+bool Fabric::TryDeliverOnce(const std::shared_ptr<QpState>& qp,
+                            WorkRequest* wr) {
   Node& target = nodes_.at(qp->remote);
   if (qp->error) {
-    CompleteWr(qp, wr.wr_id, WcStatus::kFlushError, {});
-    return;
+    CompleteWr(qp, wr->wr_id, WcStatus::kFlushError, {});
+    return true;
+  }
+  SimTime now = sim_->Now();
+  if (wr->first_attempt < 0) {
+    wr->first_attempt = now;
   }
   if (!target.alive || IsPartitioned(qp->local, qp->remote)) {
-    CompleteWr(qp, wr.wr_id, WcStatus::kRetryExceeded, {});
-    return;
+    // Unreachable target. Within the NIC retransmission window, keep the WR
+    // head-of-line and try again later; past it, report retry-exceeded.
+    SimTime interval = params_->rdma.unreachable_retry_interval;
+    SimTime budget = params_->rdma.unreachable_retry_timeout;
+    if (now - wr->first_attempt + interval <= budget) {
+      stats_.wr_retries++;
+      qp->retrying = true;
+      auto state = qp;
+      sim_->Schedule(interval, [this, state, w = std::move(*wr)]() mutable {
+        DeliverInOrder(state, std::move(w));
+      });
+      return false;
+    }
+    CompleteWr(qp, wr->wr_id, WcStatus::kRetryExceeded, {});
+    return true;
   }
-  auto region_it = target.regions.find(wr.rkey);
+  if (wr->first_attempt < now) {
+    // At least one retry tick happened and the target is reachable again.
+    stats_.wr_retry_recoveries++;
+  }
+  auto region_it = target.regions.find(wr->rkey);
   if (region_it == target.regions.end() || !region_it->second.valid) {
-    CompleteWr(qp, wr.wr_id, WcStatus::kRemoteAccessError, {});
-    return;
+    CompleteWr(qp, wr->wr_id, WcStatus::kRemoteAccessError, {});
+    return true;
   }
   std::string& buf = region_it->second.buffer;
-  if (wr.is_read) {
-    if (wr.remote_offset + wr.read_len > buf.size()) {
-      CompleteWr(qp, wr.wr_id, WcStatus::kRemoteAccessError, {});
-      return;
+  if (wr->is_read) {
+    if (wr->remote_offset + wr->read_len > buf.size()) {
+      CompleteWr(qp, wr->wr_id, WcStatus::kRemoteAccessError, {});
+      return true;
     }
-    CompleteWr(qp, wr.wr_id, WcStatus::kSuccess,
-               buf.substr(wr.remote_offset, wr.read_len));
+    CompleteWr(qp, wr->wr_id, WcStatus::kSuccess,
+               buf.substr(wr->remote_offset, wr->read_len));
   } else {
-    if (wr.remote_offset + wr.data.size() > buf.size()) {
-      CompleteWr(qp, wr.wr_id, WcStatus::kRemoteAccessError, {});
-      return;
+    if (wr->remote_offset + wr->data.size() > buf.size()) {
+      CompleteWr(qp, wr->wr_id, WcStatus::kRemoteAccessError, {});
+      return true;
     }
     // One-sided write: lands in remote memory with no remote CPU.
-    buf.replace(wr.remote_offset, wr.data.size(), wr.data);
-    CompleteWr(qp, wr.wr_id, WcStatus::kSuccess, {});
+    buf.replace(wr->remote_offset, wr->data.size(), wr->data);
+    CompleteWr(qp, wr->wr_id, WcStatus::kSuccess, {});
   }
+  return true;
+}
+
+void Fabric::DeliverInOrder(std::shared_ptr<QpState> qp, WorkRequest wr) {
+  qp->retrying = false;
+  for (;;) {
+    if (!TryDeliverOnce(qp, &wr)) {
+      return;  // retry scheduled; wr stays head-of-line, qp->retrying set
+    }
+    if (qp->stalled.empty()) {
+      return;
+    }
+    wr = std::move(qp->stalled.front());
+    qp->stalled.pop_front();
+  }
+}
+
+void Fabric::DeliverWr(std::shared_ptr<QpState> qp, WorkRequest wr) {
+  // Executed at the WR's scheduled completion time. If an earlier WR on
+  // this QP is still inside the NIC retransmission window, queue behind it
+  // to preserve send-queue order.
+  if (qp->retrying) {
+    qp->stalled.push_back(std::move(wr));
+    return;
+  }
+  DeliverInOrder(std::move(qp), std::move(wr));
 }
 
 QueuePair::QueuePair(Fabric* fabric, NodeId local, NodeId remote, bool warm)
@@ -239,7 +345,8 @@ uint64_t QueuePair::PostWrite(RKey rkey, uint64_t remote_offset,
   // SQ ordering: this WR completes only after every earlier WR on this QP.
   SimTime now = fabric_->sim_->Now();
   SimTime done = std::max(now, state_->busy_until) +
-                 fabric_->params_->RdmaWriteLatency(data.size());
+                 fabric_->params_->RdmaWriteLatency(data.size()) +
+                 fabric_->LinkDelay(local_, remote_);
   state_->busy_until = done;
   state_->outstanding++;
   auto state = state_;
@@ -264,8 +371,9 @@ uint64_t QueuePair::PostRead(RKey rkey, uint64_t remote_offset, uint64_t len) {
   fabric_->sim_->Advance(fabric_->params_->rdma.post_overhead);
 
   SimTime now = fabric_->sim_->Now();
-  SimTime done =
-      std::max(now, state_->busy_until) + fabric_->params_->RdmaReadLatency(len);
+  SimTime done = std::max(now, state_->busy_until) +
+                 fabric_->params_->RdmaReadLatency(len) +
+                 fabric_->LinkDelay(local_, remote_);
   state_->busy_until = done;
   state_->outstanding++;
   auto state = state_;

@@ -65,6 +65,12 @@ struct FabricStats {
   uint64_t write_bytes = 0;
   uint64_t read_bytes = 0;
   uint64_t failed_wrs = 0;
+  // NIC-level retransmissions toward unreachable targets (see
+  // RdmaParams::unreachable_retry_timeout).
+  uint64_t wr_retries = 0;
+  // WRs that survived an unreachable window because the fault healed
+  // before the retry budget ran out.
+  uint64_t wr_retry_recoveries = 0;
 };
 
 class QueuePair;
@@ -92,6 +98,28 @@ class Fabric {
   // Symmetric link partition between two nodes.
   void SetPartitioned(NodeId a, NodeId b, bool partitioned);
   bool IsPartitioned(NodeId a, NodeId b) const;
+
+  // Transient partition: partitions the link now and schedules the heal
+  // `heal_after` ns in the future. Returns a Simulation token that cancels
+  // the pending heal (healing the link is then the caller's job).
+  uint64_t PartitionFor(NodeId a, NodeId b, SimTime heal_after);
+
+  // Per-link delay spike: every WR posted on the link pays `extra` ns on
+  // top of the modeled latency (jitter, congestion, a misbehaving switch).
+  // 0 clears the spike.
+  void SetLinkDelay(NodeId a, NodeId b, SimTime extra);
+  SimTime LinkDelay(NodeId a, NodeId b) const;
+
+  // Delayed WR completions: the WR executes on the remote memory at its
+  // normal time but the completion surfaces in the local CQ `delay` ns
+  // late — the data is durable before the initiator learns it, the race
+  // window that makes replacement-vs-slow-completion interesting. 0 clears.
+  void SetCompletionDelay(NodeId a, NodeId b, SimTime delay);
+  SimTime CompletionDelay(NodeId a, NodeId b) const;
+
+  // Clears every injected link fault (partitions, delay spikes, completion
+  // delays). Crashed nodes stay crashed.
+  void ClearLinkFaults();
 
   // ---- Memory regions (peer-side, CPU-involving setup path) -------------
 
@@ -143,17 +171,30 @@ class Fabric {
     uint64_t remote_offset;
     std::string data;    // payload for writes
     uint64_t read_len;   // length for reads
+    // First delivery attempt (for the NIC retransmission window); -1 until
+    // the WR reaches the head of the delivery pipeline.
+    SimTime first_attempt = -1;
   };
 
   uint64_t PartitionKey(NodeId a, NodeId b) const;
   void DeliverWr(std::shared_ptr<QpState> qp, WorkRequest wr);
+  // Delivers `wr` and then drains any WRs that queued up behind it while it
+  // was retrying (send-queue order is preserved across retries).
+  void DeliverInOrder(std::shared_ptr<QpState> qp, WorkRequest wr);
+  // One delivery attempt. Returns false if a NIC retry was scheduled (the
+  // WR stays head-of-line), true once a completion was produced.
+  bool TryDeliverOnce(const std::shared_ptr<QpState>& qp, WorkRequest* wr);
   void CompleteWr(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
                   WcStatus status, std::string read_data);
+  void PushCompletion(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
+                      WcStatus status, std::string read_data);
 
   Simulation* sim_;
   const SimParams* params_;
   std::vector<Node> nodes_;
   std::unordered_set<uint64_t> partitions_;
+  std::unordered_map<uint64_t, SimTime> link_delays_;
+  std::unordered_map<uint64_t, SimTime> completion_delays_;
   RKey next_rkey_ = 1;
   FabricStats stats_;
 };

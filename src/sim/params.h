@@ -29,6 +29,14 @@ struct RdmaParams {
   SimTime post_overhead = Micros(0.25);
   // TCP RPC to a peer's lightweight setup process (allocate/release/switch).
   SimTime setup_rpc_latency = Micros(200.0);
+  // NIC-level retransmission window for unreachable targets (ibverbs
+  // retry_cnt x local-ack-timeout). While the window is open the NIC keeps
+  // retrying at `unreachable_retry_interval`; a partition that heals inside
+  // it never surfaces a WR error at all. 0 keeps the legacy behaviour of
+  // failing at delivery time (the seed repo's default, which most tests
+  // rely on for fast failure detection).
+  SimTime unreachable_retry_timeout = 0;
+  SimTime unreachable_retry_interval = Micros(50.0);
 };
 
 // Disaggregated file system (src/dfs), CephFS-like.

@@ -1,0 +1,22 @@
+#include "src/sim/retry.h"
+
+#include <algorithm>
+
+namespace splitft {
+
+SimTime RetryState::NextBackoff(Rng* rng) {
+  double backoff = static_cast<double>(policy_->initial_backoff);
+  for (int i = 0; i < attempts_; ++i) {
+    backoff *= policy_->multiplier;
+  }
+  backoff = std::min(backoff, static_cast<double>(policy_->max_backoff));
+  attempts_++;
+  if (policy_->jitter > 0 && rng != nullptr) {
+    // Uniform in [1 - jitter, 1 + jitter]; deterministic per seed.
+    double factor = 1.0 + policy_->jitter * (2.0 * rng->NextDouble() - 1.0);
+    backoff *= factor;
+  }
+  return std::max<SimTime>(1, static_cast<SimTime>(backoff));
+}
+
+}  // namespace splitft

@@ -17,6 +17,20 @@ void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
   events_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
+uint64_t Simulation::ScheduleCancelableAt(SimTime when,
+                                          std::function<void()> fn) {
+  uint64_t token = next_token_++;
+  live_tokens_.insert(token);
+  ScheduleAt(when, [this, token, f = std::move(fn)] {
+    if (live_tokens_.erase(token) > 0) {
+      f();
+    }
+  });
+  return token;
+}
+
+void Simulation::Cancel(uint64_t token) { live_tokens_.erase(token); }
+
 bool Simulation::RunOne() {
   if (events_.empty()) {
     return false;

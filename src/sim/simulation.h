@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace splitft {
@@ -41,6 +42,13 @@ class Simulation {
   // run in scheduling order (FIFO), which keeps runs deterministic.
   void Schedule(SimTime delay, std::function<void()> fn);
   void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Cancellable variant, used by fault injectors whose pending heal/expiry
+  // events may be retired early (e.g. ChaosEngine::HealAll). The returned
+  // token cancels the event if it has not fired yet; cancelling a fired or
+  // unknown token is a no-op.
+  uint64_t ScheduleCancelableAt(SimTime when, std::function<void()> fn);
+  void Cancel(uint64_t token);
 
   // Runs the earliest pending event, advancing the clock to its timestamp.
   // Returns false if no events are pending.
@@ -81,6 +89,8 @@ class Simulation {
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t next_token_ = 1;
+  std::unordered_set<uint64_t> live_tokens_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
 };
 

@@ -5,6 +5,8 @@
 
 #include "src/common/bytes.h"
 #include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/sim/retry.h"
 
 namespace splitft {
 namespace {
@@ -211,7 +213,19 @@ SplitFs::SplitFs(NclConfig ncl_config, DfsClient* dfs, Fabric* fabric,
 SplitFs::~SplitFs() = default;
 
 Status SplitFs::Start() {
+  // The lease RPC is retried through controller outage windows (kTimedOut)
+  // under the client retry policy. kAborted — another live instance holds
+  // the lease — is permanent and surfaces immediately.
+  const RetryPolicy& policy = ncl_->config().retry;
+  Rng rng(ncl_->config().rng_seed ^ 0x1ea5eull);
+  Simulation* sim = controller_->sim();
+  RetryState state(&policy, sim->Now());
   auto lease = controller_->AcquireServerLease(ncl_->config().app_id);
+  while (!lease.ok() && lease.status().code() == StatusCode::kTimedOut &&
+         state.ShouldRetry(sim->Now())) {
+    sim->RunUntil(sim->Now() + state.NextBackoff(&rng));
+    lease = controller_->AcquireServerLease(ncl_->config().app_id);
+  }
   if (!lease.ok()) {
     return lease.status();
   }
