@@ -13,7 +13,8 @@
 namespace splitft {
 namespace {
 
-HarnessResult Run(DurabilityMode mode, bool batching, uint64_t target_ops) {
+HarnessResult Run(bench::Reporter* reporter, DurabilityMode mode,
+                  bool batching, uint64_t target_ops) {
   Testbed testbed;
   auto server = testbed.MakeServer(
       "ab-batch-" + std::string(DurabilityModeName(mode)) +
@@ -25,8 +26,9 @@ HarnessResult Run(DurabilityMode mode, bool batching, uint64_t target_ops) {
   if (!store.ok()) {
     return {};
   }
-  (void)Testbed::LoadRecords(store->get(), 20000);
-  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, 20000, 42);
+  uint64_t records = reporter->Iters(20000, 1000);
+  (void)Testbed::LoadRecords(store->get(), records);
+  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, records, 42);
   HarnessOptions harness_options;
   harness_options.num_clients = 12;
   harness_options.batching = batching;
@@ -41,6 +43,7 @@ HarnessResult Run(DurabilityMode mode, bool batching, uint64_t target_ops) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("ablation_batching");
   bench::Title("Ablation: group commit (application-level batching)");
   bench::Note("RocksDB-mini, write-only, 12 clients");
   std::printf("  %-9s %10s %14s %14s\n", "config", "batching", "tput KOps/s",
@@ -50,17 +53,25 @@ int main() {
        {DurabilityMode::kStrong, DurabilityMode::kWeak,
         DurabilityMode::kSplitFt}) {
     for (bool batching : {true, false}) {
-      uint64_t ops = mode == DurabilityMode::kStrong ? 3000 : 30000;
-      HarnessResult r = Run(mode, batching, ops);
+      uint64_t ops = mode == DurabilityMode::kStrong
+                         ? reporter.Iters(3000, 300)
+                         : reporter.Iters(30000, 1500);
+      HarnessResult r = Run(&reporter, mode, batching, ops);
       std::printf("  %-9s %10s %14.1f %14.1f\n",
                   std::string(DurabilityModeName(mode)).c_str(),
                   batching ? "on" : "off", r.throughput_kops,
                   r.latency.Mean() / 1e3);
+      reporter
+          .AddSeries(std::string(DurabilityModeName(mode)) + "/" +
+                         (batching ? "batch" : "nobatch"),
+                     "us")
+          .FromHistogram(r.latency, 1e-3)
+          .Scalar("throughput_kops", r.throughput_kops);
     }
   }
   bench::Rule();
   bench::Note("expected: batching is what keeps strong mode usable at all "
               "(n clients amortize one flush); splitft barely needs it "
               "because its log writes are microseconds");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -22,10 +22,12 @@ struct CatchupCost {
 // `stale_fraction` of writes (via a partition), crashes the app, recovers
 // with the given catch-up mode, and reports the transfer cost.
 CatchupCost Run(bool diff_mode, double stale_fraction) {
-  Testbed testbed;
+  TestbedOptions testbed_options;
+  testbed_options.tracing = true;  // sync time comes from the recovery span
+  Testbed testbed(testbed_options);
   std::string app = std::string("ab-catchup-") + (diff_mode ? "d" : "f") +
                     std::to_string(static_cast<int>(stale_fraction * 100));
-  const uint64_t kLog = 16ull << 20;
+  const uint64_t kLog = bench::SmokeFromEnv() ? 4ull << 20 : 16ull << 20;
   std::string lagging_peer;
   {
     auto server = testbed.MakeServer(app, DurabilityMode::kSplitFt);
@@ -72,14 +74,17 @@ CatchupCost Run(bool diff_mode, double stale_fraction) {
       diff_mode;
   SplitOpenOptions opts;
   opts.oncl = true;
+  auto before = testbed.tracer()->Snapshot();
   auto file = server->fs->Open("/log", opts);
   CatchupCost cost;
   if (!file.ok()) {
     return cost;
   }
-  cost.sync_ms =
-      static_cast<double>(server->fs->ncl()->last_recovery().sync_peers) /
-      1e6;
+  auto window = SpanDiff(before, testbed.tracer()->Snapshot());
+  auto it = window.find("ncl.recover.sync_peers");
+  cost.sync_ms = it == window.end()
+                     ? 0.0
+                     : static_cast<double>(it->second.total) / 1e6;
   // Subtract the recovery prefetch read; what remains is catch-up traffic.
   cost.bytes_written = testbed.fabric()->stats().write_bytes - w0;
   cost.bytes_read = testbed.fabric()->stats().read_bytes - r0;
@@ -91,6 +96,7 @@ CatchupCost Run(bool diff_mode, double stale_fraction) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("ablation_catchup");
   bench::Title("Ablation: catch-up transfer — full copy vs bytewise diff");
   std::printf("  %-12s %-6s %12s %14s %14s\n", "staleness", "mode",
               "sync (ms)", "bytes written", "bytes read");
@@ -102,11 +108,18 @@ int main() {
                   diff ? "diff" : "full", cost.sync_ms,
                   HumanBytes(cost.bytes_written).c_str(),
                   HumanBytes(cost.bytes_read).c_str());
+      reporter
+          .AddSeries(std::string(diff ? "diff" : "full") + "/stale" +
+                         std::to_string(static_cast<int>(stale * 100)),
+                     "ms")
+          .FromValue(cost.sync_ms)
+          .Scalar("bytes_written", static_cast<double>(cost.bytes_written))
+          .Scalar("bytes_read", static_cast<double>(cost.bytes_read));
     }
   }
   bench::Rule();
   bench::Note("diff ships (almost) nothing when peers are current but pays "
               "a full-region read to compute the difference; full copy is "
               "read-free but always ships everything (§4.5.1)");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

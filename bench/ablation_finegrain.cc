@@ -21,7 +21,7 @@ namespace splitft {
 namespace {
 
 constexpr uint64_t kFileBytes = 16ull << 20;
-constexpr int kOps = 4000;
+int Ops() { return bench::SmokeFromEnv() ? 400 : 4000; }
 constexpr double kLargeFraction = 0.05;
 constexpr uint64_t kSmallBytes = 256;
 constexpr uint64_t kLargeBytes = 256 << 10;
@@ -55,6 +55,7 @@ double RunPlacement(Placement placement) {
   }
 
   Rng rng(42);
+  const int kOps = Ops();
   std::string small(kSmallBytes, 's');
   std::string large(kLargeBytes, 'L');
   SimTime t0 = testbed.sim()->Now();
@@ -77,22 +78,28 @@ double RunPlacement(Placement placement) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("ablation_finegrain");
   bench::Title("Ablation: fine-granular write splitting (SS6 extension)");
   std::printf("  mixed workload: %d ops, %.0f%% large (%s) / %.0f%% small "
               "(%s), durable per write\n",
-              kOps, kLargeFraction * 100, HumanBytes(kLargeBytes).c_str(),
+              Ops(), kLargeFraction * 100, HumanBytes(kLargeBytes).c_str(),
               (1 - kLargeFraction) * 100, HumanBytes(kSmallBytes).c_str());
   std::printf("  %-12s %14s\n", "placement", "tput KOps/s");
   bench::Rule();
-  std::printf("  %-12s %14.2f\n", "dfs-sync", RunPlacement(Placement::kDfsSync));
-  std::printf("  %-12s %14.2f\n", "ncl-whole",
-              RunPlacement(Placement::kNclWhole));
-  std::printf("  %-12s %14.2f\n", "split", RunPlacement(Placement::kSplit));
+  double dfs_sync = RunPlacement(Placement::kDfsSync);
+  double ncl_whole = RunPlacement(Placement::kNclWhole);
+  double split = RunPlacement(Placement::kSplit);
+  std::printf("  %-12s %14.2f\n", "dfs-sync", dfs_sync);
+  std::printf("  %-12s %14.2f\n", "ncl-whole", ncl_whole);
+  std::printf("  %-12s %14.2f\n", "split", split);
+  reporter.AddSeries("dfs-sync", "KOps/s").FromValue(dfs_sync);
+  reporter.AddSeries("ncl-whole", "KOps/s").FromValue(ncl_whole);
+  reporter.AddSeries("split", "KOps/s").FromValue(split);
   bench::Rule();
   bench::Note(
       "expected: split >> dfs-sync (small writes dominate and go to NCL) "
       "while reserving only a 4 MiB journal in remote memory; ncl-whole is "
       "fastest but pins the entire file in peer memory and replicates bulk "
       "writes over the fabric");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

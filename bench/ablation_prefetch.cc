@@ -53,11 +53,15 @@ double ConsumeLog(uint64_t log_bytes, uint64_t read_size, bool prefetch) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("ablation_prefetch");
   bench::Title("Ablation: recovery prefetch (total log-consumption time)");
   std::printf("  %-10s %-10s %16s %16s %8s\n", "log size", "read size",
               "prefetch (ms)", "no prefetch (ms)", "speedup");
   bench::Rule();
-  for (uint64_t log_bytes : {8ull << 20, 32ull << 20}) {
+  std::vector<uint64_t> log_sizes =
+      reporter.smoke() ? std::vector<uint64_t>{2ull << 20}
+                       : std::vector<uint64_t>{8ull << 20, 32ull << 20};
+  for (uint64_t log_bytes : log_sizes) {
     for (uint64_t read_size : {512ull, 4096ull}) {
       double with = ConsumeLog(log_bytes, read_size, true);
       double without = ConsumeLog(log_bytes, read_size, false);
@@ -65,10 +69,16 @@ int main() {
                   HumanBytes(log_bytes).c_str(),
                   HumanBytes(read_size).c_str(), with, without,
                   without / with);
+      std::string suffix = "/" + std::to_string(log_bytes >> 20) + "MB/" +
+                           std::to_string(read_size) + "B";
+      reporter.AddSeries("prefetch" + suffix, "ms").FromValue(with);
+      reporter.AddSeries("noprefetch" + suffix, "ms")
+          .FromValue(without)
+          .Scalar("speedup", with > 0 ? without / with : 0);
     }
   }
   bench::Rule();
   bench::Note("paper: prefetching is essential — without it every replay "
               "read pays a fabric round trip");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -12,7 +12,7 @@
 namespace splitft {
 namespace {
 
-void RunBudget(int f) {
+void RunBudget(bench::Reporter* reporter, int f) {
   TestbedOptions testbed_options;
   testbed_options.num_peers = 2 * f + 3;
   testbed_options.fault_budget = f;
@@ -43,11 +43,12 @@ void RunBudget(int f) {
   }
 
   // Application throughput.
-  (void)Testbed::LoadRecords(store->get(), 20000);
-  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, 20000, 42);
+  uint64_t records = reporter->Iters(20000, 1000);
+  (void)Testbed::LoadRecords(store->get(), records);
+  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, records, 42);
   HarnessOptions harness_options;
   harness_options.num_clients = 12;
-  harness_options.target_ops = 20000;
+  harness_options.target_ops = reporter->Iters(20000, 1000);
   ClosedLoopHarness harness(testbed.sim(), store->get(), &workload,
                             harness_options);
   HarnessResult r = harness.Run();
@@ -61,6 +62,11 @@ void RunBudget(int f) {
   std::printf("  %2d %6d %16.2f %14.1f %18s\n", f, 2 * f + 1,
               static_cast<double>(append_lat) / 1e3, r.throughput_kops,
               survives ? "yes" : "NO");
+  reporter->AddSeries("f" + std::to_string(f), "us")
+      .FromValue(static_cast<double>(append_lat) / 1e3)
+      .Scalar("throughput_kops", r.throughput_kops)
+      .Scalar("peers", 2 * f + 1)
+      .Scalar("survives_f_crashes", survives ? 1 : 0);
 }
 
 }  // namespace
@@ -68,16 +74,17 @@ void RunBudget(int f) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("ablation_quorum");
   bench::Title("Ablation: failure budget f (n = 2f+1 log peers)");
   std::printf("  %2s %6s %16s %14s %18s\n", "f", "peers", "128B append us",
               "tput KOps/s", "survives f crashes");
   bench::Rule();
   for (int f = 1; f <= 3; ++f) {
-    RunBudget(f);
+    RunBudget(&reporter, f);
   }
   bench::Rule();
   bench::Note("expected: latency grows mildly with n (more WRs per write, "
               "majority still small); throughput barely moves — the quorum "
               "write is microseconds either way");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -10,10 +10,14 @@
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("chaos_campaign");
   bench::Title("Chaos campaign: seeded fault schedules vs. the protocol");
 
   CampaignOptions options;
   options.base_seed = bench::SeedFromEnv(options.base_seed);
+  if (reporter.smoke()) {
+    options.runs = 3;
+  }
   const char* runs_env = std::getenv("SPLITFT_CHAOS_RUNS");
   if (runs_env != nullptr && runs_env[0] != '\0') {
     options.runs = std::atoi(runs_env);
@@ -42,6 +46,24 @@ int main() {
   std::printf("  release failures logged:  %llu\n",
               static_cast<unsigned long long>(s.release_failures));
   bench::Rule();
+  reporter.AddSeries("campaign", "runs")
+      .FromValue(s.runs, static_cast<uint64_t>(s.runs))
+      .Scalar("faults_injected", s.faults_injected)
+      .Scalar("appends_acked", s.appends_acked)
+      .Scalar("append_failures", s.append_failures)
+      .Scalar("recoveries_ok", s.recoveries_ok)
+      .Scalar("recoveries_unavailable", s.recoveries_unavailable)
+      .Scalar("peers_replaced", s.peers_replaced)
+      .Scalar("suspect_retries", static_cast<double>(s.suspect_retries))
+      .Scalar("transient_recoveries",
+              static_cast<double>(s.transient_recoveries))
+      .Scalar("permanent_demotions",
+              static_cast<double>(s.permanent_demotions))
+      .Scalar("release_failures", static_cast<double>(s.release_failures))
+      .Scalar("violations", static_cast<double>(result.violations.size()));
+  if (!reporter.WriteJson()) {
+    return 1;
+  }
   if (result.ok()) {
     std::printf("  invariants: all held (%d schedules)\n", s.runs);
     return 0;

@@ -17,9 +17,10 @@
 namespace splitft {
 namespace {
 
-constexpr int kOps = 3000;
+int Ops() { return bench::SmokeFromEnv() ? 300 : 3000; }
 
 double LocalFsSeries(Testbed* testbed, uint64_t size, bool sync_each) {
+  const int kOps = Ops();
   RemoteBlockDevice device(testbed->sim(), &testbed->params(), 1 << 18);
   auto fs = LocalFs::Mount(&device);
   if (!fs.ok()) {
@@ -38,11 +39,12 @@ double LocalFsSeries(Testbed* testbed, uint64_t size, bool sync_each) {
 }
 
 double NclSeries(Testbed* testbed, uint64_t size) {
+  const int kOps = Ops();
   auto server = testbed->MakeServer("rbd-ncl-" + std::to_string(size),
                                     DurabilityMode::kSplitFt);
   SplitOpenOptions opts;
   opts.oncl = true;
-  opts.ncl_capacity = kOps * size + (1 << 20);
+  opts.ncl_capacity = static_cast<uint64_t>(kOps) * size + (1 << 20);
   auto file = server->fs->Open("/wal", opts);
   if (!file.ok()) {
     return 0;
@@ -60,6 +62,7 @@ double NclSeries(Testbed* testbed, uint64_t size) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("discussion_blockstore");
   bench::Title(
       "Discussion (SS2.2): local FS on a remote block device (CephRBD-like)");
   std::printf("  %-10s %22s %20s %14s\n", "size",
@@ -72,10 +75,14 @@ int main() {
     double ncl = NclSeries(&testbed, size);
     std::printf("  %-10s %22.1f %20.2f %14.2f\n", HumanBytes(size).c_str(),
                 strong, weak, ncl);
+    std::string suffix = "/" + std::to_string(size) + "B";
+    reporter.AddSeries("localfs-strong" + suffix, "us").FromValue(strong);
+    reporter.AddSeries("localfs-weak" + suffix, "us").FromValue(weak);
+    reporter.AddSeries("ncl" + suffix, "us").FromValue(ncl);
   }
   bench::Rule();
   bench::Note("same trend as the dfs setting (paper SS2.2): synchronous "
               "durability through the remote block device costs ~ms per "
               "small write; NCL stays in microseconds");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -21,7 +21,7 @@ struct Point {
   double recovery_ms;
 };
 
-Point Run(DurabilityMode mode) {
+Point Run(bench::Reporter* reporter, DurabilityMode mode) {
   Testbed testbed;
   std::string app = "kvell-" + std::string(DurabilityModeName(mode));
   KvellOptions options;
@@ -38,7 +38,10 @@ Point Run(DurabilityMode mode) {
       return point;
     }
     Rng rng(42);
-    const int kOps = mode == DurabilityMode::kStrong ? 2000 : 20000;
+    const int kOps =
+        static_cast<int>(mode == DurabilityMode::kStrong
+                             ? reporter->Iters(2000, 200)
+                             : reporter->Iters(20000, 1000));
     SimTime t0 = testbed.sim()->Now();
     for (int i = 0; i < kOps; ++i) {
       std::string key = "key-" + std::to_string(rng.Uniform(8192));
@@ -70,6 +73,7 @@ Point Run(DurabilityMode mode) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("discussion_kvell");
   bench::Title("Discussion (SS6): NCL absorbing random writes (KVell-mini)");
   bench::Note("no-log store, small random in-place writes, durable per put");
   std::printf("  %-9s %14s %12s %14s\n", "config", "tput KOps/s", "mean us",
@@ -78,14 +82,18 @@ int main() {
   for (DurabilityMode mode :
        {DurabilityMode::kStrong, DurabilityMode::kWeak,
         DurabilityMode::kSplitFt}) {
-    Point p = Run(mode);
+    Point p = Run(&reporter, mode);
     std::printf("  %-9s %14.1f %12.1f %14.1f\n",
                 std::string(DurabilityModeName(mode)).c_str(), p.tput_kops,
                 p.mean_us, p.recovery_ms);
+    reporter.AddSeries(std::string(DurabilityModeName(mode)), "us")
+        .FromValue(p.mean_us)
+        .Scalar("throughput_kops", p.tput_kops)
+        .Scalar("recovery_ms", p.recovery_ms);
   }
   bench::Rule();
   bench::Note("expected: strong is limited to ~1/2.1ms per random write; "
               "splitft absorbs them in the NCL journal at weak-like "
               "latency while remaining crash-safe");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -18,12 +18,13 @@ namespace {
 
 enum class App { kKv, kRedis, kSqlite };
 
-double RunCell(App app, DurabilityMode mode, YcsbWorkloadKind kind) {
+double RunCell(bench::Reporter* reporter, App app, DurabilityMode mode,
+               YcsbWorkloadKind kind) {
   Testbed testbed;
   std::string id = "fig10";
   auto server = testbed.MakeServer(id, mode, 64ull << 20);
   std::unique_ptr<StorageApp> storage;
-  uint64_t records = 40000;
+  uint64_t records = reporter->Iters(40000, 2000);
   int clients = 20;
   switch (app) {
     case App::kKv: {
@@ -52,7 +53,7 @@ double RunCell(App app, DurabilityMode mode, YcsbWorkloadKind kind) {
       break;
     }
     case App::kSqlite: {
-      records = 10000;
+      records = reporter->Iters(10000, 1000);
       clients = 1;  // single-threaded (§5)
       SqliteLiteOptions options;
       options.mode = mode;
@@ -71,27 +72,38 @@ double RunCell(App app, DurabilityMode mode, YcsbWorkloadKind kind) {
   YcsbWorkload workload(kind, records, 42);
   HarnessOptions harness_options;
   harness_options.num_clients = clients;
-  harness_options.target_ops = mode == DurabilityMode::kStrong ? 6000 : 30000;
+  harness_options.target_ops = mode == DurabilityMode::kStrong
+                                   ? reporter->Iters(6000, 400)
+                                   : reporter->Iters(30000, 2000);
   harness_options.max_duration = Seconds(120);
   ClosedLoopHarness harness(testbed.sim(), storage.get(), &workload,
                             harness_options);
   return harness.Run().throughput_kops;
 }
 
-void Section(const char* name, App app) {
+void Section(bench::Reporter* reporter, const char* name, const char* tag,
+             App app) {
   std::printf("  (%s) throughput in KOps/s\n", name);
   std::printf("  %-9s %10s %10s %10s %10s %10s\n", "config", "a", "b", "c",
               "d", "f");
   bench::Rule();
-  const std::vector<YcsbWorkloadKind> kinds = {
-      YcsbWorkloadKind::kA, YcsbWorkloadKind::kB, YcsbWorkloadKind::kC,
-      YcsbWorkloadKind::kD, YcsbWorkloadKind::kF};
+  const std::vector<std::pair<YcsbWorkloadKind, const char*>> kinds = {
+      {YcsbWorkloadKind::kA, "a"}, {YcsbWorkloadKind::kB, "b"},
+      {YcsbWorkloadKind::kC, "c"}, {YcsbWorkloadKind::kD, "d"},
+      {YcsbWorkloadKind::kF, "f"}};
   for (DurabilityMode mode :
        {DurabilityMode::kStrong, DurabilityMode::kWeak,
         DurabilityMode::kSplitFt}) {
     std::printf("  %-9s", std::string(DurabilityModeName(mode)).c_str());
-    for (YcsbWorkloadKind kind : kinds) {
-      std::printf(" %10.1f", RunCell(app, mode, kind));
+    for (const auto& [kind, kind_tag] : kinds) {
+      double tput = RunCell(reporter, app, mode, kind);
+      std::printf(" %10.1f", tput);
+      reporter
+          ->AddSeries(std::string(tag) + "/" +
+                          std::string(DurabilityModeName(mode)) + "/" +
+                          kind_tag,
+                      "KOps/s")
+          .FromValue(tput);
     }
     std::printf("\n");
   }
@@ -103,13 +115,14 @@ void Section(const char* name, App app) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("fig10_ycsb");
   bench::Title("Figure 10: YCSB throughput (a/b/c/d/f)");
-  Section("a: RocksDB-mini", App::kKv);
-  Section("b: Redis-mini", App::kRedis);
-  Section("c: SQLite-mini", App::kSqlite);
+  Section(&reporter, "a: RocksDB-mini", "kv", App::kKv);
+  Section(&reporter, "b: Redis-mini", "redis", App::kRedis);
+  Section(&reporter, "c: SQLite-mini", "sqlite", App::kSqlite);
   bench::Note(
       "expected shape: SplitFT ~= weak on every workload (<= ~10% gap); "
       "strong far behind on write-heavy A/F, gap closes towards read-only "
       "C; Redis strong slow on all but C (head-of-line blocking)");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -19,15 +19,20 @@
 namespace splitft {
 namespace {
 
-constexpr uint64_t kReadFileBytes = 100ull << 20;
-constexpr uint64_t kLogBytes = 60ull << 20;
-constexpr uint64_t kMaxReads = 20000;
+// Smoke mode shrinks the file/log so CI finishes in seconds.
+uint64_t ReadFileBytes() {
+  return bench::SmokeFromEnv() ? 4ull << 20 : 100ull << 20;
+}
+uint64_t LogBytes() {
+  return bench::SmokeFromEnv() ? 2ull << 20 : 60ull << 20;
+}
+uint64_t MaxReads() { return bench::SmokeFromEnv() ? 1000 : 20000; }
 
 // Sequentially reads the file with the given op size; returns avg us.
 template <typename ReadFn>
 double SeqReadLatency(Testbed* testbed, uint64_t total, uint64_t size,
                       ReadFn read) {
-  uint64_t ops = std::min(kMaxReads, total / size);
+  uint64_t ops = std::min(MaxReads(), total / size);
   SimTime t0 = testbed->sim()->Now();
   for (uint64_t i = 0; i < ops; ++i) {
     read((i * size) % (total - size), size);
@@ -36,7 +41,8 @@ double SeqReadLatency(Testbed* testbed, uint64_t total, uint64_t size,
          static_cast<double>(ops) / 1e3;
 }
 
-void SectionA() {
+void SectionA(bench::Reporter* reporter) {
+  const uint64_t kReadFileBytes = ReadFileBytes();
   bench::Title("Figure 11(a): recovery read latency vs size");
   std::printf("  %-8s %14s %18s %12s %16s\n", "size", "NCL (us)",
               "NCL no-prefetch", "DFS (us)", "DFS direct-IO");
@@ -115,13 +121,21 @@ void SectionA() {
     std::printf("  %-8s %14.2f %18.2f %12.2f %16.1f\n",
                 HumanBytes(size).c_str(), ncl_us, ncl_nop_us, dfs_us,
                 dfs_direct_us);
+    std::string suffix = "/" + std::to_string(size) + "B";
+    reporter->AddSeries("read.ncl" + suffix, "us").FromValue(ncl_us);
+    reporter->AddSeries("read.ncl-noprefetch" + suffix, "us")
+        .FromValue(ncl_nop_us);
+    reporter->AddSeries("read.dfs" + suffix, "us").FromValue(dfs_us);
+    reporter->AddSeries("read.dfs-direct" + suffix, "us")
+        .FromValue(dfs_direct_us);
   }
   bench::Rule();
   bench::Note("paper @128B: NCL ~4x faster than DFS; no-prefetch ~4.5x "
               "slower than DFS; direct-IO worst by far");
 }
 
-void SectionB() {
+void SectionB(bench::Reporter* reporter) {
+  const uint64_t kLogBytes = LogBytes();
   bench::Title("Figure 11(b): application recovery time, 60 MB log");
   std::printf("  %-10s %12s %12s %12s\n", "app", "SplitFT", "DFT",
               "local-ext4");
@@ -140,18 +154,32 @@ void SectionB() {
     ext4_s = static_cast<double>(read + parse_time) / 1e9;
   }
 
-  // Generic crash/recover driver: `build` opens (or recovers) the app on a
-  // fresh server and returns success. Returns recovery seconds.
-  auto measure = [&](const char* app_tag, DurabilityMode mode,
-                     RecoveryBreakdown* breakdown, SimTime* parse,
+  // Per-measurement result: end-to-end seconds plus the span window
+  // scoped to the recovery (only populated for the tracing run).
+  struct Measured {
+    double seconds = 0;
+    SimTime elapsed = 0;
+    double attributed = 0;
+    std::map<std::string, SpanStats> window;
+  };
+
+  // Generic crash/recover driver: `open_app` opens (or recovers) the app
+  // on a fresh server. Recovery phases come from the tracer: the
+  // ncl.recover.* spans cover the NCL side and app.recover.replay covers
+  // log parsing, so the window both breaks down and (acceptance) accounts
+  // for >= 95% of the end-to-end recovery time.
+  auto measure = [&](const char* app_tag, DurabilityMode mode, bool traced,
                      auto&& open_app, auto&& load) {
-    Testbed testbed;
+    Measured m;
+    TestbedOptions options;
+    options.tracing = traced;
+    Testbed testbed(options);
     std::string app = std::string("fig11b-") + app_tag + "-" +
                       std::string(DurabilityModeName(mode));
     {
       auto server = testbed.MakeServer(app, mode, kLogBytes + (8 << 20));
       if (!open_app(&testbed, server.get(), mode, /*recovering=*/false)) {
-        return 0.0;
+        return m;
       }
       load(server.get());
       if (mode != DurabilityMode::kStrong) {
@@ -161,19 +189,24 @@ void SectionB() {
     }
     testbed.sim()->RunUntilIdle();
     auto server = testbed.MakeServer(app, mode, kLogBytes + (8 << 20));
+    auto before = testbed.tracer()->Snapshot();
     SimTime t0 = testbed.sim()->Now();
     if (!open_app(&testbed, server.get(), mode, /*recovering=*/true)) {
-      return 0.0;
+      return m;
     }
-    SimTime elapsed = testbed.sim()->Now() - t0;
-    if (breakdown != nullptr) {
-      *breakdown = server->fs->ncl()->last_recovery();
-      if (parse != nullptr) {
-        *parse = elapsed - breakdown->get_peers - breakdown->connect -
-                 breakdown->rdma_read - breakdown->sync_peers;
-      }
+    m.elapsed = testbed.sim()->Now() - t0;
+    m.seconds = static_cast<double>(m.elapsed) / 1e9;
+    if (traced) {
+      m.window = SpanDiff(before, testbed.tracer()->Snapshot());
+      m.attributed = bench::AttributedFraction(m.window, m.elapsed);
     }
-    return static_cast<double>(elapsed) / 1e9;
+    return m;
+  };
+
+  // Pulls one phase total (ns) out of a recovery span window.
+  auto phase = [](const Measured& m, const char* span) -> SimTime {
+    auto it = m.window.find(span);
+    return it == m.window.end() ? 0 : it->second.total;
   };
 
   struct AppRow {
@@ -237,22 +270,29 @@ void SectionB() {
       }});
 
   for (const AppRow& row : apps) {
-    RecoveryBreakdown breakdown;
-    SimTime parse = 0;
-    double splitft_s = measure(row.name, DurabilityMode::kSplitFt, &breakdown,
-                               &parse, row.open_app, row.load);
+    Measured splitft = measure(row.name, DurabilityMode::kSplitFt,
+                               /*traced=*/true, row.open_app, row.load);
     current.reset();
-    double dft_s = measure(row.name, DurabilityMode::kStrong, nullptr,
-                           nullptr, row.open_app, row.load);
+    Measured dft = measure(row.name, DurabilityMode::kStrong,
+                           /*traced=*/false, row.open_app, row.load);
     current.reset();
+    SimTime parse = phase(splitft, "app.recover.replay");
     std::printf("  %-10s %10.2fs %10.2fs %10.2fs   get-peer=%s connect=%s "
-                "rdma-read=%s sync-peer=%s parse=%s\n",
-                row.name, splitft_s, dft_s, ext4_s,
-                HumanDuration(breakdown.get_peers).c_str(),
-                HumanDuration(breakdown.connect).c_str(),
-                HumanDuration(breakdown.rdma_read).c_str(),
-                HumanDuration(breakdown.sync_peers).c_str(),
-                HumanDuration(parse).c_str());
+                "rdma-read=%s sync-peer=%s parse=%s  attributed=%.0f%%\n",
+                row.name, splitft.seconds, dft.seconds, ext4_s,
+                HumanDuration(phase(splitft, "ncl.recover.get_peers")).c_str(),
+                HumanDuration(phase(splitft, "ncl.recover.connect")).c_str(),
+                HumanDuration(phase(splitft, "ncl.recover.rdma_read")).c_str(),
+                HumanDuration(phase(splitft, "ncl.recover.sync_peers")).c_str(),
+                HumanDuration(parse).c_str(), splitft.attributed * 100.0);
+    reporter->AddSeries(std::string("recover.splitft/") + row.name, "s")
+        .FromValue(splitft.seconds)
+        .Scalar("attributed_fraction", splitft.attributed)
+        .LayersFromSpans(splitft.window);
+    reporter->AddSeries(std::string("recover.dft/") + row.name, "s")
+        .FromValue(dft.seconds);
+    reporter->AddSeries(std::string("recover.ext4/") + row.name, "s")
+        .FromValue(ext4_s);
   }
   bench::Rule();
   bench::Note("paper: NCL recovery within ~4%-2x of CephFS, hundreds of ms, "
@@ -263,7 +303,8 @@ void SectionB() {
 }  // namespace splitft
 
 int main() {
-  splitft::SectionA();
-  splitft::SectionB();
-  return 0;
+  splitft::bench::Reporter reporter("fig11_recovery");
+  splitft::SectionA(&reporter);
+  splitft::SectionB(&reporter);
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("fig12_peer_failures");
   bench::Title("Figure 12: throughput timeline under peer failures");
 
   TestbedOptions testbed_options;
@@ -31,26 +32,34 @@ int main() {
     std::fprintf(stderr, "open failed\n");
     return 1;
   }
-  (void)Testbed::LoadRecords(store->get(), 20000);
+  (void)Testbed::LoadRecords(store->get(), reporter.Iters(20000, 2000));
 
   // Schedule the failure script in virtual time, relative to the start of
   // the measured run: two simultaneous crashes at +2s, one more at +5s.
+  // Smoke compresses the whole schedule 4x (crashes at +0.5s / +1.25s,
+  // 2s run) so the timeline keeps its shape at a fraction of the events.
+  SimTime crash2 = reporter.smoke() ? Millis(500) : Seconds(2);
+  SimTime crash1 = reporter.smoke() ? Millis(1250) : Seconds(5);
+  SimTime duration = reporter.smoke() ? Seconds(2) : Seconds(8);
   SimTime start = testbed.sim()->Now();
-  testbed.sim()->ScheduleAt(start + Seconds(2), [&testbed] {
+  testbed.sim()->ScheduleAt(start + crash2, [&testbed, crash2] {
     testbed.peer(0)->Crash();
     testbed.peer(1)->Crash();
-    std::printf("  [t=2.00s] two peers crashed simultaneously\n");
+    std::printf("  [t=%.2fs] two peers crashed simultaneously\n",
+                static_cast<double>(crash2) / 1e9);
   });
-  testbed.sim()->ScheduleAt(start + Seconds(5), [&testbed] {
+  testbed.sim()->ScheduleAt(start + crash1, [&testbed, crash1] {
     testbed.peer(2)->Crash();
-    std::printf("  [t=5.00s] one more peer crashed\n");
+    std::printf("  [t=%.2fs] one more peer crashed\n",
+                static_cast<double>(crash1) / 1e9);
   });
 
-  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, 20000, 42);
+  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly,
+                        reporter.Iters(20000, 2000), 42);
   HarnessOptions harness_options;
   harness_options.num_clients = 12;
   harness_options.target_ops = 100000000;  // run to the duration limit
-  harness_options.max_duration = Seconds(8);
+  harness_options.max_duration = duration;
   harness_options.sample_interval = Millis(10);
   ClosedLoopHarness harness(testbed.sim(), store->get(), &workload,
                             harness_options);
@@ -62,12 +71,18 @@ int main() {
   bench::Rule();
   double acc = 0;
   int n = 0;
+  Histogram bucket_kops;
+  int stall_buckets = 0;
   for (size_t i = 0; i < result.timeline.size(); ++i) {
     acc += result.timeline[i].kops;
     n++;
     if (n == 10) {
       double t = static_cast<double>(result.timeline[i].start) / 1e9;
       double kops = acc / n;
+      bucket_kops.Add(static_cast<uint64_t>(kops * 1000.0));  // ops/s
+      if (kops < 1.0) {
+        stall_buckets++;
+      }
       std::printf("  %8.1fs %14.1f %s\n", t, kops,
                   kops < 1.0 ? "  <-- stall (quorum lost / replacement)" : "");
       acc = 0;
@@ -77,7 +92,14 @@ int main() {
   bench::Rule();
   std::printf("  peers replaced during the run: %d\n",
               server->fs->ncl()->peers_replaced());
+  reporter.AddSeries("timeline_bucket_tput", "Ops/s")
+      .FromHistogram(bucket_kops)
+      .Scalar("stall_buckets_100ms", stall_buckets)
+      .Scalar("peers_replaced", server->fs->ncl()->peers_replaced());
+  reporter.AddSeries("overall_tput", "KOps/s")
+      .FromValue(result.throughput_kops);
+  reporter.SetMetricsJson(testbed.metrics()->ToJson());
   bench::Note("paper: ~100ms stall when 2 of 3 peers crash (replacement + "
               "catch-up), tiny blip for the single later crash");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -5,7 +5,6 @@
 // compaction/checkpoint writes. The paper's observation: log writes are
 // orders of magnitude smaller than background bulk writes.
 // (d): sequential dfs write throughput vs block size (512 B ... 64 MB).
-#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <string>
@@ -13,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/bytes.h"
+#include "src/common/histogram.h"
 #include "src/common/io_trace.h"
 #include "src/dfs/dfs.h"
 #include "src/harness/testbed.h"
@@ -21,8 +21,8 @@ namespace splitft {
 namespace {
 
 struct SizeSplit {
-  std::vector<uint64_t> log_sizes;
-  std::vector<uint64_t> bulk_sizes;
+  Histogram log_sizes;
+  Histogram bulk_sizes;
 };
 
 SizeSplit Split(const IoTraceSink& trace,
@@ -39,41 +39,37 @@ SizeSplit Split(const IoTraceSink& trace,
         break;
       }
     }
-    (is_log ? split.log_sizes : split.bulk_sizes).push_back(ev.bytes);
+    (is_log ? split.log_sizes : split.bulk_sizes).Add(ev.bytes);
   }
   return split;
 }
 
-void PrintCdf(const char* label, std::vector<uint64_t> sizes) {
-  if (sizes.empty()) {
+void SizeRow(const char* label, const Histogram& sizes) {
+  if (sizes.count() == 0) {
     std::printf("    %-8s (no writes)\n", label);
     return;
   }
-  std::sort(sizes.begin(), sizes.end());
-  auto at = [&](double q) {
-    size_t idx = std::min(sizes.size() - 1,
-                          static_cast<size_t>(q * static_cast<double>(
-                                                      sizes.size())));
-    return sizes[idx];
-  };
-  std::printf("    %-8s n=%-6zu p10=%-10s p50=%-10s p90=%-10s max=%s\n",
-              label, sizes.size(), HumanBytes(at(0.10)).c_str(),
-              HumanBytes(at(0.50)).c_str(), HumanBytes(at(0.90)).c_str(),
-              HumanBytes(sizes.back()).c_str());
+  std::printf("    %-8s n=%-6" PRIu64 " p50=%-10s p95=%-10s p99=%-10s max=%s\n",
+              label, sizes.count(),
+              HumanBytes(static_cast<uint64_t>(sizes.P50())).c_str(),
+              HumanBytes(static_cast<uint64_t>(sizes.P95())).c_str(),
+              HumanBytes(static_cast<uint64_t>(sizes.P99())).c_str(),
+              HumanBytes(sizes.max()).c_str());
 }
 
-void AppSection(const char* name, const IoTraceSink& trace,
+void AppSection(bench::Reporter* reporter, const char* name, const char* tag,
+                const IoTraceSink& trace,
                 const std::vector<std::string>& log_markers) {
   std::printf("  (%s)\n", name);
   SizeSplit split = Split(trace, log_markers);
-  PrintCdf("log", split.log_sizes);
-  PrintCdf("bulk", split.bulk_sizes);
-  if (!split.log_sizes.empty() && !split.bulk_sizes.empty()) {
-    std::sort(split.log_sizes.begin(), split.log_sizes.end());
-    std::sort(split.bulk_sizes.begin(), split.bulk_sizes.end());
-    double ratio =
-        static_cast<double>(split.bulk_sizes[split.bulk_sizes.size() / 2]) /
-        static_cast<double>(split.log_sizes[split.log_sizes.size() / 2]);
+  SizeRow("log", split.log_sizes);
+  SizeRow("bulk", split.bulk_sizes);
+  reporter->AddSeries(std::string(tag) + "/log_write_size", "B")
+      .FromHistogram(split.log_sizes);
+  reporter->AddSeries(std::string(tag) + "/bulk_write_size", "B")
+      .FromHistogram(split.bulk_sizes);
+  if (split.log_sizes.count() > 0 && split.bulk_sizes.count() > 0) {
+    double ratio = split.bulk_sizes.P50() / split.log_sizes.P50();
     std::printf("    median bulk/log size ratio: %.0fx\n", ratio);
   }
 }
@@ -83,6 +79,7 @@ void AppSection(const char* name, const IoTraceSink& trace,
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("fig1_io_sizes");
   bench::Title("Figure 1(a-c): log vs bulk write sizes (strong mode)");
 
   {
@@ -96,9 +93,9 @@ int main() {
     options.memtable_bytes = 1 << 20;
     auto store = testbed.StartKvStore(server.get(), options);
     if (store.ok()) {
-      (void)Testbed::LoadRecords(store->get(), 40000);
+      (void)Testbed::LoadRecords(store->get(), reporter.Iters(40000, 2000));
     }
-    AppSection("a: RocksDB-mini", trace, {"/wal-"});
+    AppSection(&reporter, "a: RocksDB-mini", "kv", trace, {"/wal-"});
     testbed.dfs_cluster()->set_trace(nullptr);
   }
   {
@@ -113,9 +110,9 @@ int main() {
     options.aof_rewrite_bytes = 1 << 20;
     auto redis = testbed.StartRedis(server.get(), options);
     if (redis.ok()) {
-      (void)Testbed::LoadRecords(redis->get(), 30000);
+      (void)Testbed::LoadRecords(redis->get(), reporter.Iters(30000, 1500));
     }
-    AppSection("b: Redis-mini", trace, {"/aof-"});
+    AppSection(&reporter, "b: Redis-mini", "redis", trace, {"/aof-"});
     testbed.dfs_cluster()->set_trace(nullptr);
   }
   {
@@ -129,9 +126,9 @@ int main() {
     options.wal_capacity = 512 << 10;
     auto db = testbed.StartSqlite(server.get(), options);
     if (db.ok()) {
-      (void)Testbed::LoadRecords(db->get(), 5000);
+      (void)Testbed::LoadRecords(db->get(), reporter.Iters(5000, 500));
     }
-    AppSection("c: SQLite-mini", trace, {"/db-wal"});
+    AppSection(&reporter, "c: SQLite-mini", "sqlite", trace, {"/db-wal"});
     testbed.dfs_cluster()->set_trace(nullptr);
   }
 
@@ -161,9 +158,13 @@ int main() {
       std::printf("  %-12s %10.0f KB/s   (%s)\n", HumanBytes(block).c_str(),
                   kb_per_s,
                   HumanDuration(elapsed / blocks).c_str());
+      reporter
+          .AddSeries("seq_write_tput/" + std::to_string(block) + "B", "KB/s")
+          .FromValue(kb_per_s, blocks)
+          .Scalar("block_bytes", static_cast<double>(block));
     }
   }
   bench::Note("paper: 512B ~249 KB/s, 8KB ~3841 KB/s, ~3 orders of magnitude "
               "to 64MB");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

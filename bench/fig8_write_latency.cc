@@ -7,6 +7,10 @@
 //   * NCL:              every write synchronously replicated to 3 peers.
 // The paper measures NCL at ~4.6 us and weak at ~1.2 us for 128 B writes,
 // with strong two-plus orders of magnitude slower.
+//
+// Runs with tracing enabled: each series reports its per-layer span
+// breakdown and the fraction of end-to-end latency attributed to named
+// spans (acceptance: >= 95%).
 #include <cstdio>
 #include <string>
 
@@ -18,53 +22,74 @@ namespace splitft {
 namespace {
 
 constexpr uint64_t kFileBytes = 100ull << 20;
-// Cap the op count per series so the bench stays fast; latency is an
-// average per write either way.
-constexpr uint64_t kMaxOps = 20000;
 
-double DfsSeries(Testbed* testbed, uint64_t size, bool sync_each) {
+struct SeriesResult {
+  double us = 0;          // mean latency per write
+  double attributed = 0;  // fraction of elapsed covered by span self time
+  std::map<std::string, SpanStats> window;
+  uint64_t ops = 0;
+};
+
+template <typename WriteFn>
+SeriesResult TimedLoop(Testbed* testbed, uint64_t ops, WriteFn write) {
+  SeriesResult r;
+  r.ops = ops;
+  auto before = testbed->tracer()->Snapshot();
+  SimTime t0 = testbed->sim()->Now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    write();
+  }
+  SimTime elapsed = testbed->sim()->Now() - t0;
+  r.window = SpanDiff(before, testbed->tracer()->Snapshot());
+  r.us = static_cast<double>(elapsed) / static_cast<double>(ops) / 1e3;
+  r.attributed = bench::AttributedFraction(r.window, elapsed);
+  return r;
+}
+
+SeriesResult DfsSeries(Testbed* testbed, uint64_t size, uint64_t max_ops,
+                       bool sync_each) {
   DfsClient client(testbed->dfs_cluster(),
                    std::string("fig8-") + (sync_each ? "strong" : "weak") +
                        std::to_string(size));
   auto file = client.Open("/fig8-" + std::to_string(size) +
                           (sync_each ? "s" : "w"));
   if (!file.ok()) {
-    return 0;
+    return {};
   }
-  uint64_t ops = std::min(kMaxOps, kFileBytes / size);
+  uint64_t ops = std::min(max_ops, kFileBytes / size);
   std::string payload(size, 'x');
-  SimTime t0 = testbed->sim()->Now();
-  for (uint64_t i = 0; i < ops; ++i) {
+  return TimedLoop(testbed, ops, [&] {
     (void)(*file)->Append(payload);
     if (sync_each) {
       (void)(*file)->Sync();
     }
-  }
-  SimTime elapsed = testbed->sim()->Now() - t0;
-  return static_cast<double>(elapsed) / static_cast<double>(ops) / 1e3;  // us
+  });
 }
 
-double NclSeries(Testbed* testbed, uint64_t size) {
-  uint64_t ops_planned = std::min(kMaxOps, kFileBytes / size);
+SeriesResult NclSeries(Testbed* testbed, uint64_t size, uint64_t max_ops) {
+  uint64_t ops = std::min(max_ops, kFileBytes / size);
   auto server = testbed->MakeServer("fig8-ncl-" + std::to_string(size),
                                     DurabilityMode::kSplitFt);
   SplitOpenOptions opts;
   opts.oncl = true;
-  opts.ncl_capacity = ops_planned * size + (1 << 20);
+  opts.ncl_capacity = ops * size + (1 << 20);
   auto file = server->fs->Open("/fig8-ncl-" + std::to_string(size), opts);
   if (!file.ok()) {
     std::fprintf(stderr, "ncl open failed: %s\n",
                  file.status().ToString().c_str());
-    return 0;
+    return {};
   }
-  uint64_t ops = std::min(kMaxOps, kFileBytes / size);
   std::string payload(size, 'x');
-  SimTime t0 = testbed->sim()->Now();
-  for (uint64_t i = 0; i < ops; ++i) {
-    (void)(*file)->Append(payload);
-  }
-  SimTime elapsed = testbed->sim()->Now() - t0;
-  return static_cast<double>(elapsed) / static_cast<double>(ops) / 1e3;
+  return TimedLoop(testbed, ops,
+                   [&] { (void)(*file)->Append(payload); });
+}
+
+void AddSeries(bench::Reporter* reporter, const std::string& name,
+               const SeriesResult& r) {
+  reporter->AddSeries(name, "us")
+      .FromValue(r.us, r.ops)
+      .Scalar("attributed_fraction", r.attributed)
+      .LayersFromSpans(r.window);
 }
 
 }  // namespace
@@ -72,20 +97,34 @@ double NclSeries(Testbed* testbed, uint64_t size) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("fig8_write_latency");
+  // Cap the op count per series so the bench stays fast; latency is an
+  // average per write either way.
+  uint64_t max_ops = reporter.Iters(20000, 200);
+
   bench::Title("Figure 8: write latency vs size, embedded mode");
-  std::printf("  %-10s %18s %18s %18s\n", "size", "strong-bench DFS (us)",
-              "weak-bench DFS (us)", "NCL (us)");
+  std::printf("  %-10s %18s %18s %18s %12s\n", "size",
+              "strong-bench DFS (us)", "weak-bench DFS (us)", "NCL (us)",
+              "attributed");
   bench::Rule();
-  Testbed testbed;
+  TestbedOptions options;
+  options.tracing = true;
+  Testbed testbed(options);
   for (uint64_t size : {128ull, 256ull, 512ull, 1024ull, 2048ull, 4096ull,
                         8192ull}) {
-    double strong = DfsSeries(&testbed, size, /*sync_each=*/true);
-    double weak = DfsSeries(&testbed, size, /*sync_each=*/false);
-    double ncl = NclSeries(&testbed, size);
-    std::printf("  %-10s %18.1f %18.2f %18.2f\n", HumanBytes(size).c_str(),
-                strong, weak, ncl);
+    SeriesResult strong = DfsSeries(&testbed, size, max_ops, true);
+    SeriesResult weak = DfsSeries(&testbed, size, max_ops, false);
+    SeriesResult ncl = NclSeries(&testbed, size, max_ops);
+    std::printf("  %-10s %18.1f %18.2f %18.2f %11.0f%%\n",
+                HumanBytes(size).c_str(), strong.us, weak.us, ncl.us,
+                ncl.attributed * 100.0);
+    std::string suffix = "/" + std::to_string(size) + "B";
+    AddSeries(&reporter, "strong-dfs" + suffix, strong);
+    AddSeries(&reporter, "weak-dfs" + suffix, weak);
+    AddSeries(&reporter, "ncl" + suffix, ncl);
   }
   bench::Rule();
   bench::Note("paper @128B: strong ~2200us, weak ~1.2us, NCL ~4.6us");
-  return 0;
+  reporter.SetMetricsJson(testbed.metrics()->ToJson());
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -18,7 +18,7 @@ namespace {
 enum class App { kKv, kRedis, kSqlite };
 
 HarnessResult RunPoint(App app, DurabilityMode mode, int clients,
-                       uint64_t target_ops) {
+                       uint64_t target_ops, uint64_t records) {
   Testbed testbed;
   std::string id = std::string("fig9-") + std::to_string(static_cast<int>(app)) +
                    "-" + std::string(DurabilityModeName(mode));
@@ -58,9 +58,9 @@ HarnessResult RunPoint(App app, DurabilityMode mode, int clients,
       break;
     }
   }
-  (void)Testbed::LoadRecords(storage.get(), 20000);
+  (void)Testbed::LoadRecords(storage.get(), records);
 
-  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, 20000, 42);
+  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, records, 42);
   HarnessOptions harness_options;
   harness_options.num_clients = clients;
   harness_options.target_ops = target_ops;
@@ -70,7 +70,8 @@ HarnessResult RunPoint(App app, DurabilityMode mode, int clients,
   return harness.Run();
 }
 
-void Sweep(const char* name, App app, const std::vector<int>& clients) {
+void Sweep(bench::Reporter* reporter, const char* name, const char* tag,
+           App app, const std::vector<int>& clients) {
   std::printf("  (%s)\n", name);
   std::printf("  %-9s %8s %14s %14s %14s\n", "config", "clients",
               "tput KOps/s", "mean lat us", "p99 lat us");
@@ -79,12 +80,23 @@ void Sweep(const char* name, App app, const std::vector<int>& clients) {
        {DurabilityMode::kStrong, DurabilityMode::kWeak,
         DurabilityMode::kSplitFt}) {
     for (int c : clients) {
-      uint64_t ops = mode == DurabilityMode::kStrong ? 4000 : 40000;
-      HarnessResult r = RunPoint(app, mode, c, ops);
+      uint64_t ops = mode == DurabilityMode::kStrong
+                         ? reporter->Iters(4000, 300)
+                         : reporter->Iters(40000, 1500);
+      HarnessResult r = RunPoint(app, mode, c, ops,
+                                 reporter->Iters(20000, 1000));
       std::printf("  %-9s %8d %14.1f %14.1f %14.1f\n",
                   std::string(DurabilityModeName(mode)).c_str(), c,
                   r.throughput_kops, r.latency.Mean() / 1e3,
                   r.latency.P99() / 1e3);
+      reporter
+          ->AddSeries(std::string(tag) + "/" +
+                          std::string(DurabilityModeName(mode)) + "/c" +
+                          std::to_string(c),
+                      "us")
+          .FromHistogram(r.latency, 1e-3)
+          .Scalar("throughput_kops", r.throughput_kops)
+          .Scalar("clients", c);
     }
   }
   bench::Rule();
@@ -95,12 +107,21 @@ void Sweep(const char* name, App app, const std::vector<int>& clients) {
 
 int main() {
   using namespace splitft;
+  // This bench doubles as the tracing-disabled overhead check: every
+  // testbed here runs with the default (disabled) tracer, so its
+  // throughput is the zero-overhead baseline. No "layers" are emitted.
+  bench::Reporter reporter("fig9_write_only");
   bench::Title("Figure 9: latency vs throughput, write-only workload");
-  Sweep("a: RocksDB-mini, client sweep", App::kKv, {1, 4, 8, 12, 16, 24});
-  Sweep("b: Redis-mini, client sweep", App::kRedis, {1, 4, 8, 12, 16, 24});
-  Sweep("c: SQLite-mini, single threaded", App::kSqlite, {1});
+  std::vector<int> clients =
+      reporter.smoke() ? std::vector<int>{1, 4}
+                       : std::vector<int>{1, 4, 8, 12, 16, 24};
+  Sweep(&reporter, "a: RocksDB-mini, client sweep", "kv", App::kKv, clients);
+  Sweep(&reporter, "b: Redis-mini, client sweep", "redis", App::kRedis,
+        clients);
+  Sweep(&reporter, "c: SQLite-mini, single threaded", "sqlite", App::kSqlite,
+        {1});
   bench::Note(
       "expected shape: strong ~2 orders of magnitude lower tput / higher "
       "latency; SplitFT tracks (or slightly beats) weak");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -7,6 +7,9 @@
 
 #include <map>
 #include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 
 #include "src/apps/kvstore/sstable.h"
 #include "src/apps/kvstore/wal.h"
@@ -135,7 +138,58 @@ void BM_ModelCheckTiny(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelCheckTiny);
 
+// Console reporter that also funnels every run into the shared JSON
+// reporter: one series per benchmark (real time in ns, plus the
+// items/bytes-per-second counters google-benchmark computed).
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonForwardingReporter(bench::Reporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      bench::BenchSeries& series =
+          out_->AddSeries(run.benchmark_name(), "ns")
+              .FromValue(run.GetAdjustedRealTime(),
+                         static_cast<uint64_t>(run.iterations));
+      if (run.counters.find("bytes_per_second") != run.counters.end()) {
+        series.Scalar("bytes_per_second",
+                      run.counters.at("bytes_per_second"));
+      }
+    }
+  }
+
+ private:
+  bench::Reporter* out_;
+};
+
 }  // namespace
 }  // namespace splitft
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace splitft;
+  bench::Reporter reporter("micro_components");
+  // Smoke mode shortens every benchmark's measurement window; pass the flag
+  // before user args so an explicit --benchmark_min_time still wins.
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (reporter.smoke()) {
+    args.push_back(min_time.data());
+  }
+  for (int i = 1; i < argc; ++i) {
+    args.push_back(argv[i]);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  JsonForwardingReporter console(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  return reporter.WriteJson() ? 0 : 1;
+}

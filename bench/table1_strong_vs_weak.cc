@@ -14,7 +14,8 @@
 namespace splitft {
 namespace {
 
-HarnessResult RunMode(DurabilityMode mode, uint64_t target_ops) {
+HarnessResult RunMode(bench::Reporter* reporter, DurabilityMode mode,
+                      uint64_t target_ops) {
   Testbed testbed;
   auto server = testbed.MakeServer(
       "kv-" + std::string(DurabilityModeName(mode)), mode, 32ull << 20);
@@ -26,9 +27,10 @@ HarnessResult RunMode(DurabilityMode mode, uint64_t target_ops) {
                  store.status().ToString().c_str());
     return {};
   }
-  (void)Testbed::LoadRecords(store->get(), 20000);
+  uint64_t records = reporter->Iters(20000, 1000);
+  (void)Testbed::LoadRecords(store->get(), records);
 
-  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, 20000, 42);
+  YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, records, 42);
   HarnessOptions harness_options;
   harness_options.num_clients = 12;  // as in Table 1
   harness_options.target_ops = target_ops;
@@ -42,14 +44,17 @@ HarnessResult RunMode(DurabilityMode mode, uint64_t target_ops) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("table1_strong_vs_weak");
   bench::Title("Table 1: Cost of Strong Guarantees (RocksDB-mini, dfs)");
   bench::Note("write-only workload, 12 clients, 24B keys / 100B values");
   std::printf("  %-14s %20s %20s\n", "Configuration", "Throughput (KOps/s)",
               "Avg. Latency (us)");
   bench::Rule();
 
-  HarnessResult weak = RunMode(DurabilityMode::kWeak, 120000);
-  HarnessResult strong = RunMode(DurabilityMode::kStrong, 20000);
+  HarnessResult weak =
+      RunMode(&reporter, DurabilityMode::kWeak, reporter.Iters(120000, 3000));
+  HarnessResult strong =
+      RunMode(&reporter, DurabilityMode::kStrong, reporter.Iters(20000, 500));
 
   std::printf("  %-14s %20.0f %20.0f\n", "Weak", weak.throughput_kops,
               weak.latency.Mean() / 1e3);
@@ -60,5 +65,14 @@ int main() {
               weak.throughput_kops / strong.throughput_kops,
               strong.latency.Mean() / weak.latency.Mean());
   bench::Note("paper: 54x throughput drop, 92x latency increase");
-  return 0;
+  reporter.AddSeries("weak", "us")
+      .FromHistogram(weak.latency, 1e-3)
+      .Scalar("throughput_kops", weak.throughput_kops);
+  reporter.AddSeries("strong", "us")
+      .FromHistogram(strong.latency, 1e-3)
+      .Scalar("throughput_kops", strong.throughput_kops);
+  reporter.AddSeries("ratio", "x")
+      .FromValue(weak.throughput_kops / strong.throughput_kops)
+      .Scalar("latency_increase", strong.latency.Mean() / weak.latency.Mean());
+  return reporter.WriteJson() ? 0 : 1;
 }

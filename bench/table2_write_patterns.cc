@@ -60,7 +60,8 @@ std::map<std::string, FileClassStats> Summarize(const IoTraceSink& trace) {
   return by_class;
 }
 
-void Report(const std::string& app, const IoTraceSink& trace) {
+void Report(bench::Reporter* reporter, const char* tag, const std::string& app,
+            const IoTraceSink& trace) {
   std::printf("  %s\n", app.c_str());
   for (const auto& [cls, stats] : Summarize(trace)) {
     if (stats.writes == 0 && stats.deletes == 0) {
@@ -76,6 +77,10 @@ void Report(const std::string& app, const IoTraceSink& trace) {
     std::printf("    %-8s writes=%-6" PRIu64 " avg-size=%-10s reclaim=%s\n",
                 cls.c_str(), stats.writes,
                 HumanBytes(static_cast<uint64_t>(avg)).c_str(), reclaim);
+    reporter->AddSeries(std::string(tag) + "/" + cls, "B")
+        .FromValue(avg, stats.writes)
+        .Scalar("deletes", static_cast<double>(stats.deletes))
+        .Scalar("overwrites", static_cast<double>(stats.overwrites));
   }
 }
 
@@ -84,6 +89,7 @@ void Report(const std::string& app, const IoTraceSink& trace) {
 
 int main() {
   using namespace splitft;
+  bench::Reporter reporter("table2_write_patterns");
   bench::Title("Table 2: Writes in Storage-Centric Applications (observed)");
   bench::Note(
       "each app runs a strong-mode write-only workload on the dfs; the "
@@ -100,8 +106,9 @@ int main() {
     options.memtable_bytes = 256 << 10;
     auto store = testbed.StartKvStore(server.get(), options);
     if (store.ok()) {
-      (void)Testbed::LoadRecords(store->get(), 30000);
-      Report("RocksDB-mini: wal = small sync log, sst = bulk background",
+      (void)Testbed::LoadRecords(store->get(), reporter.Iters(30000, 2000));
+      Report(&reporter, "kv",
+             "RocksDB-mini: wal = small sync log, sst = bulk background",
              trace);
     }
     testbed.dfs_cluster()->set_trace(nullptr);
@@ -119,8 +126,9 @@ int main() {
     options.aof_rewrite_bytes = 512 << 10;
     auto redis = testbed.StartRedis(server.get(), options);
     if (redis.ok()) {
-      (void)Testbed::LoadRecords(redis->get(), 20000);
-      Report("Redis-mini: aof = small sync log, rdb = bulk background",
+      (void)Testbed::LoadRecords(redis->get(), reporter.Iters(20000, 1500));
+      Report(&reporter, "redis",
+             "Redis-mini: aof = small sync log, rdb = bulk background",
              trace);
     }
     testbed.dfs_cluster()->set_trace(nullptr);
@@ -137,8 +145,9 @@ int main() {
     options.wal_capacity = 256 << 10;
     auto db = testbed.StartSqlite(server.get(), options);
     if (db.ok()) {
-      (void)Testbed::LoadRecords(db->get(), 4000);
-      Report("SQLite-mini: db-wal = small sync circular log, db = database",
+      (void)Testbed::LoadRecords(db->get(), reporter.Iters(4000, 500));
+      Report(&reporter, "sqlite",
+             "SQLite-mini: db-wal = small sync circular log, db = database",
              trace);
     }
     testbed.dfs_cluster()->set_trace(nullptr);
@@ -147,5 +156,5 @@ int main() {
   bench::Note(
       "paper: RocksDB/Redis reclaim logs by delete; SQLite overwrites its "
       "circular db-wal");
-  return 0;
+  return reporter.WriteJson() ? 0 : 1;
 }

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/controller/CMakeFiles/splitft_controller.dir/DependInfo.cmake"
   "/root/repo/build/src/rdma/CMakeFiles/splitft_rdma.dir/DependInfo.cmake"
   "/root/repo/build/src/dfs/CMakeFiles/splitft_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/splitft_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/splitft_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/splitft_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/splitft_common.dir/DependInfo.cmake"

@@ -118,29 +118,24 @@ bench_build/CMakeFiles/discussion_blockstore.dir/discussion_blockstore.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/bench/bench_util.h \
- /root/repo/src/blockstore/block_device.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/params.h /root/repo/src/sim/simulation.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/histogram.h \
+ /root/repo/src/obs/trace.h /root/repo/src/sim/simulation.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -151,6 +146,12 @@ bench_build/CMakeFiles/discussion_blockstore.dir/discussion_blockstore.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/blockstore/block_device.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /root/repo/src/sim/params.h \
  /root/repo/src/blockstore/local_fs.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -229,7 +230,8 @@ bench_build/CMakeFiles/discussion_blockstore.dir/discussion_blockstore.cc.o: \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/splitft/split_fs.h \
  /root/repo/src/controller/controller.h \
- /root/repo/src/controller/znode_store.h /root/repo/src/rdma/fabric.h \
+ /root/repo/src/controller/znode_store.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/rdma/fabric.h \
  /root/repo/src/dfs/dfs.h /root/repo/src/common/io_trace.h \
  /root/repo/src/ncl/ncl_client.h /root/repo/src/common/rng.h \
  /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \

@@ -232,10 +232,12 @@ examples/CMakeFiles/kv_server.dir/kv_server.cpp.o: \
  /root/repo/src/controller/controller.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/controller/znode_store.h /root/repo/src/rdma/fabric.h \
- /root/repo/src/sim/params.h /root/repo/src/dfs/dfs.h \
- /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
- /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
- /root/repo/src/ncl/region_format.h /root/repo/src/sim/retry.h \
- /root/repo/src/apps/kvstore/wal.h /root/repo/src/apps/redis/redis.h \
+ /root/repo/src/controller/znode_store.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/trace.h \
+ /root/repo/src/rdma/fabric.h /root/repo/src/sim/params.h \
+ /root/repo/src/dfs/dfs.h /root/repo/src/common/io_trace.h \
+ /root/repo/src/ncl/ncl_client.h /root/repo/src/ncl/peer.h \
+ /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
+ /root/repo/src/sim/retry.h /root/repo/src/apps/kvstore/wal.h \
+ /root/repo/src/apps/redis/redis.h \
  /root/repo/src/apps/sqlitelite/sqlite_lite.h

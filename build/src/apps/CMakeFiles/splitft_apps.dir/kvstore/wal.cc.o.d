@@ -222,7 +222,9 @@ src/apps/CMakeFiles/splitft_apps.dir/kvstore/wal.cc.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/controller/znode_store.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/rdma/fabric.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/histogram.h \
+ /root/repo/src/obs/trace.h /root/repo/src/rdma/fabric.h \
  /root/repo/src/sim/params.h /root/repo/src/dfs/dfs.h \
  /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
  /root/repo/src/common/rng.h /root/repo/src/ncl/peer.h \

@@ -227,7 +227,9 @@ src/chaos/CMakeFiles/splitft_chaos.dir/campaign.cc.o: \
  /root/repo/src/controller/controller.h \
  /root/repo/src/controller/znode_store.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/rdma/fabric.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/histogram.h \
+ /root/repo/src/obs/trace.h /root/repo/src/rdma/fabric.h \
  /root/repo/src/sim/params.h /root/repo/src/ncl/peer.h \
  /root/repo/src/ncl/peer_directory.h /root/repo/src/common/logging.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \

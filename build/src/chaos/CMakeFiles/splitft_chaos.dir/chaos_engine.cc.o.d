@@ -155,8 +155,8 @@ src/chaos/CMakeFiles/splitft_chaos.dir/chaos_engine.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/controller/znode_store.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/rdma/fabric.h \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -225,7 +225,9 @@ src/chaos/CMakeFiles/splitft_chaos.dir/chaos_engine.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/params.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/histogram.h /root/repo/src/obs/trace.h \
+ /root/repo/src/rdma/fabric.h /root/repo/src/sim/params.h \
  /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \

@@ -211,19 +211,20 @@ src/ncl/CMakeFiles/splitft_ncl.dir/ncl_client.cc.o: \
  /root/repo/src/controller/controller.h \
  /root/repo/src/controller/znode_store.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/rdma/fabric.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/histogram.h \
+ /root/repo/src/obs/trace.h /root/repo/src/sim/simulation.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/params.h \
- /root/repo/src/sim/simulation.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/ncl/peer.h \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdma/fabric.h \
+ /root/repo/src/sim/params.h /root/repo/src/ncl/peer.h \
  /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
  /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/sim/retry.h \

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitft_obs.dir/metrics.cc.o"
+  "CMakeFiles/splitft_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/splitft_obs.dir/trace.cc.o"
+  "CMakeFiles/splitft_obs.dir/trace.cc.o.d"
+  "libsplitft_obs.a"
+  "libsplitft_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitft_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -208,15 +208,19 @@ src/rdma/CMakeFiles/splitft_rdma.dir/fabric.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/params.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/common/histogram.h /root/repo/src/obs/trace.h \
  /root/repo/src/sim/simulation.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/params.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \

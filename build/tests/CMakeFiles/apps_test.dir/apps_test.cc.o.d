@@ -298,12 +298,14 @@ tests/CMakeFiles/apps_test.dir/apps_test.cc.o: \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/common/status.h \
  /root/repo/src/splitft/split_fs.h /root/repo/src/controller/controller.h \
- /root/repo/src/controller/znode_store.h /root/repo/src/rdma/fabric.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/params.h \
- /root/repo/src/sim/simulation.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dfs/dfs.h \
+ /root/repo/src/controller/znode_store.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/histogram.h \
+ /root/repo/src/obs/trace.h /root/repo/src/sim/simulation.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdma/fabric.h \
+ /root/repo/src/sim/params.h /root/repo/src/dfs/dfs.h \
  /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
  /root/repo/src/common/rng.h /root/repo/src/ncl/peer.h \
  /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \

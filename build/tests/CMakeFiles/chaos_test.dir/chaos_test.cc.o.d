@@ -301,7 +301,9 @@ tests/CMakeFiles/chaos_test.dir/chaos_test.cc.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/retry.h \
  /root/repo/src/common/status.h /root/repo/src/chaos/chaos_engine.h \
  /root/repo/src/controller/controller.h \
- /root/repo/src/controller/znode_store.h /root/repo/src/rdma/fabric.h \
+ /root/repo/src/controller/znode_store.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/histogram.h \
+ /root/repo/src/obs/trace.h /root/repo/src/rdma/fabric.h \
  /root/repo/src/sim/params.h /root/repo/src/ncl/peer.h \
  /root/repo/src/ncl/peer_directory.h /root/repo/src/harness/testbed.h \
  /root/repo/src/apps/kvstore/kv_store.h \

@@ -306,11 +306,13 @@ tests/CMakeFiles/harness_test.dir/harness_test.cc.o: \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/splitft/split_fs.h \
  /root/repo/src/controller/controller.h \
- /root/repo/src/controller/znode_store.h /root/repo/src/rdma/fabric.h \
- /root/repo/src/sim/params.h /root/repo/src/dfs/dfs.h \
- /root/repo/src/common/io_trace.h /root/repo/src/ncl/ncl_client.h \
- /root/repo/src/ncl/peer.h /root/repo/src/ncl/peer_directory.h \
- /root/repo/src/ncl/region_format.h /root/repo/src/common/bytes.h \
- /usr/include/c++/12/cstring /root/repo/src/sim/retry.h \
- /root/repo/src/apps/kvstore/wal.h /root/repo/src/apps/redis/redis.h \
+ /root/repo/src/controller/znode_store.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/trace.h \
+ /root/repo/src/rdma/fabric.h /root/repo/src/sim/params.h \
+ /root/repo/src/dfs/dfs.h /root/repo/src/common/io_trace.h \
+ /root/repo/src/ncl/ncl_client.h /root/repo/src/ncl/peer.h \
+ /root/repo/src/ncl/peer_directory.h /root/repo/src/ncl/region_format.h \
+ /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
+ /root/repo/src/sim/retry.h /root/repo/src/apps/kvstore/wal.h \
+ /root/repo/src/apps/redis/redis.h \
  /root/repo/src/apps/sqlitelite/sqlite_lite.h

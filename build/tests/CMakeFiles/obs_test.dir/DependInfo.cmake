@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/splitft_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/splitft_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitft/CMakeFiles/splitft_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncl/CMakeFiles/splitft_ncl.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/splitft_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/splitft_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/splitft_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/splitft_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/splitft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/splitft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/splitft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

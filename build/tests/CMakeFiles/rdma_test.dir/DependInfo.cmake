@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/rdma/CMakeFiles/splitft_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/splitft_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/splitft_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/splitft_common.dir/DependInfo.cmake"
   )

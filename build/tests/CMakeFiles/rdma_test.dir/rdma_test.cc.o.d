@@ -297,5 +297,7 @@ tests/CMakeFiles/rdma_test.dir/rdma_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/status.h \
- /root/repo/src/sim/params.h /root/repo/src/sim/simulation.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h
+ /root/repo/src/obs/obs.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/histogram.h /root/repo/src/obs/trace.h \
+ /root/repo/src/sim/simulation.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/params.h

@@ -10,6 +10,7 @@ include("/root/repo/build/tests/rdma_test[1]_include.cmake")
 include("/root/repo/build/tests/dfs_test[1]_include.cmake")
 include("/root/repo/build/tests/controller_test[1]_include.cmake")
 include("/root/repo/build/tests/ncl_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/splitfs_test[1]_include.cmake")
 include("/root/repo/build/tests/workload_test[1]_include.cmake")
 include("/root/repo/build/tests/apps_test[1]_include.cmake")

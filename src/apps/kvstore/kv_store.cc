@@ -85,6 +85,9 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(SplitFs* fs, Simulation* sim,
 }
 
 Status KvStore::RecoverExistingState() {
+  // Application-level replay time, distinct from the NCL-layer
+  // "ncl.recover.*" phases that happen inside OpenWalFile.
+  ObsSpan replay_span(fs_->obs().tracer, "app.recover.replay");
   // 1. Load sstables (L1 then L0 naming) from the dfs namespace.
   std::vector<std::pair<uint64_t, std::string>> l0_paths, l1_paths;
   for (const std::string& path : fs_->dfs()->List(options_.dir + "/sst-")) {
@@ -227,7 +230,9 @@ Result<SimTime> KvStore::ApplyBatchInternal(const std::vector<KvWrite>& batch,
   RETURN_IF_ERROR(appended);
   SimTime durable_at = 0;
   if (sync_wal() && deferred) {
-    auto done = wal_->file()->SyncDeferred();
+    SyncOptions sync_options;
+    sync_options.deferred = true;
+    auto done = wal_->file()->Sync(sync_options);
     if (!done.ok()) {
       return done.status();
     }

@@ -52,7 +52,9 @@ Status SstableBuilder::Write(
   RETURN_IF_ERROR(file->Append(index));
   RETURN_IF_ERROR(file->Append(footer));
   // Compaction/flush writes are large background writes (§3).
-  return file->SyncBackground();
+  SyncOptions sync_options;
+  sync_options.background = true;
+  return file->Sync(sync_options).status();
 }
 
 Result<std::unique_ptr<SstableReader>> SstableReader::Open(

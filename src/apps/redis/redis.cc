@@ -191,6 +191,7 @@ Status Redis::ApplyCommand(std::string_view frame) {
 }
 
 Status Redis::Recover() {
+  ObsSpan replay_span(fs_->obs().tracer, "app.recover.replay");
   // Load the newest RDB snapshot, then replay AOF generations after it.
   std::vector<std::string> rdbs = fs_->dfs()->List(options_.dir + "/rdb-");
   uint64_t rdb_gen = 0;
@@ -300,7 +301,9 @@ Status Redis::MaybeRewriteAof() {
     return rdb.status();
   }
   RETURN_IF_ERROR((*rdb)->Append(SerializeRdb()));
-  RETURN_IF_ERROR((*rdb)->SyncBackground());
+  SyncOptions sync_options;
+  sync_options.background = true;
+  RETURN_IF_ERROR((*rdb)->Sync(sync_options).status());
 
   std::string old_aof = aof_->path();
   aof_.reset();

@@ -68,6 +68,7 @@ Status SqliteLite::WriteWalHeader() {
 }
 
 Status SqliteLite::Recover() {
+  ObsSpan replay_span(fs_->obs().tracer, "app.recover.replay");
   // The database file always lives on the dfs; the WAL is routed by mode.
   SplitOpenOptions db_opts;
   auto db_file = fs_->Open(options_.dir + "/db", db_opts);

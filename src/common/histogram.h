@@ -25,6 +25,7 @@ class Histogram {
   // q in [0,1]; returns an interpolated value within the matched bucket.
   double Percentile(double q) const;
   double P50() const { return Percentile(0.50); }
+  double P95() const { return Percentile(0.95); }
   double P99() const { return Percentile(0.99); }
 
   // "count=1000 mean=4.6us p50=4.4us p99=8.9us max=12.1us"

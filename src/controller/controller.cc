@@ -6,17 +6,28 @@
 
 namespace splitft {
 
-Controller::Controller(Simulation* sim, const SimParams* params)
-    : sim_(sim), params_(params) {}
+Controller::Controller(Simulation* sim, const SimParams* params,
+                       ObsContext obs)
+    : sim_(sim),
+      params_(params),
+      obs_(obs),
+      c_rpcs_(obs.counter("controller.rpc.count")),
+      c_rpc_timeouts_(obs.counter("controller.rpc.timeouts")),
+      h_rpc_ns_(obs.histogram("controller.rpc.latency_ns")) {}
 
 void Controller::ChargeRpc() {
+  ObsSpan span(obs_.tracer, "controller.rpc");
   rpc_count_++;
+  ObsAdd(c_rpcs_);
+  SimTime start = sim_->Now();
   sim_->Advance(params_->controller.rpc_latency);
+  ObsRecord(h_rpc_ns_, sim_->Now() - start);
 }
 
 Status Controller::Rpc() {
   ChargeRpc();
   if (unavailable_) {
+    ObsAdd(c_rpc_timeouts_);
     return TimedOutError("controller outage: RPC timed out");
   }
   return OkStatus();

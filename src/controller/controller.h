@@ -16,6 +16,7 @@
 
 #include "src/common/status.h"
 #include "src/controller/znode_store.h"
+#include "src/obs/obs.h"
 #include "src/rdma/fabric.h"
 #include "src/sim/params.h"
 #include "src/sim/simulation.h"
@@ -37,7 +38,10 @@ struct ApMapEntry {
 
 class Controller {
  public:
-  Controller(Simulation* sim, const SimParams* params);
+  // Registry keys: "controller.rpc.count" / "controller.rpc.timeouts"
+  // counters, a "controller.rpc.latency_ns" histogram, and a
+  // "controller.rpc" trace span per round trip.
+  Controller(Simulation* sim, const SimParams* params, ObsContext obs = {});
 
   // ---- Peer registry -----------------------------------------------------
 
@@ -118,6 +122,11 @@ class Controller {
   ZnodeStore store_;
   uint64_t rpc_count_ = 0;
   bool unavailable_ = false;
+
+  ObsContext obs_;
+  Counter* c_rpcs_;
+  Counter* c_rpc_timeouts_;
+  Histogram* h_rpc_ns_;
 };
 
 }  // namespace splitft

@@ -9,8 +9,24 @@ namespace splitft {
 
 // --------------------------------------------------------------- Cluster --
 
-DfsCluster::DfsCluster(Simulation* sim, const SimParams* params)
-    : sim_(sim), params_(params) {}
+DfsCluster::DfsCluster(Simulation* sim, const SimParams* params,
+                       ObsContext obs)
+    : sim_(sim),
+      params_(params),
+      obs_(obs),
+      c_bytes_written_(obs.counter("dfs.cluster.bytes_written")),
+      c_sync_ops_(obs.counter("dfs.cluster.sync_ops")),
+      c_writes_(obs.counter("dfs.client.writes")),
+      c_write_bytes_(obs.counter("dfs.client.write_bytes")),
+      c_fsyncs_(obs.counter("dfs.client.fsyncs")),
+      c_background_syncs_(obs.counter("dfs.client.background_syncs")),
+      c_reads_(obs.counter("dfs.client.reads")),
+      c_readahead_hits_(obs.counter("dfs.client.readahead_hits")),
+      c_readahead_misses_(obs.counter("dfs.client.readahead_misses")),
+      c_direct_reads_(obs.counter("dfs.client.direct_reads")),
+      c_background_flush_bytes_(
+          obs.counter("dfs.client.background_flush_bytes")),
+      h_fsync_ns_(obs.histogram("dfs.client.fsync_ns")) {}
 
 SimTime DfsCluster::AcquirePipe(SimTime duration, bool foreground) {
   SimTime start = std::max(sim_->Now(), pipe_busy_until_);
@@ -131,6 +147,8 @@ uint64_t DfsClient::BackgroundFlushAll() {
     cluster_->AcquirePipe(cluster_->params_->DfsSyncWriteLatency(bytes),
                           /*foreground=*/false);
     cluster_->bytes_written_ += bytes;
+    ObsAdd(cluster_->c_bytes_written_, bytes);
+    ObsAdd(cluster_->c_background_flush_bytes_, bytes);
     flushed += bytes;
   }
   return flushed;
@@ -203,6 +221,9 @@ Status DfsFile::Write(uint64_t offset, std::string_view data) {
   if (data.empty()) {
     return OkStatus();
   }
+  ObsSpan span(client_->cluster_->obs_.tracer, "dfs.write");
+  ObsAdd(client_->cluster_->c_writes_);
+  ObsAdd(client_->cluster_->c_write_bytes_, data.size());
   DfsClient::FileState& st = client_->GetState(path_);
   // Page-cache copy cost.
   client_->cluster_->sim_->Advance(
@@ -287,6 +308,9 @@ Status DfsFile::SyncInternal(bool foreground, SimTime* done_at) {
     return OkStatus();
   }
   DfsCluster* cluster = client_->cluster_;
+  ObsSpan span(cluster->obs_.tracer, "dfs.fsync");
+  ObsAdd(foreground ? cluster->c_fsyncs_ : cluster->c_background_syncs_);
+  SimTime sync_start = cluster->sim_->Now();
   std::string& content = cluster->files_[path_].content;
   uint64_t bytes = st.dirty_bytes;
   bool overwrote = false;
@@ -308,6 +332,11 @@ Status DfsFile::SyncInternal(bool foreground, SimTime* done_at) {
   }
   cluster->bytes_written_ += bytes;
   cluster->sync_ops_++;
+  ObsAdd(cluster->c_bytes_written_, bytes);
+  ObsAdd(cluster->c_sync_ops_);
+  // The sync's latency as the caller experiences it: pipe wait + transfer
+  // for foreground calls, durable-at minus now for deferred group commits.
+  ObsRecord(cluster->h_fsync_ns_, done - sync_start);
   if (cluster->trace_ != nullptr) {
     IoTraceEvent ev;
     ev.path = path_;
@@ -331,6 +360,8 @@ Result<std::string> DfsFile::ReadBackground(uint64_t offset, uint64_t len) {
 Result<std::string> DfsFile::ReadInternal(uint64_t offset, uint64_t len,
                                           bool foreground) {
   RETURN_IF_ERROR(CheckUsable());
+  ObsSpan span(client_->cluster_->obs_.tracer, "dfs.read");
+  ObsAdd(client_->cluster_->c_reads_);
   const SimParams& params = client_->cluster_->params();
   Simulation* sim = client_->cluster_->sim_;
   DfsClient::FileState& st = client_->GetState(path_);
@@ -376,6 +407,7 @@ Result<std::string> DfsFile::ReadInternal(uint64_t offset, uint64_t len,
 
   if (direct_io_) {
     // Every read goes to the backend.
+    ObsAdd(client_->cluster_->c_direct_reads_);
     client_->cluster_->AcquirePipe(
         params.dfs.remote_read_base +
             static_cast<SimTime>(static_cast<double>(len) /
@@ -390,6 +422,7 @@ Result<std::string> DfsFile::ReadInternal(uint64_t offset, uint64_t len,
   uint64_t last = (offset + len - 1) / window;
   for (uint64_t w = first; w <= last; ++w) {
     if (st.cached_windows.count(w) > 0) {
+      ObsAdd(client_->cluster_->c_readahead_hits_);
       if (foreground) {
         sim->Advance(params.dfs.cached_read_base +
                      static_cast<SimTime>(
@@ -397,6 +430,7 @@ Result<std::string> DfsFile::ReadInternal(uint64_t offset, uint64_t len,
                          params.dfs.cached_read_bytes_per_ns));
       }
     } else {
+      ObsAdd(client_->cluster_->c_readahead_misses_);
       uint64_t fetch = std::min<uint64_t>(window, size - w * window);
       client_->cluster_->AcquirePipe(
           params.dfs.remote_read_base +

@@ -27,6 +27,7 @@
 
 #include "src/common/io_trace.h"
 #include "src/common/status.h"
+#include "src/obs/obs.h"
 #include "src/sim/params.h"
 #include "src/sim/simulation.h"
 
@@ -39,10 +40,13 @@ class DfsFile;
 // the shared backend bandwidth pipe.
 class DfsCluster {
  public:
-  DfsCluster(Simulation* sim, const SimParams* params);
+  // Registry keys: "dfs.*" counters plus the "dfs.write" / "dfs.fsync" /
+  // "dfs.read" trace spans. A default (null) ObsContext disables all of it.
+  DfsCluster(Simulation* sim, const SimParams* params, ObsContext obs = {});
 
   Simulation* sim() const { return sim_; }
   const SimParams& params() const { return *params_; }
+  const ObsContext& obs() const { return obs_; }
 
   // Optional sink receiving one event per serviced write/delete.
   void set_trace(IoTraceSink* trace) { trace_ = trace; }
@@ -76,6 +80,20 @@ class DfsCluster {
   IoTraceSink* trace_ = nullptr;
   uint64_t bytes_written_ = 0;
   uint64_t sync_ops_ = 0;
+
+  ObsContext obs_;
+  Counter* c_bytes_written_;
+  Counter* c_sync_ops_;
+  Counter* c_writes_;
+  Counter* c_write_bytes_;
+  Counter* c_fsyncs_;
+  Counter* c_background_syncs_;
+  Counter* c_reads_;
+  Counter* c_readahead_hits_;
+  Counter* c_readahead_misses_;
+  Counter* c_direct_reads_;
+  Counter* c_background_flush_bytes_;
+  Histogram* h_fsync_ns_;
 };
 
 struct DfsOpenOptions {

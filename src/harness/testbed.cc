@@ -6,9 +6,11 @@ namespace splitft {
 
 Testbed::Testbed(TestbedOptions options)
     : options_(options),
-      fabric_(&sim_, &options_.params),
-      controller_(&sim_, &options_.params),
-      cluster_(&sim_, &options_.params) {
+      tracer_(&sim_, options_.tracing),
+      obs_{&metrics_, &tracer_},
+      fabric_(&sim_, &options_.params, obs_),
+      controller_(&sim_, &options_.params, obs_),
+      cluster_(&sim_, &options_.params, obs_) {
   app_node_ = fabric_.AddNode("app-server");
   for (int i = 0; i < options_.num_peers; ++i) {
     auto peer = std::make_unique<LogPeer>("peer-" + std::to_string(i),
@@ -33,7 +35,8 @@ std::unique_ptr<AppServer> Testbed::MakeServer(const std::string& app_id,
   config.fault_budget = options_.fault_budget;
   config.default_capacity = ncl_capacity;
   server->fs = std::make_unique<SplitFs>(config, server->dfs.get(), &fabric_,
-                                         &controller_, &directory_, app_node_);
+                                         &controller_, &directory_, app_node_,
+                                         obs_);
   (void)server->fs->Start();
   if (mode == DurabilityMode::kWeak) {
     // Weak mode relies on the OS flusher for eventual durability.

@@ -17,6 +17,9 @@
 #include "src/dfs/dfs.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/rdma/fabric.h"
 #include "src/sim/params.h"
 #include "src/sim/simulation.h"
@@ -28,6 +31,10 @@ struct TestbedOptions {
   int num_peers = 4;
   uint64_t peer_memory = 4ull << 30;
   int fault_budget = 1;
+  // Enables the sim-time span tracer. Counters/histograms are always on
+  // (they are cheap); span collection is opt-in so perf experiments can
+  // verify the zero-overhead-when-disabled guarantee.
+  bool tracing = false;
   SimParams params;
 };
 
@@ -51,6 +58,12 @@ class Testbed {
 
   Simulation* sim() { return &sim_; }
   const SimParams& params() const { return options_.params; }
+  // The shared observability handle every layer was constructed with. All
+  // metrics land in one registry keyed "layer.component.metric"; spans (if
+  // options.tracing) land in one tracer.
+  const ObsContext& obs() const { return obs_; }
+  MetricsRegistry* metrics() { return &metrics_; }
+  Tracer* tracer() { return &tracer_; }
   Fabric* fabric() { return &fabric_; }
   Controller* controller() { return &controller_; }
   DfsCluster* dfs_cluster() { return &cluster_; }
@@ -83,6 +96,9 @@ class Testbed {
  private:
   TestbedOptions options_;
   Simulation sim_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  ObsContext obs_;
   Fabric fabric_;
   Controller controller_;
   DfsCluster cluster_;

@@ -10,13 +10,27 @@ namespace splitft {
 // ----------------------------------------------------------------- Client --
 
 NclClient::NclClient(NclConfig config, Fabric* fabric, Controller* controller,
-                     PeerDirectory* directory, NodeId node)
+                     PeerDirectory* directory, NodeId node, ObsContext obs)
     : config_(std::move(config)),
       fabric_(fabric),
       controller_(controller),
       directory_(directory),
       node_(node),
-      rng_(config_.rng_seed) {}
+      rng_(config_.rng_seed),
+      obs_(obs),
+      c_release_failures_(obs.counter("ncl.client.release_failures")),
+      c_suspect_retries_(obs.counter("ncl.client.suspect_retries")),
+      c_transient_recoveries_(obs.counter("ncl.client.transient_recoveries")),
+      c_permanent_demotions_(obs.counter("ncl.client.permanent_demotions")),
+      c_controller_rpc_retries_(
+          obs.counter("ncl.client.controller_rpc_retries")),
+      c_directory_lookup_retries_(
+          obs.counter("ncl.client.directory_lookup_retries")),
+      c_records_(obs.counter("ncl.record.count")),
+      c_record_bytes_(obs.counter("ncl.record.bytes")),
+      c_peers_replaced_(obs.counter("ncl.client.peers_replaced")),
+      h_record_ns_(obs.histogram("ncl.record.latency_ns")),
+      h_recover_ns_(obs.histogram("ncl.recover.latency_ns")) {}
 
 NclClient::~NclClient() = default;
 
@@ -29,6 +43,7 @@ LogPeer* NclClient::LookupPeerWithRetry(const std::string& name) {
   RetryState state(&config_.retry, sim->Now());
   while (peer == nullptr && state.ShouldRetry(sim->Now())) {
     stats_.directory_lookup_retries++;
+    ObsAdd(c_directory_lookup_retries_);
     sim->RunUntil(sim->Now() + state.NextBackoff(&rng_));
     peer = directory_->Lookup(name);
   }
@@ -103,27 +118,49 @@ Result<std::unique_ptr<NclFile>> NclClient::Create(const std::string& file,
   return out;
 }
 
-Status NclClient::Delete(const std::string& file) {
+Result<DeleteReport> NclClient::DeleteWithReport(const std::string& file) {
   auto apmap = RetryControllerRpc(
       [&] { return controller_->GetApMap(config_.app_id, file); });
   if (!apmap.ok()) {
     return apmap.status();
   }
+  DeleteReport report;
   for (const std::string& name : apmap->peers) {
     LogPeer* peer = LookupPeerWithRetry(name);
     if (peer != nullptr && peer->alive()) {
+      report.peers_attempted++;
       Status released = peer->Release(config_.app_id, file);
-      if (!released.ok()) {
+      if (released.ok()) {
+        report.peers_released++;
+      } else {
         // The region leaks until the peer's epoch GC reclaims it; that is
         // tolerable, silently losing the signal is not.
+        report.release_failures++;
         stats_.release_failures++;
+        ObsAdd(c_release_failures_);
         LOG_WARNING << "release of " << file << " on " << name
                     << " failed: " << released.message();
       }
     }
   }
-  return RetryControllerRpc(
-      [&] { return controller_->DeleteApMap(config_.app_id, file); });
+  RETURN_IF_ERROR(RetryControllerRpc(
+      [&] { return controller_->DeleteApMap(config_.app_id, file); }));
+  return report;
+}
+
+Status NclClient::Delete(const std::string& file) {
+  auto report = DeleteWithReport(file);
+  if (!report.ok()) {
+    return report.status();
+  }
+  if (report->AllReleasesFailed()) {
+    // Non-fatal warning: the file is gone from the ap-map but every region
+    // release failed, so peer memory leaks until the epoch GC runs.
+    return UnavailableError("deleted " + file + " but all " +
+                            std::to_string(report->peers_attempted) +
+                            " peer releases failed; regions leak until GC");
+  }
+  return OkStatus();
 }
 
 std::vector<std::string> NclClient::ListFiles() {
@@ -139,52 +176,68 @@ bool NclClient::Exists(const std::string& file) {
 Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
   last_recovery_ = RecoveryBreakdown{};
   Simulation* sim = fabric_->sim();
+  SimTime recover_start = sim->Now();
+
+  // The four phases are contiguous sim-time windows: each span begins
+  // where the previous ended, so their durations sum exactly to the
+  // end-to-end recovery latency (asserted in ncl_test). The deprecated
+  // RecoveryBreakdown fields are filled from the same boundaries.
+  ObsSpan recover_span(obs_.tracer, "ncl.recover");
 
   // Phase 1: peer list from the controller.
   SimTime t0 = sim->Now();
-  auto apmap = RetryControllerRpc(
-      [&] { return controller_->GetApMap(config_.app_id, file); });
+  auto apmap = [&] {
+    ObsSpan phase(obs_.tracer, "ncl.recover.get_peers");
+    auto r = RetryControllerRpc(
+        [&] { return controller_->GetApMap(config_.app_id, file); });
+    last_recovery_.get_peers = sim->Now() - t0;
+    return r;
+  }();
   if (!apmap.ok()) {
     return apmap.status();
   }
-  last_recovery_.get_peers = sim->Now() - t0;
 
   // Phase 2: contact the peers; each either grants the region or rejects
   // (it crashed and lost its mr-map, §4.5.1).
   t0 = sim->Now();
   std::unique_ptr<NclFile> out(new NclFile(this, file, 0));
-  for (const std::string& name : apmap->peers) {
-    NclFile::PeerSlot slot;
-    slot.peer_name = name;
-    slot.alive = false;
-    out->ever_used_.insert(name);
-    LogPeer* peer = LookupPeerWithRetry(name);
-    if (peer != nullptr && peer->alive()) {
-      auto grant = peer->LookupForRecovery(config_.app_id, file);
-      if (grant.ok()) {
-        slot.peer = peer;
-        slot.node = peer->node();
-        slot.rkey = grant->rkey;
-        slot.qp = std::make_unique<QueuePair>(fabric_, node_, peer->node(),
-                                              MarkConnected(peer->node()));
-        slot.alive = true;
-        out->capacity_ =
-            std::max(out->capacity_, grant->region_bytes - kNclRegionHeaderBytes);
+  {
+    ObsSpan phase(obs_.tracer, "ncl.recover.connect");
+    for (const std::string& name : apmap->peers) {
+      NclFile::PeerSlot slot;
+      slot.peer_name = name;
+      slot.alive = false;
+      out->ever_used_.insert(name);
+      LogPeer* peer = LookupPeerWithRetry(name);
+      if (peer != nullptr && peer->alive()) {
+        auto grant = peer->LookupForRecovery(config_.app_id, file);
+        if (grant.ok()) {
+          slot.peer = peer;
+          slot.node = peer->node();
+          slot.rkey = grant->rkey;
+          slot.qp = std::make_unique<QueuePair>(fabric_, node_, peer->node(),
+                                                MarkConnected(peer->node()));
+          slot.alive = true;
+          out->capacity_ = std::max(
+              out->capacity_, grant->region_bytes - kNclRegionHeaderBytes);
+        }
       }
+      out->slots_.push_back(std::move(slot));
     }
-    out->slots_.push_back(std::move(slot));
+    if (out->alive_peers() < majority()) {
+      // More than f peers lost the region: correctly make the file
+      // unavailable rather than lose acknowledged writes (§4.2).
+      return UnavailableError("only " + std::to_string(out->alive_peers()) +
+                              " of " + std::to_string(n_peers()) +
+                              " peers hold " + file);
+    }
+    last_recovery_.connect = sim->Now() - t0;
   }
-  if (out->alive_peers() < majority()) {
-    // More than f peers lost the region: correctly make the file
-    // unavailable rather than lose acknowledged writes (§4.2).
-    return UnavailableError("only " + std::to_string(out->alive_peers()) +
-                            " of " + std::to_string(n_peers()) +
-                            " peers hold " + file);
-  }
-  last_recovery_.connect = sim->Now() - t0;
 
   // Phase 3: read headers from all reachable peers; wait for a majority.
   t0 = sim->Now();
+  {
+  ObsSpan phase(obs_.tracer, "ncl.recover.rdma_read");
   struct HeaderRead {
     int slot_idx;
     uint64_t wr_id;
@@ -281,48 +334,53 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
   }
   out->serve_reads_locally_ = config_.prefetch_on_recovery;
   last_recovery_.rdma_read = sim->Now() - t0;
+  }
 
   // Phase 4: catch every reachable peer up with the recovered state via
   // the atomic staged-region switch, then replace unreachable peers, then
   // record the new ap-map. Only after this is it safe to let the
   // application act on the recovered data (§4.5.1).
   t0 = sim->Now();
-  auto epoch =
-      RetryControllerRpc([&] { return controller_->BumpAppEpoch(config_.app_id); });
-  if (!epoch.ok()) {
-    return epoch.status();
-  }
-  out->epoch_ = *epoch;
-  if (!config_.unsafe_skip_recovery_catchup) {
+  {
+    ObsSpan phase(obs_.tracer, "ncl.recover.sync_peers");
+    auto epoch = RetryControllerRpc(
+        [&] { return controller_->BumpAppEpoch(config_.app_id); });
+    if (!epoch.ok()) {
+      return epoch.status();
+    }
+    out->epoch_ = *epoch;
+    if (!config_.unsafe_skip_recovery_catchup) {
+      for (NclFile::PeerSlot& slot : out->slots_) {
+        if (!slot.alive) {
+          continue;
+        }
+        Status st = out->CatchUpViaStagedRegion(&slot);
+        if (!st.ok()) {
+          slot.alive = false;
+        }
+      }
+      if (out->alive_peers() < majority()) {
+        return UnavailableError("peers failed during recovery catch-up");
+      }
+    } else {
+      for (NclFile::PeerSlot& slot : out->slots_) {
+        if (slot.alive) {
+          slot.acked_seq = out->seq_;  // (unsafely) assumed up to date
+        }
+      }
+    }
     for (NclFile::PeerSlot& slot : out->slots_) {
       if (!slot.alive) {
-        continue;
-      }
-      Status st = out->CatchUpViaStagedRegion(&slot);
-      if (!st.ok()) {
-        slot.alive = false;
+        // Best effort: maintain the fault-tolerance level. Failure here is
+        // tolerable as long as a majority is alive.
+        (void)out->ReplaceSlot(&slot);
       }
     }
-    if (out->alive_peers() < majority()) {
-      return UnavailableError("peers failed during recovery catch-up");
-    }
-  } else {
-    for (NclFile::PeerSlot& slot : out->slots_) {
-      if (slot.alive) {
-        slot.acked_seq = out->seq_;  // (unsafely) assumed up to date
-      }
-    }
+    out->RefreshPeerNames();
+    RETURN_IF_ERROR(out->WriteApMap());
+    last_recovery_.sync_peers = sim->Now() - t0;
   }
-  for (NclFile::PeerSlot& slot : out->slots_) {
-    if (!slot.alive) {
-      // Best effort: maintain the fault-tolerance level. Failure here is
-      // tolerable as long as a majority is alive.
-      (void)out->ReplaceSlot(&slot);
-    }
-  }
-  out->RefreshPeerNames();
-  RETURN_IF_ERROR(out->WriteApMap());
-  last_recovery_.sync_peers = sim->Now() - t0;
+  ObsRecord(h_recover_ns_, sim->Now() - recover_start);
   return out;
 }
 
@@ -382,6 +440,10 @@ Status NclFile::Record(uint64_t offset, std::string_view data) {
     return ResourceExhaustedError("write past ncl capacity of " + name_);
   }
   const NclConfig& config = client_->config_;
+  ObsSpan record_span(client_->obs_.tracer, "ncl.record");
+  ObsAdd(client_->c_records_);
+  ObsAdd(client_->c_record_bytes_, data.size());
+  SimTime record_start = client_->fabric_->sim()->Now();
 
   // Apply locally first (§4.4): the local buffer is also the catch-up
   // source for replacement peers.
@@ -497,6 +559,7 @@ Status NclFile::Record(uint64_t offset, std::string_view data) {
       }
     }
   }
+  ObsRecord(client_->h_record_ns_, sim->Now() - record_start);
   return OkStatus();
 }
 
@@ -533,6 +596,7 @@ bool NclFile::PumpCompletions() {
       slot.suspect = false;
       slot.retry.reset();
       client_->stats_.transient_recoveries++;
+      ObsAdd(client_->c_transient_recoveries_);
       if (slot.acked_seq != seq_) {
         PostFullState(&slot);
       }
@@ -577,11 +641,13 @@ void NclFile::DemoteSlot(PeerSlot* slot) {
   slot->inflight.clear();
   slot->qp.reset();
   client_->stats_.permanent_demotions++;
+  ObsAdd(client_->c_permanent_demotions_);
 }
 
 void NclFile::RepostSuspect(PeerSlot* slot) {
   NclClient* client = client_;
   client->stats_.suspect_retries++;
+  ObsAdd(client->c_suspect_retries_);
   slot->qp = std::make_unique<QueuePair>(client->fabric_, client->node_,
                                          slot->node,
                                          client->MarkConnected(slot->node));
@@ -627,6 +693,7 @@ bool NclFile::MaybeRetrySuspects() {
         continue;
       }
       client_->stats_.suspect_retries++;
+      ObsAdd(client_->c_suspect_retries_);
       slot.next_retry_at = sim->Now() + slot.retry->NextBackoff(&client_->rng_);
       continue;
     }
@@ -660,6 +727,7 @@ int NclFile::CountAcked(uint64_t seq) const {
 }
 
 Status NclFile::BulkCatchUp(PeerSlot* slot, RKey rkey) {
+  ObsSpan span(client_->obs_.tracer, "ncl.catchup.bulk");
   std::vector<uint64_t> wanted;
   if (!buffer_.empty()) {
     wanted.push_back(
@@ -736,6 +804,7 @@ std::vector<DiffRange> ComputeDiffRanges(std::string_view a,
 }  // namespace
 
 Status NclFile::CatchUpViaStagedRegion(PeerSlot* slot) {
+  ObsSpan span(client_->obs_.tracer, "ncl.catchup.staged");
   const NclConfig& config = client_->config_;
   LogPeer* peer = slot->peer;
   if (peer == nullptr) {
@@ -826,6 +895,7 @@ Status NclFile::CatchUpViaStagedRegion(PeerSlot* slot) {
 Status NclFile::ReplaceSlot(PeerSlot* slot) {
   NclClient* client = client_;
   const NclConfig& config = client->config_;
+  ObsSpan span(client->obs_.tracer, "ncl.replace_slot");
 
   // New epoch: we intend to update the ap-map (§4.5.1).
   auto epoch = client->RetryControllerRpc(
@@ -876,6 +946,7 @@ Status NclFile::ReplaceSlot(PeerSlot* slot) {
     RETURN_IF_ERROR(BulkCatchUp(slot, slot->rkey));
     slot->acked_seq = seq_;
     client->peers_replaced_++;
+    ObsAdd(client->c_peers_replaced_);
     return OkStatus();
   }
 
@@ -888,6 +959,7 @@ Status NclFile::ReplaceSlot(PeerSlot* slot) {
   RefreshPeerNames();
   RETURN_IF_ERROR(WriteApMap());
   client->peers_replaced_++;
+  ObsAdd(client->c_peers_replaced_);
   return OkStatus();
 }
 
@@ -952,6 +1024,7 @@ Status NclFile::Delete() {
         // The region leaks until the peer's epoch GC reclaims it; that is
         // tolerable, silently losing the signal is not.
         client_->stats_.release_failures++;
+        ObsAdd(client_->c_release_failures_);
         LOG_WARNING << "release of " << name_ << " on " << slot.peer_name
                     << " failed: " << released.message();
       }

@@ -28,6 +28,7 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/controller/controller.h"
+#include "src/obs/obs.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
 #include "src/ncl/region_format.h"
@@ -85,6 +86,9 @@ struct NclConfig {
 
 // Client-side fault-handling counters (chaos campaigns assert on these;
 // they also surface previously-swallowed errors like Release failures).
+// Deprecated as a primary surface: the same increments mirror into the
+// ObsContext registry under "ncl.client.*". The struct remains because it
+// is per-client, whereas a testbed-owned registry aggregates all clients.
 struct NclStats {
   // peer->Release RPCs that failed during Delete (previously swallowed).
   uint64_t release_failures = 0;
@@ -101,6 +105,9 @@ struct NclStats {
 };
 
 // Recovery latency breakdown (Fig 11b / Table 3 reporting).
+// Deprecated compat shim: the canonical source is now the Tracer's
+// "ncl.recover.*" phase spans, which carry the same four contiguous
+// windows (and compose with nested controller/fabric spans).
 struct RecoveryBreakdown {
   SimTime get_peers = 0;    // controller lookups
   SimTime connect = 0;      // QP setup + recovery lookups on peers
@@ -108,13 +115,28 @@ struct RecoveryBreakdown {
   SimTime sync_peers = 0;   // catch-up + atomic switch + ap-map update
 };
 
+// Outcome of deleting an ncl file: peer-side Release is best effort (leaked
+// regions are reclaimed by the epoch GC), so callers get the tally instead
+// of a silently-swallowed failure.
+struct DeleteReport {
+  int peers_attempted = 0;  // reachable peers we issued Release to
+  int peers_released = 0;
+  int release_failures = 0;
+  bool AllReleasesFailed() const {
+    return peers_attempted > 0 && peers_released == 0;
+  }
+};
+
 class NclFile;
 
 class NclClient {
  public:
-  // `node` is the application server's fabric address.
+  // `node` is the application server's fabric address. `obs` (optional)
+  // wires the client into the shared registry/tracer: "ncl.client.*"
+  // counters plus "ncl.record" / "ncl.replace_slot" / "ncl.recover[.*]"
+  // trace spans.
   NclClient(NclConfig config, Fabric* fabric, Controller* controller,
-            PeerDirectory* directory, NodeId node);
+            PeerDirectory* directory, NodeId node, ObsContext obs = {});
   ~NclClient();
 
   NclClient(const NclClient&) = delete;
@@ -132,7 +154,16 @@ class NclClient {
 
   // Deletes an ncl file without recovering it first: releases the regions
   // on every reachable peer (best effort; the leak GC reclaims the rest)
-  // and removes the ap-map entry.
+  // and removes the ap-map entry. Returns the per-peer release tally;
+  // errors only for control-plane failures (missing ap-map, controller
+  // outage past the retry budget).
+  Result<DeleteReport> DeleteWithReport(const std::string& file);
+
+  // Status shim over DeleteWithReport. Partial Release failures stay OK
+  // (they are best effort), but when *every* reachable peer refused the
+  // Release the caller gets a non-fatal kUnavailable warning — the ap-map
+  // entry is gone and the file deleted either way; the regions leak until
+  // the epoch GC.
   Status Delete(const std::string& file);
 
   // ncl files this application had before a crash (from the controller).
@@ -142,7 +173,11 @@ class NclClient {
   bool Exists(const std::string& file);
 
   const NclConfig& config() const { return config_; }
+  const ObsContext& obs() const { return obs_; }
+  // Deprecated: prefer the "ncl.recover.*" trace spans (same windows).
   const RecoveryBreakdown& last_recovery() const { return last_recovery_; }
+  // Deprecated as a primary surface: mirrored into "ncl.client.*" registry
+  // counters; kept for per-client assertions.
   const NclStats& stats() const { return stats_; }
   int peers_replaced() const { return peers_replaced_; }
 
@@ -184,6 +219,7 @@ class NclClient {
     RetryState state(&config_.retry, sim->Now());
     while (RpcTimedOut(r) && state.ShouldRetry(sim->Now())) {
       stats_.controller_rpc_retries++;
+      ObsAdd(c_controller_rpc_retries_);
       sim->RunUntil(sim->Now() + state.NextBackoff(&rng_));
       r = fn();
     }
@@ -206,6 +242,19 @@ class NclClient {
   RecoveryBreakdown last_recovery_;
   NclStats stats_;
   int peers_replaced_ = 0;
+
+  ObsContext obs_;
+  Counter* c_release_failures_;
+  Counter* c_suspect_retries_;
+  Counter* c_transient_recoveries_;
+  Counter* c_permanent_demotions_;
+  Counter* c_controller_rpc_retries_;
+  Counter* c_directory_lookup_retries_;
+  Counter* c_records_;
+  Counter* c_record_bytes_;
+  Counter* c_peers_replaced_;
+  Histogram* h_record_ns_;
+  Histogram* h_recover_ns_;
 };
 
 class NclFile {

@@ -1,0 +1,83 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace splitft {
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{";
+  char buf[160];
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRIu64, first ? "" : ", ",
+                  name.c_str(), c->value());
+    out += buf;
+    first = false;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRId64, first ? "" : ", ",
+                  name.c_str(), g->value());
+    out += buf;
+    first = false;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\": {\"count\": %" PRIu64
+                  ", \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, "
+                  "\"p99\": %.1f, \"max\": %" PRId64 "}",
+                  first ? "" : ", ", name.c_str(), h->count(), h->Mean(),
+                  h->P50(), h->Percentile(0.95), h->P99(), h->max());
+    out += buf;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace splitft

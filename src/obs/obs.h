@@ -1,0 +1,33 @@
+// ObsContext: the one observability handle injected at construction time.
+// The testbed / harness owns a MetricsRegistry and a Tracer and passes this
+// (by value — it is two pointers) down through every layer. Components must
+// tolerate both pointers being null: instruments resolve to nullptr and the
+// Obs* helpers / ObsSpan no-op.
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace splitft {
+
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+
+  // Instrument lookups that tolerate a null registry, so components can
+  // unconditionally resolve their cached pointers at construction.
+  Counter* counter(const std::string& name) const {
+    return metrics == nullptr ? nullptr : metrics->counter(name);
+  }
+  Gauge* gauge(const std::string& name) const {
+    return metrics == nullptr ? nullptr : metrics->gauge(name);
+  }
+  Histogram* histogram(const std::string& name) const {
+    return metrics == nullptr ? nullptr : metrics->histogram(name);
+  }
+};
+
+}  // namespace splitft
+
+#endif  // SRC_OBS_OBS_H_

@@ -1,0 +1,132 @@
+#include "src/obs/trace.h"
+
+#include <cassert>
+#include <utility>
+
+namespace splitft {
+
+Tracer::Tracer(Simulation* sim, bool enabled, size_t ring_capacity)
+    : sim_(sim), enabled_(enabled), ring_capacity_(ring_capacity) {
+  stack_.reserve(16);
+}
+
+void Tracer::Begin(std::string_view name) {
+  if (!enabled_) {
+    return;
+  }
+  stack_.push_back(OpenSpan{std::string(name), sim_->Now(), 0});
+}
+
+void Tracer::End() {
+  if (!enabled_) {
+    return;
+  }
+  assert(!stack_.empty() && "Tracer::End without matching Begin");
+  if (stack_.empty()) {
+    return;
+  }
+  OpenSpan span = std::move(stack_.back());
+  stack_.pop_back();
+  const SimTime end = sim_->Now();
+  const SimTime dur = end - span.start;
+  SpanStats& agg = aggregates_[span.name];
+  agg.count++;
+  agg.total += dur;
+  agg.self += dur - span.child_total;
+  if (!stack_.empty()) {
+    stack_.back().child_total += dur;
+  }
+  PushEvent(SpanEvent{std::move(span.name), span.start, end,
+                      static_cast<uint32_t>(stack_.size()), false});
+}
+
+void Tracer::AddAsyncSpan(std::string_view name, SimTime start, SimTime end) {
+  if (!enabled_) {
+    return;
+  }
+  SpanStats& agg = aggregates_[std::string(name)];
+  agg.count++;
+  agg.total += end - start;
+  agg.async = true;
+  PushEvent(SpanEvent{std::string(name), start, end, 0, true});
+}
+
+SimTime Tracer::TotalForPrefix(std::string_view prefix) const {
+  SimTime sum = 0;
+  for (auto it = aggregates_.lower_bound(std::string(prefix));
+       it != aggregates_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    if (!it->second.async) {
+      sum += it->second.total;
+    }
+  }
+  return sum;
+}
+
+SimTime Tracer::AttributedSelfTime() const {
+  SimTime sum = 0;
+  for (const auto& [name, agg] : aggregates_) {
+    if (!agg.async) {
+      sum += agg.self;
+    }
+  }
+  return sum;
+}
+
+std::vector<SpanEvent> Tracer::events() const {
+  std::vector<SpanEvent> out;
+  out.reserve(ring_full_ ? ring_capacity_ : ring_next_);
+  if (ring_full_) {
+    for (size_t i = ring_next_; i < ring_.size(); ++i) {
+      out.push_back(ring_[i]);
+    }
+  }
+  for (size_t i = 0; i < ring_next_; ++i) {
+    out.push_back(ring_[i]);
+  }
+  return out;
+}
+
+void Tracer::Reset() {
+  stack_.clear();
+  aggregates_.clear();
+  ring_.clear();
+  ring_next_ = 0;
+  ring_full_ = false;
+}
+
+void Tracer::PushEvent(SpanEvent ev) {
+  if (ring_capacity_ == 0) {
+    return;
+  }
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(std::move(ev));
+    ring_next_ = ring_.size() % ring_capacity_;
+    ring_full_ = ring_.size() == ring_capacity_ && ring_next_ == 0;
+    return;
+  }
+  ring_[ring_next_] = std::move(ev);
+  ring_next_ = (ring_next_ + 1) % ring_capacity_;
+  ring_full_ = true;
+}
+
+std::map<std::string, SpanStats> SpanDiff(
+    const std::map<std::string, SpanStats>& before,
+    const std::map<std::string, SpanStats>& after) {
+  std::map<std::string, SpanStats> diff;
+  for (const auto& [name, agg] : after) {
+    SpanStats d = agg;
+    auto it = before.find(name);
+    if (it != before.end()) {
+      d -= it->second;
+    }
+    if (d.count > 0) {
+      diff[name] = d;
+    }
+  }
+  return diff;
+}
+
+}  // namespace splitft

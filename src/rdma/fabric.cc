@@ -42,8 +42,17 @@ struct Fabric::QpState {
   std::deque<WorkRequest> stalled;
 };
 
-Fabric::Fabric(Simulation* sim, const SimParams* params)
-    : sim_(sim), params_(params) {}
+Fabric::Fabric(Simulation* sim, const SimParams* params, ObsContext obs)
+    : sim_(sim),
+      params_(params),
+      obs_(obs),
+      c_writes_posted_(obs.counter("fabric.wr.writes_posted")),
+      c_reads_posted_(obs.counter("fabric.wr.reads_posted")),
+      c_write_bytes_(obs.counter("fabric.wr.write_bytes")),
+      c_read_bytes_(obs.counter("fabric.wr.read_bytes")),
+      c_failed_wrs_(obs.counter("fabric.wr.failed_wrs")),
+      c_wr_retries_(obs.counter("fabric.wr.wr_retries")),
+      c_wr_retry_recoveries_(obs.counter("fabric.wr.wr_retry_recoveries")) {}
 
 Fabric::~Fabric() = default;
 
@@ -207,14 +216,22 @@ void Fabric::PushCompletion(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
   qp->outstanding--;
 }
 
-void Fabric::CompleteWr(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
-                        WcStatus status, std::string read_data) {
+void Fabric::CompleteWr(const std::shared_ptr<QpState>& qp,
+                        const WorkRequest& wr, WcStatus status,
+                        std::string read_data) {
   if (status != WcStatus::kSuccess) {
     // The QP enters the error state immediately (the NIC knows), even if
     // the completion itself surfaces late.
     qp->error = true;
     stats_.failed_wrs++;
+    ObsAdd(c_failed_wrs_);
   }
+  if (obs_.tracer != nullptr) {
+    // Async span: the WR's life off the caller's stack, post→completion.
+    obs_.tracer->AddAsyncSpan(wr.is_read ? "fabric.wr.read" : "fabric.wr.write",
+                              wr.posted_at, sim_->Now());
+  }
+  uint64_t wr_id = wr.wr_id;
   SimTime delay = CompletionDelay(qp->local, qp->remote);
   if (delay > 0) {
     sim_->Schedule(delay, [this, qp, wr_id, status,
@@ -230,7 +247,7 @@ bool Fabric::TryDeliverOnce(const std::shared_ptr<QpState>& qp,
                             WorkRequest* wr) {
   Node& target = nodes_.at(qp->remote);
   if (qp->error) {
-    CompleteWr(qp, wr->wr_id, WcStatus::kFlushError, {});
+    CompleteWr(qp, *wr, WcStatus::kFlushError, {});
     return true;
   }
   SimTime now = sim_->Now();
@@ -244,6 +261,7 @@ bool Fabric::TryDeliverOnce(const std::shared_ptr<QpState>& qp,
     SimTime budget = params_->rdma.unreachable_retry_timeout;
     if (now - wr->first_attempt + interval <= budget) {
       stats_.wr_retries++;
+      ObsAdd(c_wr_retries_);
       qp->retrying = true;
       auto state = qp;
       sim_->Schedule(interval, [this, state, w = std::move(*wr)]() mutable {
@@ -251,34 +269,35 @@ bool Fabric::TryDeliverOnce(const std::shared_ptr<QpState>& qp,
       });
       return false;
     }
-    CompleteWr(qp, wr->wr_id, WcStatus::kRetryExceeded, {});
+    CompleteWr(qp, *wr, WcStatus::kRetryExceeded, {});
     return true;
   }
   if (wr->first_attempt < now) {
     // At least one retry tick happened and the target is reachable again.
     stats_.wr_retry_recoveries++;
+    ObsAdd(c_wr_retry_recoveries_);
   }
   auto region_it = target.regions.find(wr->rkey);
   if (region_it == target.regions.end() || !region_it->second.valid) {
-    CompleteWr(qp, wr->wr_id, WcStatus::kRemoteAccessError, {});
+    CompleteWr(qp, *wr, WcStatus::kRemoteAccessError, {});
     return true;
   }
   std::string& buf = region_it->second.buffer;
   if (wr->is_read) {
     if (wr->remote_offset + wr->read_len > buf.size()) {
-      CompleteWr(qp, wr->wr_id, WcStatus::kRemoteAccessError, {});
+      CompleteWr(qp, *wr, WcStatus::kRemoteAccessError, {});
       return true;
     }
-    CompleteWr(qp, wr->wr_id, WcStatus::kSuccess,
+    CompleteWr(qp, *wr, WcStatus::kSuccess,
                buf.substr(wr->remote_offset, wr->read_len));
   } else {
     if (wr->remote_offset + wr->data.size() > buf.size()) {
-      CompleteWr(qp, wr->wr_id, WcStatus::kRemoteAccessError, {});
+      CompleteWr(qp, *wr, WcStatus::kRemoteAccessError, {});
       return true;
     }
     // One-sided write: lands in remote memory with no remote CPU.
     buf.replace(wr->remote_offset, wr->data.size(), wr->data);
-    CompleteWr(qp, wr->wr_id, WcStatus::kSuccess, {});
+    CompleteWr(qp, *wr, WcStatus::kSuccess, {});
   }
   return true;
 }
@@ -340,7 +359,10 @@ uint64_t QueuePair::PostWrite(RKey rkey, uint64_t remote_offset,
 
   fabric_->stats_.writes_posted++;
   fabric_->stats_.write_bytes += data.size();
+  ObsAdd(fabric_->c_writes_posted_);
+  ObsAdd(fabric_->c_write_bytes_, data.size());
   fabric_->sim_->Advance(fabric_->params_->rdma.post_overhead);
+  wr.posted_at = fabric_->sim_->Now();
 
   // SQ ordering: this WR completes only after every earlier WR on this QP.
   SimTime now = fabric_->sim_->Now();
@@ -368,7 +390,10 @@ uint64_t QueuePair::PostRead(RKey rkey, uint64_t remote_offset, uint64_t len) {
 
   fabric_->stats_.reads_posted++;
   fabric_->stats_.read_bytes += len;
+  ObsAdd(fabric_->c_reads_posted_);
+  ObsAdd(fabric_->c_read_bytes_, len);
   fabric_->sim_->Advance(fabric_->params_->rdma.post_overhead);
+  wr.posted_at = fabric_->sim_->Now();
 
   SimTime now = fabric_->sim_->Now();
   SimTime done = std::max(now, state_->busy_until) +

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/obs.h"
 #include "src/sim/params.h"
 #include "src/sim/simulation.h"
 
@@ -59,6 +60,9 @@ struct Completion {
 };
 
 // Aggregate transfer statistics, exposed for benches and tests.
+// Deprecated in favor of the ObsContext registry ("fabric.wr.*" counters,
+// which mirror these fields exactly); kept as a compat shim for existing
+// exact-value assertions.
 struct FabricStats {
   uint64_t writes_posted = 0;
   uint64_t reads_posted = 0;
@@ -77,7 +81,11 @@ class QueuePair;
 
 class Fabric {
  public:
-  Fabric(Simulation* sim, const SimParams* params);
+  // `obs` is optional: with a null registry/tracer the fabric runs
+  // uninstrumented at no cost. Registry keys: "fabric.wr.*" counters plus
+  // async spans "fabric.wr.write" / "fabric.wr.read" spanning post to
+  // completion in sim time.
+  Fabric(Simulation* sim, const SimParams* params, ObsContext obs = {});
   ~Fabric();
 
   Fabric(const Fabric&) = delete;
@@ -174,6 +182,8 @@ class Fabric {
     // First delivery attempt (for the NIC retransmission window); -1 until
     // the WR reaches the head of the delivery pipeline.
     SimTime first_attempt = -1;
+    // Post timestamp, for the post→completion async trace span.
+    SimTime posted_at = 0;
   };
 
   uint64_t PartitionKey(NodeId a, NodeId b) const;
@@ -184,7 +194,7 @@ class Fabric {
   // One delivery attempt. Returns false if a NIC retry was scheduled (the
   // WR stays head-of-line), true once a completion was produced.
   bool TryDeliverOnce(const std::shared_ptr<QpState>& qp, WorkRequest* wr);
-  void CompleteWr(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
+  void CompleteWr(const std::shared_ptr<QpState>& qp, const WorkRequest& wr,
                   WcStatus status, std::string read_data);
   void PushCompletion(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
                       WcStatus status, std::string read_data);
@@ -197,6 +207,15 @@ class Fabric {
   std::unordered_map<uint64_t, SimTime> completion_delays_;
   RKey next_rkey_ = 1;
   FabricStats stats_;
+
+  ObsContext obs_;
+  Counter* c_writes_posted_;
+  Counter* c_reads_posted_;
+  Counter* c_write_bytes_;
+  Counter* c_read_bytes_;
+  Counter* c_failed_wrs_;
+  Counter* c_wr_retries_;
+  Counter* c_wr_retry_recoveries_;
 };
 
 // A queue pair connecting a local node to one remote node. One-sided

@@ -22,9 +22,13 @@ class DfsBackedFile : public SplitFile {
   Status WriteAt(uint64_t offset, std::string_view data) override {
     return file_->Write(offset, data);
   }
-  Status Sync() override { return file_->Sync(/*foreground=*/true); }
-  Status SyncBackground() override { return file_->Sync(/*foreground=*/false); }
-  Result<SimTime> SyncDeferred() override { return file_->SyncDeferred(); }
+  Result<SimTime> Sync(const SyncOptions& options) override {
+    if (options.deferred) {
+      return file_->SyncDeferred();
+    }
+    RETURN_IF_ERROR(file_->Sync(/*foreground=*/!options.background));
+    return SimTime{0};
+  }
   Result<std::string> Read(uint64_t offset, uint64_t len) override {
     return file_->Read(offset, len);
   }
@@ -50,11 +54,9 @@ class NclBackedFile : public SplitFile {
   Status WriteAt(uint64_t offset, std::string_view data) override {
     return file_->Write(offset, data);
   }
-  // Writes were replicated synchronously; there is nothing to flush.
-  Status Sync() override { return OkStatus(); }
-  // Already durable: return a time in the past so callers treat the commit
-  // as immediately complete.
-  Result<SimTime> SyncDeferred() override { return SimTime{0}; }
+  // Writes were replicated synchronously; there is nothing to flush. The
+  // returned time-in-the-past makes deferred commits immediately complete.
+  Result<SimTime> Sync(const SyncOptions&) override { return SimTime{0}; }
   Result<std::string> Read(uint64_t offset, uint64_t len) override {
     return file_->Read(offset, len);
   }
@@ -83,11 +85,15 @@ constexpr char kFrameLarge = 2;
 class FineGrainedFile : public SplitFile {
  public:
   FineGrainedFile(std::unique_ptr<DfsFile> base, std::unique_ptr<NclFile> log,
-                  uint64_t threshold, std::string path)
+                  uint64_t threshold, std::string path,
+                  Counter* small_writes = nullptr,
+                  Counter* large_writes = nullptr)
       : base_(std::move(base)),
         log_(std::move(log)),
         threshold_(threshold),
-        path_(std::move(path)) {}
+        path_(std::move(path)),
+        c_small_writes_(small_writes),
+        c_large_writes_(large_writes) {}
 
   Status Append(std::string_view data) override {
     return WriteAt(Size(), data);
@@ -99,6 +105,7 @@ class FineGrainedFile : public SplitFile {
     }
     view_.replace(offset, data.size(), data);
     if (data.size() < threshold_) {
+      ObsAdd(c_small_writes_);
       std::string frame;
       frame.push_back(kFrameSmall);
       PutFixed64(&frame, offset);
@@ -114,6 +121,7 @@ class FineGrainedFile : public SplitFile {
     }
     // Large write: straight to the dfs (synchronously — large writes are
     // cheap per byte there), plus an ordering barrier in the journal.
+    ObsAdd(c_large_writes_);
     RETURN_IF_ERROR(base_->Write(offset, data));
     RETURN_IF_ERROR(base_->Sync(/*foreground=*/true));
     std::string frame;
@@ -123,8 +131,8 @@ class FineGrainedFile : public SplitFile {
     return log_->Append(frame);
   }
 
-  Status Sync() override { return OkStatus(); }  // both paths are durable
-  Result<SimTime> SyncDeferred() override { return SimTime{0}; }
+  // Both write paths are synchronously durable.
+  Result<SimTime> Sync(const SyncOptions&) override { return SimTime{0}; }
 
   Result<std::string> Read(uint64_t offset, uint64_t len) override {
     if (offset >= view_.size()) {
@@ -196,6 +204,8 @@ class FineGrainedFile : public SplitFile {
   uint64_t threshold_;
   std::string path_;
   std::string view_;
+  Counter* c_small_writes_;
+  Counter* c_large_writes_;
 };
 
 }  // namespace
@@ -204,11 +214,17 @@ class FineGrainedFile : public SplitFile {
 
 SplitFs::SplitFs(NclConfig ncl_config, DfsClient* dfs, Fabric* fabric,
                  Controller* controller, PeerDirectory* directory,
-                 NodeId app_node)
+                 NodeId app_node, ObsContext obs)
     : ncl_(std::make_unique<NclClient>(std::move(ncl_config), fabric,
-                                       controller, directory, app_node)),
+                                       controller, directory, app_node, obs)),
       dfs_(dfs),
-      controller_(controller) {}
+      controller_(controller),
+      obs_(obs),
+      c_ncl_opens_(obs.counter("splitfs.route.ncl_opens")),
+      c_dfs_opens_(obs.counter("splitfs.route.dfs_opens")),
+      c_fine_grained_opens_(obs.counter("splitfs.route.fine_grained_opens")),
+      c_small_writes_(obs.counter("splitfs.route.small_writes")),
+      c_large_writes_(obs.counter("splitfs.route.large_writes")) {}
 
 SplitFs::~SplitFs() = default;
 
@@ -251,9 +267,10 @@ Result<std::unique_ptr<SplitFile>> SplitFs::Open(
     if (!log.ok()) {
       return log.status();
     }
+    ObsAdd(c_fine_grained_opens_);
     auto file = std::make_unique<FineGrainedFile>(
         std::move(*base), std::move(*log), options.small_write_threshold,
-        path);
+        path, c_small_writes_, c_large_writes_);
     RETURN_IF_ERROR(file->RecoverView());
     return std::unique_ptr<SplitFile>(std::move(file));
   }
@@ -267,6 +284,7 @@ Result<std::unique_ptr<SplitFile>> SplitFs::Open(
     if (!file.ok()) {
       return file.status();
     }
+    ObsAdd(c_ncl_opens_);
     return std::unique_ptr<SplitFile>(
         std::make_unique<NclBackedFile>(std::move(*file)));
   }
@@ -278,6 +296,7 @@ Result<std::unique_ptr<SplitFile>> SplitFs::Open(
   if (!file.ok()) {
     return file.status();
   }
+  ObsAdd(c_dfs_opens_);
   return std::unique_ptr<SplitFile>(
       std::make_unique<DfsBackedFile>(std::move(*file)));
 }

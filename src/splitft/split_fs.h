@@ -21,6 +21,7 @@
 #include "src/dfs/dfs.h"
 #include "src/ncl/ncl_client.h"
 #include "src/ncl/peer_directory.h"
+#include "src/obs/obs.h"
 #include "src/rdma/fabric.h"
 
 namespace splitft {
@@ -39,6 +40,17 @@ struct SplitOpenOptions {
   bool direct_io = false;     // dfs reads bypass the page cache
 };
 
+// Durability-barrier variants, unified into one entry point (previously
+// three virtuals: Sync / SyncBackground / SyncDeferred).
+struct SyncOptions {
+  // Bulk background flush (compaction/checkpoint writes): occupies the
+  // storage backend but does not block the caller's clock.
+  bool background = false;
+  // Group-commit barrier: starts the flush and reports the virtual time at
+  // which it becomes durable without blocking the caller.
+  bool deferred = false;
+};
+
 // Uniform file handle over the three backends.
 class SplitFile {
  public:
@@ -47,14 +59,25 @@ class SplitFile {
   virtual Status Append(std::string_view data) = 0;
   virtual Status WriteAt(uint64_t offset, std::string_view data) = 0;
   // Durability barrier. For NCL-backed files this is free: every write was
-  // already replicated before it returned.
-  virtual Status Sync() = 0;
-  // Bulk background flush (compaction/checkpoint writes).
-  virtual Status SyncBackground() { return Sync(); }
-  // Group-commit barrier: starts the flush and returns the virtual time at
-  // which it is durable without blocking the caller. NCL-backed files are
-  // durable immediately. Default: blocking Sync.
-  virtual Result<SimTime> SyncDeferred() = 0;
+  // already replicated before it returned. Returns the virtual time at
+  // which the data is durable for deferred syncs; blocking and background
+  // syncs return 0 (durable — or queued — by the time the call returns).
+  virtual Result<SimTime> Sync(const SyncOptions& options) = 0;
+
+  // Compatibility wrappers over Sync(SyncOptions). Prefer the unified
+  // entry point in new code.
+  Status Sync() { return Sync(SyncOptions{}).status(); }
+  Status SyncBackground() {
+    SyncOptions options;
+    options.background = true;
+    return Sync(options).status();
+  }
+  Result<SimTime> SyncDeferred() {
+    SyncOptions options;
+    options.deferred = true;
+    return Sync(options);
+  }
+
   virtual Result<std::string> Read(uint64_t offset, uint64_t len) = 0;
   // Background-IO read (compaction inputs): remote fetches occupy the
   // storage backend but do not block the caller. Default: normal Read.
@@ -70,9 +93,12 @@ class SplitFile {
 class SplitFs {
  public:
   // The caller keeps ownership of the infrastructure objects; `ncl_config`
-  // carries the application identity and failure budget.
+  // carries the application identity and failure budget. `obs` wires the
+  // facade (and the NclClient it owns) into the shared registry/tracer:
+  // "splitfs.route.*" counters record where each open/write was routed.
   SplitFs(NclConfig ncl_config, DfsClient* dfs, Fabric* fabric,
-          Controller* controller, PeerDirectory* directory, NodeId app_node);
+          Controller* controller, PeerDirectory* directory, NodeId app_node,
+          ObsContext obs = {});
   ~SplitFs();
 
   // Acquires the single-instance server lease (§4.7). Returns kAborted if
@@ -93,12 +119,22 @@ class SplitFs {
 
   NclClient* ncl() { return ncl_.get(); }
   DfsClient* dfs() { return dfs_; }
+  // The observability handle applications should use for their own spans
+  // and counters ("app.*" keys).
+  const ObsContext& obs() const { return obs_; }
 
  private:
   std::unique_ptr<NclClient> ncl_;
   DfsClient* dfs_;
   Controller* controller_;
   SessionId lease_ = kNoSession;
+
+  ObsContext obs_;
+  Counter* c_ncl_opens_;
+  Counter* c_dfs_opens_;
+  Counter* c_fine_grained_opens_;
+  Counter* c_small_writes_;
+  Counter* c_large_writes_;
 };
 
 }  // namespace splitft

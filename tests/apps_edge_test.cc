@@ -172,9 +172,14 @@ class SstableFormatTest : public EdgeTest {
     Status WriteAt(uint64_t offset, std::string_view data) override {
       return file_->Write(offset, data);
     }
-    Status Sync() override { return file_->Sync(); }
-    Status SyncBackground() override { return file_->Sync(false); }
-    Result<SimTime> SyncDeferred() override { return file_->SyncDeferred(); }
+    using SplitFile::Sync;
+    Result<SimTime> Sync(const SyncOptions& options) override {
+      if (options.deferred) {
+        return file_->SyncDeferred();
+      }
+      RETURN_IF_ERROR(file_->Sync(/*foreground=*/!options.background));
+      return SimTime{0};
+    }
     Result<std::string> Read(uint64_t offset, uint64_t len) override {
       return file_->Read(offset, len);
     }

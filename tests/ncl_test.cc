@@ -257,6 +257,46 @@ TEST_F(NclTest, DeleteReleasesRegionsAndApMap) {
   EXPECT_EQ((*file)->Append("y").code(), StatusCode::kFailedPrecondition);
 }
 
+TEST_F(NclTest, DeleteReportsPartialReleaseFailure) {
+  StartPeers(3);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1", 1 << 20);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  // One peer crash-restarts, losing its mr-map: its Release will fail with
+  // NotFound while the peer is alive. The other two succeed, so Delete is
+  // still a success — the signal lands in the report and the counters.
+  peers_[0]->Crash();
+  ASSERT_TRUE(peers_[0]->Restart().ok());
+  auto report = client->DeleteWithReport("/wal/1");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->peers_attempted, 3);
+  EXPECT_EQ(report->peers_released, 2);
+  EXPECT_EQ(report->release_failures, 1);
+  EXPECT_FALSE(report->AllReleasesFailed());
+  EXPECT_FALSE(client->Exists("/wal/1"));
+  EXPECT_EQ(client->stats().release_failures, 1u);
+}
+
+TEST_F(NclTest, DeleteWarnsWhenEveryReleaseFails) {
+  StartPeers(3);
+  auto client = MakeClient();
+  auto file = client->Create("/wal/1", 1 << 20);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  for (auto& peer : peers_) {
+    peer->Crash();
+    ASSERT_TRUE(peer->Restart().ok());
+  }
+  // Every release fails: Delete still removes the ap-map entry (the file is
+  // gone) but surfaces a non-fatal kUnavailable warning so the caller knows
+  // peer memory leaks until the epoch GC.
+  Status st = client->Delete("/wal/1");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(client->Exists("/wal/1"));
+  EXPECT_EQ(client->stats().release_failures, 3u);
+}
+
 TEST_F(NclTest, ListFilesReflectsApMap) {
   StartPeers(3);
   auto client = MakeClient();

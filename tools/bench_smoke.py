@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Runs a bench binary in smoke mode and validates its BENCH_<name>.json.
+
+Usage: bench_smoke.py <bench-binary> [expected-json-name]
+
+The binary runs with SPLITFT_BENCH_SMOKE=1 in a scratch directory; the
+script then checks the emitted JSON against schema v1 (see DESIGN.md §8):
+
+  top level: schema_version == 1, bench, smoke == true, series[], metrics{}
+  per series: name, unit, count, mean, p50, p95, p99, max, scalars{}, layers{}
+
+Exits nonzero on a bench failure or any schema violation, printing each
+violation — this is what the `bench-smoke` ctest label runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SERIES_NUMBERS = ("mean", "p50", "p95", "p99", "max")
+
+
+def validate(doc, errors):
+    if doc.get("schema_version") != 1:
+        errors.append("schema_version != 1")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errors.append("missing/empty 'bench'")
+    if doc.get("smoke") is not True:
+        errors.append("'smoke' is not true under SPLITFT_BENCH_SMOKE=1")
+    if not isinstance(doc.get("metrics"), dict):
+        errors.append("'metrics' is not an object")
+    series = doc.get("series")
+    if not isinstance(series, list):
+        errors.append("'series' is not a list")
+        return
+    if not series:
+        errors.append("'series' is empty")
+    for i, s in enumerate(series):
+        tag = "series[%d]%s" % (i, " (%s)" % s.get("name") if isinstance(s, dict) else "")
+        if not isinstance(s, dict):
+            errors.append("%s: not an object" % tag)
+            continue
+        if not isinstance(s.get("name"), str) or not s.get("name"):
+            errors.append("%s: missing/empty 'name'" % tag)
+        if not isinstance(s.get("unit"), str):
+            errors.append("%s: missing 'unit'" % tag)
+        if not isinstance(s.get("count"), int) or s.get("count") < 0:
+            errors.append("%s: 'count' is not a non-negative integer" % tag)
+        for key in SERIES_NUMBERS:
+            if not isinstance(s.get(key), (int, float)):
+                errors.append("%s: '%s' is not a number" % (tag, key))
+        for key in ("scalars", "layers"):
+            obj = s.get(key)
+            if not isinstance(obj, dict):
+                errors.append("%s: '%s' is not an object" % (tag, key))
+                continue
+            for k, v in obj.items():
+                if not isinstance(v, (int, float)):
+                    errors.append("%s: %s[%r] is not a number" % (tag, key, k))
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary = os.path.abspath(sys.argv[1])
+    json_name = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else "BENCH_" + os.path.basename(binary) + ".json"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench_smoke_") as scratch:
+        env = dict(os.environ, SPLITFT_BENCH_SMOKE="1")
+        proc = subprocess.run(
+            [binary], cwd=scratch, env=env, capture_output=True, text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            print("FAIL: %s exited %d" % (binary, proc.returncode))
+            return 1
+
+        path = os.path.join(scratch, json_name)
+        if not os.path.exists(path):
+            print("FAIL: %s did not write %s" % (binary, json_name))
+            return 1
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except json.JSONDecodeError as e:
+            print("FAIL: %s is not valid JSON: %s" % (json_name, e))
+            return 1
+
+        errors = []
+        validate(doc, errors)
+        if errors:
+            for e in errors:
+                print("FAIL: %s: %s" % (json_name, e))
+            return 1
+        print(
+            "OK: %s (%d series)" % (json_name, len(doc["series"]))
+        )
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
