@@ -59,6 +59,7 @@ CatchupCost Run(bool diff_mode, double stale_fraction) {
       }
       (void)(*file)->Append(chunk);
     }
+    (void)(*file)->Sync();  // commit the window before the crash
     testbed.CrashServer(server.get());
   }
   testbed.sim()->RunUntilIdle();

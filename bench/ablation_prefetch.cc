@@ -28,6 +28,7 @@ double ConsumeLog(uint64_t log_bytes, uint64_t read_size, bool prefetch) {
     for (uint64_t i = 0; i < log_bytes / chunk.size(); ++i) {
       (void)(*file)->Append(chunk);
     }
+    (void)(*file)->Sync();  // commit the window before the crash
     testbed.CrashServer(server.get());
   }
   testbed.sim()->RunUntilIdle();

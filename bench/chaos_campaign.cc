@@ -37,6 +37,8 @@ int main() {
               static_cast<unsigned long long>(s.suspect_retries));
   std::printf("  transient recoveries:     %llu\n",
               static_cast<unsigned long long>(s.transient_recoveries));
+  std::printf("  suffix reposts:           %llu\n",
+              static_cast<unsigned long long>(s.suffix_reposts));
   std::printf("  permanent demotions:      %llu\n",
               static_cast<unsigned long long>(s.permanent_demotions));
   std::printf("  controller RPC retries:   %llu\n",
@@ -57,6 +59,7 @@ int main() {
       .Scalar("suspect_retries", static_cast<double>(s.suspect_retries))
       .Scalar("transient_recoveries",
               static_cast<double>(s.transient_recoveries))
+      .Scalar("suffix_reposts", static_cast<double>(s.suffix_reposts))
       .Scalar("permanent_demotions",
               static_cast<double>(s.permanent_demotions))
       .Scalar("release_failures", static_cast<double>(s.release_failures))

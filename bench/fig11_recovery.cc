@@ -71,6 +71,7 @@ void SectionA(bench::Reporter* reporter) {
         for (uint64_t i = 0; i < kReadFileBytes / chunk.size(); ++i) {
           (void)(*file)->Append(chunk);
         }
+        (void)(*file)->Sync();  // commit the window before the crash
         testbed.CrashServer(server.get());
       }
       testbed.sim()->RunUntilIdle();

@@ -31,6 +31,9 @@ int main() {
   for (uint64_t i = 0; i < log_mb; ++i) {
     (void)(*file)->Append(chunk);
   }
+  // Drain the append window so the replacement measurement below starts
+  // from a fully committed log.
+  (void)(*file)->Sync();
   testbed.sim()->RunUntilIdle();
 
   // Measure the phases indirectly: crash one peer, then time the next
@@ -42,6 +45,7 @@ int main() {
   uint64_t rpcs_before = controller->rpc_count();
   SimTime t0 = testbed.sim()->Now();
   (void)(*file)->Append("trigger");
+  (void)(*file)->Sync();
   SimTime total = testbed.sim()->Now() - t0;
   uint64_t rpcs = controller->rpc_count() - rpcs_before;
 

@@ -25,6 +25,7 @@ int main() {
     return 1;
   }
   (void)(*wal)->Append("record-1;");
+  (void)(*wal)->Sync();
   auto apmap = testbed.controller()->GetApMap("drill", "/drill/wal");
   std::printf("log lives on: ");
   for (const std::string& name : apmap->peers) {
@@ -38,6 +39,9 @@ int main() {
   victim->Crash();
   SimTime t0 = testbed.sim()->Now();
   Status st = (*wal)->Append("record-2;");
+  if (st.ok()) {
+    st = (*wal)->Sync();  // the failure surfaces when the append commits
+  }
   std::printf("    next append: %s in %s (replacement + catch-up charged)\n",
               st.ToString().c_str(),
               HumanDuration(testbed.sim()->Now() - t0).c_str());
@@ -54,6 +58,9 @@ int main() {
               revoker->name().c_str());
   (void)revoker->Revoke("drill", "/drill/wal");
   st = (*wal)->Append("record-3;");
+  if (st.ok()) {
+    st = (*wal)->Sync();
+  }
   std::printf("    next append: %s (revocation handled as a peer failure)\n",
               st.ToString().c_str());
 
@@ -98,6 +105,9 @@ int main() {
     }
   }
   st = (*wal)->Append("record-4;");
+  if (st.ok()) {
+    st = (*wal)->Sync();
+  }
   std::printf("    append with no quorum and no spares: %s\n",
               st.ToString().c_str());
   std::printf("    (NCL makes the file unavailable rather than lose "

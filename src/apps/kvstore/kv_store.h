@@ -93,7 +93,10 @@ class KvStore : public StorageApp {
                                                  bool create);
   std::string WalPath(uint64_t id) const;
   std::string SstPath(int level, uint64_t id) const;
-  bool sync_wal() const { return options_.mode == DurabilityMode::kStrong; }
+  // Strong and splitft modes both require append-implies-durable before
+  // acking a batch. On the dfs this is a real fsync; on an NCL file it
+  // drains the in-flight append window (free when nothing is outstanding).
+  bool sync_wal() const { return options_.mode != DurabilityMode::kWeak; }
 
   SplitFs* fs_;
   Simulation* sim_;

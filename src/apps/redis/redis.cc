@@ -279,7 +279,9 @@ Status Redis::AppendCommands(const std::vector<std::string>& frames,
     appended = aof_->Append(joined);
   }
   RETURN_IF_ERROR(appended);
-  if (options_.mode == DurabilityMode::kStrong) {
+  // appendfsync always: both strong (dfs fsync) and splitft (drain the NCL
+  // in-flight window) commit the AOF before acking the command.
+  if (options_.mode != DurabilityMode::kWeak) {
     RETURN_IF_ERROR(aof_->Sync());
   }
   if (aof_->Size() >= options_.aof_rewrite_bytes) {

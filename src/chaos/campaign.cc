@@ -104,6 +104,7 @@ int CountFaultyMembers(const MiniCluster& cluster, const ChaosEngine& engine,
 void Accumulate(CampaignStats* stats, const NclStats& ncl) {
   stats->suspect_retries += ncl.suspect_retries;
   stats->transient_recoveries += ncl.transient_recoveries;
+  stats->suffix_reposts += ncl.suffix_reposts;
   stats->permanent_demotions += ncl.permanent_demotions;
   stats->controller_rpc_retries += ncl.controller_rpc_retries;
   stats->directory_lookup_retries += ncl.directory_lookup_retries;

@@ -64,6 +64,7 @@ struct CampaignStats {
   // Aggregated NclStats across all runs.
   uint64_t suspect_retries = 0;
   uint64_t transient_recoveries = 0;
+  uint64_t suffix_reposts = 0;
   uint64_t permanent_demotions = 0;
   uint64_t controller_rpc_retries = 0;
   uint64_t directory_lookup_retries = 0;

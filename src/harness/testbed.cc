@@ -26,7 +26,8 @@ Testbed::~Testbed() = default;
 
 std::unique_ptr<AppServer> Testbed::MakeServer(const std::string& app_id,
                                                DurabilityMode mode,
-                                               uint64_t ncl_capacity) {
+                                               uint64_t ncl_capacity,
+                                               int ncl_window) {
   auto server = std::make_unique<AppServer>();
   server->app_id = app_id;
   server->dfs = std::make_unique<DfsClient>(&cluster_, app_id);
@@ -34,6 +35,12 @@ std::unique_ptr<AppServer> Testbed::MakeServer(const std::string& app_id,
   config.app_id = app_id;
   config.fault_budget = options_.fault_budget;
   config.default_capacity = ncl_capacity;
+  if (ncl_window == 0) {
+    ncl_window = options_.ncl_window;
+  }
+  if (ncl_window > 0) {
+    config.inflight_window = ncl_window;
+  }
   server->fs = std::make_unique<SplitFs>(config, server->dfs.get(), &fabric_,
                                          &controller_, &directory_, app_node_,
                                          obs_);

@@ -35,6 +35,10 @@ struct TestbedOptions {
   // (they are cheap); span collection is opt-in so perf experiments can
   // verify the zero-overhead-when-disabled guarantee.
   bool tracing = false;
+  // NCL append pipelining window for servers built by MakeServer. 0 keeps
+  // the NclConfig default; 1 forces the fully synchronous path (the
+  // ablation baseline). MakeServer's own argument overrides this.
+  int ncl_window = 0;
   SimParams params;
 };
 
@@ -74,9 +78,12 @@ class Testbed {
 
   // Builds a fresh application-server process (dfs mount + SplitFs) for
   // `app_id`. Weak-mode servers start the periodic dfs flusher.
+  // `ncl_window` overrides the NCL in-flight append window for this server
+  // (0: TestbedOptions::ncl_window, then the NclConfig default).
   std::unique_ptr<AppServer> MakeServer(const std::string& app_id,
                                         DurabilityMode mode,
-                                        uint64_t ncl_capacity = 64ull << 20);
+                                        uint64_t ncl_capacity = 64ull << 20,
+                                        int ncl_window = 0);
 
   // App constructors on a server. The options' mode must match the server's.
   Result<std::unique_ptr<KvStore>> StartKvStore(AppServer* server,

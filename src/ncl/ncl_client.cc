@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 #include "src/common/logging.h"
 
@@ -29,6 +30,8 @@ NclClient::NclClient(NclConfig config, Fabric* fabric, Controller* controller,
       c_records_(obs.counter("ncl.record.count")),
       c_record_bytes_(obs.counter("ncl.record.bytes")),
       c_peers_replaced_(obs.counter("ncl.client.peers_replaced")),
+      c_suffix_reposts_(obs.counter("ncl.client.suffix_reposts")),
+      g_inflight_(obs.gauge("ncl.append.inflight")),
       h_record_ns_(obs.histogram("ncl.record.latency_ns")),
       h_recover_ns_(obs.histogram("ncl.recover.latency_ns")) {}
 
@@ -369,6 +372,9 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
         }
       }
     }
+    // The recovered tail is majority-durable by construction (catch-up
+    // completed on >= f+1 peers), so the commit watermark starts there.
+    out->committed_seq_ = out->seq_;
     for (NclFile::PeerSlot& slot : out->slots_) {
       if (!slot.alive) {
         // Best effort: maintain the fault-tolerance level. Failure here is
@@ -422,6 +428,12 @@ Status NclFile::Append(std::string_view data) {
   return Record(length_, data);
 }
 
+Status NclFile::AppendAsync(std::string_view data) {
+  return RecordAsync(length_, data);
+}
+
+Status NclFile::Drain() { return WaitFor(seq_); }
+
 Status NclFile::Write(uint64_t offset, std::string_view data) {
   return Record(offset, data);
 }
@@ -433,6 +445,11 @@ Status NclFile::Truncate() {
 }
 
 Status NclFile::Record(uint64_t offset, std::string_view data) {
+  RETURN_IF_ERROR(RecordAsync(offset, data));
+  return WaitFor(seq_);
+}
+
+Status NclFile::RecordAsync(uint64_t offset, std::string_view data) {
   if (deleted_) {
     return FailedPreconditionError("ncl file was deleted: " + name_);
   }
@@ -459,12 +476,14 @@ Status NclFile::Record(uint64_t offset, std::string_view data) {
     length_ = std::max<uint64_t>(length_, offset + data.size());
   }
   seq_++;
+  window_.push_back(WindowEntry{seq_, offset, data.size(), truncate,
+                                record_start});
   std::string header = NclRegionHeader{seq_, length_}.Encode();
 
   int posted = 0;
   for (PeerSlot& slot : slots_) {
     if (!slot.alive || slot.suspect) {
-      // Suspect slots get the full state on resurrection instead of
+      // Suspect slots get the missing suffix on resurrection instead of
       // individual appends (their QP is down between attempts).
       continue;
     }
@@ -472,28 +491,28 @@ Status NclFile::Record(uint64_t offset, std::string_view data) {
         posted >= config.test_crash_after_posting) {
       break;
     }
+    // One WR chain per peer, one doorbell: data + header in SQ order, so
+    // the header's arrival implies the data's (§4.4). The last WR of the
+    // chain carries the seq the ack commits.
+    std::vector<QueuePair::WriteOp> ops;
     if (config.unsafe_seq_before_data) {
       // BUG (for §4.6 validation): header lands before the data; a peer
       // holding the header but not the data can win recovery.
-      uint64_t header_wr = slot.qp->PostWrite(slot.rkey, 0, header);
-      slot.inflight.emplace_back(header_wr, 0);
+      ops.push_back(QueuePair::WriteOp{slot.rkey, 0, header});
       if (!truncate) {
-        uint64_t data_wr =
-            slot.qp->PostWrite(slot.rkey, kNclRegionHeaderBytes + offset, data);
-        slot.inflight.emplace_back(data_wr, seq_);
-      } else {
-        slot.inflight.back().second = seq_;
+        ops.push_back(QueuePair::WriteOp{
+            slot.rkey, kNclRegionHeaderBytes + offset, std::string(data)});
       }
     } else {
-      // Safe order: data first, then the header; SQ ordering makes the
-      // header's arrival imply the data's (§4.4).
       if (!truncate) {
-        uint64_t data_wr =
-            slot.qp->PostWrite(slot.rkey, kNclRegionHeaderBytes + offset, data);
-        slot.inflight.emplace_back(data_wr, 0);
+        ops.push_back(QueuePair::WriteOp{
+            slot.rkey, kNclRegionHeaderBytes + offset, std::string(data)});
       }
-      uint64_t header_wr = slot.qp->PostWrite(slot.rkey, 0, header);
-      slot.inflight.emplace_back(header_wr, seq_);
+      ops.push_back(QueuePair::WriteOp{slot.rkey, 0, header});
+    }
+    std::vector<uint64_t> ids = slot.qp->PostWriteBatch(std::move(ops));
+    for (size_t k = 0; k < ids.size(); ++k) {
+      slot.inflight.emplace_back(ids[k], k + 1 == ids.size() ? seq_ : 0);
     }
     posted++;
   }
@@ -501,14 +520,39 @@ Status NclFile::Record(uint64_t offset, std::string_view data) {
     return AbortedError("test hook: simulated crash mid-replication");
   }
 
-  // Wait until a majority of peers completed this write and all before it.
+  // Bounded window: block until the oldest outstanding append commits once
+  // `inflight_window` quorum rounds overlap. window = 1 degenerates to the
+  // fully synchronous seed behaviour (WaitFor(seq_)).
+  uint64_t window =
+      static_cast<uint64_t>(std::max(1, config.inflight_window));
+  if (seq_ - committed_seq_ >= window) {
+    return WaitFor(seq_ - window + 1);
+  }
+  ObsSet(client_->g_inflight_,
+         static_cast<int64_t>(seq_ - committed_seq_));
+  return OkStatus();
+}
+
+Status NclFile::WaitFor(uint64_t seq) {
+  if (deleted_) {
+    return FailedPreconditionError("ncl file was deleted: " + name_);
+  }
+  uint64_t target = std::min(seq, seq_);
+  if (committed_seq_ >= target) {
+    return OkStatus();
+  }
+  const NclConfig& config = client_->config_;
+  ObsSpan wait_span(client_->obs_.tracer, "ncl.record");
+
+  // Wait until a majority of peers completed `target` and all before it.
   Simulation* sim = client_->fabric_->sim();
-  while (CountAcked(seq_) < client_->majority()) {
+  while (committed_seq_ < target) {
     bool progressed = PumpCompletions();
     if (MaybeRetrySuspects()) {
       progressed = true;
     }
-    if (CountAcked(seq_) >= client_->majority()) {
+    AdvanceCommitWatermark();
+    if (committed_seq_ >= target) {
       break;
     }
     if (alive_peers() < client_->majority()) {
@@ -529,6 +573,7 @@ Status NclFile::Record(uint64_t offset, std::string_view data) {
       if (alive_peers() < client_->majority()) {
         return UnavailableError("more than f log peers are unavailable");
       }
+      AdvanceCommitWatermark();  // replacements ack the full tail
       continue;
     }
     if (!progressed) {
@@ -558,9 +603,110 @@ Status NclFile::Record(uint64_t offset, std::string_view data) {
         }
       }
     }
+    AdvanceCommitWatermark();
   }
-  ObsRecord(client_->h_record_ns_, sim->Now() - record_start);
   return OkStatus();
+}
+
+uint64_t NclFile::ComputeCommittedSeq() const {
+  // The majority-th largest acked_seq among alive slots: that prefix has
+  // landed, in order, on at least f+1 peers. Monotonic — once durable on a
+  // majority, a prefix stays committed even if those slots die later
+  // (replacements only join fully caught up).
+  std::vector<uint64_t> acked;
+  for (const PeerSlot& slot : slots_) {
+    if (slot.alive) {
+      acked.push_back(slot.acked_seq);
+    }
+  }
+  int maj = client_->majority();
+  if (static_cast<int>(acked.size()) < maj) {
+    return committed_seq_;
+  }
+  std::nth_element(acked.begin(), acked.begin() + (maj - 1), acked.end(),
+                   std::greater<uint64_t>());
+  return std::max(committed_seq_, acked[maj - 1]);
+}
+
+void NclFile::AdvanceCommitWatermark() {
+  uint64_t committed = ComputeCommittedSeq();
+  if (committed > committed_seq_) {
+    committed_seq_ = committed;
+    Simulation* sim = client_->fabric_->sim();
+    for (WindowEntry& entry : window_) {
+      if (entry.seq > committed_seq_) {
+        break;
+      }
+      if (entry.reported) {
+        continue;
+      }
+      entry.reported = true;
+      // Post→commit, off the caller's stack: the window these rounds
+      // overlapped in. Excluded from span self-time attribution.
+      if (client_->obs_.tracer != nullptr) {
+        client_->obs_.tracer->AddAsyncSpan("ncl.append.pipelined",
+                                           entry.posted_at, sim->Now());
+      }
+      ObsRecord(client_->h_record_ns_, sim->Now() - entry.posted_at);
+    }
+  }
+  ObsSet(client_->g_inflight_, static_cast<int64_t>(seq_ - committed_seq_));
+  PruneWindow();
+}
+
+void NclFile::PruneWindow() {
+  // Keep what a straggling alive slot might still need for a suffix
+  // repost: everything past the minimum acked_seq. A slot that falls
+  // further behind than the cap falls back to a full-state repost.
+  uint64_t min_acked = seq_;
+  for (const PeerSlot& slot : slots_) {
+    if (slot.alive) {
+      min_acked = std::min(min_acked, slot.acked_seq);
+    }
+  }
+  size_t cap = std::max<size_t>(
+      32, 4 * static_cast<size_t>(
+                  std::max(1, client_->config_.inflight_window)));
+  while (!window_.empty() && window_.front().reported &&
+         (window_.front().seq <= min_acked || window_.size() > cap)) {
+    window_.pop_front();
+  }
+}
+
+bool NclFile::PostSuffix(PeerSlot* slot) {
+  if (slot->acked_seq >= seq_) {
+    return true;  // nothing missing
+  }
+  if (window_.empty() || window_.front().seq > slot->acked_seq + 1) {
+    return false;  // history pruned past the gap
+  }
+  slot->inflight.clear();
+  std::vector<QueuePair::WriteOp> ops;
+  for (const WindowEntry& entry : window_) {
+    if (entry.seq <= slot->acked_seq || entry.truncate || entry.len == 0) {
+      continue;
+    }
+    // Replay from the *current* buffer: later overwrites of the same range
+    // only make the replayed bytes newer, and the final header commits the
+    // current (seq_, length_) snapshot.
+    uint64_t end = std::min<uint64_t>(entry.offset + entry.len,
+                                      buffer_.size());
+    if (entry.offset >= end) {
+      continue;
+    }
+    ops.push_back(QueuePair::WriteOp{
+        slot->rkey, kNclRegionHeaderBytes + entry.offset,
+        buffer_.substr(entry.offset, end - entry.offset)});
+  }
+  ops.push_back(QueuePair::WriteOp{
+      slot->rkey, 0, NclRegionHeader{seq_, length_}.Encode()});
+  std::vector<uint64_t> ids = slot->qp->PostWriteBatch(std::move(ops));
+  for (size_t k = 0; k < ids.size(); ++k) {
+    slot->inflight.emplace_back(ids[k], k + 1 == ids.size() ? seq_ : 0);
+  }
+  client_->stats_.suffix_reposts++;
+  ObsAdd(client_->c_suffix_reposts_);
+  return true;
 }
 
 bool NclFile::PumpCompletions() {
@@ -597,7 +743,7 @@ bool NclFile::PumpCompletions() {
       slot.retry.reset();
       client_->stats_.transient_recoveries++;
       ObsAdd(client_->c_transient_recoveries_);
-      if (slot.acked_seq != seq_) {
+      if (slot.acked_seq != seq_ && !PostSuffix(&slot)) {
         PostFullState(&slot);
       }
     }
@@ -651,21 +797,29 @@ void NclFile::RepostSuspect(PeerSlot* slot) {
   slot->qp = std::make_unique<QueuePair>(client->fabric_, client->node_,
                                          slot->node,
                                          client->MarkConnected(slot->node));
-  PostFullState(slot);
+  // A mid-window straggler usually only misses the unacked suffix of the
+  // in-flight window; ship just that. Full state is the fallback once the
+  // window history no longer covers the gap.
+  if (!PostSuffix(slot)) {
+    PostFullState(slot);
+  }
 }
 
 void NclFile::PostFullState(PeerSlot* slot) {
   slot->inflight.clear();
   // Full-state post, data before header (§4.4 ordering still applies: the
-  // header's arrival implies the contents').
+  // header's arrival implies the contents'), chained behind one doorbell.
+  std::vector<QueuePair::WriteOp> ops;
   if (!buffer_.empty()) {
-    uint64_t data_wr =
-        slot->qp->PostWrite(slot->rkey, kNclRegionHeaderBytes, buffer_);
-    slot->inflight.emplace_back(data_wr, 0);
+    ops.push_back(
+        QueuePair::WriteOp{slot->rkey, kNclRegionHeaderBytes, buffer_});
   }
-  std::string header = NclRegionHeader{seq_, length_}.Encode();
-  uint64_t header_wr = slot->qp->PostWrite(slot->rkey, 0, header);
-  slot->inflight.emplace_back(header_wr, seq_);
+  ops.push_back(QueuePair::WriteOp{
+      slot->rkey, 0, NclRegionHeader{seq_, length_}.Encode()});
+  std::vector<uint64_t> ids = slot->qp->PostWriteBatch(std::move(ops));
+  for (size_t k = 0; k < ids.size(); ++k) {
+    slot->inflight.emplace_back(ids[k], k + 1 == ids.size() ? seq_ : 0);
+  }
 }
 
 bool NclFile::MaybeRetrySuspects() {

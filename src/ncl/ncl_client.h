@@ -51,6 +51,13 @@ struct NclConfig {
   bool diff_catchup = false;
   // Replace failed peers as soon as the failure is detected.
   bool eager_peer_replacement = true;
+  // Bounded append pipelining: how many appends may be in flight (posted
+  // but not yet majority-committed) before AppendAsync blocks. 1 keeps the
+  // seed's fully synchronous behaviour — every append waits out its quorum
+  // round before the next one posts. Larger windows overlap quorum rounds;
+  // SQ ordering keeps the region log prefix-ordered regardless, so
+  // recovery never observes a sequence gap (tested in ncl_test).
+  int inflight_window = 8;
   // How many allocation candidates to try before giving up (§4.3: the
   // controller's availability is a hint; peers may reject).
   int allocation_attempts = 8;
@@ -96,6 +103,9 @@ struct NclStats {
   uint64_t suspect_retries = 0;
   // Suspect slots that caught back up without being replaced.
   uint64_t transient_recoveries = 0;
+  // Resurrections that shipped only the unacked suffix of the in-flight
+  // window instead of the full region contents.
+  uint64_t suffix_reposts = 0;
   // Slots demoted to dead (immediately, or after policy exhaustion).
   uint64_t permanent_demotions = 0;
   // Controller RPCs retried after a kTimedOut (outage window).
@@ -253,6 +263,8 @@ class NclClient {
   Counter* c_records_;
   Counter* c_record_bytes_;
   Counter* c_peers_replaced_;
+  Counter* c_suffix_reposts_;
+  Gauge* g_inflight_;
   Histogram* h_record_ns_;
   Histogram* h_recover_ns_;
 };
@@ -269,8 +281,30 @@ class NclFile {
   uint64_t capacity() const { return capacity_; }
   uint64_t seq() const { return seq_; }
 
-  // record() (§4.2): appends at the current end of the log.
+  // record() (§4.2): appends at the current end of the log and blocks until
+  // a majority of peers committed it (AppendAsync + WaitFor).
   Status Append(std::string_view data);
+
+  // Pipelined append: applies locally, posts the WRs to every alive peer,
+  // and returns without waiting for the quorum round — unless the bounded
+  // in-flight window (NclConfig::inflight_window) is full, in which case it
+  // blocks until the oldest outstanding append commits. Errors discovered
+  // while waiting out backpressure (majority loss, test-hook aborts)
+  // surface here; otherwise they surface in WaitFor/Drain.
+  Status AppendAsync(std::string_view data);
+
+  // Blocks until every append with sequence number <= `seq` is committed on
+  // a majority of peers (clamped to the current tail). The committed prefix
+  // is exactly what recovery is guaranteed to return.
+  Status WaitFor(uint64_t seq);
+
+  // Drains the whole in-flight window: WaitFor(seq()).
+  Status Drain();
+
+  // Highest sequence number known committed on a majority (monotonic).
+  uint64_t committed_seq() const { return committed_seq_; }
+  // Appends posted but not yet known committed.
+  uint64_t inflight() const { return seq_ - committed_seq_; }
 
   // Positional write for circular logs (SQLite-style reuse, Fig 7ii).
   Status Write(uint64_t offset, std::string_view data);
@@ -317,17 +351,48 @@ class NclFile {
     std::deque<std::pair<uint64_t, uint64_t>> inflight;
   };
 
+  // One entry of the in-flight window: enough history to replay the
+  // unacked suffix of a mid-window straggler from the local buffer, plus
+  // the post timestamp for commit-latency accounting.
+  struct WindowEntry {
+    uint64_t seq;
+    uint64_t offset;
+    uint64_t len;
+    bool truncate;
+    SimTime posted_at;
+    bool reported = false;  // commit already surfaced (span + histogram)
+  };
+
   NclFile(NclClient* client, std::string name, uint64_t capacity);
 
-  // The replication critical path: posts data+header WRs to all alive
-  // peers and blocks (pumping the simulation) until a majority completes.
+  // The replication critical path, blocking: RecordAsync + WaitFor(seq_).
   Status Record(uint64_t offset, std::string_view data);
+
+  // Applies the write locally, posts one WR chain (data + header, single
+  // doorbell) per alive peer, then blocks only if the in-flight window is
+  // full.
+  Status RecordAsync(uint64_t offset, std::string_view data);
 
   // Polls every slot's CQ; returns true if anything progressed. Classifies
   // WR failures: transient ones mark the slot suspect, permanent ones
   // demote it to dead.
   bool PumpCompletions();
   int CountAcked(uint64_t seq) const;
+
+  // ---- Commit watermark & window history ---------------------------------
+  // The committed watermark is the majority-th largest acked_seq among
+  // alive slots, cached monotonically: once a prefix was majority-durable
+  // it stays committed even if the acking slots die later (their
+  // replacements are caught up to the full tail before joining).
+  uint64_t ComputeCommittedSeq() const;
+  // Raises committed_seq_, emits the per-append pipelined spans/histogram,
+  // refreshes the inflight gauge, and prunes reported window history.
+  void AdvanceCommitWatermark();
+  void PruneWindow();
+  // Reposts only the unacked suffix (slot->acked_seq, seq_] from the window
+  // history as one WR chain. Returns false when the history no longer
+  // covers the gap — the caller falls back to PostFullState.
+  bool PostSuffix(PeerSlot* slot);
 
   // ---- Suspect-slot machinery (transient faults) -------------------------
   void OnSlotError(PeerSlot* slot, WcStatus status);
@@ -363,6 +428,10 @@ class NclFile {
   uint64_t epoch_ = 0;
   uint64_t seq_ = 0;
   uint64_t length_ = 0;
+  // Highest seq known committed on a majority; never regresses.
+  uint64_t committed_seq_ = 0;
+  // Recent appends, oldest first, covering at least (min alive acked, seq_].
+  std::deque<WindowEntry> window_;
   std::string buffer_;  // local copy of the file contents
   std::vector<PeerSlot> slots_;
   std::vector<std::string> peer_names_;

@@ -51,6 +51,7 @@ Fabric::Fabric(Simulation* sim, const SimParams* params, ObsContext obs)
       c_write_bytes_(obs.counter("fabric.wr.write_bytes")),
       c_read_bytes_(obs.counter("fabric.wr.read_bytes")),
       c_failed_wrs_(obs.counter("fabric.wr.failed_wrs")),
+      c_doorbells_(obs.counter("fabric.wr.doorbells")),
       c_wr_retries_(obs.counter("fabric.wr.wr_retries")),
       c_wr_retry_recoveries_(obs.counter("fabric.wr.wr_retry_recoveries")) {}
 
@@ -349,27 +350,67 @@ QueuePair::~QueuePair() {
 
 uint64_t QueuePair::PostWrite(RKey rkey, uint64_t remote_offset,
                               std::string_view data) {
+  fabric_->stats_.doorbells++;
+  ObsAdd(fabric_->c_doorbells_);
+  fabric_->sim_->Advance(fabric_->params_->rdma.post_overhead);
+  return EnqueueWrite(rkey, remote_offset, std::string(data));
+}
+
+std::vector<uint64_t> QueuePair::PostWriteBatch(std::vector<WriteOp> ops) {
+  std::vector<uint64_t> ids;
+  if (ops.empty()) {
+    return ids;
+  }
+  ids.reserve(ops.size());
+  const RdmaParams& rdma = fabric_->params_->rdma;
+  SimTime n = static_cast<SimTime>(ops.size());
+  if (rdma.doorbell_batching) {
+    // One doorbell for the whole chain: full post cost for the first WQE,
+    // marginal cost for each one appended behind it.
+    fabric_->stats_.doorbells++;
+    ObsAdd(fabric_->c_doorbells_);
+    fabric_->sim_->Advance(rdma.post_overhead +
+                           rdma.batched_wr_overhead * (n - 1));
+  } else {
+    // Coalescing off: the chain degenerates to one doorbell per WR, the
+    // seed's posting cost.
+    fabric_->stats_.doorbells += ops.size();
+    ObsAdd(fabric_->c_doorbells_, ops.size());
+    fabric_->sim_->Advance(rdma.post_overhead * n);
+  }
+  for (WriteOp& op : ops) {
+    ids.push_back(EnqueueWrite(op.rkey, op.remote_offset, std::move(op.data)));
+  }
+  return ids;
+}
+
+uint64_t QueuePair::EnqueueWrite(RKey rkey, uint64_t remote_offset,
+                                 std::string data) {
   Fabric::WorkRequest wr;
   wr.wr_id = state_->next_wr_id++;
   wr.is_read = false;
   wr.rkey = rkey;
   wr.remote_offset = remote_offset;
-  wr.data = std::string(data);
+  wr.data = std::move(data);
   wr.read_len = 0;
 
   fabric_->stats_.writes_posted++;
-  fabric_->stats_.write_bytes += data.size();
+  fabric_->stats_.write_bytes += wr.data.size();
   ObsAdd(fabric_->c_writes_posted_);
-  ObsAdd(fabric_->c_write_bytes_, data.size());
-  fabric_->sim_->Advance(fabric_->params_->rdma.post_overhead);
+  ObsAdd(fabric_->c_write_bytes_, wr.data.size());
   wr.posted_at = fabric_->sim_->Now();
 
-  // SQ ordering: this WR completes only after every earlier WR on this QP.
+  // Latency/bandwidth separation: the WR holds the send queue only while
+  // it is issued and serialized onto the wire; fabric propagation overlaps
+  // with later WRs. Completion times stay monotone per QP because the
+  // occupancy of WR i plus the serialization of WR i+1 is always positive,
+  // so SQ completion ordering is preserved.
   SimTime now = fabric_->sim_->Now();
-  SimTime done = std::max(now, state_->busy_until) +
-                 fabric_->params_->RdmaWriteLatency(data.size()) +
+  SimTime start = std::max(now, state_->busy_until);
+  state_->busy_until =
+      start + fabric_->params_->RdmaWrOccupancy(wr.data.size());
+  SimTime done = start + fabric_->params_->RdmaWriteLatency(wr.data.size()) +
                  fabric_->LinkDelay(local_, remote_);
-  state_->busy_until = done;
   state_->outstanding++;
   auto state = state_;
   Fabric* fabric = fabric_;
@@ -390,16 +431,20 @@ uint64_t QueuePair::PostRead(RKey rkey, uint64_t remote_offset, uint64_t len) {
 
   fabric_->stats_.reads_posted++;
   fabric_->stats_.read_bytes += len;
+  fabric_->stats_.doorbells++;
   ObsAdd(fabric_->c_reads_posted_);
   ObsAdd(fabric_->c_read_bytes_, len);
+  ObsAdd(fabric_->c_doorbells_);
   fabric_->sim_->Advance(fabric_->params_->rdma.post_overhead);
   wr.posted_at = fabric_->sim_->Now();
 
+  // Same pipelined model as EnqueueWrite: the read request occupies the SQ
+  // for issue + response serialization; the round-trip base overlaps.
   SimTime now = fabric_->sim_->Now();
-  SimTime done = std::max(now, state_->busy_until) +
-                 fabric_->params_->RdmaReadLatency(len) +
+  SimTime start = std::max(now, state_->busy_until);
+  state_->busy_until = start + fabric_->params_->RdmaWrOccupancy(len);
+  SimTime done = start + fabric_->params_->RdmaReadLatency(len) +
                  fabric_->LinkDelay(local_, remote_);
-  state_->busy_until = done;
   state_->outstanding++;
   auto state = state_;
   Fabric* fabric = fabric_;

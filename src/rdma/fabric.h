@@ -69,6 +69,10 @@ struct FabricStats {
   uint64_t write_bytes = 0;
   uint64_t read_bytes = 0;
   uint64_t failed_wrs = 0;
+  // Doorbell rings: one per PostWrite/PostRead, one per PostWriteBatch
+  // chain when doorbell coalescing is enabled. doorbells < writes_posted +
+  // reads_posted measures how much batching the NCL write path achieves.
+  uint64_t doorbells = 0;
   // NIC-level retransmissions toward unreachable targets (see
   // RdmaParams::unreachable_retry_timeout).
   uint64_t wr_retries = 0;
@@ -214,6 +218,7 @@ class Fabric {
   Counter* c_write_bytes_;
   Counter* c_read_bytes_;
   Counter* c_failed_wrs_;
+  Counter* c_doorbells_;
   Counter* c_wr_retries_;
   Counter* c_wr_retry_recoveries_;
 };
@@ -238,6 +243,21 @@ class QueuePair {
   // completion queue. Never blocks.
   uint64_t PostWrite(RKey rkey, uint64_t remote_offset, std::string_view data);
 
+  // One WRITE within a multi-WR chain (PostWriteBatch).
+  struct WriteOp {
+    RKey rkey = 0;
+    uint64_t remote_offset = 0;
+    std::string data;
+  };
+
+  // Posts a chain of WRITEs with a single doorbell ring (when
+  // RdmaParams::doorbell_batching): the batch pays post_overhead once plus
+  // batched_wr_overhead per additional WR instead of post_overhead per WR.
+  // Send-queue ordering is preserved — the chain completes in post order,
+  // after every WR posted earlier on this QP. Returns the wr_ids in chain
+  // order. Never blocks.
+  std::vector<uint64_t> PostWriteBatch(std::vector<WriteOp> ops);
+
   // Posts a one-sided RDMA READ of `len` bytes.
   uint64_t PostRead(RKey rkey, uint64_t remote_offset, uint64_t len);
 
@@ -254,6 +274,11 @@ class QueuePair {
  private:
   friend class Fabric;
   struct Impl;
+
+  // Appends one WRITE WQE to the send queue: stats, SQ-ordered completion
+  // scheduling. Charges no posting overhead — the caller has already paid
+  // for the doorbell (once per chain under doorbell coalescing).
+  uint64_t EnqueueWrite(RKey rkey, uint64_t remote_offset, std::string data);
 
   Fabric* fabric_;
   NodeId local_;

@@ -27,6 +27,20 @@ struct RdmaParams {
   SimTime connect_latency = Millis(5.0);
   // Per-WR local CPU cost of posting to the send queue.
   SimTime post_overhead = Micros(0.25);
+  // Doorbell coalescing: QueuePair::PostWriteBatch posts its WR chain with
+  // a single doorbell ring, paying post_overhead once plus
+  // batched_wr_overhead for every WR after the first (the marginal cost of
+  // appending one more WQE to an already-open chain). Disabled, every WR
+  // in a batch pays the full post_overhead — one doorbell per WR, the
+  // seed's behaviour — which is what bench/ablation_batching toggles.
+  bool doorbell_batching = true;
+  SimTime batched_wr_overhead = Micros(0.05);
+  // The NIC pipelines back-to-back WRs on a QP: the send queue is held
+  // only for WQE issue plus payload serialization onto the wire
+  // (SimParams::RdmaWrOccupancy); the fabric propagation half of
+  // write_latency overlaps across consecutive WRs. A lone WR still pays
+  // the full RdmaWriteLatency end to end.
+  SimTime wr_occupancy = Micros(0.1);
   // TCP RPC to a peer's lightweight setup process (allocate/release/switch).
   SimTime setup_rpc_latency = Micros(200.0);
   // NIC-level retransmission window for unreachable targets (ibverbs
@@ -96,6 +110,14 @@ struct SimParams {
   // Cost of moving `bytes` through the RDMA fabric.
   SimTime RdmaWriteLatency(uint64_t bytes) const {
     return rdma.write_latency +
+           static_cast<SimTime>(static_cast<double>(bytes) /
+                                rdma.bytes_per_ns);
+  }
+  // How long a WR occupies its QP's send queue before the next WR can go
+  // out on the wire. Strictly less than RdmaWriteLatency for any size, so
+  // per-QP completion times stay monotone (SQ ordering).
+  SimTime RdmaWrOccupancy(uint64_t bytes) const {
+    return rdma.wr_occupancy +
            static_cast<SimTime>(static_cast<double>(bytes) /
                                 rdma.bytes_per_ns);
   }

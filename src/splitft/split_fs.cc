@@ -50,13 +50,24 @@ class NclBackedFile : public SplitFile {
   explicit NclBackedFile(std::unique_ptr<NclFile> file)
       : file_(std::move(file)) {}
 
-  Status Append(std::string_view data) override { return file_->Append(data); }
+  // Appends ride the NCL in-flight window: posted to every peer now,
+  // majority-committed by the time Sync (or window backpressure) returns.
+  // Callers that need append-implies-durable call Sync, which drains the
+  // window — the app-level group-commit boundary maps onto it directly.
+  Status Append(std::string_view data) override {
+    return file_->AppendAsync(data);
+  }
+  // Positional writes stay synchronous: circular-log users (SQLite-style
+  // header rewrites) overwrite live ranges and rely on durable-on-return.
   Status WriteAt(uint64_t offset, std::string_view data) override {
     return file_->Write(offset, data);
   }
-  // Writes were replicated synchronously; there is nothing to flush. The
+  // Drains the in-flight window. Once everything posted is committed the
   // returned time-in-the-past makes deferred commits immediately complete.
-  Result<SimTime> Sync(const SyncOptions&) override { return SimTime{0}; }
+  Result<SimTime> Sync(const SyncOptions&) override {
+    RETURN_IF_ERROR(file_->Drain());
+    return SimTime{0};
+  }
   Result<std::string> Read(uint64_t offset, uint64_t len) override {
     return file_->Read(offset, len);
   }
@@ -131,8 +142,12 @@ class FineGrainedFile : public SplitFile {
     return log_->Append(frame);
   }
 
-  // Both write paths are synchronously durable.
-  Result<SimTime> Sync(const SyncOptions&) override { return SimTime{0}; }
+  // Both write paths are synchronously durable; draining the journal is a
+  // no-op unless a future change pipelines the frame appends too.
+  Result<SimTime> Sync(const SyncOptions&) override {
+    RETURN_IF_ERROR(log_->Drain());
+    return SimTime{0};
+  }
 
   Result<std::string> Read(uint64_t offset, uint64_t len) override {
     if (offset >= view_.size()) {

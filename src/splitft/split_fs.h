@@ -2,8 +2,10 @@
 //
 // Applications open files through SplitFs exactly as they would through
 // POSIX. Files opened with the kONcl flag (the paper's O_NCL) are backed by
-// near-compute logs: every write is synchronously replicated to the log
-// peers and fsync is a no-op. All other files go to the disaggregated file
+// near-compute logs: appends are posted to the log peers immediately and
+// ride a bounded in-flight window (NclConfig::inflight_window); fsync
+// drains the window, which is free when nothing is outstanding. All other
+// files go to the disaggregated file
 // system: writes are buffered and fsync pays the dfs cost. The §6 extension
 // (kFineGrained) splits writes within a single file by size: small writes
 // are journaled in NCL, large writes go straight to the dfs, and recovery
@@ -58,10 +60,11 @@ class SplitFile {
 
   virtual Status Append(std::string_view data) = 0;
   virtual Status WriteAt(uint64_t offset, std::string_view data) = 0;
-  // Durability barrier. For NCL-backed files this is free: every write was
-  // already replicated before it returned. Returns the virtual time at
-  // which the data is durable for deferred syncs; blocking and background
-  // syncs return 0 (durable — or queued — by the time the call returns).
+  // Durability barrier. For NCL-backed files this drains the append
+  // window — free when every posted append already committed. Returns the
+  // virtual time at which the data is durable for deferred syncs; blocking
+  // and background syncs return 0 (durable — or queued — by the time the
+  // call returns).
   virtual Result<SimTime> Sync(const SyncOptions& options) = 0;
 
   // Compatibility wrappers over Sync(SyncOptions). Prefer the unified

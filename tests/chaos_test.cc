@@ -395,6 +395,88 @@ TEST_F(ChaosNclTest, ReleaseFailureIsCountedNotSwallowed) {
   EXPECT_EQ(client->stats().release_failures, 1u);
 }
 
+TEST_F(ChaosNclTest, TransientPartitionMidWindowRepostsUnackedSuffix) {
+  // A peer drops out in the middle of a pipelined burst and heals within
+  // the retry deadline: the resurrection must repost only the unacked
+  // suffix of the window (not the full region), and nothing acked is lost.
+  StartPeers(3);
+  NclConfig config = TransientConfig();
+  config.inflight_window = 8;
+  auto client = MakeClient(config);
+  auto file = client->Create("wal");
+  ASSERT_TRUE(file.ok());
+  std::string expect;
+  auto burst = [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      std::string rec = "r" + std::to_string(i) + ";";
+      ASSERT_TRUE((*file)->AppendAsync(rec).ok());
+      expect += rec;
+    }
+  };
+  burst(0, 10);
+  std::string victim = (*file)->peer_names()[0];
+  fabric_.PartitionFor(app_node_, PeerNamed(victim)->node(), Millis(3));
+  burst(10, 20);
+  ASSERT_TRUE((*file)->Drain().ok());
+
+  // Drive the resurrection home: retries run inside client calls.
+  for (int i = 0; i < 8 && client->stats().transient_recoveries < 1; ++i) {
+    sim_.RunUntil(sim_.Now() + Millis(2));
+    ASSERT_TRUE((*file)->Append("x").ok());
+    expect += "x";
+  }
+  EXPECT_GE(client->stats().suffix_reposts, 1u);
+  EXPECT_GE(client->stats().transient_recoveries, 1u);
+  EXPECT_EQ(client->peers_replaced(), 0);
+  EXPECT_EQ((*file)->alive_peers(), 3);
+  auto contents = (*file)->Read(0, (*file)->size());
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, expect);
+}
+
+TEST_F(ChaosNclTest, PeerKilledMidWindowIsDemotedWithoutLosingAckedAppends) {
+  // A peer dies for good in the middle of a pipelined burst: the slot is
+  // demoted and replaced, the burst completes, and recovery after an app
+  // crash still finds every committed append.
+  StartPeers(4);
+  NclConfig config;
+  config.app_id = "chaos-test";
+  config.default_capacity = 1 << 20;
+  config.inflight_window = 8;
+  std::string expect;
+  {
+    auto client = MakeClient(config);
+    auto file = client->Create("wal");
+    ASSERT_TRUE(file.ok());
+    for (int i = 0; i < 10; ++i) {
+      std::string rec = "r" + std::to_string(i) + ";";
+      ASSERT_TRUE((*file)->AppendAsync(rec).ok());
+      expect += rec;
+    }
+    PeerNamed((*file)->peer_names()[0])->Crash();
+    for (int i = 10; i < 20; ++i) {
+      std::string rec = "r" + std::to_string(i) + ";";
+      ASSERT_TRUE((*file)->AppendAsync(rec).ok());
+      expect += rec;
+    }
+    ASSERT_TRUE((*file)->Drain().ok());
+    EXPECT_EQ((*file)->committed_seq(), (*file)->seq());
+    EXPECT_GE(client->stats().permanent_demotions, 1u);
+    EXPECT_GE(client->peers_replaced(), 1);
+    auto contents = (*file)->Read(0, (*file)->size());
+    ASSERT_TRUE(contents.ok());
+    EXPECT_EQ(*contents, expect);
+    // The app crashes without a clean shutdown.
+  }
+  sim_.RunUntilIdle();
+  auto client2 = MakeClient(config);
+  auto recovered = client2->Recover("wal");
+  ASSERT_TRUE(recovered.ok());
+  auto contents = (*recovered)->Read(0, (*recovered)->size());
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, expect) << "acked appends lost across kill + crash";
+}
+
 // ------------------------------------------------ ChaosEngine + Testbed --
 
 TEST(ChaosEngineTest, InjectsAndHealsAgainstTestbed) {

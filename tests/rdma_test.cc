@@ -87,6 +87,68 @@ TEST_F(RdmaTest, SendQueueOrderingPreserved) {
   EXPECT_EQ((*fabric_.RegionBuffer(peer_, *rkey))->substr(0, 1), "e");
 }
 
+TEST_F(RdmaTest, BatchedWritesCompleteInOrderWithOneDoorbell) {
+  auto rkey = fabric_.RegisterRegion(peer_, 16);
+  ASSERT_TRUE(rkey.ok());
+  QueuePair qp(&fabric_, app_, peer_);
+  uint64_t doorbells_before = fabric_.stats().doorbells;
+  std::vector<QueuePair::WriteOp> ops;
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back({*rkey, 0, std::string(1, 'a' + i)});
+  }
+  std::vector<uint64_t> ids = qp.PostWriteBatch(std::move(ops));
+  ASSERT_EQ(ids.size(), 4u);
+  // One doorbell rings for the whole chain.
+  EXPECT_EQ(fabric_.stats().doorbells - doorbells_before, 1u);
+  for (int i = 0; i < 4; ++i) {
+    Completion c = WaitCompletion(&qp);
+    EXPECT_EQ(c.wr_id, ids[i]) << "completion out of post order";
+    EXPECT_EQ(c.status, WcStatus::kSuccess);
+  }
+  // SQ ordering: the last WR in the chain wrote last.
+  EXPECT_EQ((*fabric_.RegionBuffer(peer_, *rkey))->substr(0, 1), "d");
+}
+
+TEST_F(RdmaTest, DoorbellBatchingReducesPostCost) {
+  auto rkey = fabric_.RegisterRegion(peer_, 64);
+  ASSERT_TRUE(rkey.ok());
+  auto post_cost = [&](bool batching) {
+    params_.rdma.doorbell_batching = batching;
+    QueuePair qp(&fabric_, app_, peer_);
+    std::vector<QueuePair::WriteOp> ops;
+    for (int i = 0; i < 8; ++i) {
+      ops.push_back({*rkey, 0, "x"});
+    }
+    SimTime t0 = sim_.Now();
+    qp.PostWriteBatch(std::move(ops));
+    SimTime cost = sim_.Now() - t0;
+    sim_.RunUntilIdle();
+    return cost;
+  };
+  SimTime batched = post_cost(true);
+  SimTime unbatched = post_cost(false);
+  // Unbatched pays full post overhead (and a doorbell) per WR; batched pays
+  // it once plus a small per-WR chaining cost.
+  EXPECT_LT(batched * 2, unbatched);
+  params_.rdma.doorbell_batching = true;
+}
+
+TEST_F(RdmaTest, UnbatchedPostingRingsOneDoorbellPerWr) {
+  auto rkey = fabric_.RegisterRegion(peer_, 64);
+  ASSERT_TRUE(rkey.ok());
+  params_.rdma.doorbell_batching = false;
+  QueuePair qp(&fabric_, app_, peer_);
+  uint64_t doorbells_before = fabric_.stats().doorbells;
+  std::vector<QueuePair::WriteOp> ops;
+  for (int i = 0; i < 3; ++i) {
+    ops.push_back({*rkey, 0, "x"});
+  }
+  qp.PostWriteBatch(std::move(ops));
+  EXPECT_EQ(fabric_.stats().doorbells - doorbells_before, 3u);
+  sim_.RunUntilIdle();
+  params_.rdma.doorbell_batching = true;
+}
+
 TEST_F(RdmaTest, WriteBeyondRegionFails) {
   auto rkey = fabric_.RegisterRegion(peer_, 16);
   ASSERT_TRUE(rkey.ok());

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Checks that every C++ source under src/ tests/ bench/ examples/ is
+# clang-format clean. Read-only: uses --dry-run -Werror, never rewrites.
+#
+# Usage: tools/check_format.sh [clang-format-binary]
+#
+# This is what the `format` CI job and the `format_check` ctest run.
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${1:-${CLANG_FORMAT:-clang-format}}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: '$CLANG_FORMAT' not found; install clang-format or pass the" \
+       "binary as the first argument" >&2
+  exit 2
+fi
+
+mapfile -t files < <(find src tests bench examples \
+  -type f \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) | sort)
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "error: no sources found (run from the repository root)" >&2
+  exit 2
+fi
+
+if "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"; then
+  echo "format ok: ${#files[@]} files clean"
+else
+  echo "format check failed; run: $CLANG_FORMAT -i <files>" >&2
+  exit 1
+fi
