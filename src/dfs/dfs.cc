@@ -13,29 +13,112 @@ DfsCluster::DfsCluster(Simulation* sim, const SimParams* params,
                        ObsContext obs)
     : sim_(sim),
       params_(params),
-      obs_(obs),
-      c_bytes_written_(obs.counter("dfs.cluster.bytes_written")),
-      c_sync_ops_(obs.counter("dfs.cluster.sync_ops")),
-      c_writes_(obs.counter("dfs.client.writes")),
-      c_write_bytes_(obs.counter("dfs.client.write_bytes")),
-      c_fsyncs_(obs.counter("dfs.client.fsyncs")),
-      c_background_syncs_(obs.counter("dfs.client.background_syncs")),
-      c_reads_(obs.counter("dfs.client.reads")),
-      c_readahead_hits_(obs.counter("dfs.client.readahead_hits")),
-      c_readahead_misses_(obs.counter("dfs.client.readahead_misses")),
-      c_direct_reads_(obs.counter("dfs.client.direct_reads")),
-      c_background_flush_bytes_(
-          obs.counter("dfs.client.background_flush_bytes")),
-      h_fsync_ns_(obs.histogram("dfs.client.fsync_ns")) {}
+      num_servers_(std::max(1, params->dfs.num_servers)),
+      stripe_size_(std::max<uint64_t>(1, params->dfs.stripe_size)),
+      obs_(obs) {
+  if (obs_.metrics == nullptr) {
+    // Counters are the only bookkeeping (bytes_written() etc. read them),
+    // so a cluster built without observability owns a private registry.
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    obs_.metrics = owned_metrics_.get();
+  }
+  c_bytes_written_ = obs_.counter("dfs.cluster.bytes_written");
+  c_sync_ops_ = obs_.counter("dfs.cluster.sync_ops");
+  c_writes_ = obs_.counter("dfs.client.writes");
+  c_write_bytes_ = obs_.counter("dfs.client.write_bytes");
+  c_fsyncs_ = obs_.counter("dfs.client.fsyncs");
+  c_background_syncs_ = obs_.counter("dfs.client.background_syncs");
+  c_reads_ = obs_.counter("dfs.client.reads");
+  c_readahead_hits_ = obs_.counter("dfs.client.readahead_hits");
+  c_readahead_misses_ = obs_.counter("dfs.client.readahead_misses");
+  c_direct_reads_ = obs_.counter("dfs.client.direct_reads");
+  c_background_flush_bytes_ =
+      obs_.counter("dfs.client.background_flush_bytes");
+  h_fsync_ns_ = obs_.histogram("dfs.client.fsync_ns");
+  h_fsync_wait_ns_ = obs_.histogram("dfs.client.fsync_wait_ns");
+  h_fsync_xfer_ns_ = obs_.histogram("dfs.client.fsync_xfer_ns");
+  pipe_busy_.assign(num_servers_, 0);
+  for (int s = 0; s < num_servers_; ++s) {
+    std::string prefix = "dfs.server." + std::to_string(s);
+    c_server_bytes_written_.push_back(obs_.counter(prefix + ".bytes_written"));
+    c_server_bytes_read_.push_back(obs_.counter(prefix + ".bytes_read"));
+    c_server_ops_.push_back(obs_.counter(prefix + ".ops"));
+    server_write_span_.push_back(prefix + ".write");
+    server_read_span_.push_back(prefix + ".read");
+  }
+}
+
+SimTime DfsCluster::pipe_busy_until() const {
+  SimTime busy = 0;
+  for (SimTime t : pipe_busy_) {
+    busy = std::max(busy, t);
+  }
+  return busy;
+}
+
+int DfsCluster::ServerForOffset(uint64_t offset) const {
+  return static_cast<int>((offset / stripe_size_) %
+                          static_cast<uint64_t>(num_servers_));
+}
+
+void DfsCluster::AddStripeShares(uint64_t offset, uint64_t len,
+                                 std::vector<uint64_t>* shares) const {
+  while (len > 0) {
+    uint64_t stripe = offset / stripe_size_;
+    uint64_t stripe_end = (stripe + 1) * stripe_size_;
+    uint64_t chunk = std::min<uint64_t>(len, stripe_end - offset);
+    (*shares)[stripe % static_cast<uint64_t>(num_servers_)] += chunk;
+    offset += chunk;
+    len -= chunk;
+  }
+}
 
 SimTime DfsCluster::AcquirePipe(SimTime duration, bool foreground) {
-  SimTime start = std::max(sim_->Now(), pipe_busy_until_);
+  SimTime start = std::max(sim_->Now(), pipe_busy_[0]);
   SimTime done = start + duration;
-  pipe_busy_until_ = done;
+  pipe_busy_[0] = done;
   if (foreground) {
     sim_->AdvanceTo(done);
   }
   return done;
+}
+
+SimTime DfsCluster::FanOut(const std::vector<uint64_t>& shares,
+                           SimTime client_base, SimTime server_base,
+                           double bytes_per_ns, bool foreground, bool is_write,
+                           SimTime* ideal_ns) {
+  SimTime now = sim_->Now();
+  SimTime dispatch = now + client_base;
+  SimTime completion = dispatch;
+  SimTime longest_leg = 0;
+  for (int s = 0; s < num_servers_; ++s) {
+    if (shares[s] == 0) {
+      continue;
+    }
+    SimTime leg = server_base +
+                  static_cast<SimTime>(static_cast<double>(shares[s]) /
+                                       bytes_per_ns);
+    longest_leg = std::max(longest_leg, leg);
+    SimTime start = std::max(dispatch, pipe_busy_[s]);
+    SimTime done = start + leg;
+    pipe_busy_[s] = done;
+    completion = std::max(completion, done);
+    ObsAdd(is_write ? c_server_bytes_written_[s] : c_server_bytes_read_[s],
+           shares[s]);
+    ObsAdd(c_server_ops_[s]);
+    if (obs_.tracer != nullptr && obs_.tracer->enabled()) {
+      obs_.tracer->AddAsyncSpan(
+          is_write ? server_write_span_[s] : server_read_span_[s], start,
+          done);
+    }
+  }
+  if (ideal_ns != nullptr) {
+    *ideal_ns = client_base + longest_leg;
+  }
+  if (foreground) {
+    sim_->AdvanceTo(completion);
+  }
+  return completion;
 }
 
 // ---------------------------------------------------------------- Client --
@@ -136,17 +219,28 @@ uint64_t DfsClient::BackgroundFlushAll() {
     }
     std::string& content = fit->second.content;
     uint64_t bytes = st.dirty_bytes;
+    // A striped flush occupies only the pipes its dirty extents touch.
+    std::vector<uint64_t> shares(cluster_->num_servers_, 0);
     for (auto& [offset, data] : st.dirty) {
       if (content.size() < offset + data.size()) {
         content.resize(offset + data.size(), '\0');
       }
       content.replace(offset, data.size(), data);
+      cluster_->AddStripeShares(offset, data.size(), &shares);
     }
     st.dirty.clear();
     st.dirty_bytes = 0;
-    cluster_->AcquirePipe(cluster_->params_->DfsSyncWriteLatency(bytes),
-                          /*foreground=*/false);
-    cluster_->bytes_written_ += bytes;
+    const DfsParams& dfs = cluster_->params_->dfs;
+    if (cluster_->num_servers_ == 1) {
+      cluster_->AcquirePipe(cluster_->params_->DfsSyncWriteLatency(bytes),
+                            /*foreground=*/false);
+      ObsAdd(cluster_->c_server_bytes_written_[0], bytes);
+      ObsAdd(cluster_->c_server_ops_[0]);
+    } else {
+      cluster_->FanOut(shares, dfs.stripe_client_base, dfs.stripe_server_base,
+                       dfs.write_bytes_per_ns, /*foreground=*/false,
+                       /*is_write=*/true);
+    }
     ObsAdd(cluster_->c_bytes_written_, bytes);
     ObsAdd(cluster_->c_background_flush_bytes_, bytes);
     flushed += bytes;
@@ -314,6 +408,9 @@ Status DfsFile::SyncInternal(bool foreground, SimTime* done_at) {
   std::string& content = cluster->files_[path_].content;
   uint64_t bytes = st.dirty_bytes;
   bool overwrote = false;
+  // Split the dirty extents by stripe while applying them; the fan-out
+  // charges each touched server's pipe for exactly its share.
+  std::vector<uint64_t> shares(cluster->num_servers_, 0);
   for (auto& [offset, data] : st.dirty) {
     if (offset < content.size()) {
       overwrote = true;
@@ -322,21 +419,36 @@ Status DfsFile::SyncInternal(bool foreground, SimTime* done_at) {
       content.resize(offset + data.size(), '\0');
     }
     content.replace(offset, data.size(), data);
+    cluster->AddStripeShares(offset, data.size(), &shares);
   }
   st.dirty.clear();
   st.dirty_bytes = 0;
-  SimTime done = cluster->AcquirePipe(
-      cluster->params_->DfsSyncWriteLatency(bytes), foreground);
+  const DfsParams& dfs = cluster->params_->dfs;
+  SimTime done;
+  SimTime ideal;  // queue-free duration: the transfer part of the latency
+  if (cluster->num_servers_ == 1) {
+    ideal = cluster->params_->DfsSyncWriteLatency(bytes);
+    done = cluster->AcquirePipe(ideal, foreground);
+    ObsAdd(cluster->c_server_bytes_written_[0], bytes);
+    ObsAdd(cluster->c_server_ops_[0]);
+  } else {
+    done = cluster->FanOut(shares, dfs.stripe_client_base,
+                           dfs.stripe_server_base, dfs.write_bytes_per_ns,
+                           foreground, /*is_write=*/true, &ideal);
+  }
   if (done_at != nullptr) {
     *done_at = done;
   }
-  cluster->bytes_written_ += bytes;
-  cluster->sync_ops_++;
   ObsAdd(cluster->c_bytes_written_, bytes);
   ObsAdd(cluster->c_sync_ops_);
   // The sync's latency as the caller experiences it: pipe wait + transfer
   // for foreground calls, durable-at minus now for deferred group commits.
+  // The wait/xfer split makes backend stall time attributable: xfer is the
+  // queue-free duration, wait is whatever queueing added on top.
   ObsRecord(cluster->h_fsync_ns_, done - sync_start);
+  ObsRecord(cluster->h_fsync_xfer_ns_, ideal);
+  ObsRecord(cluster->h_fsync_wait_ns_,
+            std::max<SimTime>(0, (done - sync_start) - ideal));
   if (cluster->trace_ != nullptr) {
     IoTraceEvent ev;
     ev.path = path_;
@@ -405,24 +517,47 @@ Result<std::string> DfsFile::ReadInternal(uint64_t offset, uint64_t len,
     }
   }
 
+  DfsCluster* cluster = client_->cluster_;
+  const bool striped = cluster->num_servers_ > 1;
+
   if (direct_io_) {
-    // Every read goes to the backend.
-    ObsAdd(client_->cluster_->c_direct_reads_);
-    client_->cluster_->AcquirePipe(
-        params.dfs.remote_read_base +
-            static_cast<SimTime>(static_cast<double>(len) /
-                                 params.dfs.read_bytes_per_ns),
-        foreground);
+    // Every read goes to the backend; striped mode issues the per-stripe
+    // reads to their servers concurrently.
+    ObsAdd(cluster->c_direct_reads_);
+    if (striped) {
+      std::vector<uint64_t> shares(cluster->num_servers_, 0);
+      cluster->AddStripeShares(offset, len, &shares);
+      cluster->FanOut(shares, params.dfs.stripe_client_read_base,
+                      params.dfs.stripe_server_read_base,
+                      params.dfs.read_bytes_per_ns, foreground,
+                      /*is_write=*/false);
+    } else {
+      cluster->AcquirePipe(
+          params.dfs.remote_read_base +
+              static_cast<SimTime>(static_cast<double>(len) /
+                                   params.dfs.read_bytes_per_ns),
+          foreground);
+      ObsAdd(cluster->c_server_bytes_read_[0], len);
+      ObsAdd(cluster->c_server_ops_[0]);
+    }
     return out;
   }
 
   // Page cache with readahead: a miss fetches the whole readahead window.
+  // Striped mode batches all missing windows of this read into one fan-out
+  // (per-server base paid once, transfers in parallel) — this is what
+  // parallelizes bulk recovery reads over the dfs (Fig 11).
   uint64_t window = params.dfs.readahead_bytes;
   uint64_t first = offset / window;
   uint64_t last = (offset + len - 1) / window;
+  std::vector<uint64_t> miss_shares;
+  if (striped) {
+    miss_shares.assign(cluster->num_servers_, 0);
+  }
+  bool missed = false;
   for (uint64_t w = first; w <= last; ++w) {
     if (st.cached_windows.count(w) > 0) {
-      ObsAdd(client_->cluster_->c_readahead_hits_);
+      ObsAdd(cluster->c_readahead_hits_);
       if (foreground) {
         sim->Advance(params.dfs.cached_read_base +
                      static_cast<SimTime>(
@@ -430,15 +565,28 @@ Result<std::string> DfsFile::ReadInternal(uint64_t offset, uint64_t len,
                          params.dfs.cached_read_bytes_per_ns));
       }
     } else {
-      ObsAdd(client_->cluster_->c_readahead_misses_);
+      ObsAdd(cluster->c_readahead_misses_);
       uint64_t fetch = std::min<uint64_t>(window, size - w * window);
-      client_->cluster_->AcquirePipe(
-          params.dfs.remote_read_base +
-              static_cast<SimTime>(static_cast<double>(fetch) /
-                                   params.dfs.read_bytes_per_ns),
-          foreground);
+      if (striped) {
+        cluster->AddStripeShares(w * window, fetch, &miss_shares);
+        missed = true;
+      } else {
+        cluster->AcquirePipe(
+            params.dfs.remote_read_base +
+                static_cast<SimTime>(static_cast<double>(fetch) /
+                                     params.dfs.read_bytes_per_ns),
+            foreground);
+        ObsAdd(cluster->c_server_bytes_read_[0], fetch);
+        ObsAdd(cluster->c_server_ops_[0]);
+      }
       st.cached_windows.insert(w);
     }
+  }
+  if (missed) {
+    cluster->FanOut(miss_shares, params.dfs.stripe_client_read_base,
+                    params.dfs.stripe_server_read_base,
+                    params.dfs.read_bytes_per_ns, foreground,
+                    /*is_write=*/false);
   }
   return out;
 }

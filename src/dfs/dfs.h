@@ -7,9 +7,15 @@
 //     bandwidth term (calibrated to Fig 1d);
 //   * crash consistency: on an application-server crash, everything up to
 //     the last successful fsync survives; dirty data is lost;
-//   * a shared backend "pipe": foreground fsyncs queue behind in-flight
-//     background bulk writes (this is what makes weak-mode applications
-//     suffer write stalls that SplitFT avoids, §5.2);
+//   * a striped multi-server backend: file bytes map deterministically to
+//     stripes spread over DfsParams::num_servers object servers, each with
+//     its own bandwidth pipe. An fsync splits its dirty extents by stripe
+//     and fans the per-server transfers out in parallel (completion = max
+//     over the touched servers); foreground fsyncs still queue behind
+//     in-flight background bulk writes *on the pipes they share* (this is
+//     what makes weak-mode applications suffer write stalls that SplitFT
+//     avoids, §5.2). num_servers == 1 reduces exactly to the seed's single
+//     aggregated pipe (DESIGN.md §10);
 //   * client-side page cache with sequential readahead, plus a direct-IO
 //     mode that bypasses it (Fig 11a);
 //   * a background flusher that periodically syncs dirty files, which is
@@ -37,27 +43,36 @@ class DfsClient;
 class DfsFile;
 
 // The disaggregated storage service: namespace + durable file contents +
-// the shared backend bandwidth pipe.
+// one bandwidth pipe per object server (DfsParams::num_servers).
 class DfsCluster {
  public:
-  // Registry keys: "dfs.*" counters plus the "dfs.write" / "dfs.fsync" /
-  // "dfs.read" trace spans. A default (null) ObsContext disables all of it.
+  // Registry keys: "dfs.*" counters/histograms, per-server
+  // "dfs.server.<i>.*" counters, plus the "dfs.write" / "dfs.fsync" /
+  // "dfs.read" trace spans (and async "dfs.server.<i>.{write,read}" spans
+  // for striped transfer legs). With a null ObsContext the cluster owns a
+  // private registry so the counters stay the bookkeeping source of truth
+  // (spans stay disabled).
   DfsCluster(Simulation* sim, const SimParams* params, ObsContext obs = {});
 
   Simulation* sim() const { return sim_; }
   const SimParams& params() const { return *params_; }
   const ObsContext& obs() const { return obs_; }
+  int num_servers() const { return num_servers_; }
 
   // Optional sink receiving one event per serviced write/delete.
   void set_trace(IoTraceSink* trace) { trace_ = trace; }
 
-  // Total bytes pushed to the backend since construction.
-  uint64_t bytes_written() const { return bytes_written_; }
-  uint64_t sync_ops() const { return sync_ops_; }
+  // Total bytes pushed to the backend / fsyncs serviced since
+  // construction. Reads of the obs counters (the single source of truth).
+  uint64_t bytes_written() const { return c_bytes_written_->value(); }
+  uint64_t sync_ops() const { return c_sync_ops_->value(); }
 
-  // When the backend pipe drains; applications use this to model write
-  // stalls (waiting for in-flight background flushes/compactions).
-  SimTime pipe_busy_until() const { return pipe_busy_until_; }
+  // When the backend drains (max over the per-server pipes); applications
+  // use this to model write stalls (waiting for in-flight background
+  // flushes/compactions).
+  SimTime pipe_busy_until() const;
+  // One server's pipe horizon (tests / diagnostics).
+  SimTime server_busy_until(int server) const { return pipe_busy_[server]; }
 
  private:
   friend class DfsClient;
@@ -67,20 +82,41 @@ class DfsCluster {
     std::string content;
   };
 
-  // Serializes an operation of the given duration through the backend.
-  // Foreground ops advance the simulation clock to their completion;
-  // background ops only extend the pipe's busy horizon.
-  // Returns the completion time.
+  // The server owning the given file byte offset.
+  int ServerForOffset(uint64_t offset) const;
+  // Adds the byte range's per-server stripe shares into `shares`
+  // (size num_servers_).
+  void AddStripeShares(uint64_t offset, uint64_t len,
+                       std::vector<uint64_t>* shares) const;
+
+  // Seed-model (num_servers == 1) path: serializes an operation of the
+  // given duration through the single backend pipe. Foreground ops advance
+  // the simulation clock to their completion; background ops only extend
+  // the pipe's busy horizon. Returns the completion time.
   SimTime AcquirePipe(SimTime duration, bool foreground);
+
+  // Striped (num_servers > 1) path: fans per-server transfer legs out in
+  // parallel. The client pays `client_base` once; each touched server's
+  // leg then occupies its own pipe for server_base + share/bytes_per_ns.
+  // Completion is the max leg completion (foreground ops advance the clock
+  // to it). `ideal_ns`, if non-null, receives the queue-free duration
+  // (client_base + longest leg) so callers can split wait from transfer.
+  // `is_write` routes the per-server byte counters and span names.
+  SimTime FanOut(const std::vector<uint64_t>& shares, SimTime client_base,
+                 SimTime server_base, double bytes_per_ns, bool foreground,
+                 bool is_write, SimTime* ideal_ns = nullptr);
 
   Simulation* sim_;
   const SimParams* params_;
+  int num_servers_;
+  uint64_t stripe_size_;
   std::map<std::string, DurableFile> files_;
-  SimTime pipe_busy_until_ = 0;
+  std::vector<SimTime> pipe_busy_;  // one horizon per server
   IoTraceSink* trace_ = nullptr;
-  uint64_t bytes_written_ = 0;
-  uint64_t sync_ops_ = 0;
 
+  // Owns the registry when constructed without one, so the obs counters
+  // can be the only bookkeeping (no shadow members).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
   ObsContext obs_;
   Counter* c_bytes_written_;
   Counter* c_sync_ops_;
@@ -94,6 +130,17 @@ class DfsCluster {
   Counter* c_direct_reads_;
   Counter* c_background_flush_bytes_;
   Histogram* h_fsync_ns_;
+  // Pipe-wait vs transfer split of each fsync's latency, so stall time is
+  // attributable in bench JSON (wait = completion - now - queue-free
+  // duration; xfer = the queue-free duration).
+  Histogram* h_fsync_wait_ns_;
+  Histogram* h_fsync_xfer_ns_;
+  // Per-server instruments ("dfs.server.<i>.*"), indexed by server.
+  std::vector<Counter*> c_server_bytes_written_;
+  std::vector<Counter*> c_server_bytes_read_;
+  std::vector<Counter*> c_server_ops_;
+  std::vector<std::string> server_write_span_;  // "dfs.server.<i>.write"
+  std::vector<std::string> server_read_span_;   // "dfs.server.<i>.read"
 };
 
 struct DfsOpenOptions {

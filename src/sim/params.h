@@ -74,6 +74,33 @@ struct DfsParams {
   uint64_t readahead_bytes = 4 * 1024 * 1024;
   // Background flusher interval for weak (buffered) mode durability.
   SimTime flush_interval = Seconds(1.0);
+
+  // ---- striped multi-server backend ----
+  // Object servers (OSDs) the dfs stripes file bytes across, each with its
+  // own bandwidth pipe (the paper's CephFS deployment runs three OSD
+  // nodes, §5.1). num_servers == 1 keeps the seed's single aggregated
+  // pipe: every cost below is bypassed and the calibrated
+  // sync_base_latency / remote_read_base arithmetic is reproduced exactly.
+  int num_servers = 3;
+  // Stripe unit: byte b of a file lives on server (b / stripe_size) %
+  // num_servers. Smaller than Ceph's 4 MiB object default so MiB-scale
+  // bulk writes actually spread across the servers.
+  uint64_t stripe_size = 64 * 1024;
+  // Striped fan-out cost split (num_servers > 1 only). The client pays
+  // stripe_client_base once per operation (VFS + striping map + dispatch);
+  // each touched server's leg then costs stripe_server_base plus the
+  // payload term on that server's own pipe, and the operation completes at
+  // the max leg completion. stripe_client_base + stripe_server_base is
+  // deliberately below sync_base_latency: the single-pipe base folds in
+  // the cross-OSD commit serialization that per-server pipes remove
+  // (DESIGN.md §10).
+  SimTime stripe_client_base = Micros(600.0);
+  SimTime stripe_server_base = Micros(1100.0);
+  // Read-side equivalents of the split (vs remote_read_base); one
+  // per-server base covers all stripes fetched from that server in one
+  // operation, which is what parallelizes bulk recovery reads (Fig 11).
+  SimTime stripe_client_read_base = Micros(600.0);
+  SimTime stripe_server_read_base = Millis(1.0);
 };
 
 // Local ext4 on a SATA SSD; only used as the recovery comparison point in
@@ -135,6 +162,20 @@ struct SimParams {
     return dfs.sync_base_latency +
            static_cast<SimTime>(static_cast<double>(bytes) /
                                 dfs.write_bytes_per_ns);
+  }
+  // One striped fsync leg: what a single server's pipe is occupied for
+  // when `bytes` of the sync land on it (num_servers > 1 only).
+  SimTime DfsStripeWriteLeg(uint64_t bytes) const {
+    return dfs.stripe_server_base +
+           static_cast<SimTime>(static_cast<double>(bytes) /
+                                dfs.write_bytes_per_ns);
+  }
+  // One striped read leg: all stripes fetched from one server in one
+  // operation share a single per-server base.
+  SimTime DfsStripeReadLeg(uint64_t bytes) const {
+    return dfs.stripe_server_read_base +
+           static_cast<SimTime>(static_cast<double>(bytes) /
+                                dfs.read_bytes_per_ns);
   }
   SimTime MemReadLatency(uint64_t bytes) const {
     return cpu.mem_read_base +

@@ -10,9 +10,21 @@
 namespace splitft {
 namespace {
 
+// Pinned to the seed-calibrated single-pipe model (num_servers = 1): these
+// tests assert the calibrated latency arithmetic. Striped behaviour is
+// covered by StripedDfsTest below.
 class DfsTest : public ::testing::Test {
  protected:
-  DfsTest() : cluster_(&sim_, &params_), client_(&cluster_, "app-server") {}
+  static SimParams SinglePipeParams() {
+    SimParams p;
+    p.dfs.num_servers = 1;
+    return p;
+  }
+
+  DfsTest()
+      : params_(SinglePipeParams()),
+        cluster_(&sim_, &params_),
+        client_(&cluster_, "app-server") {}
 
   Simulation sim_;
   SimParams params_;
@@ -258,6 +270,316 @@ TEST_F(DfsTest, TraceRecordsSyncSizesAndDeletes) {
   EXPECT_TRUE(trace.events()[0].sync);
   EXPECT_TRUE(trace.events()[1].is_delete);
   cluster_.set_trace(nullptr);
+}
+
+// ---- dirty-range trim/split bookkeeping ------------------------------------
+// The general-case overwrite path keeps dirty ranges non-overlapping; every
+// edge (head trim, tail split, straddling erase) must keep dirty_bytes equal
+// to the union of the ranges, or Sync() charges the wrong transfer size.
+
+TEST_F(DfsTest, OverwriteOverlappingHeadTrimsPreviousRange) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "aaaaaaaa").ok());   // [0,8)
+  ASSERT_TRUE((*file)->Write(4, "BBBBBBBB").ok());   // [4,12): trims to [0,4)
+  EXPECT_EQ((*file)->DirtyBytes(), 12u);
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto data = (*file)->Read(0, 12);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "aaaaBBBBBBBB");
+  EXPECT_EQ(cluster_.bytes_written(), 12u);
+}
+
+TEST_F(DfsTest, OverwriteOverlappingTailSplitsFollowingRange) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(4, "aaaaaaaa").ok());   // [4,12)
+  ASSERT_TRUE((*file)->Write(0, "BBBBBBBB").ok());   // [0,8): tail [8,12) kept
+  EXPECT_EQ((*file)->DirtyBytes(), 12u);
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto data = (*file)->Read(0, 12);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "BBBBBBBBaaaa");
+  EXPECT_EQ(cluster_.bytes_written(), 12u);
+}
+
+TEST_F(DfsTest, OverwriteContainedInDirtyRangeKeepsSize) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "aaaaaaaaaaaa").ok());  // [0,12)
+  ASSERT_TRUE((*file)->Write(4, "BBBB").ok());          // inside [0,12)
+  EXPECT_EQ((*file)->DirtyBytes(), 12u);
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto data = (*file)->Read(0, 12);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "aaaaBBBBaaaa");
+  EXPECT_EQ(cluster_.bytes_written(), 12u);
+}
+
+TEST_F(DfsTest, OverwriteStraddlingMultipleRangesCoalesces) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "aaaa").ok());       // [0,4)
+  ASSERT_TRUE((*file)->Write(8, "cccc").ok());       // [8,12)
+  EXPECT_EQ((*file)->DirtyBytes(), 8u);
+  ASSERT_TRUE((*file)->Write(2, "BBBBBBBB").ok());   // [2,10): eats into both
+  EXPECT_EQ((*file)->DirtyBytes(), 12u);
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto data = (*file)->Read(0, 12);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "aaBBBBBBBBcc");
+  EXPECT_EQ(cluster_.bytes_written(), 12u);
+}
+
+TEST_F(DfsTest, OverwriteExactlyCoveringRangeReplacesIt) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(4, "aaaa").ok());   // [4,8)
+  ASSERT_TRUE((*file)->Write(4, "BBBB").ok());   // same extent
+  EXPECT_EQ((*file)->DirtyBytes(), 4u);
+  ASSERT_TRUE((*file)->Write(0, "xxxxxxxxxxxx").ok());  // [0,12) swallows it
+  EXPECT_EQ((*file)->DirtyBytes(), 12u);
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto data = (*file)->Read(0, 12);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "xxxxxxxxxxxx");
+  EXPECT_EQ(cluster_.bytes_written(), 12u);
+}
+
+TEST_F(DfsTest, AppendBetweenRangesBridgesWithoutDoubleCount) {
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "aaaa").ok());   // [0,4)
+  ASSERT_TRUE((*file)->Write(6, "cc").ok());     // [6,8)
+  ASSERT_TRUE((*file)->Write(4, "BBBB").ok());   // [4,8): appends to [0,4),
+                                                 // swallows [6,8)
+  EXPECT_EQ((*file)->DirtyBytes(), 8u);
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto data = (*file)->Read(0, 8);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "aaaaBBBB");
+  EXPECT_EQ(cluster_.bytes_written(), 8u);
+}
+
+// ---- striped multi-server backend ------------------------------------------
+
+class StripedDfsTest : public ::testing::Test {
+ protected:
+  static SimParams StripedParams(int servers) {
+    SimParams p;
+    p.dfs.num_servers = servers;
+    return p;
+  }
+
+  explicit StripedDfsTest(int servers = 3)
+      : params_(StripedParams(servers)),
+        obs_{&metrics_, nullptr},
+        cluster_(&sim_, &params_, obs_),
+        client_(&cluster_, "app-server") {}
+
+  Simulation sim_;
+  SimParams params_;
+  MetricsRegistry metrics_;
+  ObsContext obs_;
+  DfsCluster cluster_;
+  DfsClient client_;
+};
+
+TEST_F(StripedDfsTest, SinglePipeReductionMatchesSeedArithmetic) {
+  // num_servers == 1 must reproduce the seed's calibrated latency exactly.
+  SimParams seed = StripedParams(1);
+  Simulation sim;
+  DfsCluster cluster(&sim, &seed);
+  DfsClient client(&cluster, "app");
+  auto file = client.Open("/f");
+  ASSERT_TRUE(file.ok());
+  std::string payload(1 << 20, 'x');
+  ASSERT_TRUE((*file)->Append(payload).ok());
+  SimTime before = sim.Now();
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ(sim.Now() - before, seed.DfsSyncWriteLatency(payload.size()));
+}
+
+TEST_F(StripedDfsTest, LargeFsyncFansOutAtLeastTwiceAsFast) {
+  // The acceptance point: a 4 MiB fsync with 3 servers vs the seed pipe.
+  const uint64_t kBytes = 4ull << 20;
+  SimTime striped;
+  {
+    auto file = client_.Open("/striped");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(kBytes, 'x')).ok());
+    SimTime before = sim_.Now();
+    ASSERT_TRUE((*file)->Sync().ok());
+    striped = sim_.Now() - before;
+  }
+  SimTime single = params_.DfsSyncWriteLatency(kBytes);
+  EXPECT_GE(single, 2 * striped)
+      << "striped=" << striped << "ns single=" << single << "ns";
+}
+
+TEST_F(StripedDfsTest, FsyncSplitsBytesAcrossAllServerCounters) {
+  const uint64_t kBytes = 4ull << 20;  // 64 stripes over 3 servers
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(kBytes, 'x')).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  uint64_t total = 0;
+  for (int s = 0; s < cluster_.num_servers(); ++s) {
+    uint64_t bytes = metrics_.CounterValue("dfs.server." + std::to_string(s) +
+                                           ".bytes_written");
+    EXPECT_GT(bytes, 0u) << "server " << s << " untouched";
+    total += bytes;
+  }
+  EXPECT_EQ(total, kBytes);
+  EXPECT_EQ(cluster_.bytes_written(), kBytes);
+}
+
+TEST_F(StripedDfsTest, BackgroundFlushOccupiesOnlyTouchedPipes) {
+  // A file smaller than one stripe maps entirely to server 0; a background
+  // flush of it must leave the other pipes idle.
+  auto file = client_.Open("/small");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(1024, 'x')).ok());
+  ASSERT_TRUE((*file)->Sync(/*foreground=*/false).ok());
+  EXPECT_GT(cluster_.server_busy_until(0), sim_.Now());
+  EXPECT_EQ(cluster_.server_busy_until(1), 0);
+  EXPECT_EQ(cluster_.server_busy_until(2), 0);
+}
+
+TEST_F(StripedDfsTest, ForegroundSyncQueuesOnlyOnSharedPipes) {
+  // Background write covering only server 0's stripes; a foreground sync of
+  // stripes on the other servers does not stall behind it.
+  auto bg = client_.Open("/bg");
+  ASSERT_TRUE(bg.ok());
+  ASSERT_TRUE((*bg)->Append(std::string(params_.dfs.stripe_size, 'x')).ok());
+  ASSERT_TRUE((*bg)->Sync(/*foreground=*/false).ok());
+  SimTime bg_done = cluster_.server_busy_until(0);
+  ASSERT_GT(bg_done, sim_.Now());
+
+  // Dirty only the second stripe (server 1) of another file.
+  auto fg = client_.Open("/fg");
+  ASSERT_TRUE(fg.ok());
+  ASSERT_TRUE((*fg)->Write(params_.dfs.stripe_size, "tiny").ok());
+  SimTime before = sim_.Now();
+  ASSERT_TRUE((*fg)->Sync().ok());
+  SimTime elapsed = sim_.Now() - before;
+  EXPECT_LT(sim_.Now(), bg_done);  // finished while server 0 still busy
+  EXPECT_EQ(elapsed, params_.dfs.stripe_client_base +
+                         params_.DfsStripeWriteLeg(4));
+}
+
+TEST_F(StripedDfsTest, CrashConsistencyHoldsWithStriping) {
+  auto file = client_.Open("/wal");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable|").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("volatile").ok());
+  client_.SimulateCrash();
+  auto reopened = client_.Open("/wal");
+  ASSERT_TRUE(reopened.ok());
+  auto data = (*reopened)->Read(0, 100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "durable|");  // dirty data lost, fsynced prefix kept
+}
+
+TEST_F(StripedDfsTest, FsyncWaitAndXferHistogramsSplitTheLatency) {
+  // First fsync is queue-free: wait == 0, xfer == full latency. A second
+  // fsync issued behind a background flush records the stall as wait.
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(1 << 20, 'x')).ok());
+  SimTime before = sim_.Now();
+  ASSERT_TRUE((*file)->Sync().ok());
+  SimTime first = sim_.Now() - before;
+  const Histogram* wait = metrics_.FindHistogram("dfs.client.fsync_wait_ns");
+  const Histogram* xfer = metrics_.FindHistogram("dfs.client.fsync_xfer_ns");
+  ASSERT_NE(wait, nullptr);
+  ASSERT_NE(xfer, nullptr);
+  EXPECT_EQ(wait->max(), 0);
+  EXPECT_EQ(xfer->max(), first);
+
+  auto bg = client_.Open("/bg");
+  ASSERT_TRUE(bg.ok());
+  ASSERT_TRUE((*bg)->Append(std::string(32 << 20, 'x')).ok());
+  ASSERT_TRUE((*bg)->Sync(/*foreground=*/false).ok());
+  ASSERT_TRUE((*file)->Append(std::string(1 << 20, 'y')).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_GT(wait->max(), 0);  // the stall behind the flush is attributed
+  // Three syncs recorded: the first fsync, the background bulk sync, and
+  // the queued fsync (background syncs are fsyncs too, just non-blocking).
+  EXPECT_EQ(wait->count(), 3u);
+  EXPECT_EQ(xfer->count(), 3u);
+}
+
+TEST_F(StripedDfsTest, DirectIoReadFansOut) {
+  const uint64_t kBytes = 4ull << 20;
+  {
+    auto file = client_.Open("/data");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(kBytes, 'z')).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  DfsOpenOptions opts;
+  opts.direct_io = true;
+  auto file = client_.Open("/data", opts);
+  ASSERT_TRUE(file.ok());
+  SimTime before = sim_.Now();
+  auto data = (*file)->Read(0, kBytes);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), kBytes);
+  SimTime striped = sim_.Now() - before;
+  SimTime single =
+      params_.dfs.remote_read_base +
+      static_cast<SimTime>(static_cast<double>(kBytes) /
+                           params_.dfs.read_bytes_per_ns);
+  EXPECT_LT(2 * striped, single);
+  // Per-server read counters cover every byte exactly once.
+  uint64_t total = 0;
+  for (int s = 0; s < cluster_.num_servers(); ++s) {
+    total += metrics_.CounterValue("dfs.server." + std::to_string(s) +
+                                   ".bytes_read");
+  }
+  EXPECT_EQ(total, kBytes);
+}
+
+TEST_F(StripedDfsTest, CacheMissReadBatchesWindowsIntoOneFanOut) {
+  const uint64_t kBytes = 8ull << 20;  // two readahead windows
+  {
+    auto file = client_.Open("/log");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(kBytes, 'z')).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  client_.SimulateCrash();  // drop the page cache
+  auto file = client_.Open("/log");
+  ASSERT_TRUE(file.ok());
+  SimTime before = sim_.Now();
+  ASSERT_TRUE((*file)->Read(0, kBytes).ok());
+  SimTime striped = sim_.Now() - before;
+  // Both missing windows fetch in one fan-out: the per-server read base is
+  // paid once, and the 8 MiB spreads over three pipes.
+  SimTime serial_single =
+      2 * (params_.dfs.remote_read_base +
+           static_cast<SimTime>(static_cast<double>(kBytes / 2) /
+                                params_.dfs.read_bytes_per_ns));
+  EXPECT_LT(2 * striped, serial_single);
+  // Subsequent read is a cache hit and stays cheap.
+  before = sim_.Now();
+  ASSERT_TRUE((*file)->Read(0, 4096).ok());
+  EXPECT_LT(sim_.Now() - before, Micros(10));
+}
+
+TEST_F(StripedDfsTest, StripeMappingIsDeterministicRoundRobin) {
+  // 4 MiB at 64 KiB stripes over 3 servers: 64 stripes → 22/21/21 split.
+  const uint64_t kBytes = 4ull << 20;
+  auto file = client_.Open("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(kBytes, 'x')).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  uint64_t stripe = params_.dfs.stripe_size;
+  EXPECT_EQ(metrics_.CounterValue("dfs.server.0.bytes_written"), 22 * stripe);
+  EXPECT_EQ(metrics_.CounterValue("dfs.server.1.bytes_written"), 21 * stripe);
+  EXPECT_EQ(metrics_.CounterValue("dfs.server.2.bytes_written"), 21 * stripe);
 }
 
 // Property sweep: the modeled sync-write throughput must grow monotonically

@@ -108,6 +108,27 @@ TEST_F(SplitFsTest, SyncOnDfsFilePaysDfsCost) {
   EXPECT_GT(sim_.Now() - before, Millis(1));
 }
 
+TEST_F(SplitFsTest, ReadBackgroundChargesPipeWithoutBlockingCaller) {
+  auto fs = MakeFs();
+  {
+    auto file = fs->Open("/sstable", SplitOpenOptions{});
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(1 << 20, 's')).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  dfs_.SimulateCrash();  // drop the page cache so the read goes remote
+
+  auto file = fs->Open("/sstable", SplitOpenOptions{});
+  ASSERT_TRUE(file.ok());
+  SimTime before = sim_.Now();
+  SimTime busy_before = cluster_.pipe_busy_until();
+  auto data = (*file)->ReadBackground(0, 1 << 20);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), static_cast<size_t>(1 << 20));
+  EXPECT_EQ(sim_.Now(), before);  // compaction input read did not block
+  EXPECT_GT(cluster_.pipe_busy_until(), busy_before);  // but occupied pipes
+}
+
 TEST_F(SplitFsTest, CrashRecoveryAcrossBothLayers) {
   {
     auto fs = MakeFs();

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Diffs two BENCH_<name>.json files (schema v1) series by series.
+
+Usage: bench_compare.py [options] <baseline.json> <candidate.json>
+
+Options:
+  --threshold PCT   Relative p50/p95 delta (in percent) above which a series
+                    counts as a regression/improvement. Default: 5.
+  --fail-on-regress Exit 1 when any series regresses past the threshold
+                    (default: report only, exit 0 — the CI step is
+                    advisory while baselines season).
+  --self-test       Run the built-in unit checks and exit.
+
+For every series present in both files the p50 and p95 deltas are printed;
+series only in one file are listed as added/removed (never fatal — benches
+grow series across PRs). "Worse" is direction-aware: for time-like units
+(ns/us/ms/s) higher is worse, for throughput-like units (KB/s, KOps/s, x)
+lower is worse.
+
+Exit codes: 0 ok / within threshold, 1 regression (with --fail-on-regress),
+2 usage or unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+# Units where a higher value is better (throughputs, speedups). Everything
+# else — the time-like units — treats higher as worse.
+HIGHER_IS_BETTER = {"KB/s", "MB/s", "KOps/s", "ops/s", "x"}
+
+QUANTILES = ("p50", "p95")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("ERROR: cannot read %s: %s" % (path, e), file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema_version") != 1:
+        print("ERROR: %s: schema_version != 1" % path, file=sys.stderr)
+        sys.exit(2)
+    return {s["name"]: s for s in doc.get("series", []) if s.get("name")}
+
+
+def rel_delta(base, cand):
+    """Relative change in percent; None when the baseline is ~zero."""
+    if abs(base) < 1e-12:
+        return None if abs(cand) < 1e-12 else float("inf")
+    return (cand - base) / abs(base) * 100.0
+
+
+def compare(baseline, candidate, threshold_pct):
+    """Returns (rows, regressions, added, removed).
+
+    rows: (name, quantile, base, cand, delta_pct, flag) for shared series;
+    flag is "" / "improved" / "REGRESSED" past the threshold.
+    """
+    rows, regressions = [], []
+    shared = sorted(set(baseline) & set(candidate))
+    for name in shared:
+        b, c = baseline[name], candidate[name]
+        higher_better = b.get("unit") in HIGHER_IS_BETTER
+        for q in QUANTILES:
+            if q not in b or q not in c:
+                continue
+            delta = rel_delta(float(b[q]), float(c[q]))
+            flag = ""
+            if delta is not None and abs(delta) > threshold_pct:
+                worse = delta < 0 if higher_better else delta > 0
+                flag = "REGRESSED" if worse else "improved"
+                if worse:
+                    regressions.append((name, q, delta))
+            rows.append((name, q, float(b[q]), float(c[q]), delta, flag))
+    added = sorted(set(candidate) - set(baseline))
+    removed = sorted(set(baseline) - set(candidate))
+    return rows, regressions, added, removed
+
+
+def fmt_delta(delta):
+    if delta is None:
+        return "0.0%"
+    if delta == float("inf"):
+        return "+inf%"
+    return "%+.1f%%" % delta
+
+
+def self_test():
+    base = {
+        "a": {"name": "a", "unit": "ns", "p50": 100.0, "p95": 200.0},
+        "t": {"name": "t", "unit": "KOps/s", "p50": 50.0, "p95": 50.0},
+        "gone": {"name": "gone", "unit": "ns", "p50": 1.0, "p95": 1.0},
+        "z": {"name": "z", "unit": "ns", "p50": 0.0, "p95": 0.0},
+    }
+    cand = {
+        "a": {"name": "a", "unit": "ns", "p50": 120.0, "p95": 190.0},
+        "t": {"name": "t", "unit": "KOps/s", "p50": 40.0, "p95": 40.0},
+        "new": {"name": "new", "unit": "ns", "p50": 1.0, "p95": 1.0},
+        "z": {"name": "z", "unit": "ns", "p50": 0.0, "p95": 0.0},
+    }
+    rows, regressions, added, removed = compare(base, cand, 5.0)
+    # a.p50: +20% on a time unit → regression; a.p95: -5% → within threshold.
+    # t: -20% on a throughput unit → regression. z: 0/0 → no delta.
+    assert ("a", "p50", 20.0) in [(n, q, round(d)) for n, q, d in regressions]
+    assert any(n == "t" and q == "p50" for n, q, _ in regressions)
+    assert not any(n == "a" and q == "p95" for n, q, _ in regressions)
+    assert added == ["new"] and removed == ["gone"]
+    zrows = [r for r in rows if r[0] == "z"]
+    assert all(r[4] is None and r[5] == "" for r in zrows)
+    # Identical inputs → no regressions.
+    _, none, _, _ = compare(base, base, 5.0)
+    assert none == []
+    print("bench_compare self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two schema-v1 BENCH_*.json files.")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("candidate", nargs="?")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="relative delta threshold in percent")
+    parser.add_argument("--fail-on-regress", action="store_true")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    rows, regressions, added, removed = compare(
+        baseline, candidate, args.threshold)
+
+    printed = set()
+    for name, q, b, c, delta, flag in rows:
+        if not flag and name in printed:
+            continue
+        if flag or name not in printed:
+            if name not in printed:
+                printed.add(name)
+        if flag:
+            print("  %-50s %s %12.3f -> %-12.3f %-8s %s"
+                  % (name, q, b, c, fmt_delta(delta), flag))
+    flagged = {r[0] for r in rows if r[5]}
+    unchanged = len({r[0] for r in rows}) - len(flagged)
+    print("compared %d shared series: %d within ±%.1f%%, %d flagged"
+          % (len({r[0] for r in rows}), unchanged, args.threshold,
+             len(flagged)))
+    for name in added:
+        print("  added:   %s" % name)
+    for name in removed:
+        print("  removed: %s" % name)
+
+    if regressions:
+        print("%d regression(s) past %.1f%%:" % (len(regressions),
+                                                 args.threshold))
+        for name, q, delta in regressions:
+            print("  %s %s %s" % (name, q, fmt_delta(delta)))
+        if args.fail_on_regress:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
