@@ -57,9 +57,9 @@ CatchupCost Run(bool diff_mode, double stale_fraction) {
                                            true);
         }
       }
-      (void)(*file)->Append(chunk);
+      CHECK_OK((*file)->Append(chunk));
     }
-    (void)(*file)->Sync();  // commit the window before the crash
+    CHECK_OK((*file)->Sync());  // commit the window before the crash
     testbed.CrashServer(server.get());
   }
   testbed.sim()->RunUntilIdle();

@@ -63,9 +63,9 @@ double RunPlacement(Placement placement) {
     bool is_large = rng.Bernoulli(kLargeFraction);
     const std::string& payload = is_large ? large : small;
     uint64_t offset = rng.Uniform(kFileBytes - payload.size());
-    (void)(*file)->WriteAt(offset, payload);
+    CHECK_OK((*file)->WriteAt(offset, payload));
     if (placement == Placement::kDfsSync) {
-      (void)(*file)->Sync();  // durability per write, like strong DFT
+      CHECK_OK((*file)->Sync());  // durability per write, like strong DFT
     }
   }
   SimTime elapsed = testbed.sim()->Now() - t0;

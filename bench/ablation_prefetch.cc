@@ -26,9 +26,9 @@ double ConsumeLog(uint64_t log_bytes, uint64_t read_size, bool prefetch) {
     }
     std::string chunk(1 << 20, 'x');
     for (uint64_t i = 0; i < log_bytes / chunk.size(); ++i) {
-      (void)(*file)->Append(chunk);
+      CHECK_OK((*file)->Append(chunk));
     }
-    (void)(*file)->Sync();  // commit the window before the crash
+    CHECK_OK((*file)->Sync());  // commit the window before the crash
     testbed.CrashServer(server.get());
   }
   testbed.sim()->RunUntilIdle();
@@ -44,7 +44,7 @@ double ConsumeLog(uint64_t log_bytes, uint64_t read_size, bool prefetch) {
   }
   // The application replays the log sequentially in read_size chunks.
   for (uint64_t off = 0; off < log_bytes; off += read_size) {
-    (void)(*file)->Read(off, read_size);
+    CHECK_OK((*file)->Read(off, read_size));
   }
   return static_cast<double>(testbed.sim()->Now() - t0) / 1e6;  // ms
 }

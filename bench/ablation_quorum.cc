@@ -36,19 +36,19 @@ void RunBudget(bench::Reporter* reporter, int f) {
   auto file = server->fs->Open("/lat-probe", opts);
   SimTime append_lat = 0;
   if (file.ok()) {
-    (void)(*file)->Append("warmup");
-    (void)(*file)->Sync();
+    CHECK_OK((*file)->Append("warmup"));
+    CHECK_OK((*file)->Sync());
     SimTime t0 = testbed.sim()->Now();
     // Append rides the in-flight window; the committed latency of a single
     // write is append + drain.
-    (void)(*file)->Append(std::string(128, 'x'));
-    (void)(*file)->Sync();
+    CHECK_OK((*file)->Append(std::string(128, 'x')));
+    CHECK_OK((*file)->Sync());
     append_lat = testbed.sim()->Now() - t0;
   }
 
   // Application throughput.
   uint64_t records = reporter->Iters(20000, 1000);
-  (void)Testbed::LoadRecords(store->get(), records);
+  CHECK_OK(Testbed::LoadRecords(store->get(), records));
   YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, records, 42);
   HarnessOptions harness_options;
   harness_options.num_clients = 12;

@@ -32,11 +32,11 @@ int main() {
     if (!file.ok()) {
       return 1;
     }
-    (void)(*file)->Append("warmup");
+    CHECK_OK((*file)->Append("warmup"));
     const int kOps = static_cast<int>(reporter.Iters(5000, 500));
     SimTime t0 = testbed.sim()->Now();
     for (int i = 0; i < kOps; ++i) {
-      (void)(*file)->Append(std::string(128, 'x'));
+      CHECK_OK((*file)->Append(std::string(128, 'x')));
     }
     double two_wr_us = static_cast<double>(testbed.sim()->Now() - t0) /
                        kOps / 1e3;

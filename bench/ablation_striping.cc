@@ -41,9 +41,9 @@ Point RunWrites(int servers, uint64_t stripe, uint64_t block, int blocks) {
   std::string payload(block, 'x');
   SimTime t0 = testbed.sim()->Now();
   for (int i = 0; i < blocks; ++i) {
-    (void)(*file)->Append(payload);
+    CHECK_OK((*file)->Append(payload));
     SimTime s0 = testbed.sim()->Now();
-    (void)(*file)->Sync();
+    CHECK_OK((*file)->Sync());
     p.fsync_ns.Add(testbed.sim()->Now() - s0);
   }
   SimTime elapsed = testbed.sim()->Now() - t0;
@@ -68,9 +68,9 @@ SimTime RunRecoveryRead(int servers, uint64_t stripe, uint64_t bytes) {
     }
     std::string chunk(1 << 20, 'x');
     for (uint64_t i = 0; i < bytes / chunk.size(); ++i) {
-      (void)(*file)->Append(chunk);
+      CHECK_OK((*file)->Append(chunk));
     }
-    (void)(*file)->Sync(false);
+    CHECK_OK((*file)->Sync(false));
   }
   testbed.sim()->RunUntil(testbed.sim()->Now() + Seconds(2));
   client.SimulateCrash();
@@ -81,7 +81,7 @@ SimTime RunRecoveryRead(int servers, uint64_t stripe, uint64_t bytes) {
     return 0;
   }
   SimTime t0 = testbed.sim()->Now();
-  (void)(*file)->Read(0, bytes);
+  CHECK_OK((*file)->Read(0, bytes));
   return testbed.sim()->Now() - t0;
 }
 

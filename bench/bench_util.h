@@ -119,7 +119,7 @@ inline double AttributedFraction(const std::map<std::string, SpanStats>& window,
   }
   SimTime self = 0;
   for (const auto& [name, stats] : window) {
-    (void)name;
+    static_cast<void>(name);  // structured binding: only stats is used
     if (!stats.async) {
       self += stats.self;
     }

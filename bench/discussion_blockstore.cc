@@ -26,13 +26,13 @@ double LocalFsSeries(Testbed* testbed, uint64_t size, bool sync_each) {
   if (!fs.ok()) {
     return 0;
   }
-  (void)(*fs)->Create("wal");
+  CHECK_OK((*fs)->Create("wal"));
   std::string payload(size, 'x');
   SimTime t0 = testbed->sim()->Now();
   for (int i = 0; i < kOps; ++i) {
-    (void)(*fs)->Append("wal", payload);
+    CHECK_OK((*fs)->Append("wal", payload));
     if (sync_each) {
-      (void)(*fs)->Fsync("wal");
+      CHECK_OK((*fs)->Fsync("wal"));
     }
   }
   return static_cast<double>(testbed->sim()->Now() - t0) / kOps / 1e3;
@@ -52,9 +52,9 @@ double NclSeries(Testbed* testbed, uint64_t size) {
   std::string payload(size, 'x');
   SimTime t0 = testbed->sim()->Now();
   for (int i = 0; i < kOps; ++i) {
-    (void)(*file)->Append(payload);
+    CHECK_OK((*file)->Append(payload));
   }
-  (void)(*file)->Sync();  // drain the in-flight window: committed latency
+  CHECK_OK((*file)->Sync());  // drain the in-flight window: committed latency
   return static_cast<double>(testbed->sim()->Now() - t0) / kOps / 1e3;
 }
 

@@ -45,7 +45,7 @@ Point Run(bench::Reporter* reporter, DurabilityMode mode) {
     SimTime t0 = testbed.sim()->Now();
     for (int i = 0; i < kOps; ++i) {
       std::string key = "key-" + std::to_string(rng.Uniform(8192));
-      (void)(*store)->Put(key, std::string(100, 'v'));
+      CHECK_OK((*store)->Put(key, std::string(100, 'v')));
     }
     SimTime elapsed = testbed.sim()->Now() - t0;
     point.tput_kops = static_cast<double>(kOps) /

@@ -67,7 +67,7 @@ double RunCell(bench::Reporter* reporter, App app, DurabilityMode mode,
       break;
     }
   }
-  (void)Testbed::LoadRecords(storage.get(), records);
+  CHECK_OK(Testbed::LoadRecords(storage.get(), records));
 
   YcsbWorkload workload(kind, records, 42);
   HarnessOptions harness_options;

@@ -78,9 +78,9 @@ void SectionA(bench::Reporter* reporter) {
         // Populate with 1 MiB appends (content, not timing, matters here).
         std::string chunk(1 << 20, 'x');
         for (uint64_t i = 0; i < kReadFileBytes / chunk.size(); ++i) {
-          (void)(*file)->Append(chunk);
+          CHECK_OK((*file)->Append(chunk));
         }
-        (void)(*file)->Sync();  // commit the window before the crash
+        CHECK_OK((*file)->Sync());  // commit the window before the crash
         testbed.CrashServer(server.get());
       }
       testbed.sim()->RunUntilIdle();
@@ -95,7 +95,7 @@ void SectionA(bench::Reporter* reporter) {
       }
       double us = SeqReadLatency(
           &testbed, kReadFileBytes, size,
-          [&](uint64_t off, uint64_t len) { (void)(*file)->Read(off, len); });
+          [&](uint64_t off, uint64_t len) { CHECK_OK((*file)->Read(off, len)); });
       (prefetch ? ncl_us : ncl_nop_us) = us;
     }
 
@@ -108,9 +108,9 @@ void SectionA(bench::Reporter* reporter) {
         auto file = client.Open("/log");
         std::string chunk(1 << 20, 'x');
         for (uint64_t i = 0; i < kReadFileBytes / chunk.size(); ++i) {
-          (void)(*file)->Append(chunk);
+          CHECK_OK((*file)->Append(chunk));
         }
-        (void)(*file)->Sync(false);
+        CHECK_OK((*file)->Sync(false));
       }
       // Let the background flush drain before the recovery reads begin.
       testbed.sim()->RunUntil(testbed.sim()->Now() + Seconds(2));
@@ -124,7 +124,7 @@ void SectionA(bench::Reporter* reporter) {
       }
       double us = SeqReadLatency(
           &testbed, kReadFileBytes, size,
-          [&](uint64_t off, uint64_t len) { (void)(*file)->Read(off, len); });
+          [&](uint64_t off, uint64_t len) { CHECK_OK((*file)->Read(off, len)); });
       (direct ? dfs_direct_us : dfs_us) = us;
     }
 
@@ -160,9 +160,9 @@ void SectionA(bench::Reporter* reporter) {
         auto file = client.Open("/log");
         std::string chunk(1 << 20, 'x');
         for (uint64_t i = 0; i < kReadFileBytes / chunk.size(); ++i) {
-          (void)(*file)->Append(chunk);
+          CHECK_OK((*file)->Append(chunk));
         }
-        (void)(*file)->Sync(false);
+        CHECK_OK((*file)->Sync(false));
       }
       testbed.sim()->RunUntil(testbed.sim()->Now() + Seconds(2));
       client.SimulateCrash();  // cold page cache, like a fresh server
@@ -174,7 +174,7 @@ void SectionA(bench::Reporter* reporter) {
         continue;
       }
       SimTime t0 = testbed.sim()->Now();
-      (void)(*file)->Read(0, kReadFileBytes);
+      CHECK_OK((*file)->Read(0, kReadFileBytes));
       lat[idx++] = testbed.sim()->Now() - t0;
     }
     double speedup = lat[1] > 0 ? static_cast<double>(lat[0]) /
@@ -292,7 +292,7 @@ void SectionB(bench::Reporter* reporter) {
         return true;
       },
       [&](AppServer*) {
-        (void)Testbed::LoadRecords(current.get(), kLogBytes / 140);
+        CHECK_OK(Testbed::LoadRecords(current.get(), kLogBytes / 140));
       }});
   apps.push_back(AppRow{
       "redis",
@@ -309,7 +309,7 @@ void SectionB(bench::Reporter* reporter) {
         return true;
       },
       [&](AppServer*) {
-        (void)Testbed::LoadRecords(current.get(), kLogBytes / 145);
+        CHECK_OK(Testbed::LoadRecords(current.get(), kLogBytes / 145));
       }});
   apps.push_back(AppRow{
       "sqlite",
@@ -325,7 +325,7 @@ void SectionB(bench::Reporter* reporter) {
         return true;
       },
       [&](AppServer*) {
-        (void)Testbed::LoadRecords(current.get(), kLogBytes / 160);
+        CHECK_OK(Testbed::LoadRecords(current.get(), kLogBytes / 160));
       }});
 
   for (const AppRow& row : apps) {

@@ -32,7 +32,7 @@ int main() {
     std::fprintf(stderr, "open failed\n");
     return 1;
   }
-  (void)Testbed::LoadRecords(store->get(), reporter.Iters(20000, 2000));
+  CHECK_OK(Testbed::LoadRecords(store->get(), reporter.Iters(20000, 2000)));
 
   // Schedule the failure script in virtual time, relative to the start of
   // the measured run: two simultaneous crashes at +2s, one more at +5s.

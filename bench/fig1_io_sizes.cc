@@ -102,7 +102,7 @@ int main() {
     options.memtable_bytes = 1 << 20;
     auto store = testbed.StartKvStore(server.get(), options);
     if (store.ok()) {
-      (void)Testbed::LoadRecords(store->get(), reporter.Iters(40000, 2000));
+      CHECK_OK(Testbed::LoadRecords(store->get(), reporter.Iters(40000, 2000)));
     }
     AppSection(&reporter, "a: RocksDB-mini", "kv", trace, {"/wal-"});
     testbed.dfs_cluster()->set_trace(nullptr);
@@ -119,7 +119,7 @@ int main() {
     options.aof_rewrite_bytes = 1 << 20;
     auto redis = testbed.StartRedis(server.get(), options);
     if (redis.ok()) {
-      (void)Testbed::LoadRecords(redis->get(), reporter.Iters(30000, 1500));
+      CHECK_OK(Testbed::LoadRecords(redis->get(), reporter.Iters(30000, 1500)));
     }
     AppSection(&reporter, "b: Redis-mini", "redis", trace, {"/aof-"});
     testbed.dfs_cluster()->set_trace(nullptr);
@@ -135,7 +135,7 @@ int main() {
     options.wal_capacity = 512 << 10;
     auto db = testbed.StartSqlite(server.get(), options);
     if (db.ok()) {
-      (void)Testbed::LoadRecords(db->get(), reporter.Iters(5000, 500));
+      CHECK_OK(Testbed::LoadRecords(db->get(), reporter.Iters(5000, 500)));
     }
     AppSection(&reporter, "c: SQLite-mini", "sqlite", trace, {"/db-wal"});
     testbed.dfs_cluster()->set_trace(nullptr);
@@ -158,8 +158,8 @@ int main() {
       SimTime t0 = testbed.sim()->Now();
       std::string payload(block, 'x');
       for (int i = 0; i < blocks; ++i) {
-        (void)(*file)->Append(payload);
-        (void)(*file)->Sync();
+        CHECK_OK((*file)->Append(payload));
+        CHECK_OK((*file)->Sync());
       }
       SimTime elapsed = testbed.sim()->Now() - t0;
       double bytes = static_cast<double>(block) * blocks;
@@ -196,9 +196,9 @@ int main() {
       int blocks = block >= (8u << 20) ? 4 : 16;
       std::string payload(block, 'x');
       for (int i = 0; i < blocks; ++i) {
-        (void)(*file)->Append(payload);
+        CHECK_OK((*file)->Append(payload));
         SimTime t0 = testbed.sim()->Now();
-        (void)(*file)->Sync();
+        CHECK_OK((*file)->Sync());
         fsync_ns.Add(testbed.sim()->Now() - t0);
       }
       lat[idx++] = static_cast<SimTime>(fsync_ns.P50());

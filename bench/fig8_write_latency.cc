@@ -69,9 +69,9 @@ SeriesResult DfsSeries(Testbed* testbed, uint64_t size, uint64_t max_ops,
   uint64_t ops = std::min(max_ops, kFileBytes / size);
   std::string payload(size, 'x');
   return TimedLoop(testbed, ops, [&] {
-    (void)(*file)->Append(payload);
+    CHECK_OK((*file)->Append(payload));
     if (sync_each) {
-      (void)(*file)->Sync();
+      CHECK_OK((*file)->Sync());
     }
   });
 }
@@ -95,8 +95,8 @@ SeriesResult NclSeries(Testbed* testbed, uint64_t size, uint64_t max_ops,
   }
   std::string payload(size, 'x');
   return TimedLoop(
-      testbed, ops, [&] { (void)(*file)->Append(payload); },
-      [&] { (void)(*file)->Sync(); });
+      testbed, ops, [&] { CHECK_OK((*file)->Append(payload)); },
+      [&] { CHECK_OK((*file)->Sync()); });
 }
 
 void AddSeries(bench::Reporter* reporter, const std::string& name,

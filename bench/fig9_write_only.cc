@@ -63,7 +63,7 @@ HarnessResult RunPoint(App app, DurabilityMode mode, int clients,
       break;
     }
   }
-  (void)Testbed::LoadRecords(storage.get(), records);
+  CHECK_OK(Testbed::LoadRecords(storage.get(), records));
 
   YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, records, 42);
   HarnessOptions harness_options;

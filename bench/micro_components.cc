@@ -118,9 +118,9 @@ void BM_ZnodeStoreOps(benchmark::State& state) {
   uint64_t i = 0;
   for (auto _ : state) {
     std::string path = "/peers/p" + std::to_string(i % 64);
-    (void)store.Create(path, "x");
+    CHECK_OK(store.Create(path, "x"));
     benchmark::DoNotOptimize(store.Get(path));
-    (void)store.Delete(path);
+    CHECK_OK(store.Delete(path));
     i++;
   }
 }

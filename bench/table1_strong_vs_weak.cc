@@ -28,7 +28,7 @@ HarnessResult RunMode(bench::Reporter* reporter, DurabilityMode mode,
     return {};
   }
   uint64_t records = reporter->Iters(20000, 1000);
-  (void)Testbed::LoadRecords(store->get(), records);
+  CHECK_OK(Testbed::LoadRecords(store->get(), records));
 
   YcsbWorkload workload(YcsbWorkloadKind::kWriteOnly, records, 42);
   HarnessOptions harness_options;

@@ -106,7 +106,7 @@ int main() {
     options.memtable_bytes = 256 << 10;
     auto store = testbed.StartKvStore(server.get(), options);
     if (store.ok()) {
-      (void)Testbed::LoadRecords(store->get(), reporter.Iters(30000, 2000));
+      CHECK_OK(Testbed::LoadRecords(store->get(), reporter.Iters(30000, 2000)));
       Report(&reporter, "kv",
              "RocksDB-mini: wal = small sync log, sst = bulk background",
              trace);
@@ -126,7 +126,7 @@ int main() {
     options.aof_rewrite_bytes = 512 << 10;
     auto redis = testbed.StartRedis(server.get(), options);
     if (redis.ok()) {
-      (void)Testbed::LoadRecords(redis->get(), reporter.Iters(20000, 1500));
+      CHECK_OK(Testbed::LoadRecords(redis->get(), reporter.Iters(20000, 1500)));
       Report(&reporter, "redis",
              "Redis-mini: aof = small sync log, rdb = bulk background",
              trace);
@@ -145,7 +145,7 @@ int main() {
     options.wal_capacity = 256 << 10;
     auto db = testbed.StartSqlite(server.get(), options);
     if (db.ok()) {
-      (void)Testbed::LoadRecords(db->get(), reporter.Iters(4000, 500));
+      CHECK_OK(Testbed::LoadRecords(db->get(), reporter.Iters(4000, 500)));
       Report(&reporter, "sqlite",
              "SQLite-mini: db-wal = small sync circular log, db = database",
              trace);

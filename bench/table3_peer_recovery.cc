@@ -29,11 +29,11 @@ int main() {
   // Fill the log.
   std::string chunk(1 << 20, 'x');
   for (uint64_t i = 0; i < log_mb; ++i) {
-    (void)(*file)->Append(chunk);
+    CHECK_OK((*file)->Append(chunk));
   }
   // Drain the append window so the replacement measurement below starts
   // from a fully committed log.
-  (void)(*file)->Sync();
+  CHECK_OK((*file)->Sync());
   testbed.sim()->RunUntilIdle();
 
   // Measure the phases indirectly: crash one peer, then time the next
@@ -44,8 +44,8 @@ int main() {
   Controller* controller = testbed.controller();
   uint64_t rpcs_before = controller->rpc_count();
   SimTime t0 = testbed.sim()->Now();
-  (void)(*file)->Append("trigger");
-  (void)(*file)->Sync();
+  CHECK_OK((*file)->Append("trigger"));
+  CHECK_OK((*file)->Sync());
   SimTime total = testbed.sim()->Now() - t0;
   uint64_t rpcs = controller->rpc_count() - rpcs_before;
 

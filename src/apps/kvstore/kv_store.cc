@@ -163,7 +163,7 @@ Status KvStore::RecoverExistingState() {
     } else {
       // Older logs should have been deleted at flush time; clean strays.
       file.reset();
-      (void)fs_->Unlink(path);
+      DiscardStatus(fs_->Unlink(path), "KvStore stray WAL cleanup");
     }
   }
   if (wal_ != nullptr) {
@@ -359,7 +359,7 @@ Status KvStore::Compact() {
                    SstableReader::Open(std::move(*rfile), block_cache_.get()));
   level1_.push_back(std::move(reader));
   for (const std::string& old : obsolete) {
-    (void)fs_->Unlink(old);
+    DiscardStatus(fs_->Unlink(old), "KvStore obsolete sstable cleanup");
   }
   return OkStatus();
 }

@@ -267,8 +267,7 @@ Status Redis::Recover() {
 }
 
 Status Redis::AppendCommands(const std::vector<std::string>& frames,
-                             bool mutate) {
-  (void)mutate;
+                             bool /*mutate*/) {
   std::string joined;
   for (const std::string& f : frames) {
     joined += f;
@@ -313,7 +312,7 @@ Status Redis::MaybeRewriteAof() {
   // Older RDBs are superseded.
   for (const std::string& path : fs_->dfs()->List(options_.dir + "/rdb-")) {
     if (path != options_.dir + buf) {
-      (void)fs_->Unlink(path);
+      DiscardStatus(fs_->Unlink(path), "Redis superseded RDB cleanup");
     }
   }
   aof_generation_ = gen + 1;

@@ -223,7 +223,10 @@ Result<std::string> SqliteLite::Get(std::string_view key) {
     if (db_size > 4096) {
       uint64_t page = Crc32c(std::string_view(key)) %
                       ((db_size - 1) / 4096 + 1);
-      (void)db_->Read(page * 4096, 4096);
+      // The read only charges page-cache-miss latency; its bytes are
+      // unused and a failure just means no cache fill.
+      DiscardStatus(db_->Read(page * 4096, 4096),
+                    "SqliteLite page-cache fill");
     }
     page_cache_->Put(std::string(key), it->second);
   }

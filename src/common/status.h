@@ -32,7 +32,11 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 // A cheap value type carrying a code and an optional message.
-class Status {
+//
+// [[nodiscard]]: a dropped Status is a dropped failure. Call sites must
+// handle, propagate, or explicitly discard via DiscardStatus() — never a
+// bare (void) cast, which is invisible to grep and to the metrics.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -70,7 +74,7 @@ Status InternalError(std::string_view msg);
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT
@@ -112,6 +116,77 @@ class Result {
   std::optional<T> value_;
   Status status_;  // kOk iff value_ holds a value
 };
+
+// ---- Deliberate discards ---------------------------------------------------
+//
+// `[[nodiscard]]` bans *silent* drops; these are the two sanctioned loud
+// ones. Bare `(void)` casts are rejected by tools/simlint.py (rule
+// status-discard) because they are invisible to grep, to the logs, and to
+// the metrics.
+//
+//   DiscardStatus(expr, "where")  best-effort paths: the failure is
+//                                 tolerable, but it is logged (rate
+//                                 limited) and counted so a sudden storm
+//                                 of swallowed errors is visible.
+//   CHECK_OK(expr)                must-succeed paths (bench setup, test
+//                                 fixtures): aborts with the status, the
+//                                 expression, and the call site.
+
+// Process-global discard accounting, readable in tests and mirrored into
+// each MetricsRegistry by the obs layer (common.status.discards /
+// common.status.discards_nonok) via the installable sink below.
+struct StatusDiscardCounts {
+  uint64_t total = 0;   // every DiscardStatus call
+  uint64_t nonok = 0;   // ... that dropped a real error
+};
+StatusDiscardCounts GetStatusDiscardCounts();
+void ResetStatusDiscardCountsForTest();
+
+// The obs layer implements this to count discards into a MetricsRegistry.
+// common/ cannot depend on obs/, so the sink is injected at runtime.
+class StatusDiscardSink {
+ public:
+  virtual ~StatusDiscardSink() = default;
+  virtual void OnDiscard(const Status& status, std::string_view where) = 0;
+};
+
+// Installs a process-global sink; returns the previous one so scopes can
+// nest (install in a constructor, restore in the destructor).
+StatusDiscardSink* SetStatusDiscardSink(StatusDiscardSink* sink);
+
+// The only sanctioned way to drop a Status on the floor. Non-OK discards
+// are logged at WARNING (first 16 per process, then silently counted).
+void DiscardStatus(const Status& status, std::string_view where);
+template <typename T>
+void DiscardStatus(const Result<T>& result, std::string_view where) {
+  DiscardStatus(result.ok() ? Status() : result.status(), where);
+}
+
+namespace status_internal {
+inline const Status& AsStatus(const Status& s) { return s; }
+template <typename T>
+const Status& AsStatus(const Result<T>& r) {
+  static const Status kOk;
+  return r.ok() ? kOk : r.status();
+}
+// Logs the failed expression and aborts. Out of line so status.h does not
+// pull in logging.
+[[noreturn]] void CheckOkFailed(const Status& status, const char* expr,
+                                const char* file, int line);
+}  // namespace status_internal
+
+// Aborts when `expr` (a Status or Result<T>) is non-OK. For call sites
+// where failure is a programming error, not a runtime condition.
+#define CHECK_OK(expr)                                                 \
+  do {                                                                 \
+    const auto& _chk = (expr);                                         \
+    const ::splitft::Status& _chk_st =                                 \
+        ::splitft::status_internal::AsStatus(_chk);                    \
+    if (!_chk_st.ok()) {                                               \
+      ::splitft::status_internal::CheckOkFailed(_chk_st, #expr,        \
+                                                __FILE__, __LINE__);   \
+    }                                                                  \
+  } while (0)
 
 // Propagate errors without exceptions:
 //   RETURN_IF_ERROR(file->Write(...));

@@ -165,7 +165,10 @@ void Controller::UpdatePeerMemoryAsync(const std::string& name,
   if (!ParsePeer(node->data, &id, &old_bytes)) {
     return;
   }
-  (void)store_.Set(path, SerializePeer(id, bytes));
+  // Async availability refreshes are fire-and-forget by design; a lost
+  // update only skews the allocator's load balancing until the next one.
+  DiscardStatus(store_.Set(path, SerializePeer(id, bytes)),
+                "Controller::UpdatePeerMemoryAsync");
 }
 
 Result<PeerRecord> Controller::GetPeer(const std::string& name) {

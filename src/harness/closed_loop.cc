@@ -85,12 +85,13 @@ HarnessResult ClosedLoopHarness::Run() {
     switch (op.type) {
       case YcsbOpType::kRead: {
         SimTime arrival = next.when;
-        (void)app_->Get(op.key);  // NotFound on un-loaded keys is fine
+        // NotFound on un-loaded keys is fine.
+        DiscardStatus(app_->Get(op.key), "closed-loop read");
         Complete(arrival, sim_->Now(), next.client);
         break;
       }
       case YcsbOpType::kReadModifyWrite:
-        (void)app_->Get(op.key);
+        DiscardStatus(app_->Get(op.key), "closed-loop rmw read");
         [[fallthrough]];
       case YcsbOpType::kUpdate:
       case YcsbOpType::kInsert: {

@@ -1,5 +1,6 @@
 #include "src/harness/testbed.h"
 
+#include "src/common/logging.h"
 #include "src/workload/ycsb.h"
 
 namespace splitft {
@@ -27,7 +28,9 @@ Testbed::Testbed(TestbedOptions options)
     auto peer = std::make_unique<LogPeer>("peer-" + std::to_string(i),
                                           &fabric_, &controller_,
                                           options_.peer_memory);
-    (void)peer->Start();
+    // A fresh peer registering with a healthy controller cannot fail; a
+    // failure here would silently shrink the cluster under every test.
+    CHECK_OK(peer->Start());
     directory_.Register(peer.get());
     peers_.push_back(std::move(peer));
   }
@@ -55,7 +58,14 @@ std::unique_ptr<AppServer> Testbed::MakeServer(const std::string& app_id,
   server->fs = std::make_unique<SplitFs>(config, server->dfs.get(), &fabric_,
                                          &controller_, &directory_, app_node_,
                                          obs_);
-  (void)server->fs->Start();
+  // Surfaced, not dropped: a failed Start (lease conflict, controller
+  // outage) used to be silently ignored here, letting a second instance of
+  // an app run leaseless. Callers check start_status when they care.
+  server->start_status = server->fs->Start();
+  if (!server->start_status.ok()) {
+    LOG_WARNING << "MakeServer(" << app_id << "): SplitFs::Start failed: "
+                << server->start_status.ToString();
+  }
   if (mode == DurabilityMode::kWeak) {
     // Weak mode relies on the OS flusher for eventual durability.
     server->dfs->StartPeriodicFlusher();

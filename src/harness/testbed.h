@@ -54,6 +54,11 @@ struct AppServer {
   std::unique_ptr<DfsClient> dfs;
   std::unique_ptr<SplitFs> fs;
   std::unique_ptr<StorageApp> app;
+  // Outcome of SplitFs::Start at MakeServer time. Non-OK means the server
+  // came up without the single-instance lease (e.g. kAborted because
+  // another live instance of app_id holds it) — callers that rely on the
+  // lease must check this instead of assuming construction succeeded.
+  Status start_status;
 };
 
 class Testbed {
@@ -108,6 +113,9 @@ class Testbed {
   TestbedOptions options_;
   Simulation sim_;
   MetricsRegistry metrics_;
+  // Routes DiscardStatus() accounting into metrics_ while this testbed is
+  // the innermost live one (common.status.discards*).
+  StatusDiscardMetrics discard_metrics_{&metrics_};
   Tracer tracer_;
   ObsContext obs_;
   Fabric fabric_;

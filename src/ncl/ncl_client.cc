@@ -267,7 +267,9 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
     }
     return done;
   };
-  bool ok = sim->RunUntilPredicate([&] {
+  // A false return (simulation ran out of events with reads pending) is
+  // subsumed by the majority check below: stalled readers stay !done.
+  sim->RunUntilPredicate([&] {
     for (HeaderRead& hr : reads) {
       if (hr.done) {
         continue;
@@ -294,7 +296,6 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
     }
     return pending == 0;
   });
-  (void)ok;
   if (count_done() < majority()) {
     return UnavailableError("fewer than f+1 peers answered recovery reads");
   }
@@ -379,7 +380,8 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
       if (!slot.alive) {
         // Best effort: maintain the fault-tolerance level. Failure here is
         // tolerable as long as a majority is alive.
-        (void)out->ReplaceSlot(&slot);
+        DiscardStatus(out->ReplaceSlot(&slot),
+                      "NclClient recovery slot replacement");
       }
     }
     out->RefreshPeerNames();
@@ -594,7 +596,9 @@ Status NclFile::WaitFor(uint64_t seq) {
   // Off the ack path: restore the fault-tolerance level eagerly. Expired
   // suspects are demoted first so they become eligible for replacement.
   if (config.eager_peer_replacement) {
-    (void)MaybeRetrySuspects();
+    // Whether any suspect resurrected is irrelevant here; the loop below
+    // replaces whatever is still down.
+    MaybeRetrySuspects();
     for (PeerSlot& slot : slots_) {
       if (!slot.alive) {
         Status replaced = ReplaceSlot(&slot);

@@ -38,7 +38,10 @@ void LogPeer::RecycleRegion(RKey rkey, uint64_t region_bytes) {
   if (fresh.ok()) {
     free_regions_.emplace(region_bytes, *fresh);
   } else {
-    (void)fabric_->DeregisterRegion(node_, rkey);
+    // Recycling failed; dropping the region entirely is the fallback and
+    // deregistration of an already-dead region may legitimately fail too.
+    DiscardStatus(fabric_->DeregisterRegion(node_, rkey),
+                  "LogPeer::RecycleRegion deregister");
   }
 }
 
@@ -106,8 +109,9 @@ Result<AllocationGrant> LogPeer::AllocateInternal(
   if (staging || clone_existing) {
     MrEntry& entry = mr_map_[key];
     if (entry.staged_rkey != 0) {
-      // Abandoned previous staging attempt.
-      (void)fabric_->DeregisterRegion(node_, entry.staged_rkey);
+      // Abandoned previous staging attempt; best-effort cleanup.
+      DiscardStatus(fabric_->DeregisterRegion(node_, entry.staged_rkey),
+                    "LogPeer staged-region cleanup");
       available_bytes_ += entry.region_bytes;
     }
     entry.staged_rkey = *rkey;
@@ -213,9 +217,13 @@ Status LogPeer::Revoke(const std::string& app, const std::string& file) {
   // The reclaimed memory goes back to the host machine (for its VMs or
   // other processes), not to the lending pool: availability is *not*
   // credited, so the allocator deprioritizes this peer.
-  (void)fabric_->InvalidateRegion(node_, it->second.rkey);
+  // Invalidation of a region on a crashed node is a no-op failure; the
+  // revoke must still complete so the memory is reclaimed locally.
+  DiscardStatus(fabric_->InvalidateRegion(node_, it->second.rkey),
+                "LogPeer::Revoke invalidate");
   if (it->second.staged_rkey != 0) {
-    (void)fabric_->InvalidateRegion(node_, it->second.staged_rkey);
+    DiscardStatus(fabric_->InvalidateRegion(node_, it->second.staged_rkey),
+                  "LogPeer::Revoke invalidate staged");
   }
   lend_bytes_ -= std::min(lend_bytes_, it->second.region_bytes);
   mr_map_.erase(it);

@@ -80,4 +80,22 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+StatusDiscardMetrics::StatusDiscardMetrics(MetricsRegistry* registry)
+    : c_discards_(registry->counter("common.status.discards")),
+      c_discards_nonok_(registry->counter("common.status.discards_nonok")),
+      previous_(SetStatusDiscardSink(this)) {}
+
+StatusDiscardMetrics::~StatusDiscardMetrics() {
+  SetStatusDiscardSink(previous_);
+}
+
+// The discard context goes to the log line, not the metric key space.
+void StatusDiscardMetrics::OnDiscard(const Status& status,
+                                     std::string_view /*where*/) {
+  c_discards_->Add(1);
+  if (!status.ok()) {
+    c_discards_nonok_->Add(1);
+  }
+}
+
 }  // namespace splitft

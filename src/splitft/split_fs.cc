@@ -253,7 +253,17 @@ SplitFs::SplitFs(NclConfig ncl_config, DfsClient* dfs, Fabric* fabric,
       c_small_writes_(obs.counter("splitfs.route.small_writes")),
       c_large_writes_(obs.counter("splitfs.route.large_writes")) {}
 
-SplitFs::~SplitFs() = default;
+SplitFs::~SplitFs() {
+  // Graceful shutdown releases the single-instance server lease. Before
+  // the [[nodiscard]] sweep this was a silent leak: every MakeServer for
+  // an app after the first failed Start with kAborted, the failure was
+  // (void)-dropped, and the successor ran leaseless. Crashes do not take
+  // this path — SimulateCrash expires the session and clears lease_ first.
+  if (lease_ != kNoSession) {
+    controller_->ExpireSession(lease_);
+    lease_ = kNoSession;
+  }
+}
 
 Status SplitFs::Start() {
   // The lease RPC is retried through controller outage windows (kTimedOut)

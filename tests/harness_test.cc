@@ -164,5 +164,22 @@ TEST(HarnessShapeTest, RedisHeadOfLineBlockingUnderStrong) {
       << "splitft=" << splitft << " strong=" << strong;
 }
 
+TEST(MakeServerTest, LeaseConflictSurfacesInStartStatus) {
+  // Regression for the dropped-error bug: MakeServer used to (void) the
+  // SplitFs::Start status, so a second live instance of an app ran without
+  // the single-instance lease and nobody could tell.
+  Testbed testbed;
+  auto first = testbed.MakeServer("lease-app", DurabilityMode::kSplitFt);
+  EXPECT_TRUE(first->start_status.ok()) << first->start_status.ToString();
+  auto second = testbed.MakeServer("lease-app", DurabilityMode::kSplitFt);
+  EXPECT_EQ(second->start_status.code(), StatusCode::kAborted);
+  // Graceful shutdown of both instances releases the lease, so a fresh
+  // server acquires it again (the leak half of the same bug).
+  second.reset();
+  first.reset();
+  auto third = testbed.MakeServer("lease-app", DurabilityMode::kSplitFt);
+  EXPECT_TRUE(third->start_status.ok()) << third->start_status.ToString();
+}
+
 }  // namespace
 }  // namespace splitft

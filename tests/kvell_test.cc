@@ -140,7 +140,7 @@ TEST_F(KvellTest, SplitFtAbsorbsRandomWritesFarFasterThanStrong) {
     const int kOps = 200;
     for (int i = 0; i < kOps; ++i) {
       std::string k = "key-" + std::to_string(rng.Uniform(100));
-      (void)(*store)->Put(k, "value");
+      CHECK_OK((*store)->Put(k, "value"));
     }
     return static_cast<double>(testbed.sim()->Now() - t0) / kOps;
   };

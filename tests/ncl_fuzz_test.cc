@@ -136,7 +136,9 @@ void RunEpisode(uint64_t seed) {
       LogPeer* peer = fixture.directory_.Lookup(victim);
       if (peer != nullptr && peer->alive()) {
         if (rng.Bernoulli(0.3)) {
-          (void)peer->Revoke("fuzz-app", "/fuzz-log");
+          // NotFound when the peer never held the region is expected.
+          DiscardStatus(peer->Revoke("fuzz-app", "/fuzz-log"),
+                        "fuzz revoke");
           crashes_since_op = 1;
         } else if (alive > 4 || rng.Bernoulli(0.5)) {
           peer->Crash();

@@ -2,6 +2,11 @@
 // Tracer (self-time accounting, ring buffer, disabled-mode no-ops), and the
 // end-to-end guarantee the benches rely on — NCL recovery phase spans sum
 // exactly to the observed end-to-end recovery latency.
+//
+// simlint: allow-file(metric-name) these tests exercise the registry and
+// tracer APIs directly with deliberately minimal synthetic names ("x",
+// "root"); the naming convention applies to instrumentation, not to the
+// instruments' own unit tests.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -72,6 +77,20 @@ TEST(MetricsRegistryTest, ToJsonCoversAllInstrumentKinds) {
   EXPECT_NE(json.find("\"ncl.record.latency_ns\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
   EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, StatusDiscardsCountIntoTheRegistry) {
+  MetricsRegistry registry;
+  {
+    StatusDiscardMetrics mirror(&registry);
+    DiscardStatus(OkStatus(), "obs test ok");
+    DiscardStatus(TimedOutError("slow"), "obs test bad");
+    EXPECT_EQ(registry.CounterValue("common.status.discards"), 2u);
+    EXPECT_EQ(registry.CounterValue("common.status.discards_nonok"), 1u);
+  }
+  // Sink uninstalled with the mirror: later discards don't touch it.
+  DiscardStatus(TimedOutError("slow"), "after mirror");
+  EXPECT_EQ(registry.CounterValue("common.status.discards"), 2u);
 }
 
 // ----------------------------------------------------------------- Tracer --

@@ -169,6 +169,18 @@ TEST_F(SplitFsTest, SingleInstanceLeaseEnforced) {
   EXPECT_TRUE(fs2->Start().ok());
 }
 
+TEST_F(SplitFsTest, GracefulDestructionReleasesTheLease) {
+  // Regression for a dropped-error bug the [[nodiscard]] sweep surfaced:
+  // ~SplitFs never released the server lease, so every later instance of
+  // the same app failed Start with kAborted — and the failure was
+  // (void)-discarded by the harness, leaving the successor leaseless.
+  auto fs1 = MakeFs();
+  ASSERT_TRUE(fs1->Start().ok());
+  fs1.reset();  // graceful shutdown, not a crash
+  auto fs2 = MakeFs();
+  EXPECT_TRUE(fs2->Start().ok());
+}
+
 TEST_F(SplitFsTest, UnlinkRoutesToTheRightLayer) {
   auto fs = MakeFs();
   SplitOpenOptions ncl_opts;

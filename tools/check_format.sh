@@ -1,31 +1,74 @@
 #!/usr/bin/env bash
 # Checks that every C++ source under src/ tests/ bench/ examples/ is
-# clang-format clean. Read-only: uses --dry-run -Werror, never rewrites.
+# clang-format clean, and that every Python tool under tools/ passes a
+# static check (pyflakes when available, byte-compilation otherwise).
+# Read-only: uses --dry-run -Werror and py_compile, never rewrites.
 #
-# Usage: tools/check_format.sh [clang-format-binary]
+# Usage: tools/check_format.sh [--python-only|--cxx-only] [clang-format-binary]
 #
-# This is what the `format` CI job and the `format_check` ctest run.
+# This is what the `lint` CI job and the `format-check` / `format-python`
+# ctests run.
 set -u
 
 cd "$(dirname "$0")/.."
 
-CLANG_FORMAT="${1:-${CLANG_FORMAT:-clang-format}}"
-if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
-  echo "error: '$CLANG_FORMAT' not found; install clang-format or pass the" \
-       "binary as the first argument" >&2
-  exit 2
+check_python=1
+check_cxx=1
+case "${1:-}" in
+  --python-only) check_cxx=0; shift ;;
+  --cxx-only) check_python=0; shift ;;
+esac
+
+status=0
+
+if [ "$check_python" -eq 1 ]; then
+  PYTHON="${PYTHON:-python3}"
+  if ! command -v "$PYTHON" >/dev/null 2>&1; then
+    echo "error: '$PYTHON' not found; needed to check tools/*.py" >&2
+    exit 2
+  fi
+  mapfile -t pyfiles < <(find tools -maxdepth 1 -type f -name '*.py' | sort)
+  if [ "${#pyfiles[@]}" -eq 0 ]; then
+    echo "error: no python tools found (run from the repository root)" >&2
+    exit 2
+  fi
+  if "$PYTHON" -c 'import pyflakes' >/dev/null 2>&1; then
+    if "$PYTHON" -m pyflakes "${pyfiles[@]}"; then
+      echo "python ok (pyflakes): ${#pyfiles[@]} files clean"
+    else
+      echo "pyflakes found problems in tools/*.py" >&2
+      status=1
+    fi
+  else
+    # Containers without pyflakes still get a syntax gate.
+    if "$PYTHON" -m py_compile "${pyfiles[@]}"; then
+      echo "python ok (py_compile): ${#pyfiles[@]} files compile"
+    else
+      echo "py_compile failed for tools/*.py" >&2
+      status=1
+    fi
+  fi
 fi
 
-mapfile -t files < <(find src tests bench examples \
-  -type f \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) | sort)
-if [ "${#files[@]}" -eq 0 ]; then
-  echo "error: no sources found (run from the repository root)" >&2
-  exit 2
+if [ "$check_cxx" -eq 1 ]; then
+  CLANG_FORMAT="${1:-${CLANG_FORMAT:-clang-format}}"
+  if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+    echo "error: '$CLANG_FORMAT' not found; install clang-format or pass the" \
+         "binary as the first argument" >&2
+    exit 2
+  fi
+  mapfile -t files < <(find src tests bench examples \
+    -type f \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) | sort)
+  if [ "${#files[@]}" -eq 0 ]; then
+    echo "error: no sources found (run from the repository root)" >&2
+    exit 2
+  fi
+  if "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"; then
+    echo "format ok: ${#files[@]} files clean"
+  else
+    echo "format check failed; run: $CLANG_FORMAT -i <files>" >&2
+    status=1
+  fi
 fi
 
-if "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"; then
-  echo "format ok: ${#files[@]} files clean"
-else
-  echo "format check failed; run: $CLANG_FORMAT -i <files>" >&2
-  exit 1
-fi
+exit $status

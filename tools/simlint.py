@@ -1,0 +1,480 @@
+#!/usr/bin/env python3
+"""simlint: repo-specific determinism & error-handling lint for SplitFT.
+
+The simulator's headline property is byte-for-byte reproducibility: one
+seed, one history. That property is enforced dynamically by
+tests/determinism_test.cc and statically by this tool. It scans src/,
+bench/, and tests/ for the handful of C++ patterns that have historically
+broken determinism or swallowed errors:
+
+  wall-clock      Any wall-clock time source (std::chrono::system_clock /
+                  steady_clock / high_resolution_clock, gettimeofday,
+                  clock_gettime, time(nullptr), clock()). All time must
+                  come from the simulated clock (src/sim).
+
+  raw-random      Any randomness outside src/common/rng.* (std::rand,
+                  srand, std::random_device, std::mt19937,
+                  drand48/lrand48). All randomness must flow through
+                  splitft::Rng so it is seed-derived.
+
+  unordered-iter  Range-for over a std::unordered_map / unordered_set
+                  declared in the same file or its companion header.
+                  Hash-order iteration is stable for a fixed libstdc++
+                  but is not part of the repo's determinism contract, and
+                  it silently ruins byte-for-byte exports. Emit through a
+                  sorted container (std::map / sorted vector) or suppress
+                  with a justification.
+
+  metric-name     Metric names must be `layer.component.metric` (three or
+                  more lowercase dot-separated segments) at counter() /
+                  gauge() / histogram() registration; trace span names
+                  (ObsSpan, Tracer::Begin, AddAsyncSpan) need at least
+                  two segments. Only direct string literals are checked;
+                  dynamically built names (prefix + ".writes") are the
+                  caller's responsibility.
+
+  status-discard  A bare `(void)` or `static_cast<void>` cast applied to
+                  a call expression. [[nodiscard]] Status/Result make
+                  dropped errors loud; a bare void cast silently defeats
+                  that. Use DiscardStatus(expr, "where") so the drop is
+                  logged and counted, or CHECK_OK for must-succeed paths.
+
+Suppressions (the reason text is mandatory by convention, not parsed):
+
+  // simlint: allow(rule) reason          -- same line or the line above
+  // simlint: allow-file(rule) reason     -- whole file, any line
+
+Usage:
+
+  tools/simlint.py                 lint src/ bench/ tests/
+  tools/simlint.py path [path...]  lint specific files or directories
+  tools/simlint.py --self-test     run against tools/simlint_fixtures/
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_ROOTS = ("src", "bench", "tests")
+FIXTURE_DIR = os.path.join(REPO_ROOT, "tools", "simlint_fixtures")
+CXX_EXTENSIONS = (".cc", ".h")
+
+RULES = (
+    "wall-clock",
+    "raw-random",
+    "unordered-iter",
+    "metric-name",
+    "status-discard",
+)
+
+# Files where a rule does not apply at all (the one place allowed to
+# implement the banned pattern). Paths are repo-relative, '/'-separated.
+RULE_EXEMPT_FILES = {
+    "raw-random": {"src/common/rng.h", "src/common/rng.cc"},
+}
+
+_WALL_CLOCK = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|\bgettimeofday\s*\("
+    r"|\bclock_gettime\s*\("
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+    r"|\bclock\s*\(\s*\)"
+)
+
+_RAW_RANDOM = re.compile(
+    r"\bstd::rand\b"
+    r"|\bsrand\s*\("
+    r"|\brandom_device\b"
+    r"|\bmt19937(?:_64)?\b"
+    r"|\bminstd_rand0?\b"
+    r"|\b(?:drand48|lrand48|mrand48)\s*\("
+)
+
+# `(void)expr(...)` or `static_cast<void>(expr(...))` where expr is a
+# call. `(void)0` and `(void)variable;` are fine (no call, nothing
+# discardable).
+_VOID_DISCARD = re.compile(
+    r"\(\s*void\s*\)\s*[A-Za-z_:][A-Za-z0-9_:.\[\]>-]*\s*\("
+    r"|static_cast\s*<\s*void\s*>\s*\(\s*[A-Za-z_:][A-Za-z0-9_:.\[\]>-]*\s*\("
+)
+
+_METRIC_CALL = re.compile(r"\b(counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+_SPAN_CALL = re.compile(
+    r"\b(?:Begin|AddAsyncSpan)\s*\(\s*\"([^\"]*)\""
+    r"|\bObsSpan\s+\w+\s*\([^()\"]*,\s*\"([^\"]*)\""
+)
+_METRIC_NAME_OK = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+){2,}$")
+_SPAN_NAME_OK = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+)+$")
+
+_UNORDERED_DECL = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{}]*?>\s*([A-Za-z_]\w*)\s*[;={]", re.S
+)
+_RANGE_FOR = re.compile(r"\bfor\s*\([^;()]*?:\s*([^)]+)\)")
+_TRAILING_IDENT = re.compile(r"([A-Za-z_]\w*)\s*$")
+
+_ALLOW = re.compile(r"//\s*simlint:\s*allow\(([a-z-]+)\)")
+_ALLOW_FILE = re.compile(r"//\s*simlint:\s*allow-file\(([a-z-]+)\)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return "%s:%d: [%s] %s" % (rel, self.line, self.rule, self.message)
+
+
+def strip_views(text):
+    """Returns (code_lines, nocomment_lines).
+
+    code: comments and string/char literal contents blanked — for token
+    rules that must not fire on prose or log strings.
+    nocomment: comments blanked, literals kept — for the metric-name rule,
+    which inspects literal contents.
+    Line structure is preserved so findings carry real line numbers.
+    """
+    code = []
+    nocomment = []
+    i = 0
+    n = len(text)
+    state = "normal"  # normal | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "normal":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                code.append("  ")
+                nocomment.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                code.append("  ")
+                nocomment.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                code.append('"')
+                nocomment.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                code.append("'")
+                nocomment.append("'")
+                i += 1
+                continue
+            code.append(c)
+            nocomment.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "normal"
+                code.append("\n")
+                nocomment.append("\n")
+            else:
+                code.append(" ")
+                nocomment.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "normal"
+                code.append("  ")
+                nocomment.append("  ")
+                i += 2
+                continue
+            code.append("\n" if c == "\n" else " ")
+            nocomment.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                code.append("  ")
+                nocomment.append(text[i : i + 2])
+                i += 2
+                continue
+            if c == quote:
+                state = "normal"
+                code.append(quote)
+                nocomment.append(quote)
+            elif c == "\n":  # unterminated literal; recover per line
+                state = "normal"
+                code.append("\n")
+                nocomment.append("\n")
+            else:
+                code.append(" ")
+                nocomment.append(c)
+        i += 1
+    return "".join(code).split("\n"), "".join(nocomment).split("\n")
+
+
+def collect_suppressions(raw_lines):
+    """Returns (file_allows, line_allows, findings-for-unknown-rules)."""
+    file_allows = set()
+    line_allows = {}
+    bad = []
+    for lineno, line in enumerate(raw_lines, 1):
+        for m in _ALLOW_FILE.finditer(line):
+            if m.group(1) not in RULES:
+                bad.append((lineno, m.group(1)))
+            else:
+                file_allows.add(m.group(1))
+        for m in _ALLOW.finditer(line):
+            if "allow-file" in m.group(0):
+                continue
+            if m.group(1) not in RULES:
+                bad.append((lineno, m.group(1)))
+            else:
+                line_allows.setdefault(lineno, set()).add(m.group(1))
+    return file_allows, line_allows, bad
+
+
+def companion_header_text(path):
+    base, ext = os.path.splitext(path)
+    if ext != ".cc":
+        return ""
+    header = base + ".h"
+    if os.path.exists(header):
+        try:
+            with open(header, "r", encoding="utf-8", errors="replace") as f:
+                return f.read()
+        except OSError:
+            return ""
+    return ""
+
+
+def unordered_names(path, code_text):
+    names = set(_UNORDERED_DECL.findall(code_text))
+    header = companion_header_text(path)
+    if header:
+        header_code, _ = strip_views(header)
+        names |= set(_UNORDERED_DECL.findall("\n".join(header_code)))
+    return names
+
+
+def relpath_unix(path):
+    return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+
+
+def lint_file(path, text=None):
+    if text is None:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    raw_lines = text.split("\n")
+    code_lines, nocomment_lines = strip_views(text)
+    file_allows, line_allows, bad_rules = collect_suppressions(raw_lines)
+
+    findings = []
+    for lineno, rule in bad_rules:
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "suppression",
+                "unknown rule '%s' in simlint suppression (known: %s)"
+                % (rule, ", ".join(RULES)),
+            )
+        )
+
+    rel = relpath_unix(path)
+
+    def suppressed(rule, lineno):
+        if rule in file_allows:
+            return True
+        if rel in RULE_EXEMPT_FILES.get(rule, ()):
+            return True
+        for at in (lineno, lineno - 1):
+            if rule in line_allows.get(at, ()):
+                return True
+        return False
+
+    def add(rule, lineno, message):
+        if not suppressed(rule, lineno):
+            findings.append(Finding(path, lineno, rule, message))
+
+    unordered = unordered_names(path, "\n".join(code_lines))
+
+    for lineno, (code, nocomment) in enumerate(
+        zip(code_lines, nocomment_lines), 1
+    ):
+        m = _WALL_CLOCK.search(code)
+        if m:
+            add(
+                "wall-clock",
+                lineno,
+                "wall-clock source '%s'; use the simulated clock "
+                "(Simulation::Now)" % m.group(0).strip(),
+            )
+        m = _RAW_RANDOM.search(code)
+        if m:
+            add(
+                "raw-random",
+                lineno,
+                "raw randomness '%s'; use splitft::Rng (src/common/rng.h) "
+                "so draws are seed-derived" % m.group(0).strip(),
+            )
+        m = _VOID_DISCARD.search(code)
+        if m:
+            add(
+                "status-discard",
+                lineno,
+                "bare void cast discards a call result; use "
+                "DiscardStatus(expr, \"where\") or CHECK_OK(expr)",
+            )
+        if unordered:
+            m = _RANGE_FOR.search(code)
+            if m:
+                ident = _TRAILING_IDENT.search(m.group(1).strip())
+                if ident and ident.group(1) in unordered:
+                    add(
+                        "unordered-iter",
+                        lineno,
+                        "range-for over unordered container '%s'; iteration "
+                        "order is not covered by the determinism contract — "
+                        "emit via a sorted container" % ident.group(1),
+                    )
+        for m in _METRIC_CALL.finditer(nocomment):
+            name = m.group(2)
+            if not _METRIC_NAME_OK.match(name):
+                add(
+                    "metric-name",
+                    lineno,
+                    "metric name \"%s\" does not follow "
+                    "layer.component.metric (>= 3 lowercase dot-separated "
+                    "segments)" % name,
+                )
+        for m in _SPAN_CALL.finditer(nocomment):
+            name = m.group(1) or m.group(2)
+            if not _SPAN_NAME_OK.match(name):
+                add(
+                    "metric-name",
+                    lineno,
+                    "span name \"%s\" does not follow layer.component "
+                    "(>= 2 lowercase dot-separated segments)" % name,
+                )
+    return findings
+
+
+def iter_cxx_files(paths):
+    for p in paths:
+        if os.path.isfile(p):
+            yield p
+        elif os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(CXX_EXTENSIONS):
+                        yield os.path.join(dirpath, name)
+        else:
+            raise FileNotFoundError(p)
+
+
+_EXPECT = re.compile(r"//\s*simlint-expect:\s*([a-z-]+)")
+
+
+def self_test():
+    """Lints every fixture and compares against // simlint-expect markers.
+
+    Each fixture line that should produce a finding carries
+    `// simlint-expect: <rule>` . Fixtures with allow() / allow-file()
+    suppressions carry no markers; any finding there is a failure, which
+    is exactly what proves suppression works.
+    """
+    if not os.path.isdir(FIXTURE_DIR):
+        print("simlint --self-test: missing fixture dir %s" % FIXTURE_DIR)
+        return 2
+    failures = []
+    expected_rules_seen = set()
+    suppression_rules_seen = set()
+    fixtures = sorted(
+        os.path.join(FIXTURE_DIR, f)
+        for f in os.listdir(FIXTURE_DIR)
+        if f.endswith(CXX_EXTENSIONS)
+    )
+    if not fixtures:
+        print("simlint --self-test: no fixtures in %s" % FIXTURE_DIR)
+        return 2
+    for path in fixtures:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        expected = set()
+        for lineno, line in enumerate(text.split("\n"), 1):
+            for m in _EXPECT.finditer(line):
+                expected.add((lineno, m.group(1)))
+                expected_rules_seen.add(m.group(1))
+        for m in _ALLOW.finditer(text):
+            if "allow-file" not in m.group(0):
+                suppression_rules_seen.add(m.group(1))
+        for m in _ALLOW_FILE.finditer(text):
+            suppression_rules_seen.add(m.group(1))
+        got = {(f.line, f.rule) for f in lint_file(path, text)}
+        rel = os.path.relpath(path, REPO_ROOT)
+        for line, rule in sorted(expected - got):
+            failures.append(
+                "%s:%d: expected a [%s] finding, got none" % (rel, line, rule)
+            )
+        for line, rule in sorted(got - expected):
+            failures.append(
+                "%s:%d: unexpected [%s] finding" % (rel, line, rule)
+            )
+    for rule in RULES:
+        if rule not in expected_rules_seen:
+            failures.append(
+                "fixtures have no positive case for rule [%s]" % rule
+            )
+        if rule not in suppression_rules_seen:
+            failures.append(
+                "fixtures have no suppressed case for rule [%s]" % rule
+            )
+    if failures:
+        print("simlint --self-test FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(
+        "simlint --self-test: %d fixtures, all %d rules covered "
+        "(positive + suppressed)" % (len(fixtures), len(RULES))
+    )
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    paths = [a for a in argv if not a.startswith("-")]
+    unknown = [a for a in argv if a.startswith("-") and a != "--self-test"]
+    if unknown:
+        print("simlint: unknown option %s" % unknown[0])
+        print(__doc__)
+        return 2
+    if not paths:
+        paths = [os.path.join(REPO_ROOT, r) for r in DEFAULT_ROOTS]
+    findings = []
+    checked = 0
+    try:
+        for path in iter_cxx_files(paths):
+            findings.extend(lint_file(path))
+            checked += 1
+    except FileNotFoundError as e:
+        print("simlint: no such file or directory: %s" % e)
+        return 2
+    for f in findings:
+        print(f)
+    if findings:
+        print(
+            "simlint: %d finding(s) in %d file(s) checked"
+            % (len(findings), checked)
+        )
+        return 1
+    print("simlint: clean (%d files checked)" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

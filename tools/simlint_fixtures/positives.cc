@@ -1,0 +1,63 @@
+// simlint self-test fixture: one (or more) positive case per rule.
+// Every line marked `// simlint-expect: <rule>` must produce exactly that
+// finding; any other finding fails the self-test. This file is never
+// compiled — it only has to look enough like C++ for the line scanner.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+void WallClock() {
+  auto t0 = std::chrono::steady_clock::now();  // simlint-expect: wall-clock
+  auto t1 = std::chrono::system_clock::now();  // simlint-expect: wall-clock
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);  // simlint-expect: wall-clock
+  long stamp = time(nullptr);  // simlint-expect: wall-clock
+}
+
+void RawRandom() {
+  std::random_device rd;  // simlint-expect: raw-random
+  std::mt19937 gen(42);   // simlint-expect: raw-random
+  srand(7);               // simlint-expect: raw-random
+  int x = std::rand;      // simlint-expect: raw-random
+}
+
+struct Exporter {
+  std::unordered_map<int, int> table_;
+  void Dump() {
+    for (const auto& kv : table_) {  // simlint-expect: unordered-iter
+      Emit(kv);
+    }
+  }
+};
+
+void MetricNames(Registry* reg, Tracer* tracer) {
+  reg->counter("appends");          // simlint-expect: metric-name
+  reg->gauge("ncl.inflight");       // simlint-expect: metric-name
+  reg->histogram("Ncl.Append.Ns");  // simlint-expect: metric-name
+  tracer->Begin("recover");         // simlint-expect: metric-name
+  tracer->AddAsyncSpan("w", 0, 1);  // simlint-expect: metric-name
+  ObsSpan span(tracer, "x");        // simlint-expect: metric-name
+}
+
+void StatusDiscards(File* f) {
+  (void)f->Sync();               // simlint-expect: status-discard
+  static_cast<void>(f->Close()); // simlint-expect: status-discard
+  // A void cast of a plain variable is fine: nothing discardable.
+  int unused = 0;
+  (void)unused;
+}
+
+void NotViolations(Registry* reg, Tracer* tracer) {
+  // Mentions in comments and strings must not fire: steady_clock,
+  // std::mt19937, (void)f->Sync().
+  const char* doc = "uses system_clock and std::rand internally";
+  reg->counter("ncl.append.count");
+  tracer->Begin("ncl.recover");
+}
+
+// An unknown rule name in a suppression is itself a finding.
+// simlint: allow(no-such-rule) typo  // simlint-expect: suppression
+
+}  // namespace fixture
