@@ -13,6 +13,7 @@
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
 #include "src/rdma/fabric.h"
+#include "src/reconfig/reconfig_engine.h"
 #include "src/sim/params.h"
 #include "src/sim/simulation.h"
 
@@ -74,12 +75,12 @@ NclConfig MakeConfig(const CampaignOptions& options, uint64_t rng_seed) {
 
 void AddViolation(CampaignResult* result, uint64_t seed,
                   const std::string& invariant, const std::string& detail,
-                  const FaultPlan& plan) {
+                  const std::string& schedule) {
   CampaignViolation v;
   v.seed = seed;
   v.invariant = invariant;
   v.detail = detail;
-  v.schedule = plan.Describe();
+  v.schedule = schedule;
   result->violations.push_back(std::move(v));
 }
 
@@ -129,6 +130,21 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
     plan_options.crash_weight = 4;
   }
   FaultPlan plan = FaultPlan::Random(seed, plan_options);
+  std::string schedule = plan.Describe();
+
+  // The planned-reconfiguration schedule composing with the faults: drains
+  // (with live region migration off the drained peer) and re-activations,
+  // derived from the same seed so a violating run reproduces both halves.
+  ReconfigPlan reconfig_plan;
+  if (options.with_reconfig) {
+    ReconfigPlanOptions rp = options.reconfig_plan;
+    rp.num_peers = options.num_peers;
+    rp.horizon = plan_options.horizon;
+    rp.lease_handover = false;  // raw NclClient: no SplitFs lease to move
+    rp.num_dfs_servers = 0;     // no dfs in the mini-cluster
+    reconfig_plan = ReconfigPlan::Random(seed ^ 0x9e3c0f15ull, rp);
+    schedule += "  planned:\n" + reconfig_plan.Describe();
+  }
 
   result->stats.runs++;
   NclClient client(MakeConfig(options, seed * 2654435761ull + 1),
@@ -139,12 +155,24 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
     AddViolation(result, seed, "setup",
                  "Create failed before any fault: " +
                      file.status().ToString(),
-                 plan);
+                 schedule);
     return;
   }
 
-  // Unleash the schedule and drive the append workload across it.
+  // Unleash the schedules and drive the append workload across them.
   engine.Schedule(plan);
+  std::unique_ptr<ReconfigEngine> reconfig;
+  if (options.with_reconfig) {
+    ReconfigTargets rt;
+    rt.sim = &cluster.sim;
+    rt.controller = cluster.controller.get();
+    for (auto& p : cluster.peers) {
+      rt.peers.push_back(p.get());
+    }
+    rt.ncl = &client;
+    reconfig = std::make_unique<ReconfigEngine>(std::move(rt));
+    reconfig->Schedule(reconfig_plan);
+  }
   Rng workload_rng(seed ^ 0x3c0ad5ull);
   std::string shadow;        // every append applied locally (the oracle)
   uint64_t acked_len = 0;    // durable prefix: through the last OK append
@@ -165,7 +193,7 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
                    "append " + std::to_string(k) + " stalled for " +
                        std::to_string((cluster.sim.Now() - t0) / 1000000) +
                        "ms",
-                   plan);
+                   schedule);
       return;
     }
     if (st.ok()) {
@@ -183,26 +211,32 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
         AddViolation(result, seed, "fault-budget",
                      "append failed kUnavailable with only " +
                          std::to_string(faulty) + " faulty member(s)",
-                     plan);
+                     schedule);
         return;
       }
     } else {
       AddViolation(result, seed, "liveness",
                    "append " + std::to_string(k) +
                        " failed: " + st.ToString(),
-                   plan);
+                   schedule);
       return;
     }
     break;
   }
   result->stats.faults_injected += engine.faults_injected();
   result->stats.peers_replaced += client.peers_replaced();
+  result->stats.regions_migrated += client.regions_migrated();
   Accumulate(&result->stats, client.stats());
 
   // Crash the application: drop the file handle without releasing anything,
-  // retire transient faults (crashed peers stay crashed), and recover with
-  // a fresh client.
+  // retire planned operations and transient faults (crashed peers stay
+  // crashed), and recover with a fresh client.
   file->reset();
+  if (reconfig != nullptr) {
+    result->stats.reconfig_ops_completed += reconfig->ops_completed();
+    result->stats.reconfig_ops_skipped += reconfig->ops_skipped();
+    reconfig->Quiesce();
+  }
   engine.HealAll();
   NclClient fresh(MakeConfig(options, seed * 2654435761ull + 2),
                   cluster.fabric.get(), cluster.controller.get(),
@@ -228,7 +262,7 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
                    "recovery failed (" + recovered_file.status().ToString() +
                        ") although " + std::to_string(holders) +
                        " members still hold the region",
-                   plan);
+                   schedule);
     }
     return;
   }
@@ -241,7 +275,7 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
   if (!contents.ok()) {
     AddViolation(result, seed, "oracle",
                  "recovered read failed: " + contents.status().ToString(),
-                 plan);
+                 schedule);
     return;
   }
   if (contents->size() < acked_len) {
@@ -249,7 +283,7 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
                  "acknowledged write lost: recovered " +
                      std::to_string(contents->size()) + " bytes, " +
                      std::to_string(acked_len) + " were acknowledged",
-                 plan);
+                 schedule);
     return;
   }
   if (contents->size() > shadow.size() ||
@@ -257,14 +291,14 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
     AddViolation(result, seed, "oracle",
                  "recovered " + std::to_string(contents->size()) +
                      " bytes do not match the shadow oracle prefix",
-                 plan);
+                 schedule);
     return;
   }
   // Liveness after recovery: the file must accept writes again.
   Status post = rec->Append("post-recovery");
   if (!post.ok()) {
     AddViolation(result, seed, "liveness",
-                 "post-recovery append failed: " + post.ToString(), plan);
+                 "post-recovery append failed: " + post.ToString(), schedule);
     return;
   }
   // Exercise the release path. Failures are expected when peers stayed

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/chaos/fault_plan.h"
+#include "src/reconfig/reconfig_plan.h"
 #include "src/sim/retry.h"
 
 namespace splitft {
@@ -34,6 +35,13 @@ struct CampaignOptions {
   uint64_t max_append_bytes = 512;
   // Random-schedule shape (faults per run, horizon, durations).
   RandomPlanOptions plan;
+  // Mix a seeded planned-reconfiguration schedule (peer drains with live
+  // region migration, re-activations) into every run, composing planned
+  // membership changes with the injected faults on one virtual-time line.
+  // The safety invariants are unchanged: planned operations must never
+  // lose acknowledged appends either.
+  bool with_reconfig = false;
+  ReconfigPlanOptions reconfig_plan;
   // Client-side transient-fault policy for the runs.
   RetryPolicy retry = RetryPolicy::Transient(6, Millis(8));
   // NIC-level retransmission window (RdmaParams::unreachable_retry_timeout).
@@ -61,6 +69,10 @@ struct CampaignStats {
   int recoveries_ok = 0;
   int recoveries_unavailable = 0;
   int peers_replaced = 0;
+  // Planned-reconfiguration accounting (with_reconfig runs).
+  int reconfig_ops_completed = 0;
+  int reconfig_ops_skipped = 0;
+  int regions_migrated = 0;
   // Aggregated NclStats across all runs.
   uint64_t suspect_retries = 0;
   uint64_t transient_recoveries = 0;

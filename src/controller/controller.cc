@@ -6,6 +6,16 @@
 
 namespace splitft {
 
+const char* PeerStateName(PeerState state) {
+  switch (state) {
+    case PeerState::kActive:
+      return "ACTIVE";
+    case PeerState::kDraining:
+      return "DRAINING";
+  }
+  return "UNKNOWN";
+}
+
 Controller::Controller(Simulation* sim, const SimParams* params,
                        ObsContext obs)
     : sim_(sim),
@@ -13,6 +23,7 @@ Controller::Controller(Simulation* sim, const SimParams* params,
       obs_(obs),
       c_rpcs_(obs.counter("controller.rpc.count")),
       c_rpc_timeouts_(obs.counter("controller.rpc.timeouts")),
+      c_apmap_fenced_(obs.counter("controller.apmap.fenced_writes")),
       h_rpc_ns_(obs.histogram("controller.rpc.latency_ns")) {}
 
 void Controller::ChargeRpc() {
@@ -74,20 +85,27 @@ std::string Controller::UnescapeFile(const std::string& escaped) {
   return out;
 }
 
-std::string Controller::SerializePeer(NodeId node, uint64_t bytes) {
+std::string Controller::SerializePeer(NodeId node, uint64_t bytes,
+                                      PeerState state) {
   std::string out;
   PutFixed32(&out, node);
   PutFixed64(&out, bytes);
+  out.push_back(static_cast<char>(state));
   return out;
 }
 
 bool Controller::ParsePeer(const std::string& data, NodeId* node,
-                           uint64_t* bytes) {
-  if (data.size() != 12) {
+                           uint64_t* bytes, PeerState* state) {
+  if (data.size() != 13) {
     return false;
   }
   *node = DecodeFixed32(data.data());
   *bytes = DecodeFixed64(data.data() + 4);
+  uint8_t raw = static_cast<uint8_t>(data[12]);
+  if (raw > static_cast<uint8_t>(PeerState::kDraining)) {
+    return false;
+  }
+  *state = static_cast<PeerState>(raw);
   return true;
 }
 
@@ -125,11 +143,14 @@ Status Controller::RegisterPeer(const std::string& name, NodeId node,
                                 uint64_t bytes) {
   RETURN_IF_ERROR(Rpc());
   std::string path = "/peers/" + name;
+  // (Re-)registration always lands the peer ACTIVE: a restarted peer has a
+  // fresh memory pool and any previous drain is moot.
+  std::string record = SerializePeer(node, bytes, PeerState::kActive);
   if (store_.Exists(path)) {
     // Re-registration after a peer restart replaces the record.
-    return store_.Set(path, SerializePeer(node, bytes));
+    return store_.Set(path, std::move(record));
   }
-  return store_.Create(path, SerializePeer(node, bytes));
+  return store_.Create(path, std::move(record));
 }
 
 Status Controller::UnregisterPeer(const std::string& name) {
@@ -146,10 +167,11 @@ Status Controller::UpdatePeerMemory(const std::string& name, uint64_t bytes) {
   }
   NodeId id;
   uint64_t old_bytes;
-  if (!ParsePeer(node->data, &id, &old_bytes)) {
+  PeerState state;
+  if (!ParsePeer(node->data, &id, &old_bytes, &state)) {
     return InternalError("corrupt peer record");
   }
-  return store_.Set(path, SerializePeer(id, bytes));
+  return store_.Set(path, SerializePeer(id, bytes, state));
 }
 
 void Controller::UpdatePeerMemoryAsync(const std::string& name,
@@ -162,13 +184,30 @@ void Controller::UpdatePeerMemoryAsync(const std::string& name,
   }
   NodeId id;
   uint64_t old_bytes;
-  if (!ParsePeer(node->data, &id, &old_bytes)) {
+  PeerState state;
+  if (!ParsePeer(node->data, &id, &old_bytes, &state)) {
     return;
   }
   // Async availability refreshes are fire-and-forget by design; a lost
   // update only skews the allocator's load balancing until the next one.
-  DiscardStatus(store_.Set(path, SerializePeer(id, bytes)),
+  DiscardStatus(store_.Set(path, SerializePeer(id, bytes, state)),
                 "Controller::UpdatePeerMemoryAsync");
+}
+
+Status Controller::SetPeerState(const std::string& name, PeerState state) {
+  RETURN_IF_ERROR(Rpc());
+  std::string path = "/peers/" + name;
+  auto node = store_.Get(path);
+  if (!node.ok()) {
+    return node.status();
+  }
+  NodeId id;
+  uint64_t bytes;
+  PeerState old_state;
+  if (!ParsePeer(node->data, &id, &bytes, &old_state)) {
+    return InternalError("corrupt peer record");
+  }
+  return store_.Set(path, SerializePeer(id, bytes, state));
 }
 
 Result<PeerRecord> Controller::GetPeer(const std::string& name) {
@@ -179,7 +218,7 @@ Result<PeerRecord> Controller::GetPeer(const std::string& name) {
   }
   PeerRecord rec;
   rec.name = name;
-  if (!ParsePeer(node->data, &rec.node, &rec.available_bytes)) {
+  if (!ParsePeer(node->data, &rec.node, &rec.available_bytes, &rec.state)) {
     return InternalError("corrupt peer record");
   }
   return rec;
@@ -199,8 +238,11 @@ Result<std::vector<PeerRecord>> Controller::GetPeers(
     }
     PeerRecord rec;
     rec.name = name;
-    if (!ParsePeer(node->data, &rec.node, &rec.available_bytes)) {
+    if (!ParsePeer(node->data, &rec.node, &rec.available_bytes, &rec.state)) {
       continue;
+    }
+    if (rec.state == PeerState::kDraining) {
+      continue;  // drains steer new allocations elsewhere
     }
     if (rec.available_bytes >= min_bytes) {
       candidates.push_back(std::move(rec));
@@ -257,10 +299,30 @@ Status Controller::SetApMap(const std::string& app, const std::string& file,
                             const ApMapEntry& entry) {
   RETURN_IF_ERROR(Rpc());
   std::string path = "/apps/" + app + "/files/" + EscapeFile(file);
-  if (store_.Exists(path)) {
-    return store_.Set(path, SerializeApMap(entry));
+  auto existing = store_.Get(path);
+  if (!existing.ok()) {
+    return store_.Create(path, SerializeApMap(entry));
   }
-  return store_.Create(path, SerializeApMap(entry));
+  ApMapEntry stored;
+  if (!ParseApMap(existing->data, &stored)) {
+    return InternalError("corrupt ap-map entry");
+  }
+  // Epoch fence (§4.5.1): every membership mutation must bump-then-write.
+  // A lower epoch is a stale writer racing a newer reconfiguration; an
+  // unbumped epoch with a different peer set is a protocol bug — either
+  // way the write is rejected so the old membership cannot resurface.
+  if (entry.epoch < stored.epoch) {
+    ObsAdd(c_apmap_fenced_);
+    return FailedPreconditionError("stale ap-map write fenced (epoch " +
+                                   std::to_string(entry.epoch) + " < " +
+                                   std::to_string(stored.epoch) + ")");
+  }
+  if (entry.epoch == stored.epoch && entry.peers != stored.peers) {
+    ObsAdd(c_apmap_fenced_);
+    return FailedPreconditionError(
+        "ap-map peer change without an epoch bump fenced");
+  }
+  return store_.Set(path, SerializeApMap(entry));
 }
 
 Result<ApMapEntry> Controller::GetApMap(const std::string& app,
@@ -304,6 +366,26 @@ Result<SessionId> Controller::AcquireServerLease(const std::string& app) {
     return AbortedError("another instance of " + app + " holds the lease");
   }
   return session;
+}
+
+Result<SessionId> Controller::TransferServerLease(const std::string& app,
+                                                 SessionId current) {
+  RETURN_IF_ERROR(Rpc());
+  std::string path = "/servers/" + app;
+  auto node = store_.Get(path);
+  if (!node.ok()) {
+    return FailedPreconditionError("no lease to transfer for " + app);
+  }
+  if (node->ephemeral_owner != current) {
+    return FailedPreconditionError("lease for " + app +
+                                   " is not held by the requesting session");
+  }
+  // Delete-then-create under one charged round trip models a ZooKeeper
+  // multi-op: no window exists in which a third party could slip in.
+  RETURN_IF_ERROR(store_.Delete(path));
+  SessionId successor = store_.OpenSession();
+  RETURN_IF_ERROR(store_.Create(path, "", successor));
+  return successor;
 }
 
 void Controller::ExpireSession(SessionId session) {

@@ -23,10 +23,21 @@
 
 namespace splitft {
 
+// Administrative peer lifecycle state recorded in the registry. DRAINING
+// peers stay readable (resident regions keep serving until migrated off)
+// but are skipped by GetPeers so no new region lands on them.
+enum class PeerState : uint8_t {
+  kActive = 0,
+  kDraining = 1,
+};
+
+const char* PeerStateName(PeerState state);
+
 struct PeerRecord {
   std::string name;
   NodeId node = kInvalidNode;  // fabric address for QP setup
   uint64_t available_bytes = 0;
+  PeerState state = PeerState::kActive;
 };
 
 // One ap-map entry: the peers assigned to an (application, ncl-file) pair,
@@ -54,11 +65,16 @@ class Controller {
   // Asynchronous variant: the peer fires the update without anyone
   // waiting on it (§4.3 — controller availability is a stale hint).
   void UpdatePeerMemoryAsync(const std::string& name, uint64_t bytes);
+  // Planned reconfiguration: flips the registry state of a peer. Draining
+  // peers are excluded from GetPeers, so allocations avoid them while
+  // resident regions migrate off.
+  Status SetPeerState(const std::string& name, PeerState state);
   Result<PeerRecord> GetPeer(const std::string& name);
 
   // Returns up to `n` peers whose advertised available memory is at least
-  // `min_bytes`, excluding `exclude`. The result is a *hint*: availability
-  // may be stale and a peer may reject the allocation (§4.3).
+  // `min_bytes`, excluding `exclude` and any peer marked DRAINING. The
+  // result is a *hint*: availability may be stale and a peer may reject
+  // the allocation (§4.3).
   Result<std::vector<PeerRecord>> GetPeers(size_t n, uint64_t min_bytes,
                                            const std::set<std::string>& exclude);
 
@@ -71,6 +87,12 @@ class Controller {
 
   // ---- ap-map -------------------------------------------------------------
 
+  // Writes the ap-map entry for (app, file). Mutations are epoch-fenced:
+  // a write whose epoch is below the stored entry's is a stale writer and
+  // is rejected (kFailedPrecondition), and a write that changes the peer
+  // set without bumping the epoch — a bump-then-write protocol violation —
+  // is rejected too. Identical same-epoch rewrites stay idempotent so
+  // client retries are safe.
   Status SetApMap(const std::string& app, const std::string& file,
                   const ApMapEntry& entry);
   Result<ApMapEntry> GetApMap(const std::string& app, const std::string& file);
@@ -84,6 +106,12 @@ class Controller {
   // caller succeeds; others get kAborted. Returns the session whose expiry
   // releases the lease.
   Result<SessionId> AcquireServerLease(const std::string& app);
+  // Cooperative lease handover: atomically re-creates /servers/<app> under
+  // a fresh session without waiting for the current one to expire. Fails
+  // kFailedPrecondition unless `current` actually owns the lease, so a
+  // stale predecessor cannot steal it back.
+  Result<SessionId> TransferServerLease(const std::string& app,
+                                        SessionId current);
   // Models the application process dying: its ephemeral znodes vanish.
   void ExpireSession(SessionId session);
 
@@ -111,9 +139,10 @@ class Controller {
   Status Rpc();
   static std::string EscapeFile(const std::string& file);
   static std::string UnescapeFile(const std::string& escaped);
-  static std::string SerializePeer(NodeId node, uint64_t bytes);
+  static std::string SerializePeer(NodeId node, uint64_t bytes,
+                                   PeerState state);
   static bool ParsePeer(const std::string& data, NodeId* node,
-                        uint64_t* bytes);
+                        uint64_t* bytes, PeerState* state);
   static std::string SerializeApMap(const ApMapEntry& entry);
   static bool ParseApMap(const std::string& data, ApMapEntry* entry);
 
@@ -126,6 +155,7 @@ class Controller {
   ObsContext obs_;
   Counter* c_rpcs_;
   Counter* c_rpc_timeouts_;
+  Counter* c_apmap_fenced_;
   Histogram* h_rpc_ns_;
 };
 

@@ -34,10 +34,14 @@ DfsCluster::DfsCluster(Simulation* sim, const SimParams* params,
   c_direct_reads_ = obs_.counter("dfs.client.direct_reads");
   c_background_flush_bytes_ =
       obs_.counter("dfs.client.background_flush_bytes");
+  c_rerouted_bytes_ = obs_.counter("dfs.cluster.rerouted_bytes");
+  c_replayed_bytes_ = obs_.counter("dfs.cluster.replayed_bytes");
+  c_server_restarts_ = obs_.counter("dfs.cluster.server_restarts");
   h_fsync_ns_ = obs_.histogram("dfs.client.fsync_ns");
   h_fsync_wait_ns_ = obs_.histogram("dfs.client.fsync_wait_ns");
   h_fsync_xfer_ns_ = obs_.histogram("dfs.client.fsync_xfer_ns");
   pipe_busy_.assign(num_servers_, 0);
+  replay_backlog_.assign(num_servers_, 0);
   for (int s = 0; s < num_servers_; ++s) {
     std::string prefix = "dfs.server." + std::to_string(s);
     c_server_bytes_written_.push_back(obs_.counter(prefix + ".bytes_written"));
@@ -83,20 +87,93 @@ SimTime DfsCluster::AcquirePipe(SimTime duration, bool foreground) {
   return done;
 }
 
+Status DfsCluster::TakeServerOffline(int server) {
+  if (num_servers_ == 1) {
+    return FailedPreconditionError(
+        "single-pipe dfs cannot take its only server offline");
+  }
+  if (server < 0 || server >= num_servers_) {
+    return InvalidArgumentError("no such dfs server: " +
+                                std::to_string(server));
+  }
+  if (offline_server_ == server) {
+    return FailedPreconditionError("dfs server " + std::to_string(server) +
+                                   " is already offline");
+  }
+  if (offline_server_ >= 0) {
+    return FailedPreconditionError(
+        "dfs server " + std::to_string(offline_server_) +
+        " is still offline; restarts roll one server at a time");
+  }
+  offline_server_ = server;
+  return OkStatus();
+}
+
+Status DfsCluster::BringServerOnline(int server) {
+  if (server < 0 || server >= num_servers_) {
+    return InvalidArgumentError("no such dfs server: " +
+                                std::to_string(server));
+  }
+  if (offline_server_ != server) {
+    return FailedPreconditionError("dfs server " + std::to_string(server) +
+                                   " is not offline");
+  }
+  offline_server_ = -1;
+  ObsAdd(c_server_restarts_);
+  uint64_t backlog = replay_backlog_[server];
+  replay_backlog_[server] = 0;
+  if (backlog == 0) {
+    return OkStatus();
+  }
+  // Replay the missed writes as one background transfer on the returned
+  // server's own pipe: it catches up without stalling foreground traffic
+  // on the other servers.
+  const DfsParams& dfs = params_->dfs;
+  SimTime leg = dfs.stripe_server_base +
+                static_cast<SimTime>(static_cast<double>(backlog) /
+                                     dfs.write_bytes_per_ns);
+  SimTime start = std::max(sim_->Now(), pipe_busy_[server]);
+  SimTime done = start + leg;
+  pipe_busy_[server] = done;
+  ObsAdd(c_server_bytes_written_[server], backlog);
+  ObsAdd(c_server_ops_[server]);
+  ObsAdd(c_replayed_bytes_, backlog);
+  if (obs_.tracer != nullptr && obs_.tracer->enabled()) {
+    obs_.tracer->AddAsyncSpan(server_write_span_[server], start, done);
+  }
+  return OkStatus();
+}
+
 SimTime DfsCluster::FanOut(const std::vector<uint64_t>& shares,
                            SimTime client_base, SimTime server_base,
                            double bytes_per_ns, bool foreground, bool is_write,
                            SimTime* ideal_ns) {
+  // Route around an offline server: its stripe shares go to the next
+  // online server's pipe; missed write bytes accrue as replay backlog.
+  const std::vector<uint64_t>* routed = &shares;
+  std::vector<uint64_t> rerouted;
+  if (offline_server_ >= 0 && shares[offline_server_] > 0) {
+    rerouted = shares;
+    uint64_t moved = rerouted[offline_server_];
+    int fallback = (offline_server_ + 1) % num_servers_;
+    rerouted[fallback] += moved;
+    rerouted[offline_server_] = 0;
+    ObsAdd(c_rerouted_bytes_, moved);
+    if (is_write) {
+      replay_backlog_[offline_server_] += moved;
+    }
+    routed = &rerouted;
+  }
   SimTime now = sim_->Now();
   SimTime dispatch = now + client_base;
   SimTime completion = dispatch;
   SimTime longest_leg = 0;
   for (int s = 0; s < num_servers_; ++s) {
-    if (shares[s] == 0) {
+    if ((*routed)[s] == 0) {
       continue;
     }
     SimTime leg = server_base +
-                  static_cast<SimTime>(static_cast<double>(shares[s]) /
+                  static_cast<SimTime>(static_cast<double>((*routed)[s]) /
                                        bytes_per_ns);
     longest_leg = std::max(longest_leg, leg);
     SimTime start = std::max(dispatch, pipe_busy_[s]);
@@ -104,7 +181,7 @@ SimTime DfsCluster::FanOut(const std::vector<uint64_t>& shares,
     pipe_busy_[s] = done;
     completion = std::max(completion, done);
     ObsAdd(is_write ? c_server_bytes_written_[s] : c_server_bytes_read_[s],
-           shares[s]);
+           (*routed)[s]);
     ObsAdd(c_server_ops_[s]);
     if (obs_.tracer != nullptr && obs_.tracer->enabled()) {
       obs_.tracer->AddAsyncSpan(

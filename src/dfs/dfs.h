@@ -74,6 +74,23 @@ class DfsCluster {
   // One server's pipe horizon (tests / diagnostics).
   SimTime server_busy_until(int server) const { return pipe_busy_[server]; }
 
+  // ---- Rolling server restart (planned reconfiguration) -------------------
+
+  // Takes one striped object server offline for a planned restart: FanOut
+  // reroutes its stripe shares to the next online server and accrues a
+  // write-replay backlog for the absent one. Only one server may be
+  // offline at a time (the "rolling" guarantee) and the single-pipe model
+  // (num_servers == 1) has no server to spare — both are
+  // kFailedPrecondition.
+  Status TakeServerOffline(int server);
+  // Returns the server to service and replays its accrued write backlog as
+  // a background transfer on its own pipe.
+  Status BringServerOnline(int server);
+  // The currently offline server, or -1.
+  int offline_server() const { return offline_server_; }
+  // Write bytes awaiting replay on an offline server (tests/diagnostics).
+  uint64_t replay_backlog(int server) const { return replay_backlog_[server]; }
+
  private:
   friend class DfsClient;
   friend class DfsFile;
@@ -112,6 +129,10 @@ class DfsCluster {
   uint64_t stripe_size_;
   std::map<std::string, DurableFile> files_;
   std::vector<SimTime> pipe_busy_;  // one horizon per server
+  // Rolling-restart state: at most one server offline, with the write
+  // bytes it missed (replayed on return) tracked per server.
+  int offline_server_ = -1;
+  std::vector<uint64_t> replay_backlog_;
   IoTraceSink* trace_ = nullptr;
 
   // Owns the registry when constructed without one, so the obs counters
@@ -129,6 +150,11 @@ class DfsCluster {
   Counter* c_readahead_misses_;
   Counter* c_direct_reads_;
   Counter* c_background_flush_bytes_;
+  // Rolling-restart accounting: bytes rerouted around an offline server,
+  // bytes replayed when it returned, and completed restart cycles.
+  Counter* c_rerouted_bytes_;
+  Counter* c_replayed_bytes_;
+  Counter* c_server_restarts_;
   Histogram* h_fsync_ns_;
   // Pipe-wait vs transfer split of each fsync's latency, so stall time is
   // attributable in bench JSON (wait = completion - now - queue-free

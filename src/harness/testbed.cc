@@ -27,7 +27,7 @@ Testbed::Testbed(TestbedOptions options)
   for (int i = 0; i < options_.num_peers; ++i) {
     auto peer = std::make_unique<LogPeer>("peer-" + std::to_string(i),
                                           &fabric_, &controller_,
-                                          options_.peer_memory);
+                                          options_.peer_memory, obs_);
     // A fresh peer registering with a healthy controller cannot fail; a
     // failure here would silently shrink the cluster under every test.
     CHECK_OK(peer->Start());

@@ -35,10 +35,18 @@ struct State {
   // Set while a replacement was recorded in the ap-map but not caught up
   // (only reachable with bug_apmap_before_catchup): index+1 of that peer.
   int8_t pending_catchup = 0;
+  // Planned migration in progress: source member and target spare
+  // (index+1, 0 = none) plus the write count captured by the snapshot
+  // copy. The target holds the snapshot prefix but is *not* a member
+  // until cutover.
+  int8_t mig_src = 0;
+  int8_t mig_dst = 0;
+  int8_t mig_snapshot = 0;
+  int8_t migrations = 0;
 
   std::string Encode() const {
     std::string out;
-    out.reserve(peers.size() * 7 + 8);
+    out.reserve(peers.size() * 7 + 12);
     for (const Peer& p : peers) {
       out.push_back(static_cast<char>(p.alive));
       out.push_back(static_cast<char>(p.holds));
@@ -55,6 +63,10 @@ struct State {
     out.push_back(static_cast<char>(peer_crashes));
     out.push_back(static_cast<char>(app_crashes));
     out.push_back(static_cast<char>(pending_catchup));
+    out.push_back(static_cast<char>(mig_src));
+    out.push_back(static_cast<char>(mig_dst));
+    out.push_back(static_cast<char>(mig_snapshot));
+    out.push_back(static_cast<char>(migrations));
     return out;
   }
 };
@@ -93,6 +105,20 @@ class Checker {
     if (seen_.insert(std::move(key)).second) {
       queue_.push_back(std::move(s));
     }
+  }
+
+  // Abandons an in-flight migration: the target's snapshot region is
+  // reclaimed (epoch GC) and it returns to the spare pool.
+  static void AbortMigration(State* t) {
+    if (t->mig_dst != 0) {
+      Peer& dst = t->peers[t->mig_dst - 1];
+      if (dst.alive && !dst.member) {
+        dst.holds = false;
+        dst.complete_prefix = true;
+        dst.base = dst.data_upto = dst.seq_upto = 0;
+      }
+    }
+    t->mig_src = t->mig_dst = t->mig_snapshot = 0;
   }
 
   void Violate(const std::string& what) {
@@ -181,6 +207,12 @@ class Checker {
         if (t.pending_catchup == static_cast<int8_t>(i) + 1) {
           t.pending_catchup = 0;
         }
+        if (t.mig_src == static_cast<int8_t>(i) + 1 ||
+            t.mig_dst == static_cast<int8_t>(i) + 1) {
+          // Crash of either endpoint mid-copy supersedes the migration
+          // (the real client detects this at cutover and aborts).
+          AbortMigration(&t);
+        }
         result_.transitions++;
         Push(std::move(t));
       }
@@ -243,12 +275,63 @@ class Checker {
       Push(std::move(t));
     }
 
+    // --- 4c. Start a planned migration (drain): snapshot-copy the region
+    // onto a spare. The target holds the prefix issued so far but is not a
+    // member; writes issued from here on are the suffix the cutover must
+    // catch up.
+    if (s.app_alive && s.mig_src == 0 && s.pending_catchup == 0 &&
+        s.migrations < config_.max_migrations) {
+      for (size_t i = 0; i < s.peers.size(); ++i) {
+        if (!s.peers[i].member || !s.peers[i].alive) {
+          continue;
+        }
+        for (size_t j = 0; j < s.peers.size(); ++j) {
+          if (s.peers[j].member || !s.peers[j].alive || s.peers[j].holds) {
+            continue;  // target: alive spare without a stale region
+          }
+          State t = s;
+          Peer& np = t.peers[j];
+          np.holds = true;
+          np.complete_prefix = true;
+          np.base = np.data_upto = np.seq_upto = s.issued;
+          t.mig_src = static_cast<int8_t>(i) + 1;
+          t.mig_dst = static_cast<int8_t>(j) + 1;
+          t.mig_snapshot = s.issued;
+          result_.transitions++;
+          Push(std::move(t));
+          break;  // one spare choice suffices (spares are symmetric)
+        }
+      }
+    }
+
+    // --- 4d. Cut a migration over: the target replaces the source in the
+    // ap-map. Safe protocol: the suffix issued since the snapshot is caught
+    // up (from the app's local buffer) *before* the membership change. The
+    // injected bug cuts over with the stale snapshot prefix.
+    if (s.app_alive && s.mig_src != 0) {
+      State t = s;
+      if (!config_.bug_migrate_stale_cutover) {
+        Peer& np = t.peers[t.mig_dst - 1];
+        np.complete_prefix = true;
+        np.base = np.data_upto = np.seq_upto = s.issued;
+      }
+      t.peers[t.mig_src - 1].member = false;
+      t.peers[t.mig_dst - 1].member = true;
+      t.mig_src = t.mig_dst = t.mig_snapshot = 0;
+      t.migrations++;
+      result_.transitions++;
+      Push(std::move(t));
+    }
+
     // --- 5. The app crashes. ----------------------------------------------
     if (s.app_alive && s.app_crashes < config_.max_app_crashes) {
       State t = s;
       t.app_alive = false;
       t.app_crashes++;
       t.pending_catchup = 0;
+      // An in-flight migration dies with the app; the target region is
+      // not in the ap-map, so recovery ignores it and the GC frees it.
+      AbortMigration(&t);
       result_.transitions++;
       Push(std::move(t));
     }

@@ -18,7 +18,11 @@
 //   * bug_apmap_before_catchup — replacement peer recorded in the ap-map
 //                                before being caught up;
 //   * bug_skip_recovery_catchup — lagging peers not caught up before the
-//                                 recovered data is externalized.
+//                                 recovered data is externalized;
+//   * bug_migrate_stale_cutover — a planned migration cuts the ap-map over
+//                                 to the target with only the snapshot-copy
+//                                 prefix, skipping the suffix catch-up
+//                                 (DESIGN.md §13's fencing argument).
 #ifndef SRC_MODELCHECK_MODEL_H_
 #define SRC_MODELCHECK_MODEL_H_
 
@@ -33,9 +37,14 @@ struct McConfig {
   int max_writes = 3;        // writes the application issues
   int max_peer_crashes = 1;
   int max_app_crashes = 2;
+  // Planned reconfigurations: live-region migrations (drain) the app may
+  // run concurrently with writes and crashes. 0 keeps the pre-migration
+  // state space.
+  int max_migrations = 0;
   bool bug_seq_before_data = false;
   bool bug_apmap_before_catchup = false;
   bool bug_skip_recovery_catchup = false;
+  bool bug_migrate_stale_cutover = false;
   uint64_t max_states = 10'000'000;  // exploration cap
 };
 

@@ -31,6 +31,7 @@ NclClient::NclClient(NclConfig config, Fabric* fabric, Controller* controller,
       c_record_bytes_(obs.counter("ncl.record.bytes")),
       c_peers_replaced_(obs.counter("ncl.client.peers_replaced")),
       c_suffix_reposts_(obs.counter("ncl.client.suffix_reposts")),
+      c_regions_migrated_(obs.counter("ncl.client.regions_migrated")),
       g_inflight_(obs.gauge("ncl.append.inflight")),
       h_record_ns_(obs.histogram("ncl.record.latency_ns")),
       h_recover_ns_(obs.histogram("ncl.recover.latency_ns")) {}
@@ -392,12 +393,42 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
   return out;
 }
 
+Status NclClient::MigrateOffPeer(const std::string& peer_name) {
+  // Snapshot the registry: a migration never opens or closes files, but
+  // iterating a copy keeps the loop robust against future re-entrancy.
+  std::vector<NclFile*> files = open_files_;
+  Status first_error = OkStatus();
+  for (NclFile* file : files) {
+    if (file->deleted_) {
+      continue;
+    }
+    for (NclFile::PeerSlot& slot : file->slots_) {
+      if (!slot.alive || slot.peer_name != peer_name) {
+        continue;
+      }
+      Status st = file->MigrateSlot(&slot);
+      if (st.code() == StatusCode::kAborted) {
+        continue;  // superseded by a crash-driven replacement: nothing to do
+      }
+      if (!st.ok() && first_error.ok()) {
+        first_error = st;
+      }
+    }
+  }
+  return first_error;
+}
+
 // ------------------------------------------------------------------- File --
 
 NclFile::NclFile(NclClient* client, std::string name, uint64_t capacity)
-    : client_(client), name_(std::move(name)), capacity_(capacity) {}
+    : client_(client), name_(std::move(name)), capacity_(capacity) {
+  client_->open_files_.push_back(this);
+}
 
-NclFile::~NclFile() = default;
+NclFile::~NclFile() {
+  auto& files = client_->open_files_;
+  files.erase(std::remove(files.begin(), files.end(), this), files.end());
+}
 
 int NclFile::alive_peers() const {
   int alive = 0;
@@ -667,6 +698,11 @@ void NclFile::PruneWindow() {
     if (slot.alive) {
       min_acked = std::min(min_acked, slot.acked_seq);
     }
+  }
+  if (migrating_) {
+    // A migration target (not yet a member, so not in slots_) is being
+    // caught up by suffix rounds; keep its gap coverable too.
+    min_acked = std::min(min_acked, migrate_acked_floor_);
   }
   size_t cap = std::max<size_t>(
       32, 4 * static_cast<size_t>(
@@ -1118,6 +1154,149 @@ Status NclFile::ReplaceSlot(PeerSlot* slot) {
   RETURN_IF_ERROR(WriteApMap());
   client->peers_replaced_++;
   ObsAdd(client->c_peers_replaced_);
+  return OkStatus();
+}
+
+Status NclFile::AwaitSlotDrain(PeerSlot* slot) {
+  Simulation* sim = client_->fabric_->sim();
+  bool failed = false;
+  bool ok = sim->RunUntilPredicate([&] {
+    Completion c;
+    while (slot->qp->PollCq(&c)) {
+      if (c.status != WcStatus::kSuccess) {
+        failed = true;
+        return true;
+      }
+      if (!slot->inflight.empty() && slot->inflight.front().first == c.wr_id) {
+        uint64_t committed = slot->inflight.front().second;
+        slot->inflight.pop_front();
+        if (committed > 0) {
+          slot->acked_seq = committed;
+        }
+      }
+    }
+    return slot->inflight.empty();
+  });
+  if (!ok || failed) {
+    return UnavailableError("transfer to " + slot->peer_name + " failed");
+  }
+  return OkStatus();
+}
+
+Status NclFile::MigrateSlot(PeerSlot* slot) {
+  NclClient* client = client_;
+  ObsSpan span(client->obs_.tracer, "ncl.migrate_slot");
+  if (deleted_) {
+    return FailedPreconditionError("ncl file was deleted: " + name_);
+  }
+  if (migrating_) {
+    return FailedPreconditionError("a migration is already in progress for " +
+                                   name_);
+  }
+  if (!slot->alive) {
+    return FailedPreconditionError(
+        "cannot migrate a dead slot; ReplaceSlot handles failures");
+  }
+  const std::string source_name = slot->peer_name;
+  migrating_ = true;
+  migrate_acked_floor_ = 0;
+  struct MigrationGuard {
+    NclFile* file;
+    ~MigrationGuard() {
+      file->migrating_ = false;
+      file->migrate_acked_floor_ = 0;
+    }
+  } guard{this};
+
+  // Bump-then-write (§4.5.1): the new epoch fences the outgoing membership
+  // — a straggling ap-map write carrying the old peer set is rejected by
+  // the controller once the cutover lands.
+  auto epoch = client->RetryControllerRpc(
+      [&] { return client->controller_->BumpAppEpoch(client->config_.app_id); });
+  if (!epoch.ok()) {
+    return epoch.status();
+  }
+  epoch_ = *epoch;
+  const uint64_t my_epoch = epoch_;
+
+  // The target must be outside the current membership entirely (including
+  // the source: the point is to move the region elsewhere).
+  std::set<std::string> exclude;
+  for (const PeerSlot& s : slots_) {
+    exclude.insert(s.peer_name);
+  }
+  auto got = client->AllocateOnFreshPeer(name_, NclRegionBytes(capacity_),
+                                         epoch_, exclude);
+  if (!got.ok()) {
+    return got.status();
+  }
+  auto [peer, grant] = *got;
+
+  PeerSlot fresh;
+  fresh.peer_name = peer->name();
+  fresh.peer = peer;
+  fresh.node = peer->node();
+  fresh.rkey = grant.rkey;
+  fresh.qp = std::make_unique<QueuePair>(client->fabric_, client->node_,
+                                         peer->node(),
+                                         client->MarkConnected(peer->node()));
+  fresh.alive = true;
+
+  // Phase 1: snapshot copy. Appends re-entering through simulation events
+  // while the copy is in flight keep landing on the *old* membership, so
+  // nothing is lost; the target just falls behind the tail.
+  uint64_t snapshot = seq_;
+  Status copied = BulkCatchUp(&fresh, fresh.rkey);
+  if (!copied.ok()) {
+    return copied;  // target region leaks until the epoch GC reclaims it
+  }
+  fresh.acked_seq = snapshot;
+  migrate_acked_floor_ = fresh.acked_seq;
+
+  // Phase 2: suffix catch-up rounds. Each round ships only (acked, seq_]
+  // from the window history (the PruneWindow floor keeps it coverable), so
+  // the remaining gap shrinks toward the per-round append arrival rate —
+  // this is what bounds the cutover window under sustained traffic. A
+  // pruned-past-the-gap straggler falls back to another snapshot copy.
+  for (int round = 0; fresh.acked_seq < seq_; ++round) {
+    if (round >= 64) {
+      return UnavailableError("migration catch-up on " + name_ +
+                              " did not converge");
+    }
+    if (PostSuffix(&fresh)) {
+      RETURN_IF_ERROR(AwaitSlotDrain(&fresh));
+    } else {
+      snapshot = seq_;
+      RETURN_IF_ERROR(BulkCatchUp(&fresh, fresh.rkey));
+      fresh.acked_seq = snapshot;
+    }
+    migrate_acked_floor_ = fresh.acked_seq;
+  }
+
+  // A crash-driven ReplaceSlot may have interleaved with the copy (it runs
+  // from re-entrant WaitFor calls): it bumped the epoch and rewrote the
+  // membership. Our cutover would then be an unbumped write — exactly what
+  // the controller fences — so detect the supersession and stand down. The
+  // abandoned target region is reclaimed by the epoch GC.
+  if (epoch_ != my_epoch || slot->peer_name != source_name || !slot->alive) {
+    return AbortedError("migration of " + name_ + " off " + source_name +
+                        " superseded by a concurrent membership change");
+  }
+
+  // Phase 3: atomic cutover. From here on the ap-map names the target; the
+  // old region is released (its rkey dies with the recycle), so any stale
+  // write to the old peer fails at the fabric.
+  LogPeer* old_peer = slot->peer;
+  *slot = std::move(fresh);
+  ever_used_.insert(slot->peer_name);
+  RefreshPeerNames();
+  RETURN_IF_ERROR(WriteApMap());
+  if (old_peer != nullptr && old_peer->alive()) {
+    DiscardStatus(old_peer->Release(client->config_.app_id, name_),
+                  "NclFile::MigrateSlot release of source region");
+  }
+  client->regions_migrated_++;
+  ObsAdd(client->c_regions_migrated_);
   return OkStatus();
 }
 

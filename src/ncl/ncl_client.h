@@ -182,6 +182,19 @@ class NclClient {
   // True if an ap-map entry exists for the file.
   bool Exists(const std::string& file);
 
+  // Planned reconfiguration: migrates every live region this client has on
+  // `peer_name` (across all open ncl files) onto fresh peers, using the
+  // epoch-fenced snapshot-copy + suffix catch-up + ap-map cutover protocol
+  // (DESIGN.md §13). Appends may keep flowing while a migration runs; the
+  // cutover only commits once the target acked the full tail. A migration
+  // superseded by a concurrent membership change (e.g. the source peer
+  // crashed mid-copy and was replaced) is skipped, not an error. Returns
+  // the first hard failure, OkStatus otherwise.
+  Status MigrateOffPeer(const std::string& peer_name);
+
+  // Regions moved by completed slot migrations (planned drains).
+  int regions_migrated() const { return regions_migrated_; }
+
   const NclConfig& config() const { return config_; }
   const ObsContext& obs() const { return obs_; }
   // Deprecated: prefer the "ncl.recover.*" trace spans (same windows).
@@ -252,6 +265,11 @@ class NclClient {
   RecoveryBreakdown last_recovery_;
   NclStats stats_;
   int peers_replaced_ = 0;
+  int regions_migrated_ = 0;
+  // Open files, registration order (a vector, not a pointer-keyed set:
+  // iteration order must not depend on heap addresses — determinism).
+  // Maintained by NclFile's ctor/dtor; MigrateOffPeer walks it.
+  std::vector<NclFile*> open_files_;
 
   ObsContext obs_;
   Counter* c_release_failures_;
@@ -264,6 +282,7 @@ class NclClient {
   Counter* c_record_bytes_;
   Counter* c_peers_replaced_;
   Counter* c_suffix_reposts_;
+  Counter* c_regions_migrated_;
   Gauge* g_inflight_;
   Histogram* h_record_ns_;
   Histogram* h_recover_ns_;
@@ -412,6 +431,17 @@ class NclFile {
   // updates the ap-map (§4.5.2). On success the slot is alive and fully
   // caught up.
   Status ReplaceSlot(PeerSlot* slot);
+  // Planned migration of a *live* slot's region to a fresh peer while
+  // appends keep flowing: epoch bump, snapshot bulk copy, suffix catch-up
+  // rounds (PostSuffix on the not-yet-member target) until the target acked
+  // the current tail, then the atomic ap-map cutover. Returns kAborted if
+  // a concurrent membership change (crash-driven replacement) superseded
+  // the migration — the abandoned target region is reclaimed by the epoch
+  // GC.
+  Status MigrateSlot(PeerSlot* slot);
+  // Pumps only `slot`'s CQ until its inflight queue drains; kUnavailable on
+  // a WR failure or a stalled fabric.
+  Status AwaitSlotDrain(PeerSlot* slot);
   // Bulk-writes the current buffer + header into (rkey on slot's QP) and
   // waits for completion.
   Status BulkCatchUp(PeerSlot* slot, RKey rkey);
@@ -443,6 +473,11 @@ class NclFile {
   // from the recovery peer instead of the local buffer (Fig 11a variant).
   bool serve_reads_locally_ = true;
   int recovery_slot_ = -1;
+  // A slot migration is in progress: PruneWindow keeps history down to
+  // migrate_acked_floor_ (the target's acked tail) so the catch-up rounds
+  // can ship suffixes instead of full-state reposts while appends race.
+  bool migrating_ = false;
+  uint64_t migrate_acked_floor_ = 0;
 };
 
 }  // namespace splitft

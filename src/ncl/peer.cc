@@ -8,17 +8,25 @@
 namespace splitft {
 
 LogPeer::LogPeer(std::string name, Fabric* fabric, Controller* controller,
-                 uint64_t lend_bytes)
+                 uint64_t lend_bytes, ObsContext obs)
     : name_(std::move(name)),
       fabric_(fabric),
       controller_(controller),
       lend_bytes_(lend_bytes),
-      available_bytes_(lend_bytes) {
+      available_bytes_(lend_bytes),
+      obs_(obs) {
+  // Per-peer instruments, "ncl.peer.<name>.*" (same per-instance naming as
+  // the dfs per-server counters).
+  std::string prefix = "ncl.peer." + name_;
+  g_state_ = obs_.gauge(prefix + ".state");
+  g_regions_ = obs_.gauge(prefix + ".regions_resident");
   node_ = fabric_->AddNode(name_);
+  UpdateGauges();
 }
 
 Status LogPeer::Start() {
   alive_ = true;
+  UpdateGauges();
   return controller_->RegisterPeer(name_, node_, available_bytes_);
 }
 
@@ -27,6 +35,29 @@ Status LogPeer::CheckAlive() const {
     return UnavailableError("log peer " + name_ + " is down");
   }
   return OkStatus();
+}
+
+void LogPeer::UpdateGauges() {
+  LogPeerState state = LogPeerState::kDead;
+  if (alive_) {
+    state = draining_ ? LogPeerState::kDraining : LogPeerState::kActive;
+  }
+  ObsSet(g_state_, static_cast<int64_t>(state));
+  ObsSet(g_regions_, static_cast<int64_t>(mr_map_.size()));
+}
+
+Status LogPeer::StartDrain() {
+  RETURN_IF_ERROR(CheckAlive());
+  draining_ = true;
+  UpdateGauges();
+  return controller_->SetPeerState(name_, PeerState::kDraining);
+}
+
+Status LogPeer::EndDrain() {
+  RETURN_IF_ERROR(CheckAlive());
+  draining_ = false;
+  UpdateGauges();
+  return controller_->SetPeerState(name_, PeerState::kActive);
 }
 
 void LogPeer::ChargeRpc() {
@@ -76,6 +107,12 @@ Result<AllocationGrant> LogPeer::AllocateInternal(
     if (clone_existing) {
       region_bytes = it->second.region_bytes;
     }
+  } else if (draining_) {
+    // A draining peer declines fresh regions (the controller filter should
+    // already have steered the allocator away; this catches stale hints).
+    // Staged catch-up for regions the peer still holds is fine.
+    return ResourceExhaustedError("peer " + name_ +
+                                  " is draining; no new regions");
   } else if (it != mr_map_.end()) {
     // Fresh creation over a stale entry: free the old region first.
     RecycleRegion(it->second.rkey, it->second.region_bytes);
@@ -133,6 +170,7 @@ Result<AllocationGrant> LogPeer::AllocateInternal(
   entry.epoch = epoch;
   entry.allocated_at = fabric_->sim()->Now();
   mr_map_[key] = entry;
+  UpdateGauges();
   return AllocationGrant{*rkey, region_bytes};
 }
 
@@ -185,6 +223,7 @@ Status LogPeer::Release(const std::string& app, const std::string& file) {
     available_bytes_ += it->second.region_bytes;
   }
   mr_map_.erase(it);
+  UpdateGauges();
   UpdateAvailabilityOnController();
   return OkStatus();
 }
@@ -227,16 +266,19 @@ Status LogPeer::Revoke(const std::string& app, const std::string& file) {
   }
   lend_bytes_ -= std::min(lend_bytes_, it->second.region_bytes);
   mr_map_.erase(it);
+  UpdateGauges();
   UpdateAvailabilityOnController();
   return OkStatus();
 }
 
 void LogPeer::Crash() {
   alive_ = false;
+  draining_ = false;
   mr_map_.clear();  // the mr-map lives in (volatile) peer memory
   free_regions_.clear();
   available_bytes_ = lend_bytes_;
   fabric_->CrashNode(node_);
+  UpdateGauges();
   // A crashed peer cannot update the controller; its stale registration
   // remains until it restarts or an operator removes it.
 }
@@ -244,6 +286,8 @@ void LogPeer::Crash() {
 Status LogPeer::Restart() {
   fabric_->RestartNode(node_);
   alive_ = true;
+  draining_ = false;  // RegisterPeer re-lands the registry record ACTIVE
+  UpdateGauges();
   return controller_->RegisterPeer(name_, node_, available_bytes_);
 }
 
@@ -302,6 +346,7 @@ int LogPeer::RunLeakGc(SimTime min_age) {
     }
   }
   if (freed > 0) {
+    UpdateGauges();
     UpdateAvailabilityOnController();
   }
   return freed;

@@ -13,6 +13,7 @@
 
 #include "src/common/status.h"
 #include "src/controller/controller.h"
+#include "src/obs/obs.h"
 #include "src/rdma/fabric.h"
 
 namespace splitft {
@@ -24,11 +25,21 @@ struct AllocationGrant {
   uint64_t region_bytes = 0;
 };
 
+// Lifecycle state reported through the "ncl.peer.<name>.state" gauge so
+// operators can watch a drain progress. Values are the gauge encoding.
+enum class LogPeerState : int {
+  kActive = 0,
+  kDraining = 1,
+  kDead = 2,
+};
+
 class LogPeer {
  public:
   // `lend_bytes` is how much spare memory this node contributes to the pool.
+  // `obs` wires the per-peer state / regions_resident gauges into a shared
+  // registry; defaulted so infrastructure-only tests need no registry.
   LogPeer(std::string name, Fabric* fabric, Controller* controller,
-          uint64_t lend_bytes);
+          uint64_t lend_bytes, ObsContext obs = {});
 
   // Registers the peer on the controller. Must be called before the peer
   // can be handed to applications.
@@ -37,8 +48,20 @@ class LogPeer {
   const std::string& name() const { return name_; }
   NodeId node() const { return node_; }
   bool alive() const { return alive_; }
+  bool draining() const { return draining_; }
   uint64_t available_bytes() const { return available_bytes_; }
   size_t active_regions() const { return mr_map_.size(); }
+
+  // ---- Planned drain (reconfiguration) -----------------------------------
+
+  // Marks the peer DRAINING here and on the controller: new region
+  // allocations are rejected locally (belt and braces — GetPeers already
+  // filters draining peers) while resident regions keep serving until the
+  // application migrates them off. Staged catch-up allocations for regions
+  // the peer already holds remain allowed.
+  Status StartDrain();
+  // Returns the peer to ACTIVE (a cancelled or completed drain).
+  Status EndDrain();
 
   // ---- Control-plane RPCs from ncl-lib (charge setup RPC latency) --------
 
@@ -126,6 +149,9 @@ class LogPeer {
                                            uint64_t epoch, bool staging,
                                            bool clone_existing);
   void UpdateAvailabilityOnController();
+  // Refreshes the state / regions_resident gauges after any lifecycle or
+  // mr-map mutation.
+  void UpdateGauges();
 
   std::string name_;
   Fabric* fabric_;
@@ -134,9 +160,14 @@ class LogPeer {
   uint64_t lend_bytes_;
   uint64_t available_bytes_;
   bool alive_ = false;
+  bool draining_ = false;
   std::map<MrKey, MrEntry> mr_map_;
   // Recycled (pinned, registered) regions by size.
   std::multimap<uint64_t, RKey> free_regions_;
+
+  ObsContext obs_;
+  Gauge* g_state_ = nullptr;
+  Gauge* g_regions_ = nullptr;
 };
 
 }  // namespace splitft

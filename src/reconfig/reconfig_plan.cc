@@ -1,0 +1,81 @@
+#include "src/reconfig/reconfig_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace splitft {
+
+std::string_view ReconfigKindName(ReconfigKind kind) {
+  switch (kind) {
+    case ReconfigKind::kPeerDrain:
+      return "peer-drain";
+    case ReconfigKind::kPeerActivate:
+      return "peer-activate";
+    case ReconfigKind::kLeaseHandover:
+      return "lease-handover";
+    case ReconfigKind::kDfsRestart:
+      return "dfs-restart";
+  }
+  return "unknown";
+}
+
+ReconfigPlan ReconfigPlan::Random(uint64_t seed,
+                                  const ReconfigPlanOptions& options) {
+  Rng rng(seed);
+  ReconfigPlan plan;
+  for (int i = 0; i < options.num_events; ++i) {
+    ReconfigEvent ev;
+    ev.at = static_cast<SimTime>(
+        rng.Uniform(static_cast<uint64_t>(options.horizon)));
+    ev.peer = static_cast<int>(rng.Uniform(options.num_peers));
+    if (options.num_dfs_servers > 1) {
+      ev.server = static_cast<int>(rng.Uniform(options.num_dfs_servers));
+    }
+    ev.duration = static_cast<SimTime>(rng.UniformRange(
+        static_cast<uint64_t>(options.min_duration),
+        static_cast<uint64_t>(options.max_duration)));
+    // Weighted pick: drains dominate (they exercise the epoch-fenced
+    // migration path), activates pair with them, handovers and dfs restarts
+    // only when the cluster has the machinery for them. The draw is taken
+    // unconditionally so disabling a kind does not shift later events.
+    uint64_t pick = rng.Uniform(8);
+    bool want_dfs = options.num_dfs_servers > 1 && ev.server >= 0;
+    if (pick < 3) {
+      ev.kind = ReconfigKind::kPeerDrain;
+    } else if (pick < 5) {
+      ev.kind = ReconfigKind::kPeerActivate;
+    } else if (pick < 6 && options.lease_handover) {
+      ev.kind = ReconfigKind::kLeaseHandover;
+    } else if (want_dfs) {
+      ev.kind = ReconfigKind::kDfsRestart;
+    } else {
+      ev.kind = ReconfigKind::kPeerActivate;
+    }
+    plan.Add(ev);
+  }
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const ReconfigEvent& a, const ReconfigEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+std::string ReconfigPlan::Describe() const {
+  std::ostringstream out;
+  for (const ReconfigEvent& ev : events_) {
+    out << "  +" << (static_cast<double>(ev.at) / 1e6) << "ms "
+        << ReconfigKindName(ev.kind);
+    if (ev.kind == ReconfigKind::kPeerDrain ||
+        ev.kind == ReconfigKind::kPeerActivate) {
+      out << " peer=" << ev.peer;
+    }
+    if (ev.kind == ReconfigKind::kDfsRestart) {
+      out << " server=" << ev.server
+          << " dur=" << (static_cast<double>(ev.duration) / 1e6) << "ms";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace splitft

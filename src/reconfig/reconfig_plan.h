@@ -1,0 +1,77 @@
+// ReconfigPlan: a schedule of *planned* reconfiguration operations to run
+// against a live cluster while application traffic keeps flowing. Same
+// idiom as chaos FaultPlan — deterministic authored plans for tests, seeded
+// random plans for campaigns, times relative to the scheduling moment — so
+// planned and unplanned events compose in one campaign schedule.
+#ifndef SRC_RECONFIG_RECONFIG_PLAN_H_
+#define SRC_RECONFIG_RECONFIG_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/simulation.h"
+
+namespace splitft {
+
+// The planned-operations model (DESIGN.md §13): peers drain and re-join,
+// the single-instance lease moves cooperatively, and striped dfs servers
+// restart one at a time.
+enum class ReconfigKind {
+  kPeerDrain,      // mark DRAINING, migrate live regions off (epoch-fenced)
+  kPeerActivate,   // end an earlier drain; peer accepts allocations again
+  kLeaseHandover,  // cooperative single-instance lease transfer (§4.7)
+  kDfsRestart,     // one striped dfs server offline for `duration`
+};
+
+std::string_view ReconfigKindName(ReconfigKind kind);
+
+struct ReconfigEvent {
+  SimTime at = 0;  // start time, relative to scheduling
+  ReconfigKind kind = ReconfigKind::kPeerDrain;
+  int peer = -1;         // target log-peer index (drain/activate)
+  int server = -1;       // target dfs object-server index (restart)
+  SimTime duration = 0;  // dfs offline window (restart only)
+};
+
+struct ReconfigPlanOptions {
+  int num_events = 4;
+  int num_peers = 5;
+  // Striped dfs width for random restarts; 0 leaves dfs restarts out of
+  // random plans (single-pipe clusters have no server to spare).
+  int num_dfs_servers = 0;
+  // Include cooperative lease handovers in random plans.
+  bool lease_handover = true;
+  // Events start uniformly over [0, horizon).
+  SimTime horizon = Millis(200);
+  // Dfs offline window bounds.
+  SimTime min_duration = Micros(500);
+  SimTime max_duration = Millis(10);
+};
+
+class ReconfigPlan {
+ public:
+  ReconfigPlan& Add(ReconfigEvent event) {
+    events_.push_back(event);
+    return *this;
+  }
+
+  // Seeded random schedule; (seed, options) fully determines the plan so
+  // campaign failures reproduce exactly.
+  static ReconfigPlan Random(uint64_t seed, const ReconfigPlanOptions& options);
+
+  const std::vector<ReconfigEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // Human-readable schedule, printed when an invariant fails.
+  std::string Describe() const;
+
+ private:
+  std::vector<ReconfigEvent> events_;
+};
+
+}  // namespace splitft
+
+#endif  // SRC_RECONFIG_RECONFIG_PLAN_H_

@@ -286,6 +286,33 @@ Status SplitFs::Start() {
   return OkStatus();
 }
 
+Status SplitFs::HandOverLease() {
+  if (lease_ == kNoSession) {
+    return FailedPreconditionError("no server lease held for " +
+                                   ncl_->config().app_id);
+  }
+  // Retried through outage windows like Start(): the transfer is a normal
+  // controller RPC. A kFailedPrecondition (someone else owns the lease —
+  // our session expired underneath us) is permanent.
+  const RetryPolicy& policy = ncl_->config().retry;
+  Rng rng(ncl_->config().rng_seed ^ 0x4a0d0ull);
+  Simulation* sim = controller_->sim();
+  RetryState state(&policy, sim->Now());
+  auto successor =
+      controller_->TransferServerLease(ncl_->config().app_id, lease_);
+  while (!successor.ok() &&
+         successor.status().code() == StatusCode::kTimedOut &&
+         state.ShouldRetry(sim->Now())) {
+    sim->RunUntil(sim->Now() + state.NextBackoff(&rng));
+    successor = controller_->TransferServerLease(ncl_->config().app_id, lease_);
+  }
+  if (!successor.ok()) {
+    return successor.status();
+  }
+  lease_ = *successor;
+  return OkStatus();
+}
+
 Result<std::unique_ptr<SplitFile>> SplitFs::Open(
     const std::string& path, const SplitOpenOptions& options) {
   if (options.fine_grained) {

@@ -108,6 +108,16 @@ class SplitFs {
   // another live instance of this application holds it.
   Status Start();
 
+  // Cooperative lease handover (planned reconfiguration): transfers the
+  // single-instance lease to a successor session on the controller without
+  // waiting for expiry, then adopts the successor session as this
+  // instance's own — modeling the restarted process inheriting the lease
+  // with zero unleased window. kFailedPrecondition if no lease is held.
+  Status HandOverLease();
+
+  // The current lease session (kNoSession when not started).
+  SessionId lease() const { return lease_; }
+
   Result<std::unique_ptr<SplitFile>> Open(const std::string& path,
                                           const SplitOpenOptions& options);
 

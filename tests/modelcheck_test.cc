@@ -77,6 +77,32 @@ TEST(ModelCheckTest, LargerFaultBudgetAlsoSafe) {
   EXPECT_FALSE(result.violation_found) << result.violation;
 }
 
+TEST(ModelCheckTest, PlannedMigrationIsSafe) {
+  // The epoch-fenced drain protocol: snapshot copy, catch-up to the full
+  // tail, then cutover. Composed with writes and crashes it must preserve
+  // every externalized write.
+  McConfig config = SmallConfig();
+  config.max_migrations = 1;
+  McResult result = CheckNcl(config);
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_TRUE(result.exhausted) << "state space not fully explored";
+  // Migrations enlarge the space beyond the no-migration run.
+  McResult base = CheckNcl(SmallConfig());
+  EXPECT_GT(result.states_explored, base.states_explored);
+}
+
+TEST(ModelCheckTest, StaleCutoverBugIsCaught) {
+  // Cutting over to the snapshot without catching the target up to the
+  // tail written during the copy loses acknowledged writes once enough of
+  // the old membership dies.
+  McConfig config = SmallConfig();
+  config.max_migrations = 1;
+  config.bug_migrate_stale_cutover = true;
+  McResult result = CheckNcl(config);
+  EXPECT_TRUE(result.violation_found)
+      << "checker missed the stale-snapshot cutover bug";
+}
+
 TEST(ModelCheckTest, StateCapRespected) {
   McConfig config = SmallConfig();
   config.max_states = 100;
