@@ -19,10 +19,12 @@ namespace {
 HarnessResult Run(bench::Reporter* reporter, DurabilityMode mode,
                   bool batching, int ncl_window, uint64_t target_ops) {
   Testbed testbed;
-  auto server = testbed.MakeServer(
-      "ab-batch-" + std::string(DurabilityModeName(mode)) +
-          (batching ? "-b" : "-nb") + "-w" + std::to_string(ncl_window),
-      mode, 32ull << 20, ncl_window);
+  std::string id = "ab-batch-" + std::string(DurabilityModeName(mode)) +
+                   (batching ? "-b" : "-nb") + "-w" +
+                   std::to_string(ncl_window);
+  auto server = testbed.MakeServer(id, {.mode = mode,
+                                        .ncl_capacity = 32ull << 20,
+                                        .ncl_window = ncl_window});
   KvStoreOptions options;
   options.mode = mode;
   auto store = testbed.StartKvStore(server.get(), options);

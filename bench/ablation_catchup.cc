@@ -30,7 +30,7 @@ CatchupCost Run(bool diff_mode, double stale_fraction) {
   const uint64_t kLog = bench::SmokeFromEnv() ? 4ull << 20 : 16ull << 20;
   std::string lagging_peer;
   {
-    auto server = testbed.MakeServer(app, DurabilityMode::kSplitFt);
+    auto server = testbed.MakeServer(app);
     NclConfig& config = const_cast<NclConfig&>(server->fs->ncl()->config());
     config.eager_peer_replacement = false;  // keep the lagging peer
     SplitOpenOptions opts;
@@ -70,7 +70,7 @@ CatchupCost Run(bool diff_mode, double stale_fraction) {
 
   uint64_t w0 = testbed.fabric()->stats().write_bytes;
   uint64_t r0 = testbed.fabric()->stats().read_bytes;
-  auto server = testbed.MakeServer(app, DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer(app);
   const_cast<NclConfig&>(server->fs->ncl()->config()).diff_catchup =
       diff_mode;
   SplitOpenOptions opts;

@@ -31,7 +31,7 @@ enum class Placement { kDfsSync, kNclWhole, kSplit };
 double RunPlacement(Placement placement) {
   Testbed testbed;
   std::string app = "ab-fg-" + std::to_string(static_cast<int>(placement));
-  auto server = testbed.MakeServer(app, DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer(app);
 
   SplitOpenOptions opts;
   switch (placement) {

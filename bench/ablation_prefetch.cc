@@ -16,7 +16,7 @@ double ConsumeLog(uint64_t log_bytes, uint64_t read_size, bool prefetch) {
   std::string app = "ab-prefetch-" + std::to_string(log_bytes) +
                     (prefetch ? "-p" : "-n") + std::to_string(read_size);
   {
-    auto server = testbed.MakeServer(app, DurabilityMode::kSplitFt);
+    auto server = testbed.MakeServer(app);
     SplitOpenOptions opts;
     opts.oncl = true;
     opts.ncl_capacity = log_bytes + (1 << 20);
@@ -32,7 +32,7 @@ double ConsumeLog(uint64_t log_bytes, uint64_t read_size, bool prefetch) {
     testbed.CrashServer(server.get());
   }
   testbed.sim()->RunUntilIdle();
-  auto server = testbed.MakeServer(app, DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer(app);
   const_cast<NclConfig&>(server->fs->ncl()->config()).prefetch_on_recovery =
       prefetch;
   SimTime t0 = testbed.sim()->Now();

@@ -18,8 +18,8 @@ void RunBudget(bench::Reporter* reporter, int f) {
   testbed_options.fault_budget = f;
   Testbed testbed(testbed_options);
 
-  auto server = testbed.MakeServer("ab-quorum-" + std::to_string(f),
-                                   DurabilityMode::kSplitFt, 32ull << 20);
+  auto server = testbed.MakeServer(
+      "ab-quorum-" + std::to_string(f), {.ncl_capacity = 32ull << 20});
   KvStoreOptions options;
   options.mode = DurabilityMode::kSplitFt;
   auto store = testbed.StartKvStore(server.get(), options);

@@ -23,8 +23,10 @@ int main() {
     // Window 1 forces the synchronous quorum round per append, so the
     // measured number is the committed per-write cost the §4.4 scheme pays
     // (the pipelined overlap is ablated separately in ablation_batching).
-    auto server = testbed.MakeServer("ab-seq", DurabilityMode::kSplitFt,
-                                     64ull << 20, /*ncl_window=*/1);
+    auto server = testbed.MakeServer(
+        "ab-seq",
+        {.ncl_capacity = 64ull << 20,
+         .ncl_window = /*ncl_window=*/1});
     SplitOpenOptions opts;
     opts.oncl = true;
     opts.ncl_capacity = 16 << 20;

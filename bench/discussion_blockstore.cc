@@ -40,8 +40,7 @@ double LocalFsSeries(Testbed* testbed, uint64_t size, bool sync_each) {
 
 double NclSeries(Testbed* testbed, uint64_t size) {
   const int kOps = Ops();
-  auto server = testbed->MakeServer("rbd-ncl-" + std::to_string(size),
-                                    DurabilityMode::kSplitFt);
+  auto server = testbed->MakeServer("rbd-ncl-" + std::to_string(size));
   SplitOpenOptions opts;
   opts.oncl = true;
   opts.ncl_capacity = static_cast<uint64_t>(kOps) * size + (1 << 20);

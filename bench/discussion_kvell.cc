@@ -31,7 +31,8 @@ Point Run(bench::Reporter* reporter, DurabilityMode mode) {
 
   Point point{};
   {
-    auto server = testbed.MakeServer(app, mode, 16 << 20);
+    auto server = testbed.MakeServer(
+        app, {.mode = mode, .ncl_capacity = 16 << 20});
     auto store = KvellMini::Open(server->fs.get(), testbed.sim(),
                                  &testbed.params(), options);
     if (!store.ok()) {
@@ -57,7 +58,8 @@ Point Run(bench::Reporter* reporter, DurabilityMode mode) {
     testbed.CrashServer(server.get());
   }
   testbed.sim()->RunUntilIdle();
-  auto server = testbed.MakeServer(app, mode, 16 << 20);
+  auto server = testbed.MakeServer(
+      app, {.mode = mode, .ncl_capacity = 16 << 20});
   SimTime t0 = testbed.sim()->Now();
   auto store = KvellMini::Open(server->fs.get(), testbed.sim(),
                                &testbed.params(), options);

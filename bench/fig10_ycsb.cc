@@ -22,7 +22,8 @@ double RunCell(bench::Reporter* reporter, App app, DurabilityMode mode,
                YcsbWorkloadKind kind) {
   Testbed testbed;
   std::string id = "fig10";
-  auto server = testbed.MakeServer(id, mode, 64ull << 20);
+  auto server = testbed.MakeServer(
+      id, {.mode = mode, .ncl_capacity = 64ull << 20});
   std::unique_ptr<StorageApp> storage;
   uint64_t records = reporter->Iters(40000, 2000);
   int clients = 20;

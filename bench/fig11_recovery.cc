@@ -67,7 +67,8 @@ void SectionA(bench::Reporter* reporter) {
                         std::to_string(size);
       {
         auto server =
-            testbed.MakeServer(app, DurabilityMode::kSplitFt, kReadFileBytes + (1 << 20));
+            testbed.MakeServer(
+                app, {.ncl_capacity = kReadFileBytes + (1 << 20)});
         SplitOpenOptions opts;
         opts.oncl = true;
         opts.ncl_capacity = kReadFileBytes + (1 << 20);
@@ -84,7 +85,7 @@ void SectionA(bench::Reporter* reporter) {
         testbed.CrashServer(server.get());
       }
       testbed.sim()->RunUntilIdle();
-      auto server = testbed.MakeServer(app, DurabilityMode::kSplitFt);
+      auto server = testbed.MakeServer(app);
       NclConfig& config = const_cast<NclConfig&>(server->fs->ncl()->config());
       config.prefetch_on_recovery = prefetch;
       SplitOpenOptions opts;
@@ -236,7 +237,8 @@ void SectionB(bench::Reporter* reporter) {
     std::string app = std::string("fig11b-") + app_tag + "-" +
                       std::string(DurabilityModeName(mode));
     {
-      auto server = testbed.MakeServer(app, mode, kLogBytes + (8 << 20));
+      auto server = testbed.MakeServer(
+          app, {.mode = mode, .ncl_capacity = kLogBytes + (8 << 20)});
       if (!open_app(&testbed, server.get(), mode, /*recovering=*/false)) {
         return m;
       }
@@ -247,7 +249,8 @@ void SectionB(bench::Reporter* reporter) {
       testbed.CrashServer(server.get());
     }
     testbed.sim()->RunUntilIdle();
-    auto server = testbed.MakeServer(app, mode, kLogBytes + (8 << 20));
+    auto server = testbed.MakeServer(
+        app, {.mode = mode, .ncl_capacity = kLogBytes + (8 << 20)});
     auto before = testbed.tracer()->Snapshot();
     SimTime t0 = testbed.sim()->Now();
     if (!open_app(&testbed, server.get(), mode, /*recovering=*/true)) {

@@ -19,8 +19,7 @@ int main() {
   TestbedOptions testbed_options;
   testbed_options.num_peers = 6;  // 3 assigned + spares for replacement
   Testbed testbed(testbed_options);
-  auto server = testbed.MakeServer("fig12", DurabilityMode::kSplitFt,
-                                   64ull << 20);
+  auto server = testbed.MakeServer("fig12", {.ncl_capacity = 64ull << 20});
   KvStoreOptions options;
   options.mode = DurabilityMode::kSplitFt;
   // Paper-scale log: a 64 MB WAL region (Table 3 measures a 60 MB one) and

@@ -49,8 +49,7 @@ int main() {
   testbed_options.num_peers = 6;   // 3 assigned + spares for migration
   testbed_options.dfs_servers = 3;  // striped, so restarts can roll
   Testbed testbed(testbed_options);
-  auto server = testbed.MakeServer("fig13", DurabilityMode::kSplitFt,
-                                   64ull << 20);
+  auto server = testbed.MakeServer("fig13", {.ncl_capacity = 64ull << 20});
   KvStoreOptions options;
   options.mode = DurabilityMode::kSplitFt;
   options.memtable_bytes = 8 << 20;

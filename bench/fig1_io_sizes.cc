@@ -96,7 +96,10 @@ int main() {
     IoTraceSink trace;
     testbed.dfs_cluster()->set_trace(&trace);
     auto server =
-        testbed.MakeServer("kv-fig1", DurabilityMode::kStrong, 32ull << 20);
+        testbed.MakeServer(
+            "kv-fig1",
+            {.mode = DurabilityMode::kStrong,
+             .ncl_capacity = 32ull << 20});
     KvStoreOptions options;
     options.mode = DurabilityMode::kStrong;
     options.memtable_bytes = 1 << 20;
@@ -112,8 +115,10 @@ int main() {
     IoTraceSink trace;
     testbed.dfs_cluster()->set_trace(&trace);
     auto server =
-        testbed.MakeServer("redis-fig1", DurabilityMode::kStrong,
-                           32ull << 20);
+        testbed.MakeServer(
+            "redis-fig1",
+            {.mode = DurabilityMode::kStrong,
+             .ncl_capacity = 32ull << 20});
     RedisOptions options;
     options.mode = DurabilityMode::kStrong;
     options.aof_rewrite_bytes = 1 << 20;
@@ -129,7 +134,10 @@ int main() {
     IoTraceSink trace;
     testbed.dfs_cluster()->set_trace(&trace);
     auto server =
-        testbed.MakeServer("sql-fig1", DurabilityMode::kStrong, 32ull << 20);
+        testbed.MakeServer(
+            "sql-fig1",
+            {.mode = DurabilityMode::kStrong,
+             .ncl_capacity = 32ull << 20});
     SqliteLiteOptions options;
     options.mode = DurabilityMode::kStrong;
     options.wal_capacity = 512 << 10;

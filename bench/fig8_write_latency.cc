@@ -81,9 +81,10 @@ SeriesResult NclSeries(Testbed* testbed, uint64_t size, uint64_t max_ops,
   uint64_t ops = std::min(max_ops, kFileBytes / size);
   std::string tag =
       std::to_string(size) + "-w" + std::to_string(ncl_window);
-  auto server = testbed->MakeServer("fig8-ncl-" + tag,
-                                    DurabilityMode::kSplitFt,
-                                    64ull << 20, ncl_window);
+  auto server = testbed->MakeServer(
+      "fig8-ncl-" + tag,
+      {.ncl_capacity = 64ull << 20,
+       .ncl_window = ncl_window});
   SplitOpenOptions opts;
   opts.oncl = true;
   opts.ncl_capacity = ops * size + (1 << 20);

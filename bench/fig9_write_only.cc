@@ -27,7 +27,8 @@ HarnessResult RunPoint(App app, DurabilityMode mode, int clients,
   Testbed testbed(testbed_options);
   std::string id = std::string("fig9-") + std::to_string(static_cast<int>(app)) +
                    "-" + std::string(DurabilityModeName(mode));
-  auto server = testbed.MakeServer(id, mode, 64ull << 20);
+  auto server = testbed.MakeServer(
+      id, {.mode = mode, .ncl_capacity = 64ull << 20});
   std::unique_ptr<StorageApp> storage;
   switch (app) {
     case App::kKv: {

@@ -18,7 +18,9 @@ HarnessResult RunMode(bench::Reporter* reporter, DurabilityMode mode,
                       uint64_t target_ops) {
   Testbed testbed;
   auto server = testbed.MakeServer(
-      "kv-" + std::string(DurabilityModeName(mode)), mode, 32ull << 20);
+      "kv-" + std::string(DurabilityModeName(mode)),
+      {.mode = mode,
+       .ncl_capacity = 32ull << 20});
   KvStoreOptions options;
   options.mode = mode;
   auto store = testbed.StartKvStore(server.get(), options);

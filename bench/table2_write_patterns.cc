@@ -100,7 +100,10 @@ int main() {
     IoTraceSink trace;
     testbed.dfs_cluster()->set_trace(&trace);
     auto server =
-        testbed.MakeServer("kv-trace", DurabilityMode::kStrong, 32ull << 20);
+        testbed.MakeServer(
+            "kv-trace",
+            {.mode = DurabilityMode::kStrong,
+             .ncl_capacity = 32ull << 20});
     KvStoreOptions options;
     options.mode = DurabilityMode::kStrong;
     options.memtable_bytes = 256 << 10;
@@ -119,8 +122,10 @@ int main() {
     IoTraceSink trace;
     testbed.dfs_cluster()->set_trace(&trace);
     auto server =
-        testbed.MakeServer("redis-trace", DurabilityMode::kStrong,
-                           32ull << 20);
+        testbed.MakeServer(
+            "redis-trace",
+            {.mode = DurabilityMode::kStrong,
+             .ncl_capacity = 32ull << 20});
     RedisOptions options;
     options.mode = DurabilityMode::kStrong;
     options.aof_rewrite_bytes = 512 << 10;
@@ -139,7 +144,10 @@ int main() {
     IoTraceSink trace;
     testbed.dfs_cluster()->set_trace(&trace);
     auto server =
-        testbed.MakeServer("sql-trace", DurabilityMode::kStrong, 32ull << 20);
+        testbed.MakeServer(
+            "sql-trace",
+            {.mode = DurabilityMode::kStrong,
+             .ncl_capacity = 32ull << 20});
     SqliteLiteOptions options;
     options.mode = DurabilityMode::kStrong;
     options.wal_capacity = 256 << 10;

@@ -17,7 +17,7 @@ int main() {
   bench::Title("Table 3: peer-replacement latency breakdown (60 MB log)");
 
   Testbed testbed;
-  auto server = testbed.MakeServer("table3", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("table3");
   SplitOpenOptions opts;
   opts.oncl = true;
   opts.ncl_capacity = log_bytes + (1 << 20);

@@ -20,7 +20,7 @@ int main() {
   std::vector<KvWrite> acked;
 
   {
-    auto server = testbed.MakeServer("kv-example", DurabilityMode::kSplitFt);
+    auto server = testbed.MakeServer("kv-example");
     KvStoreOptions options;
     options.mode = DurabilityMode::kSplitFt;
     auto store = testbed.StartKvStore(server.get(), options);
@@ -63,7 +63,7 @@ int main() {
   }
   testbed.sim()->RunUntilIdle();
 
-  auto server = testbed.MakeServer("kv-example", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("kv-example");
   KvStoreOptions options;
   options.mode = DurabilityMode::kSplitFt;
   SimTime t0 = testbed.sim()->Now();

@@ -16,7 +16,7 @@ int main() {
   testbed_options.num_peers = 6;
   Testbed testbed(testbed_options);
 
-  auto server = testbed.MakeServer("drill", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("drill");
   SplitOpenOptions opts;
   opts.oncl = true;
   opts.ncl_capacity = 1 << 20;

@@ -20,14 +20,15 @@ int main() {
 
   // A simulated datacenter: 4 compute nodes lending spare memory as log
   // peers, a ZooKeeper-like controller, and a CephFS-like dfs.
-  Testbed testbed;
+  TestbedOptions testbed_options;
+  testbed_options.tracing = true;  // for the recovery phase breakdown below
+  Testbed testbed(testbed_options);
   std::printf("cluster: %d log peers, each lending %s of spare memory\n",
               testbed.num_peers(), HumanBytes(4ull << 30).c_str());
 
   // --- Incarnation 1: an application server writes a durable log. -------
   {
-    auto server = testbed.MakeServer("quickstart-app",
-                                     DurabilityMode::kSplitFt);
+    auto server = testbed.MakeServer("quickstart-app");
     SplitOpenOptions opts;
     opts.oncl = true;             // the paper's O_NCL open flag
     opts.ncl_capacity = 1 << 20;  // reserve 1 MiB per peer for this log
@@ -64,7 +65,7 @@ int main() {
 
   // --- Incarnation 2: restart (possibly on different hardware) and
   // recover everything from the log peers' memory. -----------------------
-  auto server = testbed.MakeServer("quickstart-app", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("quickstart-app");
   std::printf("restarted; ncl files recorded on the controller:\n");
   for (const std::string& file : server->fs->ncl()->ListFiles()) {
     std::printf("  %s\n", file.c_str());
@@ -81,13 +82,18 @@ int main() {
   std::printf("recovered %s of log:\n  %s\n",
               HumanBytes((*wal)->Size()).c_str(), contents->c_str());
 
-  const RecoveryBreakdown& breakdown = server->fs->ncl()->last_recovery();
+  // The tracer's "ncl.recover.*" phase spans are the recovery breakdown.
+  const auto& spans = testbed.tracer()->aggregates();
+  auto phase_time = [&](const char* name) {
+    auto it = spans.find(name);
+    return it == spans.end() ? SimTime{0} : it->second.total;
+  };
   std::printf("recovery breakdown: get-peers=%s connect=%s rdma-read=%s "
               "sync-peers=%s\n",
-              HumanDuration(breakdown.get_peers).c_str(),
-              HumanDuration(breakdown.connect).c_str(),
-              HumanDuration(breakdown.rdma_read).c_str(),
-              HumanDuration(breakdown.sync_peers).c_str());
+              HumanDuration(phase_time("ncl.recover.get_peers")).c_str(),
+              HumanDuration(phase_time("ncl.recover.connect")).c_str(),
+              HumanDuration(phase_time("ncl.recover.rdma_read")).c_str(),
+              HumanDuration(phase_time("ncl.recover.sync_peers")).c_str());
   std::printf("\nall acknowledged writes survived the crash. done.\n");
   return 0;
 }

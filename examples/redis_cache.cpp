@@ -14,8 +14,7 @@ int main() {
   std::printf("== mini-Redis on SplitFT ==\n\n");
   Testbed testbed;
   {
-    auto server = testbed.MakeServer("redis-example",
-                                     DurabilityMode::kSplitFt);
+    auto server = testbed.MakeServer("redis-example");
     RedisOptions options;
     options.mode = DurabilityMode::kSplitFt;
     options.aof_rewrite_bytes = 1 << 20;  // force an AOF rewrite mid-run
@@ -48,7 +47,7 @@ int main() {
   }
   testbed.sim()->RunUntilIdle();
 
-  auto server = testbed.MakeServer("redis-example", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("redis-example");
   RedisOptions options;
   options.mode = DurabilityMode::kSplitFt;
   options.aof_rewrite_bytes = 1 << 20;

@@ -38,7 +38,7 @@ int main() {
   Testbed testbed;
   int txns = 0;
   {
-    auto server = testbed.MakeServer("ledger", DurabilityMode::kSplitFt);
+    auto server = testbed.MakeServer("ledger");
     SqliteLiteOptions options;
     options.mode = DurabilityMode::kSplitFt;
     options.wal_capacity = 64 << 10;  // small circular WAL: it will wrap
@@ -73,7 +73,7 @@ int main() {
   }
   testbed.sim()->RunUntilIdle();
 
-  auto server = testbed.MakeServer("ledger", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("ledger");
   SqliteLiteOptions options;
   options.mode = DurabilityMode::kSplitFt;
   options.wal_capacity = 64 << 10;

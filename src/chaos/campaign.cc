@@ -9,9 +9,12 @@
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/controller/controller.h"
+#include "src/ncl/connection_pool.h"
 #include "src/ncl/ncl_client.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
 #include "src/rdma/fabric.h"
 #include "src/reconfig/reconfig_engine.h"
 #include "src/sim/params.h"
@@ -24,6 +27,9 @@ namespace {
 constexpr char kFileName[] = "chaos-wal";
 
 // One run's cluster, torn down and rebuilt per seed so runs are independent.
+// The per-run MetricsRegistry is the source of truth for client fault
+// counters ("ncl.client.*"); both the workload client and the recovery
+// client land in it, and the campaign rolls it into CampaignStats.
 struct MiniCluster {
   explicit MiniCluster(const CampaignOptions& options) {
     params.rdma.unreachable_retry_timeout = options.nic_retry_window;
@@ -39,6 +45,12 @@ struct MiniCluster {
       directory.Register(peers.back().get());
     }
     app_node = fabric->AddNode("chaos-app");
+    // Both the workload client and the post-crash recovery client draw
+    // their QPs from one node-rooted pool (DESIGN.md §14), so every
+    // campaign seed exercises the pooled fabric: shared lanes, collateral
+    // flush rewrites under faults, and warm reconnects during recovery.
+    pool = std::make_unique<NclConnectionPool>(fabric.get(), app_node,
+                                               NclPoolOptions{}, Obs());
   }
 
   ChaosTargets Targets() {
@@ -54,13 +66,17 @@ struct MiniCluster {
     return t;
   }
 
+  ObsContext Obs() { return ObsContext{&metrics, nullptr}; }
+
   Simulation sim;
   SimParams params;
+  MetricsRegistry metrics;
   std::unique_ptr<Fabric> fabric;
   std::unique_ptr<Controller> controller;
   PeerDirectory directory;
   std::vector<std::unique_ptr<LogPeer>> peers;
   NodeId app_node = kInvalidNode;
+  std::unique_ptr<NclConnectionPool> pool;
 };
 
 NclConfig MakeConfig(const CampaignOptions& options, uint64_t rng_seed) {
@@ -104,14 +120,48 @@ int CountFaultyMembers(const MiniCluster& cluster, const ChaosEngine& engine,
   return faulty;
 }
 
-void Accumulate(CampaignStats* stats, const NclStats& ncl) {
-  stats->suspect_retries += ncl.suspect_retries;
-  stats->transient_recoveries += ncl.transient_recoveries;
-  stats->suffix_reposts += ncl.suffix_reposts;
-  stats->permanent_demotions += ncl.permanent_demotions;
-  stats->controller_rpc_retries += ncl.controller_rpc_retries;
-  stats->directory_lookup_retries += ncl.directory_lookup_retries;
-  stats->release_failures += ncl.release_failures;
+// Snapshot of the run registry's "ncl.client.*" fault counters. Taken
+// before and after a phase so the delta attributes counts to that phase
+// (the registry aggregates every client in the run).
+struct ClientCounters {
+  uint64_t suspect_retries = 0;
+  uint64_t transient_recoveries = 0;
+  uint64_t suffix_reposts = 0;
+  uint64_t permanent_demotions = 0;
+  uint64_t controller_rpc_retries = 0;
+  uint64_t directory_lookup_retries = 0;
+  uint64_t release_failures = 0;
+};
+
+ClientCounters ReadClientCounters(const MetricsRegistry& metrics) {
+  ClientCounters c;
+  c.suspect_retries = metrics.CounterValue("ncl.client.suspect_retries");
+  c.transient_recoveries =
+      metrics.CounterValue("ncl.client.transient_recoveries");
+  c.suffix_reposts = metrics.CounterValue("ncl.client.suffix_reposts");
+  c.permanent_demotions =
+      metrics.CounterValue("ncl.client.permanent_demotions");
+  c.controller_rpc_retries =
+      metrics.CounterValue("ncl.client.controller_rpc_retries");
+  c.directory_lookup_retries =
+      metrics.CounterValue("ncl.client.directory_lookup_retries");
+  c.release_failures = metrics.CounterValue("ncl.client.release_failures");
+  return c;
+}
+
+void Accumulate(CampaignStats* stats, const ClientCounters& now,
+                const ClientCounters& base = {}) {
+  stats->suspect_retries += now.suspect_retries - base.suspect_retries;
+  stats->transient_recoveries +=
+      now.transient_recoveries - base.transient_recoveries;
+  stats->suffix_reposts += now.suffix_reposts - base.suffix_reposts;
+  stats->permanent_demotions +=
+      now.permanent_demotions - base.permanent_demotions;
+  stats->controller_rpc_retries +=
+      now.controller_rpc_retries - base.controller_rpc_retries;
+  stats->directory_lookup_retries +=
+      now.directory_lookup_retries - base.directory_lookup_retries;
+  stats->release_failures += now.release_failures - base.release_failures;
 }
 
 }  // namespace
@@ -147,9 +197,11 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
   }
 
   result->stats.runs++;
-  NclClient client(MakeConfig(options, seed * 2654435761ull + 1),
-                   cluster.fabric.get(), cluster.controller.get(),
-                   &cluster.directory, cluster.app_node);
+  NclConfig workload_config = MakeConfig(options, seed * 2654435761ull + 1);
+  workload_config.pool = cluster.pool.get();
+  NclClient client(workload_config, cluster.fabric.get(),
+                   cluster.controller.get(), &cluster.directory,
+                   cluster.app_node, cluster.Obs());
   auto file = client.Create(kFileName);
   if (!file.ok()) {
     AddViolation(result, seed, "setup",
@@ -226,7 +278,8 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
   result->stats.faults_injected += engine.faults_injected();
   result->stats.peers_replaced += client.peers_replaced();
   result->stats.regions_migrated += client.regions_migrated();
-  Accumulate(&result->stats, client.stats());
+  ClientCounters workload_counters = ReadClientCounters(cluster.metrics);
+  Accumulate(&result->stats, workload_counters);
 
   // Crash the application: drop the file handle without releasing anything,
   // retire planned operations and transient faults (crashed peers stay
@@ -238,9 +291,11 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
     reconfig->Quiesce();
   }
   engine.HealAll();
-  NclClient fresh(MakeConfig(options, seed * 2654435761ull + 2),
-                  cluster.fabric.get(), cluster.controller.get(),
-                  &cluster.directory, cluster.app_node);
+  NclConfig recovery_config = MakeConfig(options, seed * 2654435761ull + 2);
+  recovery_config.pool = cluster.pool.get();
+  NclClient fresh(recovery_config, cluster.fabric.get(),
+                  cluster.controller.get(), &cluster.directory,
+                  cluster.app_node, cluster.Obs());
   auto recovered_file = fresh.Recover(kFileName);
   if (!recovered_file.ok()) {
     result->stats.recoveries_unavailable++;
@@ -302,11 +357,12 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
     return;
   }
   // Exercise the release path. Failures are expected when peers stayed
-  // crashed; NclStats::release_failures counts them and Accumulate below
-  // rolls them into the campaign stats.
+  // crashed; "ncl.client.release_failures" counts them and the delta
+  // accumulation below rolls them into the campaign stats.
   DiscardStatus(rec->Delete(), "chaos campaign post-recovery delete");
   result->stats.peers_replaced += fresh.peers_replaced();
-  Accumulate(&result->stats, fresh.stats());
+  Accumulate(&result->stats, ReadClientCounters(cluster.metrics),
+             workload_counters);
 }
 
 CampaignResult RunChaosCampaign(const CampaignOptions& options) {

@@ -73,7 +73,8 @@ struct CampaignStats {
   int reconfig_ops_completed = 0;
   int reconfig_ops_skipped = 0;
   int regions_migrated = 0;
-  // Aggregated NclStats across all runs.
+  // "ncl.client.*" fault counters aggregated across all runs (read from
+  // each run's MetricsRegistry).
   uint64_t suspect_retries = 0;
   uint64_t transient_recoveries = 0;
   uint64_t suffix_reposts = 0;

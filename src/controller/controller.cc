@@ -24,7 +24,38 @@ Controller::Controller(Simulation* sim, const SimParams* params,
       c_rpcs_(obs.counter("controller.rpc.count")),
       c_rpc_timeouts_(obs.counter("controller.rpc.timeouts")),
       c_apmap_fenced_(obs.counter("controller.apmap.fenced_writes")),
-      h_rpc_ns_(obs.histogram("controller.rpc.latency_ns")) {}
+      h_rpc_ns_(obs.histogram("controller.rpc.latency_ns")) {
+  int n = params_->controller.num_shards;
+  if (n < 1) {
+    n = 1;
+  }
+  shards_.resize(n);
+  c_shard_rpcs_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Shard i hands out sessions i+1, i+1+n, ...: globally unique and
+    // routable back to the shard by (session - 1) % n.
+    shards_[i].ConfigureSessionIds(static_cast<SessionId>(i) + 1,
+                                   static_cast<SessionId>(n));
+    std::string prefix = "controller.shard." + std::to_string(i);
+    c_shard_rpcs_.push_back(obs.counter(prefix + ".rpcs"));
+  }
+}
+
+int Controller::ShardIndexFor(const std::string& app) const {
+  // FNV-1a: stable across builds, unlike std::hash.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : app) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<int>(h % shards_.size());
+}
+
+ZnodeStore& Controller::ShardFor(const std::string& app) {
+  int idx = ShardIndexFor(app);
+  ObsAdd(c_shard_rpcs_[idx]);
+  return shards_[idx];
+}
 
 void Controller::ChargeRpc() {
   ObsSpan span(obs_.tracer, "controller.rpc");
@@ -146,22 +177,22 @@ Status Controller::RegisterPeer(const std::string& name, NodeId node,
   // (Re-)registration always lands the peer ACTIVE: a restarted peer has a
   // fresh memory pool and any previous drain is moot.
   std::string record = SerializePeer(node, bytes, PeerState::kActive);
-  if (store_.Exists(path)) {
+  if (registry_.Exists(path)) {
     // Re-registration after a peer restart replaces the record.
-    return store_.Set(path, std::move(record));
+    return registry_.Set(path, std::move(record));
   }
-  return store_.Create(path, std::move(record));
+  return registry_.Create(path, std::move(record));
 }
 
 Status Controller::UnregisterPeer(const std::string& name) {
   RETURN_IF_ERROR(Rpc());
-  return store_.Delete("/peers/" + name);
+  return registry_.Delete("/peers/" + name);
 }
 
 Status Controller::UpdatePeerMemory(const std::string& name, uint64_t bytes) {
   RETURN_IF_ERROR(Rpc());
   std::string path = "/peers/" + name;
-  auto node = store_.Get(path);
+  auto node = registry_.Get(path);
   if (!node.ok()) {
     return node.status();
   }
@@ -171,14 +202,14 @@ Status Controller::UpdatePeerMemory(const std::string& name, uint64_t bytes) {
   if (!ParsePeer(node->data, &id, &old_bytes, &state)) {
     return InternalError("corrupt peer record");
   }
-  return store_.Set(path, SerializePeer(id, bytes, state));
+  return registry_.Set(path, SerializePeer(id, bytes, state));
 }
 
 void Controller::UpdatePeerMemoryAsync(const std::string& name,
                                        uint64_t bytes) {
   rpc_count_++;
   std::string path = "/peers/" + name;
-  auto node = store_.Get(path);
+  auto node = registry_.Get(path);
   if (!node.ok()) {
     return;
   }
@@ -190,14 +221,14 @@ void Controller::UpdatePeerMemoryAsync(const std::string& name,
   }
   // Async availability refreshes are fire-and-forget by design; a lost
   // update only skews the allocator's load balancing until the next one.
-  DiscardStatus(store_.Set(path, SerializePeer(id, bytes, state)),
+  DiscardStatus(registry_.Set(path, SerializePeer(id, bytes, state)),
                 "Controller::UpdatePeerMemoryAsync");
 }
 
 Status Controller::SetPeerState(const std::string& name, PeerState state) {
   RETURN_IF_ERROR(Rpc());
   std::string path = "/peers/" + name;
-  auto node = store_.Get(path);
+  auto node = registry_.Get(path);
   if (!node.ok()) {
     return node.status();
   }
@@ -207,12 +238,12 @@ Status Controller::SetPeerState(const std::string& name, PeerState state) {
   if (!ParsePeer(node->data, &id, &bytes, &old_state)) {
     return InternalError("corrupt peer record");
   }
-  return store_.Set(path, SerializePeer(id, bytes, state));
+  return registry_.Set(path, SerializePeer(id, bytes, state));
 }
 
 Result<PeerRecord> Controller::GetPeer(const std::string& name) {
   RETURN_IF_ERROR(Rpc());
-  auto node = store_.Get("/peers/" + name);
+  auto node = registry_.Get("/peers/" + name);
   if (!node.ok()) {
     return node.status();
   }
@@ -228,11 +259,11 @@ Result<std::vector<PeerRecord>> Controller::GetPeers(
     size_t n, uint64_t min_bytes, const std::set<std::string>& exclude) {
   RETURN_IF_ERROR(Rpc());
   std::vector<PeerRecord> candidates;
-  for (const std::string& name : store_.Children("/peers")) {
+  for (const std::string& name : registry_.Children("/peers")) {
     if (exclude.count(name) > 0) {
       continue;
     }
-    auto node = store_.Get("/peers/" + name);
+    auto node = registry_.Get("/peers/" + name);
     if (!node.ok()) {
       continue;
     }
@@ -265,25 +296,26 @@ Result<std::vector<PeerRecord>> Controller::GetPeers(
 
 Result<uint64_t> Controller::BumpAppEpoch(const std::string& app) {
   RETURN_IF_ERROR(Rpc());
+  ZnodeStore& shard = ShardFor(app);
   std::string path = "/apps/" + app + "/epoch";
   uint64_t epoch = 1;
-  auto node = store_.Get(path);
+  auto node = shard.Get(path);
   if (node.ok()) {
     epoch = DecodeFixed64(node->data.data()) + 1;
     std::string data;
     PutFixed64(&data, epoch);
-    RETURN_IF_ERROR(store_.Set(path, std::move(data)));
+    RETURN_IF_ERROR(shard.Set(path, std::move(data)));
   } else {
     std::string data;
     PutFixed64(&data, epoch);
-    RETURN_IF_ERROR(store_.Create(path, std::move(data)));
+    RETURN_IF_ERROR(shard.Create(path, std::move(data)));
   }
   return epoch;
 }
 
 Result<uint64_t> Controller::GetAppEpoch(const std::string& app) {
   RETURN_IF_ERROR(Rpc());
-  auto node = store_.Get("/apps/" + app + "/epoch");
+  auto node = ShardFor(app).Get("/apps/" + app + "/epoch");
   if (!node.ok()) {
     return node.status();
   }
@@ -298,10 +330,11 @@ Result<uint64_t> Controller::GetAppEpoch(const std::string& app) {
 Status Controller::SetApMap(const std::string& app, const std::string& file,
                             const ApMapEntry& entry) {
   RETURN_IF_ERROR(Rpc());
+  ZnodeStore& shard = ShardFor(app);
   std::string path = "/apps/" + app + "/files/" + EscapeFile(file);
-  auto existing = store_.Get(path);
+  auto existing = shard.Get(path);
   if (!existing.ok()) {
-    return store_.Create(path, SerializeApMap(entry));
+    return shard.Create(path, SerializeApMap(entry));
   }
   ApMapEntry stored;
   if (!ParseApMap(existing->data, &stored)) {
@@ -322,13 +355,13 @@ Status Controller::SetApMap(const std::string& app, const std::string& file,
     return FailedPreconditionError(
         "ap-map peer change without an epoch bump fenced");
   }
-  return store_.Set(path, SerializeApMap(entry));
+  return shard.Set(path, SerializeApMap(entry));
 }
 
 Result<ApMapEntry> Controller::GetApMap(const std::string& app,
                                         const std::string& file) {
   RETURN_IF_ERROR(Rpc());
-  auto node = store_.Get("/apps/" + app + "/files/" + EscapeFile(file));
+  auto node = ShardFor(app).Get("/apps/" + app + "/files/" + EscapeFile(file));
   if (!node.ok()) {
     return node.status();
   }
@@ -342,7 +375,7 @@ Result<ApMapEntry> Controller::GetApMap(const std::string& app,
 Status Controller::DeleteApMap(const std::string& app,
                                const std::string& file) {
   RETURN_IF_ERROR(Rpc());
-  return store_.Delete("/apps/" + app + "/files/" + EscapeFile(file));
+  return ShardFor(app).Delete("/apps/" + app + "/files/" + EscapeFile(file));
 }
 
 std::vector<std::string> Controller::ListAppFiles(const std::string& app) {
@@ -350,7 +383,8 @@ std::vector<std::string> Controller::ListAppFiles(const std::string& app) {
     return {};  // outage: the listing RPC timed out
   }
   std::vector<std::string> out;
-  for (const std::string& child : store_.Children("/apps/" + app + "/files")) {
+  for (const std::string& child :
+       ShardFor(app).Children("/apps/" + app + "/files")) {
     out.push_back(UnescapeFile(child));
   }
   return out;
@@ -360,8 +394,9 @@ std::vector<std::string> Controller::ListAppFiles(const std::string& app) {
 
 Result<SessionId> Controller::AcquireServerLease(const std::string& app) {
   RETURN_IF_ERROR(Rpc());
-  SessionId session = store_.OpenSession();
-  Status created = store_.Create("/servers/" + app, "", session);
+  ZnodeStore& shard = ShardFor(app);
+  SessionId session = shard.OpenSession();
+  Status created = shard.Create("/servers/" + app, "", session);
   if (!created.ok()) {
     return AbortedError("another instance of " + app + " holds the lease");
   }
@@ -371,8 +406,9 @@ Result<SessionId> Controller::AcquireServerLease(const std::string& app) {
 Result<SessionId> Controller::TransferServerLease(const std::string& app,
                                                  SessionId current) {
   RETURN_IF_ERROR(Rpc());
+  ZnodeStore& shard = ShardFor(app);
   std::string path = "/servers/" + app;
-  auto node = store_.Get(path);
+  auto node = shard.Get(path);
   if (!node.ok()) {
     return FailedPreconditionError("no lease to transfer for " + app);
   }
@@ -382,15 +418,20 @@ Result<SessionId> Controller::TransferServerLease(const std::string& app,
   }
   // Delete-then-create under one charged round trip models a ZooKeeper
   // multi-op: no window exists in which a third party could slip in.
-  RETURN_IF_ERROR(store_.Delete(path));
-  SessionId successor = store_.OpenSession();
-  RETURN_IF_ERROR(store_.Create(path, "", successor));
+  RETURN_IF_ERROR(shard.Delete(path));
+  SessionId successor = shard.OpenSession();
+  RETURN_IF_ERROR(shard.Create(path, "", successor));
   return successor;
 }
 
 void Controller::ExpireSession(SessionId session) {
   // No RPC charge: session expiry is detected by ZooKeeper asynchronously.
-  store_.ExpireSession(session);
+  // Session ids are shard-namespaced (shard i hands out i+1, i+1+n, ...),
+  // so the owning shard is recovered arithmetically.
+  if (session == kNoSession) {
+    return;
+  }
+  shards_[(session - 1) % shards_.size()].ExpireSession(session);
 }
 
 }  // namespace splitft

@@ -49,9 +49,17 @@ struct ApMapEntry {
 
 class Controller {
  public:
+  // Application state (/apps epochs + ap-maps, /servers leases) is
+  // hash-partitioned by app_id across ControllerParams::num_shards znode
+  // trees so thousands of tenants do not serialize on one tree; the peer
+  // registry (/peers) stays global. Every app maps to exactly one shard and
+  // the epoch fence is per (app, file), so the fencing argument is
+  // unaffected by the shard count (DESIGN.md §14).
+  //
   // Registry keys: "controller.rpc.count" / "controller.rpc.timeouts"
-  // counters, a "controller.rpc.latency_ns" histogram, and a
-  // "controller.rpc" trace span per round trip.
+  // counters, per-shard "controller.shard.<i>.rpcs" counters, a
+  // "controller.rpc.latency_ns" histogram, and a "controller.rpc" trace
+  // span per round trip.
   Controller(Simulation* sim, const SimParams* params, ObsContext obs = {});
 
   // ---- Peer registry -----------------------------------------------------
@@ -127,12 +135,18 @@ class Controller {
   uint64_t OutageFor(SimTime duration);
 
   // Test/diagnostic access.
-  ZnodeStore& store() { return store_; }
   uint64_t rpc_count() const { return rpc_count_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // The shard index `app` hashes to (stable FNV-1a, not std::hash — the
+  // placement must be identical across processes and standard libraries).
+  int ShardIndexFor(const std::string& app) const;
   Simulation* sim() const { return sim_; }
 
  private:
   void ChargeRpc();
+  // The shard holding `app`'s /apps and /servers state; bumps the shard's
+  // RPC counter (one count per addressed operation).
+  ZnodeStore& ShardFor(const std::string& app);
   // Charges the round trip and reports kTimedOut during an outage window.
   // Every public RPC starts with RETURN_IF_ERROR(Rpc()) (or the Result
   // equivalent) so outages hit all control-plane paths uniformly.
@@ -148,7 +162,12 @@ class Controller {
 
   Simulation* sim_;
   const SimParams* params_;
-  ZnodeStore store_;
+  // Global peer registry (/peers).
+  ZnodeStore registry_;
+  // Hash-partitioned application trees (/apps, /servers), one per shard.
+  // Session ids are namespaced per shard (shard i hands out i+1, i+1+n,
+  // ...) so ExpireSession routes by (session - 1) % n.
+  std::vector<ZnodeStore> shards_;
   uint64_t rpc_count_ = 0;
   bool unavailable_ = false;
 
@@ -156,6 +175,7 @@ class Controller {
   Counter* c_rpcs_;
   Counter* c_rpc_timeouts_;
   Counter* c_apmap_fenced_;
+  std::vector<Counter*> c_shard_rpcs_;
   Histogram* h_rpc_ns_;
 };
 

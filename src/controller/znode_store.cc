@@ -4,7 +4,11 @@
 
 namespace splitft {
 
-SessionId ZnodeStore::OpenSession() { return next_session_++; }
+SessionId ZnodeStore::OpenSession() {
+  SessionId session = next_session_;
+  next_session_ += session_step_;
+  return session;
+}
 
 void ZnodeStore::ExpireSession(SessionId session) {
   if (session == kNoSession) {

@@ -30,6 +30,17 @@ struct Znode {
 
 class ZnodeStore {
  public:
+  // Session-id namespacing for sharded deployments: this store hands out
+  // ids start, start + step, start + 2*step, ... With shard i of n
+  // configured as (i + 1, n), every session id is globally unique and
+  // (id - 1) % n recovers the owning shard — what Controller::ExpireSession
+  // uses to route an expiry without a lookup. Must be called before the
+  // first OpenSession.
+  void ConfigureSessionIds(SessionId start, SessionId step) {
+    next_session_ = start;
+    session_step_ = step;
+  }
+
   // Starts a client session; ephemeral znodes created under it die with it.
   SessionId OpenSession();
   // Expires the session, deleting its ephemeral znodes (models the client
@@ -60,6 +71,7 @@ class ZnodeStore {
  private:
   std::map<std::string, Znode> nodes_;
   SessionId next_session_ = 1;
+  SessionId session_step_ = 1;
 };
 
 }  // namespace splitft

@@ -38,17 +38,43 @@ Testbed::Testbed(TestbedOptions options)
 
 Testbed::~Testbed() = default;
 
+LogPeer* Testbed::peer(int i) {
+  if (i < 0 || i >= static_cast<int>(peers_.size())) {
+    CHECK_OK(InvalidArgumentError("peer index " + std::to_string(i) +
+                                  " out of range (testbed has " +
+                                  std::to_string(peers_.size()) + " peers)"));
+  }
+  return peers_[i].get();
+}
+
+LogPeer* Testbed::peer_by_name(const std::string& name) {
+  for (const auto& peer : peers_) {
+    if (peer->name() == name) {
+      return peer.get();
+    }
+  }
+  return nullptr;
+}
+
+NclConnectionPool* Testbed::shared_pool() {
+  if (shared_pool_ == nullptr) {
+    shared_pool_ = std::make_unique<NclConnectionPool>(&fabric_, app_node_,
+                                                       NclPoolOptions{}, obs_);
+  }
+  return shared_pool_.get();
+}
+
 std::unique_ptr<AppServer> Testbed::MakeServer(const std::string& app_id,
-                                               DurabilityMode mode,
-                                               uint64_t ncl_capacity,
-                                               int ncl_window) {
+                                               ServerOptions options) {
   auto server = std::make_unique<AppServer>();
   server->app_id = app_id;
   server->dfs = std::make_unique<DfsClient>(&cluster_, app_id);
   NclConfig config;
   config.app_id = app_id;
   config.fault_budget = options_.fault_budget;
-  config.default_capacity = ncl_capacity;
+  config.default_capacity = options.ncl_capacity;
+  config.pool = options.pool;
+  int ncl_window = options.ncl_window;
   if (ncl_window == 0) {
     ncl_window = options_.ncl_window;
   }
@@ -66,7 +92,10 @@ std::unique_ptr<AppServer> Testbed::MakeServer(const std::string& app_id,
     LOG_WARNING << "MakeServer(" << app_id << "): SplitFs::Start failed: "
                 << server->start_status.ToString();
   }
-  if (mode == DurabilityMode::kWeak) {
+  bool flusher = options.dfs_flusher < 0
+                     ? options.mode == DurabilityMode::kWeak
+                     : options.dfs_flusher > 0;
+  if (flusher) {
     // Weak mode relies on the OS flusher for eventual durability.
     server->dfs->StartPeriodicFlusher();
   }

@@ -15,6 +15,7 @@
 #include "src/apps/storage_app.h"
 #include "src/controller/controller.h"
 #include "src/dfs/dfs.h"
+#include "src/ncl/connection_pool.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
 #include "src/obs/metrics.h"
@@ -44,6 +45,27 @@ struct TestbedOptions {
   // >1 overrides the striped fan-out width.
   int dfs_servers = 0;
   SimParams params;
+};
+
+// Per-server construction knobs for Testbed::MakeServer. Replaces the old
+// positional (mode, capacity, window) argument list; C++20 designated
+// initializers keep call sites self-describing:
+//   testbed.MakeServer("app", {.ncl_capacity = 1 << 20, .ncl_window = 8});
+struct ServerOptions {
+  DurabilityMode mode = DurabilityMode::kSplitFt;
+  // Content capacity for NCL-backed files created by this server.
+  uint64_t ncl_capacity = 64ull << 20;
+  // NCL in-flight append window. 0: TestbedOptions::ncl_window, then the
+  // NclConfig default.
+  int ncl_window = 0;
+  // Shared client-side connection pool (DESIGN.md §14). nullptr keeps the
+  // historical private-pool-per-server layout; pass testbed.shared_pool()
+  // to co-locate many tenants on pooled QPs carving per-tenant windows
+  // from one in-flight budget.
+  NclConnectionPool* pool = nullptr;
+  // DFS periodic-flusher override: -1 derives it from the mode (weak
+  // servers start the OS-style flusher), 0 never starts it, 1 always does.
+  int dfs_flusher = -1;
 };
 
 // One application-server process: its dfs mount, SplitFs instance, and the
@@ -81,18 +103,25 @@ class Testbed {
   Controller* controller() { return &controller_; }
   DfsCluster* dfs_cluster() { return &cluster_; }
   PeerDirectory* directory() { return &directory_; }
-  LogPeer* peer(int i) { return peers_[i].get(); }
+  // Bounds-checked index accessor: aborts on an out-of-range index instead
+  // of walking off the peer vector.
+  LogPeer* peer(int i);
+  // The registered peer named `name` ("peer-<i>"), or nullptr when absent.
+  LogPeer* peer_by_name(const std::string& name);
   int num_peers() const { return static_cast<int>(peers_.size()); }
   NodeId app_node() const { return app_node_; }
 
+  // The testbed-owned connection pool rooted at app_node(), constructed
+  // lazily on first use. Servers built with `.pool = testbed.shared_pool()`
+  // multiplex their peer QPs and share its in-flight budget — the
+  // multi-tenant layout benched by fig14 (DESIGN.md §14).
+  NclConnectionPool* shared_pool();
+
   // Builds a fresh application-server process (dfs mount + SplitFs) for
-  // `app_id`. Weak-mode servers start the periodic dfs flusher.
-  // `ncl_window` overrides the NCL in-flight append window for this server
-  // (0: TestbedOptions::ncl_window, then the NclConfig default).
+  // `app_id`. See ServerOptions for the knobs; the defaults reproduce the
+  // historical single-tenant layout.
   std::unique_ptr<AppServer> MakeServer(const std::string& app_id,
-                                        DurabilityMode mode,
-                                        uint64_t ncl_capacity = 64ull << 20,
-                                        int ncl_window = 0);
+                                        ServerOptions options = {});
 
   // App constructors on a server. The options' mode must match the server's.
   Result<std::unique_ptr<KvStore>> StartKvStore(AppServer* server,
@@ -124,6 +153,11 @@ class Testbed {
   PeerDirectory directory_;
   std::vector<std::unique_ptr<LogPeer>> peers_;
   NodeId app_node_;
+  // Lazily built by shared_pool(); declared after fabric_ (it posts on the
+  // fabric) and destroyed before it. Servers drawing from the pool must be
+  // destroyed before the testbed, which every stack-ordered test already
+  // guarantees.
+  std::unique_ptr<NclConnectionPool> shared_pool_;
 };
 
 }  // namespace splitft

@@ -34,9 +34,30 @@ NclClient::NclClient(NclConfig config, Fabric* fabric, Controller* controller,
       c_regions_migrated_(obs.counter("ncl.client.regions_migrated")),
       g_inflight_(obs.gauge("ncl.append.inflight")),
       h_record_ns_(obs.histogram("ncl.record.latency_ns")),
-      h_recover_ns_(obs.histogram("ncl.recover.latency_ns")) {}
+      h_recover_ns_(obs.histogram("ncl.recover.latency_ns")) {
+  if (config_.pool != nullptr) {
+    pool_ = config_.pool;
+  } else {
+    owned_pool_ = std::make_unique<NclConnectionPool>(fabric_, node_,
+                                                      NclPoolOptions{}, obs_);
+    pool_ = owned_pool_.get();
+  }
+  pool_->RegisterClient();
+}
 
-NclClient::~NclClient() = default;
+NclClient::~NclClient() {
+  // Sever any NclFile handles that outlive the client (an app object torn
+  // down after its crashed server was replaced): drop their pooled QPs
+  // while the pool still exists and orphan them so their destructor does
+  // not reach back into this client. An orphaned file rejects every
+  // subsequent operation with kFailedPrecondition.
+  for (NclFile* file : open_files_) {
+    file->slots_.clear();
+    file->deleted_ = true;
+    file->client_ = nullptr;
+  }
+  pool_->UnregisterClient();
+}
 
 LogPeer* NclClient::LookupPeerWithRetry(const std::string& name) {
   LogPeer* peer = directory_->Lookup(name);
@@ -46,7 +67,6 @@ LogPeer* NclClient::LookupPeerWithRetry(const std::string& name) {
   Simulation* sim = fabric_->sim();
   RetryState state(&config_.retry, sim->Now());
   while (peer == nullptr && state.ShouldRetry(sim->Now())) {
-    stats_.directory_lookup_retries++;
     ObsAdd(c_directory_lookup_retries_);
     sim->RunUntil(sim->Now() + state.NextBackoff(&rng_));
     peer = directory_->Lookup(name);
@@ -112,8 +132,7 @@ Result<std::unique_ptr<NclFile>> NclClient::Create(const std::string& file,
     slot.peer = peer;
     slot.node = peer->node();
     slot.rkey = grant.rkey;
-    slot.qp = std::make_unique<QueuePair>(fabric_, node_, peer->node(),
-                                          MarkConnected(peer->node()));
+    slot.qp = pool_->Connect(peer->node());
     out->slots_.push_back(std::move(slot));
     out->ever_used_.insert(peer->name());
   }
@@ -140,7 +159,6 @@ Result<DeleteReport> NclClient::DeleteWithReport(const std::string& file) {
         // The region leaks until the peer's epoch GC reclaims it; that is
         // tolerable, silently losing the signal is not.
         report.release_failures++;
-        stats_.release_failures++;
         ObsAdd(c_release_failures_);
         LOG_WARNING << "release of " << file << " on " << name
                     << " failed: " << released.message();
@@ -178,24 +196,20 @@ bool NclClient::Exists(const std::string& file) {
 }
 
 Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
-  last_recovery_ = RecoveryBreakdown{};
   Simulation* sim = fabric_->sim();
   SimTime recover_start = sim->Now();
 
   // The four phases are contiguous sim-time windows: each span begins
   // where the previous ended, so their durations sum exactly to the
-  // end-to-end recovery latency (asserted in ncl_test). The deprecated
-  // RecoveryBreakdown fields are filled from the same boundaries.
+  // end-to-end recovery latency (asserted in obs_test) — the Tracer's
+  // "ncl.recover.*" spans are the canonical recovery breakdown.
   ObsSpan recover_span(obs_.tracer, "ncl.recover");
 
   // Phase 1: peer list from the controller.
-  SimTime t0 = sim->Now();
   auto apmap = [&] {
     ObsSpan phase(obs_.tracer, "ncl.recover.get_peers");
-    auto r = RetryControllerRpc(
+    return RetryControllerRpc(
         [&] { return controller_->GetApMap(config_.app_id, file); });
-    last_recovery_.get_peers = sim->Now() - t0;
-    return r;
   }();
   if (!apmap.ok()) {
     return apmap.status();
@@ -203,7 +217,6 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
 
   // Phase 2: contact the peers; each either grants the region or rejects
   // (it crashed and lost its mr-map, §4.5.1).
-  t0 = sim->Now();
   std::unique_ptr<NclFile> out(new NclFile(this, file, 0));
   {
     ObsSpan phase(obs_.tracer, "ncl.recover.connect");
@@ -219,8 +232,7 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
           slot.peer = peer;
           slot.node = peer->node();
           slot.rkey = grant->rkey;
-          slot.qp = std::make_unique<QueuePair>(fabric_, node_, peer->node(),
-                                                MarkConnected(peer->node()));
+          slot.qp = pool_->Connect(peer->node());
           slot.alive = true;
           out->capacity_ = std::max(
               out->capacity_, grant->region_bytes - kNclRegionHeaderBytes);
@@ -235,11 +247,9 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
                               " of " + std::to_string(n_peers()) +
                               " peers hold " + file);
     }
-    last_recovery_.connect = sim->Now() - t0;
   }
 
   // Phase 3: read headers from all reachable peers; wait for a majority.
-  t0 = sim->Now();
   {
   ObsSpan phase(obs_.tracer, "ncl.recover.rdma_read");
   struct HeaderRead {
@@ -338,14 +348,12 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
     out->buffer_ = std::move(c.read_data);
   }
   out->serve_reads_locally_ = config_.prefetch_on_recovery;
-  last_recovery_.rdma_read = sim->Now() - t0;
   }
 
   // Phase 4: catch every reachable peer up with the recovered state via
   // the atomic staged-region switch, then replace unreachable peers, then
   // record the new ap-map. Only after this is it safe to let the
   // application act on the recovered data (§4.5.1).
-  t0 = sim->Now();
   {
     ObsSpan phase(obs_.tracer, "ncl.recover.sync_peers");
     auto epoch = RetryControllerRpc(
@@ -387,7 +395,6 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
     }
     out->RefreshPeerNames();
     RETURN_IF_ERROR(out->WriteApMap());
-    last_recovery_.sync_peers = sim->Now() - t0;
   }
   ObsRecord(h_recover_ns_, sim->Now() - recover_start);
   return out;
@@ -426,6 +433,9 @@ NclFile::NclFile(NclClient* client, std::string name, uint64_t capacity)
 }
 
 NclFile::~NclFile() {
+  if (client_ == nullptr) {
+    return;  // orphaned: the owning client was destroyed first
+  }
   auto& files = client_->open_files_;
   files.erase(std::remove(files.begin(), files.end(), this), files.end());
 }
@@ -555,9 +565,14 @@ Status NclFile::RecordAsync(uint64_t offset, std::string_view data) {
 
   // Bounded window: block until the oldest outstanding append commits once
   // `inflight_window` quorum rounds overlap. window = 1 degenerates to the
-  // fully synchronous seed behaviour (WaitFor(seq_)).
-  uint64_t window =
-      static_cast<uint64_t>(std::max(1, config.inflight_window));
+  // fully synchronous seed behaviour (WaitFor(seq_)). The configured window
+  // is further capped by the pool's per-tenant carve of the node's shared
+  // in-flight budget, so co-located tenants share the pooled send queues
+  // fairly (DESIGN.md §14); with a single registered client the carve
+  // (budget/1) is above any reasonable configured window and is a no-op.
+  uint64_t window = static_cast<uint64_t>(std::max(
+      1,
+      std::min(config.inflight_window, client_->pool_->per_client_window())));
   if (seq_ - committed_seq_ >= window) {
     return WaitFor(seq_ - window + 1);
   }
@@ -744,7 +759,6 @@ bool NclFile::PostSuffix(PeerSlot* slot) {
   for (size_t k = 0; k < ids.size(); ++k) {
     slot->inflight.emplace_back(ids[k], k + 1 == ids.size() ? seq_ : 0);
   }
-  client_->stats_.suffix_reposts++;
   ObsAdd(client_->c_suffix_reposts_);
   return true;
 }
@@ -781,7 +795,6 @@ bool NclFile::PumpCompletions() {
       // it acks the current sequence.
       slot.suspect = false;
       slot.retry.reset();
-      client_->stats_.transient_recoveries++;
       ObsAdd(client_->c_transient_recoveries_);
       if (slot.acked_seq != seq_ && !PostSuffix(&slot)) {
         PostFullState(&slot);
@@ -826,17 +839,13 @@ void NclFile::DemoteSlot(PeerSlot* slot) {
   slot->retry.reset();
   slot->inflight.clear();
   slot->qp.reset();
-  client_->stats_.permanent_demotions++;
   ObsAdd(client_->c_permanent_demotions_);
 }
 
 void NclFile::RepostSuspect(PeerSlot* slot) {
   NclClient* client = client_;
-  client->stats_.suspect_retries++;
   ObsAdd(client->c_suspect_retries_);
-  slot->qp = std::make_unique<QueuePair>(client->fabric_, client->node_,
-                                         slot->node,
-                                         client->MarkConnected(slot->node));
+  slot->qp = client->pool_->Connect(slot->node);
   // A mid-window straggler usually only misses the unacked suffix of the
   // in-flight window; ship just that. Full state is the fallback once the
   // window history no longer covers the gap.
@@ -886,7 +895,6 @@ bool NclFile::MaybeRetrySuspects() {
         DemoteSlot(&slot);
         continue;
       }
-      client_->stats_.suspect_retries++;
       ObsAdd(client_->c_suspect_retries_);
       slot.next_retry_at = sim->Now() + slot.retry->NextBackoff(&client_->rng_);
       continue;
@@ -1122,9 +1130,7 @@ Status NclFile::ReplaceSlot(PeerSlot* slot) {
   fresh.peer = peer;
   fresh.node = peer->node();
   fresh.rkey = grant.rkey;
-  fresh.qp = std::make_unique<QueuePair>(client->fabric_, client->node_,
-                                         peer->node(),
-                                         client->MarkConnected(peer->node()));
+  fresh.qp = client->pool_->Connect(peer->node());
   fresh.alive = true;
 
   if (config.unsafe_apmap_before_catchup) {
@@ -1237,9 +1243,7 @@ Status NclFile::MigrateSlot(PeerSlot* slot) {
   fresh.peer = peer;
   fresh.node = peer->node();
   fresh.rkey = grant.rkey;
-  fresh.qp = std::make_unique<QueuePair>(client->fabric_, client->node_,
-                                         peer->node(),
-                                         client->MarkConnected(peer->node()));
+  fresh.qp = client->pool_->Connect(peer->node());
   fresh.alive = true;
 
   // Phase 1: snapshot copy. Appends re-entering through simulation events
@@ -1360,7 +1364,6 @@ Status NclFile::Delete() {
       if (!released.ok()) {
         // The region leaks until the peer's epoch GC reclaims it; that is
         // tolerable, silently losing the signal is not.
-        client_->stats_.release_failures++;
         ObsAdd(client_->c_release_failures_);
         LOG_WARNING << "release of " << name_ << " on " << slot.peer_name
                     << " failed: " << released.message();

@@ -29,6 +29,7 @@
 #include "src/common/status.h"
 #include "src/controller/controller.h"
 #include "src/obs/obs.h"
+#include "src/ncl/connection_pool.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
 #include "src/ncl/region_format.h"
@@ -62,6 +63,15 @@ struct NclConfig {
   // controller's availability is a hint; peers may reject).
   int allocation_attempts = 8;
 
+  // Shared connection pool (DESIGN.md §14). When set, this client draws its
+  // peer QPs from the pool (shared with every co-located tenant on the same
+  // node) and caps its effective inflight_window at the pool's per-client
+  // carve of the shared in-flight budget. When null, the client constructs
+  // a private pool — single-tenant behaviour is then identical to the
+  // historical one-QP-per-slot layout. The pool must outlive the client and
+  // be rooted at the same fabric node passed to the constructor.
+  NclConnectionPool* pool = nullptr;
+
   // Unified transient-fault policy. The default (max_attempts = 1) keeps
   // the seed behaviour: every WR error, failed directory lookup, or
   // controller RPC failure is final. Raising max_attempts turns
@@ -91,39 +101,13 @@ struct NclConfig {
   bool test_crash_after_apmap_update = false;
 };
 
-// Client-side fault-handling counters (chaos campaigns assert on these;
-// they also surface previously-swallowed errors like Release failures).
-// Deprecated as a primary surface: the same increments mirror into the
-// ObsContext registry under "ncl.client.*". The struct remains because it
-// is per-client, whereas a testbed-owned registry aggregates all clients.
-struct NclStats {
-  // peer->Release RPCs that failed during Delete (previously swallowed).
-  uint64_t release_failures = 0;
-  // Resurrection attempts posted to suspect slots.
-  uint64_t suspect_retries = 0;
-  // Suspect slots that caught back up without being replaced.
-  uint64_t transient_recoveries = 0;
-  // Resurrections that shipped only the unacked suffix of the in-flight
-  // window instead of the full region contents.
-  uint64_t suffix_reposts = 0;
-  // Slots demoted to dead (immediately, or after policy exhaustion).
-  uint64_t permanent_demotions = 0;
-  // Controller RPCs retried after a kTimedOut (outage window).
-  uint64_t controller_rpc_retries = 0;
-  // Directory lookups retried while a setup process was unreachable.
-  uint64_t directory_lookup_retries = 0;
-};
-
-// Recovery latency breakdown (Fig 11b / Table 3 reporting).
-// Deprecated compat shim: the canonical source is now the Tracer's
-// "ncl.recover.*" phase spans, which carry the same four contiguous
-// windows (and compose with nested controller/fabric spans).
-struct RecoveryBreakdown {
-  SimTime get_peers = 0;    // controller lookups
-  SimTime connect = 0;      // QP setup + recovery lookups on peers
-  SimTime rdma_read = 0;    // header reads + region prefetch
-  SimTime sync_peers = 0;   // catch-up + atomic switch + ap-map update
-};
+// Fault-handling observability lives in the ObsContext registry/tracer,
+// not in per-client structs: "ncl.client.*" counters (release_failures,
+// suspect_retries, transient_recoveries, suffix_reposts,
+// permanent_demotions, controller_rpc_retries, directory_lookup_retries)
+// and the "ncl.recover.*" phase spans (get_peers / connect / rdma_read /
+// sync_peers — four contiguous windows summing to the end-to-end recovery
+// latency). The old NclStats / RecoveryBreakdown compat shims are gone.
 
 // Outcome of deleting an ncl file: peer-side Release is best effort (leaked
 // regions are reclaimed by the epoch GC), so callers get the tally instead
@@ -197,12 +181,9 @@ class NclClient {
 
   const NclConfig& config() const { return config_; }
   const ObsContext& obs() const { return obs_; }
-  // Deprecated: prefer the "ncl.recover.*" trace spans (same windows).
-  const RecoveryBreakdown& last_recovery() const { return last_recovery_; }
-  // Deprecated as a primary surface: mirrored into "ncl.client.*" registry
-  // counters; kept for per-client assertions.
-  const NclStats& stats() const { return stats_; }
   int peers_replaced() const { return peers_replaced_; }
+  // The connection pool in use (shared or private; never null).
+  NclConnectionPool* pool() const { return pool_; }
 
  private:
   friend class NclFile;
@@ -241,18 +222,11 @@ class NclClient {
     Simulation* sim = fabric_->sim();
     RetryState state(&config_.retry, sim->Now());
     while (RpcTimedOut(r) && state.ShouldRetry(sim->Now())) {
-      stats_.controller_rpc_retries++;
       ObsAdd(c_controller_rpc_retries_);
       sim->RunUntil(sim->Now() + state.NextBackoff(&rng_));
       r = fn();
     }
     return r;
-  }
-
-  // True once this client has connected to the node before (connection
-  // kept warm across log rotations).
-  bool MarkConnected(NodeId node) {
-    return !connected_nodes_.insert(node).second;
   }
 
   NclConfig config_;
@@ -261,9 +235,11 @@ class NclClient {
   PeerDirectory* directory_;
   NodeId node_;
   Rng rng_;
-  std::set<NodeId> connected_nodes_;
-  RecoveryBreakdown last_recovery_;
-  NclStats stats_;
+  // The connection pool QPs are drawn from: config_.pool when shared,
+  // otherwise the private owned_pool_. Connection warmth (cold handshake
+  // only for the first QP to a node) is tracked by the pool.
+  std::unique_ptr<NclConnectionPool> owned_pool_;
+  NclConnectionPool* pool_ = nullptr;
   int peers_replaced_ = 0;
   int regions_migrated_ = 0;
   // Open files, registration order (a vector, not a pointer-keyed set:
@@ -352,7 +328,7 @@ class NclFile {
     LogPeer* peer = nullptr;  // may be null if unreachable by name
     NodeId node = kInvalidNode;
     RKey rkey = 0;
-    std::unique_ptr<QueuePair> qp;
+    std::unique_ptr<PooledQp> qp;
     bool alive = true;
     // Transient-fault handling: a slot whose WR failed with kRetryExceeded
     // under an active RetryPolicy is *suspect*, not dead. It is resurrected

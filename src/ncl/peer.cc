@@ -7,21 +7,39 @@
 
 namespace splitft {
 
+namespace {
+// Default slab granularity: big enough that the paper's common 64 MiB
+// region costs the same one-time registration as the seed's per-region MR
+// setup, while thousands of small tenant regions amortize onto it.
+constexpr uint64_t kDefaultSlabBytes = 64ull << 20;
+}  // namespace
+
 LogPeer::LogPeer(std::string name, Fabric* fabric, Controller* controller,
-                 uint64_t lend_bytes, ObsContext obs)
+                 uint64_t lend_bytes, ObsContext obs, LogPeerOptions options)
     : name_(std::move(name)),
       fabric_(fabric),
       controller_(controller),
       lend_bytes_(lend_bytes),
       available_bytes_(lend_bytes),
+      options_(options),
       obs_(obs) {
   // Per-peer instruments, "ncl.peer.<name>.*" (same per-instance naming as
   // the dfs per-server counters).
   std::string prefix = "ncl.peer." + name_;
   g_state_ = obs_.gauge(prefix + ".state");
   g_regions_ = obs_.gauge(prefix + ".regions_resident");
+  g_slab_bytes_ = obs_.gauge(prefix + ".slab_bytes");
+  g_slab_used_ = obs_.gauge(prefix + ".slab_used_bytes");
   node_ = fabric_->AddNode(name_);
   UpdateGauges();
+}
+
+uint64_t LogPeer::slab_used_bytes() const {
+  uint64_t used = 0;
+  for (const Slab& slab : slabs_) {
+    used += slab.used;
+  }
+  return used;
 }
 
 Status LogPeer::Start() {
@@ -44,6 +62,8 @@ void LogPeer::UpdateGauges() {
   }
   ObsSet(g_state_, static_cast<int64_t>(state));
   ObsSet(g_regions_, static_cast<int64_t>(mr_map_.size()));
+  ObsSet(g_slab_bytes_, static_cast<int64_t>(slab_bytes_total_));
+  ObsSet(g_slab_used_, static_cast<int64_t>(slab_used_bytes()));
 }
 
 Status LogPeer::StartDrain() {
@@ -64,26 +84,89 @@ void LogPeer::ChargeRpc() {
   fabric_->sim()->Advance(fabric_->params().rdma.setup_rpc_latency);
 }
 
-void LogPeer::RecycleRegion(RKey rkey, uint64_t region_bytes) {
-  auto fresh = fabric_->RecycleRegion(node_, rkey);
-  if (fresh.ok()) {
-    free_regions_.emplace(region_bytes, *fresh);
-  } else {
-    // Recycling failed; dropping the region entirely is the fallback and
-    // deregistration of an already-dead region may legitimately fail too.
-    DiscardStatus(fabric_->DeregisterRegion(node_, rkey),
-                  "LogPeer::RecycleRegion deregister");
+Result<LogPeer::Carve> LogPeer::CarveRegion(uint64_t region_bytes) {
+  // First fit across existing slabs, index order (determinism): the pinned
+  // memory is already NIC-registered, so a hit here skips MR setup entirely
+  // (§4.3's "recycle the memory region", generalized to arbitrary sizes).
+  int slab_idx = -1;
+  uint64_t offset = 0;
+  for (int i = 0; i < static_cast<int>(slabs_.size()) && slab_idx < 0; ++i) {
+    for (const auto& [off, len] : slabs_[i].free) {
+      if (len >= region_bytes) {
+        slab_idx = i;
+        offset = off;
+        break;
+      }
+    }
   }
+  if (slab_idx < 0) {
+    // No extent fits: pin + register a fresh slab, paying the expensive MR
+    // setup once for every carve that will land in it.
+    uint64_t grain = options_.slab_bytes;
+    if (grain == 0) {
+      grain = std::min(lend_bytes_, kDefaultSlabBytes);
+    }
+    uint64_t slab_bytes = std::max(grain, region_bytes);
+    uint64_t lendable = lend_bytes_ - std::min(lend_bytes_, slab_bytes_total_);
+    slab_bytes = std::min(slab_bytes, lendable);
+    if (slab_bytes < region_bytes) {
+      return ResourceExhaustedError("peer " + name_ +
+                                    " slab pool cannot grow by " +
+                                    std::to_string(region_bytes) + " bytes");
+    }
+    fabric_->sim()->Advance(
+        fabric_->params().MrRegisterLatency(slab_bytes));
+    Slab slab;
+    slab.bytes = slab_bytes;
+    slab.free[0] = slab_bytes;
+    slabs_.push_back(std::move(slab));
+    slab_bytes_total_ += slab_bytes;
+    slab_idx = static_cast<int>(slabs_.size()) - 1;
+    offset = 0;
+  }
+  auto rkey = fabric_->BindWindowRegion(node_, region_bytes);
+  if (!rkey.ok()) {
+    return rkey.status();
+  }
+  Slab& slab = slabs_[slab_idx];
+  auto it = slab.free.find(offset);
+  uint64_t extent = it->second;
+  slab.free.erase(it);
+  if (extent > region_bytes) {
+    slab.free[offset + region_bytes] = extent - region_bytes;
+  }
+  slab.used += region_bytes;
+  return Carve{*rkey, slab_idx, offset};
 }
 
-Result<RKey> LogPeer::TakeRecycled(uint64_t region_bytes) {
-  auto it = free_regions_.find(region_bytes);
-  if (it == free_regions_.end()) {
-    return NotFoundError("no recycled region of this size");
+void LogPeer::FreeCarve(RKey rkey, int slab_idx, uint64_t offset,
+                        uint64_t len) {
+  // Deregistration of an already-dead region may legitimately fail.
+  DiscardStatus(fabric_->DeregisterRegion(node_, rkey),
+                "LogPeer::FreeCarve deregister");
+  if (slab_idx < 0 || slab_idx >= static_cast<int>(slabs_.size())) {
+    return;
   }
-  RKey rkey = it->second;
-  free_regions_.erase(it);
-  return rkey;
+  Slab& slab = slabs_[slab_idx];
+  slab.used -= std::min(slab.used, len);
+  auto [it, inserted] = slab.free.emplace(offset, len);
+  if (!inserted) {
+    return;  // double free; the extent is already on the list
+  }
+  // Coalesce with the successor, then the predecessor, so steady-state
+  // churn of same-size tenants never fragments the slab.
+  auto next = std::next(it);
+  if (next != slab.free.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    slab.free.erase(next);
+  }
+  if (it != slab.free.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      slab.free.erase(it);
+    }
+  }
 }
 
 void LogPeer::UpdateAvailabilityOnController() {
@@ -115,10 +198,12 @@ Result<AllocationGrant> LogPeer::AllocateInternal(
                                   " is draining; no new regions");
   } else if (it != mr_map_.end()) {
     // Fresh creation over a stale entry: free the old region first.
-    RecycleRegion(it->second.rkey, it->second.region_bytes);
+    FreeCarve(it->second.rkey, it->second.slab, it->second.slab_offset,
+              it->second.region_bytes);
     available_bytes_ += it->second.region_bytes;
     if (it->second.staged_rkey != 0) {
-      RecycleRegion(it->second.staged_rkey, it->second.region_bytes);
+      FreeCarve(it->second.staged_rkey, it->second.staged_slab,
+                it->second.staged_offset, it->second.region_bytes);
       available_bytes_ += it->second.region_bytes;
     }
     mr_map_.erase(it);
@@ -131,14 +216,13 @@ Result<AllocationGrant> LogPeer::AllocateInternal(
     return ResourceExhaustedError("peer " + name_ + " lacks " +
                                   std::to_string(region_bytes) + " bytes");
   }
-  // Prefer a recycled region: the memory is already pinned and registered
-  // with the NIC, skipping the expensive MR setup (§5.4.3's common case).
-  Result<RKey> rkey = TakeRecycled(region_bytes);
-  if (!rkey.ok()) {
-    rkey = fabric_->RegisterRegion(node_, region_bytes);
-    if (!rkey.ok()) {
-      return rkey.status();
-    }
+  // Carve the region out of the slab pool: the common case binds a memory
+  // window over already-pinned slab memory (§5.4.3's recycled-region fast
+  // path, generalized to many tenants per slab); only a pool-growth carve
+  // pays the full MR registration, once per slab.
+  Result<Carve> carve = CarveRegion(region_bytes);
+  if (!carve.ok()) {
+    return carve.status();
   }
   available_bytes_ -= region_bytes;
   UpdateAvailabilityOnController();
@@ -147,31 +231,36 @@ Result<AllocationGrant> LogPeer::AllocateInternal(
     MrEntry& entry = mr_map_[key];
     if (entry.staged_rkey != 0) {
       // Abandoned previous staging attempt; best-effort cleanup.
-      DiscardStatus(fabric_->DeregisterRegion(node_, entry.staged_rkey),
-                    "LogPeer staged-region cleanup");
+      FreeCarve(entry.staged_rkey, entry.staged_slab, entry.staged_offset,
+                entry.region_bytes);
       available_bytes_ += entry.region_bytes;
     }
-    entry.staged_rkey = *rkey;
+    entry.staged_rkey = carve->rkey;
+    entry.staged_slab = carve->slab;
+    entry.staged_offset = carve->offset;
     if (clone_existing) {
       // Local memcpy of the current contents into the staging region; the
       // application then ships only the bytewise diff.
       auto src = fabric_->RegionBuffer(node_, entry.rkey);
-      auto dst = fabric_->RegionBuffer(node_, *rkey);
+      auto dst = fabric_->RegionBuffer(node_, carve->rkey);
       if (src.ok() && dst.ok()) {
         **dst = **src;
       }
     }
-    return AllocationGrant{*rkey, region_bytes};
+    UpdateGauges();
+    return AllocationGrant{carve->rkey, region_bytes};
   }
 
   MrEntry entry;
-  entry.rkey = *rkey;
+  entry.rkey = carve->rkey;
   entry.region_bytes = region_bytes;
   entry.epoch = epoch;
   entry.allocated_at = fabric_->sim()->Now();
+  entry.slab = carve->slab;
+  entry.slab_offset = carve->offset;
   mr_map_[key] = entry;
   UpdateGauges();
-  return AllocationGrant{*rkey, region_bytes};
+  return AllocationGrant{carve->rkey, region_bytes};
 }
 
 Result<AllocationGrant> LogPeer::Allocate(const std::string& app,
@@ -216,10 +305,12 @@ Status LogPeer::Release(const std::string& app, const std::string& file) {
   if (it == mr_map_.end()) {
     return NotFoundError("peer " + name_ + " does not hold " + file);
   }
-  RecycleRegion(it->second.rkey, it->second.region_bytes);
+  FreeCarve(it->second.rkey, it->second.slab, it->second.slab_offset,
+            it->second.region_bytes);
   available_bytes_ += it->second.region_bytes;
   if (it->second.staged_rkey != 0) {
-    RecycleRegion(it->second.staged_rkey, it->second.region_bytes);
+    FreeCarve(it->second.staged_rkey, it->second.staged_slab,
+              it->second.staged_offset, it->second.region_bytes);
     available_bytes_ += it->second.region_bytes;
   }
   mr_map_.erase(it);
@@ -237,12 +328,18 @@ Status LogPeer::SwitchRegion(const std::string& app, const std::string& file,
     return FailedPreconditionError("no matching staged region for " + file);
   }
   // The switch is the atomic commit point: recovery lookups now return the
-  // caught-up region; the old region is recycled.
-  RecycleRegion(it->second.rkey, it->second.region_bytes);
+  // caught-up region; the old region's extent goes back to the slab pool.
+  FreeCarve(it->second.rkey, it->second.slab, it->second.slab_offset,
+            it->second.region_bytes);
   available_bytes_ += it->second.region_bytes;
   it->second.rkey = staged_rkey;
+  it->second.slab = it->second.staged_slab;
+  it->second.slab_offset = it->second.staged_offset;
   it->second.staged_rkey = 0;
+  it->second.staged_slab = -1;
+  it->second.staged_offset = 0;
   it->second.allocated_at = fabric_->sim()->Now();
+  UpdateGauges();
   return OkStatus();
 }
 
@@ -264,6 +361,9 @@ Status LogPeer::Revoke(const std::string& app, const std::string& file) {
     DiscardStatus(fabric_->InvalidateRegion(node_, it->second.staged_rkey),
                   "LogPeer::Revoke invalidate staged");
   }
+  // The carve's slab extent is NOT returned to the free list either: the
+  // host took the physical pages, so the slab permanently loses that range
+  // (it stays "used" in the occupancy gauges).
   lend_bytes_ -= std::min(lend_bytes_, it->second.region_bytes);
   mr_map_.erase(it);
   UpdateGauges();
@@ -275,7 +375,10 @@ void LogPeer::Crash() {
   alive_ = false;
   draining_ = false;
   mr_map_.clear();  // the mr-map lives in (volatile) peer memory
-  free_regions_.clear();
+  // Slabs are volatile DRAM too: the pool is gone (a restarted peer
+  // re-pins and re-registers from scratch).
+  slabs_.clear();
+  slab_bytes_total_ = 0;
   available_bytes_ = lend_bytes_;
   fabric_->CrashNode(node_);
   UpdateGauges();
@@ -333,10 +436,12 @@ int LogPeer::RunLeakGc(SimTime min_age) {
       }
     }
     if (free_it) {
-      RecycleRegion(entry.rkey, entry.region_bytes);
+      FreeCarve(entry.rkey, entry.slab, entry.slab_offset,
+                entry.region_bytes);
       available_bytes_ += entry.region_bytes;
       if (entry.staged_rkey != 0) {
-        RecycleRegion(entry.staged_rkey, entry.region_bytes);
+        FreeCarve(entry.staged_rkey, entry.staged_slab, entry.staged_offset,
+                  entry.region_bytes);
         available_bytes_ += entry.region_bytes;
       }
       it = mr_map_.erase(it);

@@ -33,13 +33,24 @@ enum class LogPeerState : int {
   kDead = 2,
 };
 
+// Tuning for the peer-side slab pool (multi-tenant region carving).
+struct LogPeerOptions {
+  // Slab granularity: the peer pins + registers memory with the NIC in
+  // slabs of this size and carves tenant regions out of them with cheap
+  // memory-window binds. 0 picks min(lend_bytes, 64 MiB); a slab always
+  // grows to at least the region being carved.
+  uint64_t slab_bytes = 0;
+};
+
 class LogPeer {
  public:
   // `lend_bytes` is how much spare memory this node contributes to the pool.
-  // `obs` wires the per-peer state / regions_resident gauges into a shared
-  // registry; defaulted so infrastructure-only tests need no registry.
+  // `obs` wires the per-peer state / regions_resident / slab gauges into a
+  // shared registry; defaulted so infrastructure-only tests need no
+  // registry.
   LogPeer(std::string name, Fabric* fabric, Controller* controller,
-          uint64_t lend_bytes, ObsContext obs = {});
+          uint64_t lend_bytes, ObsContext obs = {},
+          LogPeerOptions options = {});
 
   // Registers the peer on the controller. Must be called before the peer
   // can be handed to applications.
@@ -51,6 +62,12 @@ class LogPeer {
   bool draining() const { return draining_; }
   uint64_t available_bytes() const { return available_bytes_; }
   size_t active_regions() const { return mr_map_.size(); }
+  // Slab-pool occupancy: total bytes pinned + NIC-registered as slabs, and
+  // the bytes of those slabs currently carved out as tenant regions. Also
+  // exported as the "ncl.peer.<name>.slab_bytes" / ".slab_used_bytes"
+  // gauges — the flat-occupancy assertion of bench/fig14_tenants.
+  uint64_t slab_bytes() const { return slab_bytes_total_; }
+  uint64_t slab_used_bytes() const;
 
   // ---- Planned drain (reconfiguration) -----------------------------------
 
@@ -124,33 +141,58 @@ class LogPeer {
   int RunLeakGc(SimTime min_age = Millis(50));
 
  private:
+  // One carve out of the slab pool: which slab, at what offset. The carve
+  // is its own fabric region (own rkey over zero-filled memory) so every
+  // invalidation/crash/switch semantic is identical to a standalone MR;
+  // the slab only provides the cheap-registration accounting.
+  struct Carve {
+    RKey rkey = 0;
+    int slab = -1;
+    uint64_t offset = 0;
+  };
+
   struct MrEntry {
     RKey rkey = 0;
     uint64_t region_bytes = 0;
     uint64_t epoch = 0;
     SimTime allocated_at = 0;
+    int slab = -1;             // slab index the carve came from
+    uint64_t slab_offset = 0;  // extent offset within the slab
     // Staged catch-up region, if a switch is pending.
     RKey staged_rkey = 0;
+    int staged_slab = -1;
+    uint64_t staged_offset = 0;
+  };
+
+  // One pinned + NIC-registered slab with a first-fit extent allocator
+  // (offset -> length, coalesced on free) tracking the carved tenant
+  // regions. The slab pays MrRegisterLatency once; carves pay only the
+  // memory-window bind.
+  struct Slab {
+    uint64_t bytes = 0;
+    uint64_t used = 0;
+    std::map<uint64_t, uint64_t> free;  // offset -> extent length
   };
 
   using MrKey = std::pair<std::string, std::string>;  // (app, file)
 
   Status CheckAlive() const;
   void ChargeRpc();
-  // Moves a region to the free list (invalidating its rkey but keeping the
-  // memory pinned) so future same-size allocations skip MR registration
-  // (§4.3: peers "recycle the memory region for future use").
-  void RecycleRegion(RKey rkey, uint64_t region_bytes);
-  // Takes a recycled region of exactly `region_bytes` if available.
-  Result<RKey> TakeRecycled(uint64_t region_bytes);
+  // Carves `region_bytes` out of the slab pool, registering a new slab when
+  // no existing extent fits (kResourceExhausted when the lend budget cannot
+  // cover a new slab either).
+  Result<Carve> CarveRegion(uint64_t region_bytes);
+  // Returns a carve's extent to its slab's free list (coalescing with
+  // neighbours) and drops the fabric region backing it.
+  void FreeCarve(RKey rkey, int slab, uint64_t offset, uint64_t len);
   Result<AllocationGrant> AllocateInternal(const std::string& app,
                                            const std::string& file,
                                            uint64_t region_bytes,
                                            uint64_t epoch, bool staging,
                                            bool clone_existing);
   void UpdateAvailabilityOnController();
-  // Refreshes the state / regions_resident gauges after any lifecycle or
-  // mr-map mutation.
+  // Refreshes the state / regions_resident / slab gauges after any
+  // lifecycle or mr-map mutation.
   void UpdateGauges();
 
   std::string name_;
@@ -159,15 +201,20 @@ class LogPeer {
   NodeId node_;
   uint64_t lend_bytes_;
   uint64_t available_bytes_;
+  LogPeerOptions options_;
   bool alive_ = false;
   bool draining_ = false;
   std::map<MrKey, MrEntry> mr_map_;
-  // Recycled (pinned, registered) regions by size.
-  std::multimap<uint64_t, RKey> free_regions_;
+  // The slab pool. Slabs are only appended (indices stay stable) and are
+  // all dropped together on Crash.
+  std::vector<Slab> slabs_;
+  uint64_t slab_bytes_total_ = 0;
 
   ObsContext obs_;
   Gauge* g_state_ = nullptr;
   Gauge* g_regions_ = nullptr;
+  Gauge* g_slab_bytes_ = nullptr;
+  Gauge* g_slab_used_ = nullptr;
 };
 
 }  // namespace splitft

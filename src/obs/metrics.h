@@ -9,9 +9,9 @@
 // path is a single add on a cached pointer.
 //
 // The registry replaces the previous scatter of per-component stats
-// structs (NclStats, FabricStats, RecoveryBreakdown, dfs counters) as the
-// canonical measurement surface; the structs survive only as deprecated
-// compat shims mirrored from the same increments.
+// structs as the canonical measurement surface. The NCL client's structs
+// (NclStats, RecoveryBreakdown) are deleted outright; FabricStats remains
+// as the fabric's internal bookkeeping, mirrored into "fabric.*" keys.
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_
 

@@ -146,6 +146,19 @@ Result<RKey> Fabric::RegisterRegion(NodeId node_id, uint64_t size) {
   return rkey;
 }
 
+Result<RKey> Fabric::BindWindowRegion(NodeId node_id, uint64_t size) {
+  Node& node = nodes_.at(node_id);
+  if (!node.alive) {
+    return UnavailableError("node " + node.name + " is down");
+  }
+  // The slab already paid pinning + NIC registration; a window bind is a
+  // send-queue operation granting a fresh rkey over a sub-range.
+  sim_->Advance(params_->rdma.mw_bind_latency);
+  RKey rkey = next_rkey_++;
+  node.regions[rkey] = Region{std::string(size, '\0'), /*valid=*/true};
+  return rkey;
+}
+
 Status Fabric::InvalidateRegion(NodeId node_id, RKey rkey) {
   Node& node = nodes_.at(node_id);
   auto it = node.regions.find(rkey);

@@ -139,6 +139,13 @@ class Fabric {
   // virtual clock for page pinning + NIC registration. Returns the rkey.
   Result<RKey> RegisterRegion(NodeId node, uint64_t size);
 
+  // Region carved out of an already-registered slab (ibverbs type-2 memory
+  // window): same semantics as RegisterRegion — own rkey, invalidated on
+  // crash/revoke like any region — but charges only the cheap window-bind
+  // latency (RdmaParams::mw_bind_latency). The caller (LogPeer's slab pool)
+  // is responsible for having paid the slab's pinning + registration cost.
+  Result<RKey> BindWindowRegion(NodeId node, uint64_t size);
+
   // Revokes remote access (memory reclamation, §4.5.2): instantaneous and
   // local; subsequent one-sided ops on the rkey fail.
   Status InvalidateRegion(NodeId node, RKey rkey);

@@ -119,6 +119,16 @@ void ReconfigEngine::ExecuteDrain(const ReconfigEvent& event, LogPeer* peer) {
   if (st.ok() && Ncl() != nullptr) {
     st = Ncl()->MigrateOffPeer(peer->name());
   }
+  // Pooled co-tenants drain too: the peer is only empty once every
+  // resident client has migrated its regions elsewhere.
+  for (NclClient* extra : t_.extra_ncl) {
+    if (!st.ok()) {
+      break;
+    }
+    if (extra != nullptr && extra != Ncl()) {
+      st = extra->MigrateOffPeer(peer->name());
+    }
+  }
   if (!st.ok()) {
     ops_failed_++;
     ObsAdd(c_failed_);

@@ -32,6 +32,10 @@ struct ReconfigTargets {
   DfsCluster* dfs = nullptr;
   SplitFs* fs = nullptr;
   NclClient* ncl = nullptr;  // defaults to fs->ncl() when fs is set
+  // Additional co-tenant clients on the same node (pooled multi-tenant
+  // fabric, DESIGN.md §14): a drain must migrate every tenant's regions
+  // off the target peer, not just the primary client's.
+  std::vector<NclClient*> extra_ncl;
 };
 
 class ReconfigEngine {

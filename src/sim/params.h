@@ -23,6 +23,12 @@ struct RdmaParams {
   // pinning pages. Table 3 implies ~50 ms for a 60 MB region.
   SimTime mr_register_base = Millis(2.0);
   double mr_register_ns_per_byte = 0.95;
+  // Binding a memory window (ibverbs type-2 MW) over an already-registered
+  // slab: the pages are pinned and NIC-mapped, so granting a fresh rkey
+  // scoped to a sub-range is a post-to-the-send-queue operation, orders of
+  // magnitude cheaper than MR registration. This is what lets pooled peers
+  // carve per-tenant regions out of pre-registered slabs (DESIGN.md §14).
+  SimTime mw_bind_latency = Micros(3.0);
   // Connection (QP handshake) cost.
   SimTime connect_latency = Millis(5.0);
   // Per-WR local CPU cost of posting to the send queue.
@@ -113,6 +119,13 @@ struct LocalFsParams {
 // Controller (ZooKeeper-like) RPCs.
 struct ControllerParams {
   SimTime rpc_latency = Millis(1.8);  // one round trip incl. quorum commit
+  // Ap-map shards: /apps and /servers state is hash-partitioned by app_id
+  // across this many znode trees so thousands of applications register,
+  // lease, and recover without serializing on one tree. The peer registry
+  // (/peers) stays global. Epoch fences are per (app, file) and every app
+  // maps to exactly one shard, so fencing is unaffected by the shard count
+  // (DESIGN.md §14). 1 reproduces the single-tree layout.
+  int num_shards = 8;
 };
 
 // Per-application server CPU costs (back-derived from the paper's peak

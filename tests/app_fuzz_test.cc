@@ -57,7 +57,8 @@ void KvEpisode(uint64_t seed, DurabilityMode mode) {
   options.l0_compaction_trigger = 3;
   options.wal_capacity = 64 << 10;   // frequent WAL rotations in NCL
 
-  auto server = testbed.MakeServer(app_id, mode, 1 << 20);
+  auto server = testbed.MakeServer(
+      app_id, {.mode = mode, .ncl_capacity = 1 << 20});
   auto store = testbed.StartKvStore(server.get(), options);
   ASSERT_TRUE(store.ok());
   Reference reference;
@@ -90,7 +91,8 @@ void KvEpisode(uint64_t seed, DurabilityMode mode) {
       }
       testbed.CrashServer(server.get());
       testbed.sim()->RunUntilIdle();
-      server = testbed.MakeServer(app_id, mode, 1 << 20);
+      server = testbed.MakeServer(
+          app_id, {.mode = mode, .ncl_capacity = 1 << 20});
       store = testbed.StartKvStore(server.get(), options);
       ASSERT_TRUE(store.ok()) << "recovery failed at op " << i;
       CheckAgainstReference(store->get(), reference);
@@ -130,7 +132,8 @@ void RedisEpisode(uint64_t seed, DurabilityMode mode) {
   options.aof_rewrite_bytes = 16 << 10;  // frequent rewrites
   options.aof_capacity = 256 << 10;
 
-  auto server = testbed.MakeServer(app_id, mode, 1 << 20);
+  auto server = testbed.MakeServer(
+      app_id, {.mode = mode, .ncl_capacity = 1 << 20});
   auto redis = testbed.StartRedis(server.get(), options);
   ASSERT_TRUE(redis.ok());
   Reference strings;
@@ -171,7 +174,8 @@ void RedisEpisode(uint64_t seed, DurabilityMode mode) {
       }
       testbed.CrashServer(server.get());
       testbed.sim()->RunUntilIdle();
-      server = testbed.MakeServer(app_id, mode, 1 << 20);
+      server = testbed.MakeServer(
+          app_id, {.mode = mode, .ncl_capacity = 1 << 20});
       redis = testbed.StartRedis(server.get(), options);
       ASSERT_TRUE(redis.ok()) << "recovery failed at op " << i;
       CheckAgainstReference(redis->get(), strings);
@@ -212,7 +216,8 @@ void SqliteEpisode(uint64_t seed, DurabilityMode mode) {
   options.mode = mode;
   options.wal_capacity = 16 << 10;  // wraps often: exercises the circular log
 
-  auto server = testbed.MakeServer(app_id, mode, 1 << 20);
+  auto server = testbed.MakeServer(
+      app_id, {.mode = mode, .ncl_capacity = 1 << 20});
   auto db = testbed.StartSqlite(server.get(), options);
   ASSERT_TRUE(db.ok());
   Reference reference;
@@ -250,7 +255,8 @@ void SqliteEpisode(uint64_t seed, DurabilityMode mode) {
       }
       testbed.CrashServer(server.get());
       testbed.sim()->RunUntilIdle();
-      server = testbed.MakeServer(app_id, mode, 1 << 20);
+      server = testbed.MakeServer(
+          app_id, {.mode = mode, .ncl_capacity = 1 << 20});
       db = testbed.StartSqlite(server.get(), options);
       ASSERT_TRUE(db.ok()) << "recovery failed at op " << i;
       CheckAgainstReference(db->get(), reference);

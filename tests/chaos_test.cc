@@ -16,6 +16,8 @@
 #include "src/ncl/ncl_client.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
 #include "src/rdma/fabric.h"
 #include "src/sim/params.h"
 #include "src/sim/retry.h"
@@ -193,6 +195,12 @@ class ChaosNclTest : public ::testing::Test {
     app_node_ = fabric_.AddNode("app-server");
   }
 
+  // Client fault counters land in the fixture registry ("ncl.client.*");
+  // every client this fixture makes shares it, so values aggregate.
+  uint64_t ClientCounter(const std::string& name) {
+    return metrics_.CounterValue("ncl.client." + name);
+  }
+
   void StartPeers(int n, uint64_t lend = kLend) {
     for (int i = 0; i < n; ++i) {
       auto peer = std::make_unique<LogPeer>("p" + std::to_string(i), &fabric_,
@@ -213,7 +221,8 @@ class ChaosNclTest : public ::testing::Test {
 
   std::unique_ptr<NclClient> MakeClient(NclConfig config) {
     return std::make_unique<NclClient>(config, &fabric_, &controller_,
-                                       &directory_, app_node_);
+                                       &directory_, app_node_,
+                                       ObsContext{&metrics_, nullptr});
   }
 
   LogPeer* PeerNamed(const std::string& name) {
@@ -222,6 +231,7 @@ class ChaosNclTest : public ::testing::Test {
 
   Simulation sim_;
   SimParams params_;
+  MetricsRegistry metrics_;
   Fabric fabric_;
   Controller controller_;
   PeerDirectory directory_;
@@ -246,19 +256,19 @@ TEST_F(ChaosNclTest, PartitionHealingWithinDeadlineAvoidsReplacement) {
     }
   }
   ASSERT_TRUE((*file)->Append("during-partition").ok());
-  EXPECT_GE(client->stats().suspect_retries, 2u);
-  EXPECT_GE(client->stats().transient_recoveries, 1u);
+  EXPECT_GE(ClientCounter("suspect_retries"), 2u);
+  EXPECT_GE(ClientCounter("transient_recoveries"), 1u);
 
   // The append returns once a majority acked, so the second suspect may
   // still be mid-resurrection; retries are driven from inside Append, so a
   // few more appends spaced out in virtual time drive it home.
-  for (int i = 0; i < 5 && client->stats().transient_recoveries < 2; ++i) {
+  for (int i = 0; i < 5 && ClientCounter("transient_recoveries") < 2; ++i) {
     sim_.RunUntil(sim_.Now() + Millis(2));
     ASSERT_TRUE((*file)->Append("after").ok());
   }
   EXPECT_EQ(client->peers_replaced(), 0);
-  EXPECT_EQ(client->stats().permanent_demotions, 0u);
-  EXPECT_EQ(client->stats().transient_recoveries, 2u);
+  EXPECT_EQ(ClientCounter("permanent_demotions"), 0u);
+  EXPECT_EQ(ClientCounter("transient_recoveries"), 2u);
   EXPECT_EQ((*file)->alive_peers(), 3);
   EXPECT_TRUE((*file)->Delete().ok());
 }
@@ -285,8 +295,8 @@ TEST_F(ChaosNclTest, PartitionOutlastingDeadlineTriggersReplacement) {
   }
   ASSERT_TRUE((*file)->Append("during-partition").ok());
   EXPECT_EQ(client->peers_replaced(), 2);
-  EXPECT_EQ(client->stats().permanent_demotions, 2u);
-  EXPECT_GE(client->stats().suspect_retries, 2u);
+  EXPECT_EQ(ClientCounter("permanent_demotions"), 2u);
+  EXPECT_GE(ClientCounter("suspect_retries"), 2u);
   EXPECT_EQ((*file)->alive_peers(), 3);
 }
 
@@ -303,8 +313,8 @@ TEST_F(ChaosNclTest, LegacyPolicyStillReplacesImmediately) {
   PeerNamed((*file)->peer_names()[0])->Crash();
   ASSERT_TRUE((*file)->Append("y").ok());
   EXPECT_EQ(client->peers_replaced(), 1);
-  EXPECT_EQ(client->stats().permanent_demotions, 1u);
-  EXPECT_EQ(client->stats().suspect_retries, 0u);
+  EXPECT_EQ(ClientCounter("permanent_demotions"), 1u);
+  EXPECT_EQ(ClientCounter("suspect_retries"), 0u);
 }
 
 TEST_F(ChaosNclTest, ControllerOutageRetriedUntilHeal) {
@@ -315,7 +325,7 @@ TEST_F(ChaosNclTest, ControllerOutageRetriedUntilHeal) {
   // retried under the policy until the window closes.
   auto file = client->Create("wal");
   ASSERT_TRUE(file.ok()) << file.status().ToString();
-  EXPECT_GT(client->stats().controller_rpc_retries, 0u);
+  EXPECT_GT(ClientCounter("controller_rpc_retries"), 0u);
   ASSERT_TRUE((*file)->Append("x").ok());
 }
 
@@ -349,7 +359,7 @@ TEST_F(ChaosNclTest, UnreachableSetupProcessRetriedDuringRecovery) {
   auto recovered = MakeClient(TransientConfig());
   auto file = recovered->Recover("wal");
   ASSERT_TRUE(file.ok()) << file.status().ToString();
-  EXPECT_GT(recovered->stats().directory_lookup_retries, 0u);
+  EXPECT_GT(ClientCounter("directory_lookup_retries"), 0u);
   EXPECT_EQ(recovered->peers_replaced(), 0);
   EXPECT_EQ((*file)->alive_peers(), 3);
   auto contents = (*file)->Read(0, (*file)->size());
@@ -375,7 +385,7 @@ TEST_F(ChaosNclTest, UnreachableSetupProcessWithLegacyPolicyIsReplaced) {
   ASSERT_TRUE(file.ok());
   // Legacy semantics: the first nullptr lookup is final; p0 was replaced.
   EXPECT_EQ(recovered->peers_replaced(), 1);
-  EXPECT_EQ(recovered->stats().directory_lookup_retries, 0u);
+  EXPECT_EQ(ClientCounter("directory_lookup_retries"), 0u);
 }
 
 TEST_F(ChaosNclTest, ReleaseFailureIsCountedNotSwallowed) {
@@ -392,7 +402,7 @@ TEST_F(ChaosNclTest, ReleaseFailureIsCountedNotSwallowed) {
   p0->Crash();
   ASSERT_TRUE(p0->Restart().ok());
   EXPECT_TRUE((*file)->Delete().ok());
-  EXPECT_EQ(client->stats().release_failures, 1u);
+  EXPECT_EQ(ClientCounter("release_failures"), 1u);
 }
 
 TEST_F(ChaosNclTest, TransientPartitionMidWindowRepostsUnackedSuffix) {
@@ -420,13 +430,13 @@ TEST_F(ChaosNclTest, TransientPartitionMidWindowRepostsUnackedSuffix) {
   ASSERT_TRUE((*file)->Drain().ok());
 
   // Drive the resurrection home: retries run inside client calls.
-  for (int i = 0; i < 8 && client->stats().transient_recoveries < 1; ++i) {
+  for (int i = 0; i < 8 && ClientCounter("transient_recoveries") < 1; ++i) {
     sim_.RunUntil(sim_.Now() + Millis(2));
     ASSERT_TRUE((*file)->Append("x").ok());
     expect += "x";
   }
-  EXPECT_GE(client->stats().suffix_reposts, 1u);
-  EXPECT_GE(client->stats().transient_recoveries, 1u);
+  EXPECT_GE(ClientCounter("suffix_reposts"), 1u);
+  EXPECT_GE(ClientCounter("transient_recoveries"), 1u);
   EXPECT_EQ(client->peers_replaced(), 0);
   EXPECT_EQ((*file)->alive_peers(), 3);
   auto contents = (*file)->Read(0, (*file)->size());
@@ -461,7 +471,7 @@ TEST_F(ChaosNclTest, PeerKilledMidWindowIsDemotedWithoutLosingAckedAppends) {
     }
     ASSERT_TRUE((*file)->Drain().ok());
     EXPECT_EQ((*file)->committed_seq(), (*file)->seq());
-    EXPECT_GE(client->stats().permanent_demotions, 1u);
+    EXPECT_GE(ClientCounter("permanent_demotions"), 1u);
     EXPECT_GE(client->peers_replaced(), 1);
     auto contents = (*file)->Read(0, (*file)->size());
     ASSERT_TRUE(contents.ok());
@@ -531,8 +541,7 @@ TEST(Fig12ScenarioTest, DoubleCrashQuorumLossReplacementAndRecovery) {
   TestbedOptions options;
   options.num_peers = 6;  // 3 assigned + spares for replacement
   Testbed testbed(options);
-  auto server = testbed.MakeServer("fig12", DurabilityMode::kSplitFt,
-                                   8ull << 20);
+  auto server = testbed.MakeServer("fig12", {.ncl_capacity = 8ull << 20});
   KvStoreOptions kv_options;
   kv_options.mode = DurabilityMode::kSplitFt;
   kv_options.wal_capacity = 8ull << 20;
@@ -563,8 +572,7 @@ TEST(Fig12ScenarioTest, DoubleCrashQuorumLossReplacementAndRecovery) {
   // The server process dies; a fresh instance recovers from the surviving
   // peers. Every acknowledged write must be there.
   testbed.CrashServer(server.get());
-  auto server2 = testbed.MakeServer("fig12", DurabilityMode::kSplitFt,
-                                    8ull << 20);
+  auto server2 = testbed.MakeServer("fig12", {.ncl_capacity = 8ull << 20});
   auto store2 = testbed.StartKvStore(server2.get(), kv_options);
   ASSERT_TRUE(store2.ok());
   for (int i = 0; i < 300; i += 37) {

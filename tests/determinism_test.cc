@@ -50,7 +50,7 @@ RunArtifacts RunSeededChaosScenario(uint64_t seed) {
   TestbedOptions options;
   options.tracing = true;
   Testbed testbed(options);
-  auto server = testbed.MakeServer("det-app", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("det-app");
   CHECK_OK(server->start_status);
   SplitOpenOptions opts;
   opts.oncl = true;

@@ -14,7 +14,8 @@ HarnessResult RunKvStore(DurabilityMode mode, YcsbWorkloadKind kind,
                          int clients, uint64_t target_ops,
                          uint64_t records = 20000) {
   Testbed testbed;
-  auto server = testbed.MakeServer("kv-bench", mode, 32ull << 20);
+  auto server = testbed.MakeServer(
+      "kv-bench", {.mode = mode, .ncl_capacity = 32ull << 20});
   KvStoreOptions options;
   options.mode = mode;
   auto store = testbed.StartKvStore(server.get(), options);
@@ -50,7 +51,7 @@ TEST(HarnessTest, LatencyIncludesRttFloor) {
 
 TEST(HarnessTest, TimelineSamplesCoverRun) {
   Testbed testbed;
-  auto server = testbed.MakeServer("kv-tl", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("kv-tl");
   KvStoreOptions options;
   options.mode = DurabilityMode::kSplitFt;
   auto store = testbed.StartKvStore(server.get(), options);
@@ -116,7 +117,9 @@ TEST(HarnessShapeTest, SqliteUnbatchedStrongIsSlowest) {
        {DurabilityMode::kStrong, DurabilityMode::kWeak,
         DurabilityMode::kSplitFt}) {
     auto server = testbed.MakeServer(
-        "sql-" + std::string(DurabilityModeName(mode)), mode, 8ull << 20);
+        "sql-" + std::string(DurabilityModeName(mode)),
+        {.mode = mode,
+         .ncl_capacity = 8ull << 20});
     SqliteLiteOptions options;
     options.mode = mode;
     auto db = testbed.StartSqlite(server.get(), options);
@@ -140,7 +143,9 @@ TEST(HarnessShapeTest, RedisHeadOfLineBlockingUnderStrong) {
   auto run_redis = [](DurabilityMode mode, uint64_t ops) {
     Testbed testbed;
     auto server = testbed.MakeServer(
-        "redis-" + std::string(DurabilityModeName(mode)), mode, 16ull << 20);
+        "redis-" + std::string(DurabilityModeName(mode)),
+        {.mode = mode,
+         .ncl_capacity = 16ull << 20});
     RedisOptions options;
     options.mode = mode;
     options.aof_rewrite_bytes = 16 << 20;
@@ -169,15 +174,15 @@ TEST(MakeServerTest, LeaseConflictSurfacesInStartStatus) {
   // SplitFs::Start status, so a second live instance of an app ran without
   // the single-instance lease and nobody could tell.
   Testbed testbed;
-  auto first = testbed.MakeServer("lease-app", DurabilityMode::kSplitFt);
+  auto first = testbed.MakeServer("lease-app");
   EXPECT_TRUE(first->start_status.ok()) << first->start_status.ToString();
-  auto second = testbed.MakeServer("lease-app", DurabilityMode::kSplitFt);
+  auto second = testbed.MakeServer("lease-app");
   EXPECT_EQ(second->start_status.code(), StatusCode::kAborted);
   // Graceful shutdown of both instances releases the lease, so a fresh
   // server acquires it again (the leak half of the same bug).
   second.reset();
   first.reset();
-  auto third = testbed.MakeServer("lease-app", DurabilityMode::kSplitFt);
+  auto third = testbed.MakeServer("lease-app");
   EXPECT_TRUE(third->start_status.ok()) << third->start_status.ToString();
 }
 

@@ -13,7 +13,7 @@ namespace {
 
 TEST(IntegrationTest, MultipleNclFilesPerApplication) {
   Testbed testbed;
-  auto server = testbed.MakeServer("multi-file", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("multi-file");
   SplitOpenOptions opts;
   opts.oncl = true;
   opts.ncl_capacity = 64 << 10;
@@ -33,7 +33,7 @@ TEST(IntegrationTest, MultipleNclFilesPerApplication) {
   files.clear();
   testbed.CrashServer(server.get());
   testbed.sim()->RunUntilIdle();
-  auto server2 = testbed.MakeServer("multi-file", DurabilityMode::kSplitFt);
+  auto server2 = testbed.MakeServer("multi-file");
   for (int i = 0; i < 4; ++i) {
     auto file = server2->fs->Open("/logs/wal-" + std::to_string(i), opts);
     ASSERT_TRUE(file.ok()) << i;
@@ -45,9 +45,9 @@ TEST(IntegrationTest, MultipleNclFilesPerApplication) {
 
 TEST(IntegrationTest, TwoApplicationsShareThePeerPool) {
   Testbed testbed;
-  auto kv_server = testbed.MakeServer("tenant-kv", DurabilityMode::kSplitFt);
+  auto kv_server = testbed.MakeServer("tenant-kv");
   auto redis_server =
-      testbed.MakeServer("tenant-redis", DurabilityMode::kSplitFt);
+      testbed.MakeServer("tenant-redis");
 
   KvStoreOptions kv_options;
   kv_options.mode = DurabilityMode::kSplitFt;
@@ -75,7 +75,7 @@ TEST(IntegrationTest, TwoApplicationsShareThePeerPool) {
 
   // The crashed tenant recovers with its own data only.
   testbed.sim()->RunUntilIdle();
-  auto kv_server2 = testbed.MakeServer("tenant-kv", DurabilityMode::kSplitFt);
+  auto kv_server2 = testbed.MakeServer("tenant-kv");
   auto kv2 = testbed.StartKvStore(kv_server2.get(), kv_options);
   ASSERT_TRUE(kv2.ok());
   EXPECT_EQ(*(*kv2)->Get("kv-key"), "kv-value");
@@ -88,7 +88,7 @@ TEST(IntegrationTest, PeerMemoryFullyReclaimedAfterAppDeletesEverything) {
   for (int i = 0; i < testbed.num_peers(); ++i) {
     baseline[i] = testbed.peer(i)->available_bytes();
   }
-  auto server = testbed.MakeServer("reclaim", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("reclaim");
   SplitOpenOptions opts;
   opts.oncl = true;
   opts.ncl_capacity = 1 << 20;
@@ -128,7 +128,7 @@ TEST(IntegrationTest, PeriodicLeakGcReclaimsOrphanedRegions) {
 
 TEST(IntegrationTest, LeaseBlocksSplitBrainAcrossIncarnations) {
   Testbed testbed;
-  auto server1 = testbed.MakeServer("sb-app", DurabilityMode::kSplitFt);
+  auto server1 = testbed.MakeServer("sb-app");
   // MakeServer acquired the lease; a concurrent second instance must not
   // be able to take it while the first is alive.
   NclConfig config;
@@ -152,7 +152,7 @@ TEST(IntegrationTest, FaultBudgetTwoEndToEnd) {
   KvStoreOptions kv_options;
   kv_options.mode = DurabilityMode::kSplitFt;
   {
-    auto server = testbed.MakeServer("f2-app", DurabilityMode::kSplitFt);
+    auto server = testbed.MakeServer("f2-app");
     auto kv = testbed.StartKvStore(server.get(), kv_options);
     ASSERT_TRUE(kv.ok());
     for (int i = 0; i < 100; ++i) {
@@ -164,7 +164,7 @@ TEST(IntegrationTest, FaultBudgetTwoEndToEnd) {
     testbed.CrashServer(server.get());
   }
   testbed.sim()->RunUntilIdle();
-  auto server = testbed.MakeServer("f2-app", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("f2-app");
   auto kv = testbed.StartKvStore(server.get(), kv_options);
   ASSERT_TRUE(kv.ok());
   for (int i = 0; i < 100; i += 9) {

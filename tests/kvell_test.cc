@@ -18,7 +18,7 @@ class KvellTest : public ::testing::Test {
   std::unique_ptr<AppServer> MakeServer(Testbed* testbed,
                                         const std::string& app,
                                         DurabilityMode mode) {
-    return testbed->MakeServer(app, mode, 8 << 20);
+    return testbed->MakeServer(app, {.mode = mode, .ncl_capacity = 8 << 20});
   }
 
   KvellOptions SmallOptions(DurabilityMode mode) {

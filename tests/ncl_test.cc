@@ -10,6 +10,9 @@
 #include "src/ncl/ncl_client.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/rdma/fabric.h"
 #include "src/sim/params.h"
 #include "src/sim/simulation.h"
@@ -23,6 +26,11 @@ class NclTest : public ::testing::Test {
  protected:
   NclTest() : fabric_(&sim_, &params_), controller_(&sim_, &params_) {
     app_node_ = fabric_.AddNode("app-server");
+  }
+
+  // Client fault counters land in the fixture registry ("ncl.client.*").
+  uint64_t ClientCounter(const std::string& name) {
+    return metrics_.CounterValue("ncl.client." + name);
   }
 
   // Creates `n` peers named p0..p{n-1}, started and registered.
@@ -44,7 +52,8 @@ class NclTest : public ::testing::Test {
       config.default_capacity = 1 << 20;  // keep tests snappy
     }
     return std::make_unique<NclClient>(config, &fabric_, &controller_,
-                                       &directory_, app_node_);
+                                       &directory_, app_node_,
+                                       ObsContext{&metrics_, &tracer_});
   }
 
   LogPeer* PeerNamed(const std::string& name) {
@@ -60,6 +69,8 @@ class NclTest : public ::testing::Test {
 
   Simulation sim_;
   SimParams params_;
+  MetricsRegistry metrics_;
+  Tracer tracer_{&sim_, /*enabled=*/true};
   Fabric fabric_;
   Controller controller_;
   PeerDirectory directory_;
@@ -374,7 +385,7 @@ TEST_F(NclTest, DeleteReportsPartialReleaseFailure) {
   EXPECT_EQ(report->release_failures, 1);
   EXPECT_FALSE(report->AllReleasesFailed());
   EXPECT_FALSE(client->Exists("/wal/1"));
-  EXPECT_EQ(client->stats().release_failures, 1u);
+  EXPECT_EQ(ClientCounter("release_failures"), 1u);
 }
 
 TEST_F(NclTest, DeleteWarnsWhenEveryReleaseFails) {
@@ -393,7 +404,7 @@ TEST_F(NclTest, DeleteWarnsWhenEveryReleaseFails) {
   Status st = client->Delete("/wal/1");
   EXPECT_EQ(st.code(), StatusCode::kUnavailable);
   EXPECT_FALSE(client->Exists("/wal/1"));
-  EXPECT_EQ(client->stats().release_failures, 3u);
+  EXPECT_EQ(ClientCounter("release_failures"), 3u);
 }
 
 TEST_F(NclTest, ListFilesReflectsApMap) {
@@ -602,7 +613,7 @@ TEST_F(NclTest, CircularLogRecoveryAfterOverwrite) {
   EXPECT_EQ(Contents(recovered->get()), "ccccbbbb");
 }
 
-TEST_F(NclTest, RecoveryBreakdownPopulated) {
+TEST_F(NclTest, RecoveryPhaseSpansPopulated) {
   StartPeers(3);
   {
     auto client = MakeClient();
@@ -611,13 +622,18 @@ TEST_F(NclTest, RecoveryBreakdownPopulated) {
     ASSERT_TRUE((*file)->Append(std::string(512 << 10, 'x')).ok());
   }
   sim_.RunUntilIdle();
+  auto before = tracer_.Snapshot();
   auto client2 = MakeClient();
   ASSERT_TRUE(client2->Recover("/wal/1").ok());
-  const RecoveryBreakdown& b = client2->last_recovery();
-  EXPECT_GT(b.get_peers, 0);
-  EXPECT_GT(b.connect, 0);
-  EXPECT_GT(b.rdma_read, 0);
-  EXPECT_GT(b.sync_peers, 0);
+  // The tracer's four phase spans are the canonical recovery breakdown:
+  // each must have consumed sim time during this recovery.
+  auto window = SpanDiff(before, tracer_.Snapshot());
+  for (const char* phase :
+       {"ncl.recover.get_peers", "ncl.recover.connect",
+        "ncl.recover.rdma_read", "ncl.recover.sync_peers"}) {
+    ASSERT_EQ(window.count(phase), 1u) << phase;
+    EXPECT_GT(window.at(phase).total, 0) << phase;
+  }
 }
 
 // -------------------------------------------------- Peer failure handling --

@@ -312,7 +312,7 @@ TEST_F(MigrationTest, DrainingPeerReceivesNoNewRegions) {
 
 TEST(LeaseHandoverTest, HandoverMovesTheLeaseWithoutAnUnleasedWindow) {
   Testbed testbed(Options(4));
-  auto server = testbed.MakeServer("app-a", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("app-a");
   ASSERT_TRUE(server->start_status.ok());
   SessionId old_lease = server->fs->lease();
   ASSERT_NE(old_lease, kNoSession);
@@ -322,7 +322,7 @@ TEST(LeaseHandoverTest, HandoverMovesTheLeaseWithoutAnUnleasedWindow) {
   EXPECT_NE(new_lease, old_lease);
 
   // The lease is continuously held: a second instance still can't start.
-  auto rival = testbed.MakeServer("app-a", DurabilityMode::kSplitFt);
+  auto rival = testbed.MakeServer("app-a");
   EXPECT_EQ(rival->start_status.code(), StatusCode::kAborted);
 
   // The predecessor session no longer owns it and cannot steal it back.
@@ -332,15 +332,15 @@ TEST(LeaseHandoverTest, HandoverMovesTheLeaseWithoutAnUnleasedWindow) {
 
   // Expiring the *old* session must not release the successor's lease.
   testbed.controller()->ExpireSession(old_lease);
-  auto rival2 = testbed.MakeServer("app-a", DurabilityMode::kSplitFt);
+  auto rival2 = testbed.MakeServer("app-a");
   EXPECT_EQ(rival2->start_status.code(), StatusCode::kAborted);
 }
 
 TEST(LeaseHandoverTest, HandoverWithoutALeaseFailsPrecondition) {
   Testbed testbed(Options(4));
-  auto first = testbed.MakeServer("app-b", DurabilityMode::kSplitFt);
+  auto first = testbed.MakeServer("app-b");
   ASSERT_TRUE(first->start_status.ok());
-  auto second = testbed.MakeServer("app-b", DurabilityMode::kSplitFt);
+  auto second = testbed.MakeServer("app-b");
   ASSERT_EQ(second->start_status.code(), StatusCode::kAborted);
   EXPECT_EQ(second->fs->HandOverLease().code(),
             StatusCode::kFailedPrecondition);
@@ -415,7 +415,7 @@ TEST(ReconfigPlanTest, RandomPlansAreSeedDeterministic) {
 
 TEST(ReconfigEngineTest, ExecutesAFullPlannedCampaign) {
   Testbed testbed(Options(6, 3));
-  auto server = testbed.MakeServer("app-r", DurabilityMode::kSplitFt);
+  auto server = testbed.MakeServer("app-r");
   ASSERT_TRUE(server->start_status.ok());
   SplitOpenOptions oncl;
   oncl.oncl = true;
@@ -478,6 +478,76 @@ TEST(ReconfigEngineTest, ExecutesAFullPlannedCampaign) {
   // The log is still writable and intact after the full campaign.
   ASSERT_TRUE((*file)->Append("after").ok());
   ASSERT_TRUE((*file)->Sync().ok());
+}
+
+TEST(ReconfigEngineTest, DrainMigratesPooledCoTenants) {
+  // Two tenants share the testbed pool (DESIGN.md §14); draining a peer
+  // that holds regions for both must migrate both, not just the primary
+  // client named in targets.fs.
+  Testbed testbed(Options(5));
+  auto s1 = testbed.MakeServer("tenant-a", {.pool = testbed.shared_pool()});
+  auto s2 = testbed.MakeServer("tenant-b", {.pool = testbed.shared_pool()});
+  ASSERT_TRUE(s1->start_status.ok());
+  ASSERT_TRUE(s2->start_status.ok());
+  SplitOpenOptions oncl;
+  oncl.oncl = true;
+  auto f1 = s1->fs->Open("wal", oncl);
+  auto f2 = s2->fs->Open("wal", oncl);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE((*f1)->Append("a0").ok());
+  ASSERT_TRUE((*f2)->Append("b0").ok());
+
+  ReconfigTargets targets;
+  targets.sim = testbed.sim();
+  targets.controller = testbed.controller();
+  for (int i = 0; i < testbed.num_peers(); ++i) {
+    targets.peers.push_back(testbed.peer(i));
+  }
+  targets.fs = s1->fs.get();
+  targets.extra_ncl.push_back(s2->fs->ncl());
+  ReconfigEngine engine(targets, testbed.obs());
+
+  // Pick a victim both tenants are resident on (3-wide replication on 5
+  // peers guarantees the two ap-maps intersect).
+  auto m1 = testbed.controller()->GetApMap("tenant-a", "wal");
+  auto m2 = testbed.controller()->GetApMap("tenant-b", "wal");
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  std::string victim_name;
+  for (const std::string& p : m1->peers) {
+    for (const std::string& q : m2->peers) {
+      if (p == q) {
+        victim_name = p;
+      }
+    }
+  }
+  ASSERT_FALSE(victim_name.empty());
+  int victim = std::stoi(victim_name.substr(std::string("peer-").size()));
+
+  engine.Execute(Event(0, ReconfigKind::kPeerDrain, victim));
+  EXPECT_EQ(engine.ops_failed(), 0);
+  EXPECT_EQ(engine.ops_completed(), 1);
+  EXPECT_EQ(s1->fs->ncl()->regions_migrated(), 1);
+  EXPECT_EQ(s2->fs->ncl()->regions_migrated(), 1);
+
+  // The drained peer holds neither tenant's regions any more, and both
+  // logs stay writable and intact.
+  for (const char* app : {"tenant-a", "tenant-b"}) {
+    auto apmap = testbed.controller()->GetApMap(app, "wal");
+    ASSERT_TRUE(apmap.ok());
+    for (const std::string& p : apmap->peers) {
+      EXPECT_NE(p, victim_name) << app;
+    }
+  }
+  ASSERT_TRUE((*f1)->Append("a1").ok());
+  ASSERT_TRUE((*f2)->Append("b1").ok());
+  auto r1 = (*f1)->Read(0, (*f1)->Size());
+  auto r2 = (*f2)->Read(0, (*f2)->Size());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, "a0a1");
+  EXPECT_EQ(*r2, "b0b1");
 }
 
 TEST(ReconfigEngineTest, QuiesceRetiresOutstandingOperations) {
