@@ -1,7 +1,10 @@
 // Chaos campaign driver: sweeps N seeded random fault schedules against the
 // replication protocol and reports the fault/retry/recovery accounting plus
 // any invariant violations. SPLITFT_SEED=<n> replays one schedule;
-// SPLITFT_CHAOS_RUNS=<n> overrides the run count.
+// SPLITFT_CHAOS_RUNS=<n> overrides the run count;
+// SPLITFT_CHAOS_RECONFIG=1 mixes a seeded planned-reconfiguration schedule
+// (peer drains, live region migration, re-activations) into every run —
+// the nightly campaign runs both flavours.
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,12 +18,19 @@ int main() {
 
   CampaignOptions options;
   options.base_seed = bench::SeedFromEnv(options.base_seed);
-  if (reporter.smoke()) {
-    options.runs = 3;
-  }
+  // Full mode is nightly scale: 10x the 200-seed tier-1 sweep. The scale
+  // is what makes the calendar-queue scheduler's throughput load-bearing.
+  options.runs = reporter.smoke() ? 3 : 2000;
   const char* runs_env = std::getenv("SPLITFT_CHAOS_RUNS");
   if (runs_env != nullptr && runs_env[0] != '\0') {
     options.runs = std::atoi(runs_env);
+  }
+  const char* reconfig_env = std::getenv("SPLITFT_CHAOS_RECONFIG");
+  if (reconfig_env != nullptr && reconfig_env[0] != '\0' &&
+      reconfig_env[0] != '0') {
+    options.with_reconfig = true;
+    std::printf("  (mixed mode: planned reconfiguration composed with "
+                "faults)\n");
   }
   CampaignResult result = RunChaosCampaign(options);
 
@@ -64,6 +74,15 @@ int main() {
               static_cast<double>(s.permanent_demotions))
       .Scalar("release_failures", static_cast<double>(s.release_failures))
       .Scalar("violations", static_cast<double>(result.violations.size()));
+  if (options.with_reconfig) {
+    std::printf("  reconfig ops completed:   %d\n", s.reconfig_ops_completed);
+    std::printf("  reconfig ops skipped:     %d\n", s.reconfig_ops_skipped);
+    reporter.AddSeries("campaign.reconfig", "runs")
+        .FromValue(s.runs, static_cast<uint64_t>(s.runs))
+        .Scalar("reconfig_ops_completed", s.reconfig_ops_completed)
+        .Scalar("reconfig_ops_skipped", s.reconfig_ops_skipped)
+        .Scalar("regions_migrated", static_cast<double>(s.regions_migrated));
+  }
   if (!reporter.WriteJson()) {
     return 1;
   }

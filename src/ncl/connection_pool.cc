@@ -114,11 +114,7 @@ void NclConnectionPool::DrainLaneQp(LaneQp* lq) {
   }
   Completion c;
   while (lq->qp->PollCq(&c)) {
-    auto route = lq->route.find(c.wr_id);
-    uint64_t owner = route == lq->route.end() ? 0 : route->second;
-    if (route != lq->route.end()) {
-      lq->route.erase(route);
-    }
+    uint64_t owner = lq->route.Take(c.wr_id);
     // Error accounting: the first real (non-flush) error belongs to the
     // tenant that hit it; collateral flushes of *other* tenants queued
     // behind it are rewritten to the transient classification so they
@@ -197,17 +193,9 @@ size_t NclConnectionPool::OwnerOutstanding(uint64_t owner) const {
     return outstanding;
   }
   const Lane& lane = rit->second.lanes[oit->second.lane];
-  for (const auto& [wr, o] : lane.live.route) {
-    if (o == owner) {
-      outstanding++;
-    }
-  }
+  outstanding += lane.live.route.CountOwner(owner);
   for (const LaneQp& lq : lane.retired) {
-    for (const auto& [wr, o] : lq.route) {
-      if (o == owner) {
-        outstanding++;
-      }
-    }
+    outstanding += lq.route.CountOwner(owner);
   }
   return outstanding;
 }
@@ -219,18 +207,9 @@ void NclConnectionPool::ReleaseOwner(uint64_t owner) {
   }
   Lane* lane = LaneOf(oit->second.remote, oit->second.lane);
   if (lane != nullptr) {
-    auto drop_routes = [owner](LaneQp* lq) {
-      for (auto it = lq->route.begin(); it != lq->route.end();) {
-        if (it->second == owner) {
-          it = lq->route.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    };
-    drop_routes(&lane->live);
+    lane->live.route.DropOwner(owner);
     for (LaneQp& lq : lane->retired) {
-      drop_routes(&lq);
+      lq.route.DropOwner(owner);
     }
     for (size_t i = lane->retired.size(); i > 0; --i) {
       if (lane->retired[i - 1].route.empty()) {
@@ -263,24 +242,30 @@ uint64_t PooledQp::PostWrite(RKey rkey, uint64_t remote_offset,
                              std::string_view data) {
   NclConnectionPool::Lane* lane = pool_->LaneOf(remote_, lane_);
   uint64_t wr = lane->live.qp->PostWrite(rkey, remote_offset, data);
-  lane->live.route[wr] = owner_;
+  lane->live.route.Add(wr, owner_);
   return wr;
+}
+
+void PooledQp::PostWriteChain(const QueuePair::WriteOp* ops, size_t count,
+                              uint64_t* ids_out) {
+  NclConnectionPool::Lane* lane = pool_->LaneOf(remote_, lane_);
+  lane->live.qp->PostWriteChain(ops, count, ids_out);
+  for (size_t i = 0; i < count; ++i) {
+    lane->live.route.Add(ids_out[i], owner_);
+  }
 }
 
 std::vector<uint64_t> PooledQp::PostWriteBatch(
     std::vector<QueuePair::WriteOp> ops) {
-  NclConnectionPool::Lane* lane = pool_->LaneOf(remote_, lane_);
-  std::vector<uint64_t> ids = lane->live.qp->PostWriteBatch(std::move(ops));
-  for (uint64_t wr : ids) {
-    lane->live.route[wr] = owner_;
-  }
+  std::vector<uint64_t> ids(ops.size(), 0);
+  PostWriteChain(ops.data(), ops.size(), ids.data());
   return ids;
 }
 
 uint64_t PooledQp::PostRead(RKey rkey, uint64_t remote_offset, uint64_t len) {
   NclConnectionPool::Lane* lane = pool_->LaneOf(remote_, lane_);
   uint64_t wr = lane->live.qp->PostRead(rkey, remote_offset, len);
-  lane->live.route[wr] = owner_;
+  lane->live.route.Add(wr, owner_);
   return wr;
 }
 

@@ -34,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/ncl/wr_route_map.h"
 #include "src/obs/obs.h"
 #include "src/rdma/fabric.h"
 
@@ -98,7 +99,7 @@ class NclConnectionPool {
   // collateral flushes the rewrite even after the lane was repaired.
   struct LaneQp {
     std::unique_ptr<QueuePair> qp;
-    std::map<uint64_t, uint64_t> route;
+    WrRouteMap route;
     // First *real* (non-flush) WR error observed on this QP and the handle
     // that owns it: that tenant sees the true status, every other tenant's
     // flushes are rewritten to kRetryExceeded.
@@ -176,6 +177,10 @@ class PooledQp {
   NodeId remote() const { return remote_; }
 
   uint64_t PostWrite(RKey rkey, uint64_t remote_offset, std::string_view data);
+  // Allocation-free chain post (the NCL append hot path); `ids_out` must
+  // hold `count` slots. See QueuePair::PostWriteChain.
+  void PostWriteChain(const QueuePair::WriteOp* ops, size_t count,
+                      uint64_t* ids_out);
   std::vector<uint64_t> PostWriteBatch(std::vector<QueuePair::WriteOp> ops);
   uint64_t PostRead(RKey rkey, uint64_t remote_offset, uint64_t len);
   bool PollCq(Completion* out);

@@ -521,7 +521,9 @@ Status NclFile::RecordAsync(uint64_t offset, std::string_view data) {
   seq_++;
   window_.push_back(WindowEntry{seq_, offset, data.size(), truncate,
                                 record_start});
-  std::string header = NclRegionHeader{seq_, length_}.Encode();
+  char header[kNclRegionHeaderBytes];
+  NclRegionHeader{seq_, length_}.EncodeTo(header);
+  std::string_view header_view(header, kNclRegionHeaderBytes);
 
   int posted = 0;
   for (PeerSlot& slot : slots_) {
@@ -536,26 +538,30 @@ Status NclFile::RecordAsync(uint64_t offset, std::string_view data) {
     }
     // One WR chain per peer, one doorbell: data + header in SQ order, so
     // the header's arrival implies the data's (§4.4). The last WR of the
-    // chain carries the seq the ack commits.
-    std::vector<QueuePair::WriteOp> ops;
+    // chain carries the seq the ack commits. Everything stays on the
+    // stack — the chain post copies payloads into pooled WR buffers, so a
+    // steady-state append performs no heap allocation.
+    QueuePair::WriteOp ops[2];
+    size_t nops = 0;
     if (config.unsafe_seq_before_data) {
       // BUG (for §4.6 validation): header lands before the data; a peer
       // holding the header but not the data can win recovery.
-      ops.push_back(QueuePair::WriteOp{slot.rkey, 0, header});
+      ops[nops++] = QueuePair::WriteOp{slot.rkey, 0, header_view};
       if (!truncate) {
-        ops.push_back(QueuePair::WriteOp{
-            slot.rkey, kNclRegionHeaderBytes + offset, std::string(data)});
+        ops[nops++] = QueuePair::WriteOp{
+            slot.rkey, kNclRegionHeaderBytes + offset, data};
       }
     } else {
       if (!truncate) {
-        ops.push_back(QueuePair::WriteOp{
-            slot.rkey, kNclRegionHeaderBytes + offset, std::string(data)});
+        ops[nops++] = QueuePair::WriteOp{
+            slot.rkey, kNclRegionHeaderBytes + offset, data};
       }
-      ops.push_back(QueuePair::WriteOp{slot.rkey, 0, header});
+      ops[nops++] = QueuePair::WriteOp{slot.rkey, 0, header_view};
     }
-    std::vector<uint64_t> ids = slot.qp->PostWriteBatch(std::move(ops));
-    for (size_t k = 0; k < ids.size(); ++k) {
-      slot.inflight.emplace_back(ids[k], k + 1 == ids.size() ? seq_ : 0);
+    uint64_t ids[2];
+    slot.qp->PostWriteChain(ops, nops, ids);
+    for (size_t k = 0; k < nops; ++k) {
+      slot.inflight.emplace_back(ids[k], k + 1 == nops ? seq_ : 0);
     }
     posted++;
   }
@@ -737,13 +743,15 @@ bool NclFile::PostSuffix(PeerSlot* slot) {
   }
   slot->inflight.clear();
   std::vector<QueuePair::WriteOp> ops;
+  std::string_view buffer_view(buffer_);
   for (const WindowEntry& entry : window_) {
     if (entry.seq <= slot->acked_seq || entry.truncate || entry.len == 0) {
       continue;
     }
     // Replay from the *current* buffer: later overwrites of the same range
     // only make the replayed bytes newer, and the final header commits the
-    // current (seq_, length_) snapshot.
+    // current (seq_, length_) snapshot. The ops view buffer_ directly; the
+    // chain post copies the ranges out before returning.
     uint64_t end = std::min<uint64_t>(entry.offset + entry.len,
                                       buffer_.size());
     if (entry.offset >= end) {
@@ -751,10 +759,12 @@ bool NclFile::PostSuffix(PeerSlot* slot) {
     }
     ops.push_back(QueuePair::WriteOp{
         slot->rkey, kNclRegionHeaderBytes + entry.offset,
-        buffer_.substr(entry.offset, end - entry.offset)});
+        buffer_view.substr(entry.offset, end - entry.offset)});
   }
+  char header[kNclRegionHeaderBytes];
+  NclRegionHeader{seq_, length_}.EncodeTo(header);
   ops.push_back(QueuePair::WriteOp{
-      slot->rkey, 0, NclRegionHeader{seq_, length_}.Encode()});
+      slot->rkey, 0, std::string_view(header, kNclRegionHeaderBytes)});
   std::vector<uint64_t> ids = slot->qp->PostWriteBatch(std::move(ops));
   for (size_t k = 0; k < ids.size(); ++k) {
     slot->inflight.emplace_back(ids[k], k + 1 == ids.size() ? seq_ : 0);
@@ -863,8 +873,10 @@ void NclFile::PostFullState(PeerSlot* slot) {
     ops.push_back(
         QueuePair::WriteOp{slot->rkey, kNclRegionHeaderBytes, buffer_});
   }
+  char header[kNclRegionHeaderBytes];
+  NclRegionHeader{seq_, length_}.EncodeTo(header);
   ops.push_back(QueuePair::WriteOp{
-      slot->rkey, 0, NclRegionHeader{seq_, length_}.Encode()});
+      slot->rkey, 0, std::string_view(header, kNclRegionHeaderBytes)});
   std::vector<uint64_t> ids = slot->qp->PostWriteBatch(std::move(ops));
   for (size_t k = 0; k < ids.size(); ++k) {
     slot->inflight.emplace_back(ids[k], k + 1 == ids.size() ? seq_ : 0);

@@ -33,6 +33,13 @@ struct NclRegionHeader {
     return out;
   }
 
+  // Allocation-free encoder for the append hot path: fills exactly
+  // kNclRegionHeaderBytes at `out` (a stack buffer).
+  void EncodeTo(char* out) const {
+    EncodeFixed64(out, seq);
+    EncodeFixed64(out + 8, length);
+  }
+
   static NclRegionHeader Decode(std::string_view raw) {
     NclRegionHeader h;
     if (raw.size() >= kNclRegionHeaderBytes) {

@@ -1,0 +1,96 @@
+// Flat WR→owner demux table for pooled QP lanes.
+//
+// WR ids on a lane are strictly increasing, so the table is an append-only
+// ring ordered by wr id: O(log n) completion lookup by binary search, O(1)
+// amortized append, and tombstoned middle erases (DropOwner when a tenant
+// handle dies). The seed used a std::map here — one node allocation per
+// posted WR on the append hot path; this structure performs zero
+// steady-state allocations once its vector reaches its high-water capacity
+// (the prefix compaction erases in place and a full drain clear() keeps
+// capacity).
+#ifndef SRC_NCL_WR_ROUTE_MAP_H_
+#define SRC_NCL_WR_ROUTE_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace splitft {
+
+class WrRouteMap {
+ public:
+  // Registers `wr` (strictly greater than every id added before) as owned
+  // by `owner` (nonzero).
+  void Add(uint64_t wr, uint64_t owner) {
+    slots_.emplace_back(wr, owner);
+    live_++;
+  }
+
+  // Looks up and removes `wr`, returning its owner — 0 if the id was never
+  // added or its owner was dropped.
+  uint64_t Take(uint64_t wr) {
+    auto begin = slots_.begin() + static_cast<ptrdiff_t>(head_);
+    auto it = std::lower_bound(
+        begin, slots_.end(), wr,
+        [](const std::pair<uint64_t, uint64_t>& e, uint64_t id) {
+          return e.first < id;
+        });
+    if (it == slots_.end() || it->first != wr || it->second == 0) {
+      return 0;
+    }
+    uint64_t owner = it->second;
+    it->second = 0;
+    live_--;
+    Trim();
+    return owner;
+  }
+
+  // Tombstones every WR routed to `owner` (its handle was destroyed; the
+  // in-flight WRs still execute remotely but their completions die here).
+  void DropOwner(uint64_t owner) {
+    for (size_t i = head_; i < slots_.size(); ++i) {
+      if (slots_[i].second == owner) {
+        slots_[i].second = 0;
+        live_--;
+      }
+    }
+    Trim();
+  }
+
+  size_t CountOwner(uint64_t owner) const {
+    size_t n = 0;
+    for (size_t i = head_; i < slots_.size(); ++i) {
+      if (slots_[i].second == owner) {
+        n++;
+      }
+    }
+    return n;
+  }
+
+  bool empty() const { return live_ == 0; }
+  size_t size() const { return live_; }
+
+ private:
+  void Trim() {
+    while (head_ < slots_.size() && slots_[head_].second == 0) {
+      head_++;
+    }
+    if (head_ == slots_.size()) {
+      slots_.clear();  // keeps capacity: the next Add cycle is alloc-free
+      head_ = 0;
+    } else if (head_ > 64 && head_ > slots_.size() - head_) {
+      // Amortized O(1): the erased prefix is at least half the vector.
+      slots_.erase(slots_.begin(), slots_.begin() + static_cast<ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> slots_;  // (wr id, owner)
+  size_t head_ = 0;  // first non-tombstoned slot
+  size_t live_ = 0;  // non-tombstoned entries
+};
+
+}  // namespace splitft
+
+#endif  // SRC_NCL_WR_ROUTE_MAP_H_

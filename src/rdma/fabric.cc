@@ -219,6 +219,44 @@ Result<uint64_t> Fabric::RegionSize(NodeId node_id, RKey rkey) const {
   return static_cast<uint64_t>(it->second.buffer.size());
 }
 
+std::string Fabric::AcquirePayload(std::string_view data) {
+  for (size_t cls = 0; cls < 4; ++cls) {
+    if (data.size() > kPayloadClassBytes[cls]) {
+      continue;
+    }
+    std::vector<std::string>& pool = payload_pool_[cls];
+    std::string out;
+    if (!pool.empty()) {
+      out = std::move(pool.back());
+      pool.pop_back();
+    } else {
+      out.reserve(kPayloadClassBytes[cls]);
+    }
+    out.assign(data.data(), data.size());
+    return out;
+  }
+  return std::string(data);
+}
+
+void Fabric::RecyclePayload(std::string* payload) {
+  // Classify by capacity: Acquire reserves exactly the class size, so a
+  // pooled buffer returns to the class it came from. Buffers below the
+  // smallest class (SSO, READ WRs' empty payloads) and oversized one-offs
+  // are dropped.
+  size_t cap = payload->capacity();
+  for (size_t cls = 4; cls-- > 0;) {
+    if (cap < kPayloadClassBytes[cls]) {
+      continue;
+    }
+    std::vector<std::string>& pool = payload_pool_[cls];
+    if (pool.size() < kPayloadPoolCap) {
+      payload->clear();
+      pool.push_back(std::move(*payload));
+    }
+    return;
+  }
+}
+
 void Fabric::PushCompletion(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
                             WcStatus status, std::string read_data) {
   if (qp->closed) {
@@ -322,6 +360,9 @@ void Fabric::DeliverInOrder(std::shared_ptr<QpState> qp, WorkRequest wr) {
     if (!TryDeliverOnce(qp, &wr)) {
       return;  // retry scheduled; wr stays head-of-line, qp->retrying set
     }
+    // The WR produced its completion; its payload buffer goes back to the
+    // pool for the next post.
+    RecyclePayload(&wr.data);
     if (qp->stalled.empty()) {
       return;
     }
@@ -366,17 +407,16 @@ uint64_t QueuePair::PostWrite(RKey rkey, uint64_t remote_offset,
   fabric_->stats_.doorbells++;
   ObsAdd(fabric_->c_doorbells_);
   fabric_->sim_->Advance(fabric_->params_->rdma.post_overhead);
-  return EnqueueWrite(rkey, remote_offset, std::string(data));
+  return EnqueueWrite(rkey, remote_offset, data);
 }
 
-std::vector<uint64_t> QueuePair::PostWriteBatch(std::vector<WriteOp> ops) {
-  std::vector<uint64_t> ids;
-  if (ops.empty()) {
-    return ids;
+void QueuePair::PostWriteChain(const WriteOp* ops, size_t count,
+                               uint64_t* ids_out) {
+  if (count == 0) {
+    return;
   }
-  ids.reserve(ops.size());
   const RdmaParams& rdma = fabric_->params_->rdma;
-  SimTime n = static_cast<SimTime>(ops.size());
+  SimTime n = static_cast<SimTime>(count);
   if (rdma.doorbell_batching) {
     // One doorbell for the whole chain: full post cost for the first WQE,
     // marginal cost for each one appended behind it.
@@ -387,24 +427,30 @@ std::vector<uint64_t> QueuePair::PostWriteBatch(std::vector<WriteOp> ops) {
   } else {
     // Coalescing off: the chain degenerates to one doorbell per WR, the
     // seed's posting cost.
-    fabric_->stats_.doorbells += ops.size();
-    ObsAdd(fabric_->c_doorbells_, ops.size());
+    fabric_->stats_.doorbells += count;
+    ObsAdd(fabric_->c_doorbells_, count);
     fabric_->sim_->Advance(rdma.post_overhead * n);
   }
-  for (WriteOp& op : ops) {
-    ids.push_back(EnqueueWrite(op.rkey, op.remote_offset, std::move(op.data)));
+  for (size_t i = 0; i < count; ++i) {
+    ids_out[i] = EnqueueWrite(ops[i].rkey, ops[i].remote_offset, ops[i].data);
   }
+}
+
+std::vector<uint64_t> QueuePair::PostWriteBatch(
+    const std::vector<WriteOp>& ops) {
+  std::vector<uint64_t> ids(ops.size(), 0);
+  PostWriteChain(ops.data(), ops.size(), ids.data());
   return ids;
 }
 
 uint64_t QueuePair::EnqueueWrite(RKey rkey, uint64_t remote_offset,
-                                 std::string data) {
+                                 std::string_view data) {
   Fabric::WorkRequest wr;
   wr.wr_id = state_->next_wr_id++;
   wr.is_read = false;
   wr.rkey = rkey;
   wr.remote_offset = remote_offset;
-  wr.data = std::move(data);
+  wr.data = fabric_->AcquirePayload(data);
   wr.read_len = 0;
 
   fabric_->stats_.writes_posted++;

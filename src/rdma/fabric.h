@@ -210,6 +210,14 @@ class Fabric {
   void PushCompletion(const std::shared_ptr<QpState>& qp, uint64_t wr_id,
                       WcStatus status, std::string read_data);
 
+  // WR payload buffer pool. Write payloads are copied out of the caller's
+  // buffer into a WorkRequest-owned std::string; pooling those strings by
+  // capacity class makes the steady-state post→deliver cycle allocation
+  // free. Oversized payloads (> the largest class; recovery full-state
+  // posts) bypass the pool.
+  std::string AcquirePayload(std::string_view data);
+  void RecyclePayload(std::string* payload);
+
   Simulation* sim_;
   const SimParams* params_;
   std::vector<Node> nodes_;
@@ -218,6 +226,13 @@ class Fabric {
   std::unordered_map<uint64_t, SimTime> completion_delays_;
   RKey next_rkey_ = 1;
   FabricStats stats_;
+
+  // Payload pool size classes (capacity, in bytes) and per-class freelist
+  // cap. Class 0 covers the 16B region header + small records; class 1 the
+  // common 128B–1KiB appends; the upper classes catch-up suffixes.
+  static constexpr size_t kPayloadClassBytes[4] = {64, 1024, 16384, 262144};
+  static constexpr size_t kPayloadPoolCap = 256;
+  std::vector<std::string> payload_pool_[4];
 
   ObsContext obs_;
   Counter* c_writes_posted_;
@@ -250,20 +265,29 @@ class QueuePair {
   // completion queue. Never blocks.
   uint64_t PostWrite(RKey rkey, uint64_t remote_offset, std::string_view data);
 
-  // One WRITE within a multi-WR chain (PostWriteBatch).
+  // One WRITE within a multi-WR chain (PostWriteChain / PostWriteBatch).
+  // `data` is a view: the bytes are copied into a pooled WR buffer before
+  // the post call returns, so the backing storage only needs to outlive
+  // the call itself.
   struct WriteOp {
     RKey rkey = 0;
     uint64_t remote_offset = 0;
-    std::string data;
+    std::string_view data;
   };
 
   // Posts a chain of WRITEs with a single doorbell ring (when
   // RdmaParams::doorbell_batching): the batch pays post_overhead once plus
   // batched_wr_overhead per additional WR instead of post_overhead per WR.
   // Send-queue ordering is preserved — the chain completes in post order,
-  // after every WR posted earlier on this QP. Returns the wr_ids in chain
-  // order. Never blocks.
-  std::vector<uint64_t> PostWriteBatch(std::vector<WriteOp> ops);
+  // after every WR posted earlier on this QP. Writes the wr_ids to
+  // `ids_out` (which must hold `count` slots) in chain order. Never
+  // blocks, never allocates: payloads land in recycled WR buffers from the
+  // fabric's pool. This is the NCL append hot path.
+  void PostWriteChain(const WriteOp* ops, size_t count, uint64_t* ids_out);
+
+  // Convenience wrapper over PostWriteChain for callers that already hold
+  // a vector (setup/recovery paths, tests).
+  std::vector<uint64_t> PostWriteBatch(const std::vector<WriteOp>& ops);
 
   // Posts a one-sided RDMA READ of `len` bytes.
   uint64_t PostRead(RKey rkey, uint64_t remote_offset, uint64_t len);
@@ -284,8 +308,10 @@ class QueuePair {
 
   // Appends one WRITE WQE to the send queue: stats, SQ-ordered completion
   // scheduling. Charges no posting overhead — the caller has already paid
-  // for the doorbell (once per chain under doorbell coalescing).
-  uint64_t EnqueueWrite(RKey rkey, uint64_t remote_offset, std::string data);
+  // for the doorbell (once per chain under doorbell coalescing). The
+  // payload is copied into a pooled WR buffer.
+  uint64_t EnqueueWrite(RKey rkey, uint64_t remote_offset,
+                        std::string_view data);
 
   Fabric* fabric_;
   NodeId local_;

@@ -1,82 +1,25 @@
 #include "src/sim/simulation.h"
 
-#include <cassert>
-#include <utility>
-
 namespace splitft {
 
-void Simulation::Schedule(SimTime delay, std::function<void()> fn) {
-  assert(delay >= 0);
-  ScheduleAt(now_ + delay, std::move(fn));
-}
+using sim_internal::EventNode;
 
-void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
-  if (when < now_) {
-    when = now_;
+void Simulation::Cancel(uint64_t token) {
+  uint64_t slot_plus_one = token >> 32;
+  if (slot_plus_one == 0) {
+    return;
   }
-  events_.push(Event{when, next_seq_++, std::move(fn)});
-}
-
-uint64_t Simulation::ScheduleCancelableAt(SimTime when,
-                                          std::function<void()> fn) {
-  uint64_t token = next_token_++;
-  live_tokens_.insert(token);
-  ScheduleAt(when, [this, token, f = std::move(fn)] {
-    if (live_tokens_.erase(token) > 0) {
-      f();
-    }
-  });
-  return token;
-}
-
-void Simulation::Cancel(uint64_t token) { live_tokens_.erase(token); }
-
-bool Simulation::RunOne() {
-  if (events_.empty()) {
-    return false;
+  EventNode* n = arena_.NodeForSlot(slot_plus_one - 1);
+  if (n == nullptr || n->generation != static_cast<uint32_t>(token)) {
+    return;  // already fired/cancelled (generation bumped) or never existed
   }
-  // priority_queue::top() is const; move out via const_cast which is safe
-  // because we pop immediately after.
-  Event ev = std::move(const_cast<Event&>(events_.top()));
-  events_.pop();
-  // A synchronous Advance() may have moved the clock past this event's
-  // timestamp; never move the clock backwards.
-  if (ev.when > now_) {
-    now_ = ev.when;
-  }
-  ev.fn();
-  return true;
-}
-
-void Simulation::RunUntilIdle() {
-  while (RunOne()) {
-  }
-}
-
-void Simulation::RunUntil(SimTime when) {
-  while (!events_.empty() && events_.top().when <= when) {
-    RunOne();
-  }
-  if (now_ < when) {
-    now_ = when;
-  }
-}
-
-bool Simulation::RunUntilPredicate(const std::function<bool()>& pred) {
-  if (pred()) {
-    return true;
-  }
-  while (RunOne()) {
-    if (pred()) {
-      return true;
-    }
-  }
-  return false;
+  queue_.CancelNode(n, &arena_);
 }
 
 void Simulation::AdvanceTo(SimTime when) {
   if (when > now_) {
     now_ = when;
+    queue_.SyncCursor(now_);
   }
 }
 

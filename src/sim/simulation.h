@@ -2,19 +2,26 @@
 // virtual clock owned by a Simulation instance; latencies are modeled, so
 // every benchmark figure is deterministic and runs in milliseconds of real
 // time regardless of the virtual duration simulated.
+//
+// The scheduler is a calendar queue over a slab event arena (DESIGN.md
+// §15, bench/micro_sim.cc): steady-state Schedule→fire→recycle performs no
+// heap allocation, cancellation is O(1) via generation-stamped slots, and
+// the fire order — timestamp order with FIFO sequence tiebreak — is
+// byte-for-byte the order the original binary-heap scheduler produced
+// (tests/sim_test.cc replays randomized workloads against the reference
+// heap in src/sim/reference_scheduler.h to prove it).
 #ifndef SRC_SIM_SIMULATION_H_
 #define SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
+#include <utility>
+
+#include "src/sim/event_queue.h"
 
 namespace splitft {
 
-// Virtual time in nanoseconds.
-using SimTime = int64_t;
+// SimTime (virtual nanoseconds) is defined in event_queue.h.
 
 constexpr SimTime kNanosPerMicro = 1000;
 constexpr SimTime kNanosPerMilli = 1000 * 1000;
@@ -33,65 +40,154 @@ inline constexpr SimTime Seconds(double s) {
 class Simulation {
  public:
   Simulation() = default;
+  ~Simulation() { arena_.DestroyLiveCallables(); }
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run `delay` ns from now. Events with equal timestamps
-  // run in scheduling order (FIFO), which keeps runs deterministic.
-  void Schedule(SimTime delay, std::function<void()> fn);
-  void ScheduleAt(SimTime when, std::function<void()> fn);
+  // run in scheduling order (FIFO), which keeps runs deterministic. The
+  // callable is stored inline in an arena slot (no heap allocation) unless
+  // its captures exceed sim_internal::kEventInlineBytes.
+  template <typename F>
+  void Schedule(SimTime delay, F&& fn) {
+    ScheduleAt(now_ + delay, std::forward<F>(fn));
+  }
+  template <typename F>
+  void ScheduleAt(SimTime when, F&& fn) {
+    ScheduleNode(when, std::forward<F>(fn));
+  }
 
   // Cancellable variant, used by fault injectors whose pending heal/expiry
   // events may be retired early (e.g. ChaosEngine::HealAll). The returned
   // token cancels the event if it has not fired yet; cancelling a fired or
-  // unknown token is a no-op.
-  uint64_t ScheduleCancelableAt(SimTime when, std::function<void()> fn);
+  // unknown token is a no-op. Tokens are (arena slot, generation) pairs:
+  // once the event fires or is cancelled the slot's generation is bumped,
+  // so a stale token can never alias a later event — and no token table
+  // exists to leak (the seed scheduler's live_tokens_ set retained an
+  // entry for every cancelled-after-drain token forever).
+  template <typename F>
+  uint64_t ScheduleCancelableAt(SimTime when, F&& fn) {
+    sim_internal::EventNode* n = ScheduleNode(when, std::forward<F>(fn));
+    return (static_cast<uint64_t>(n->slot) + 1) << 32 | n->generation;
+  }
   void Cancel(uint64_t token);
 
   // Runs the earliest pending event, advancing the clock to its timestamp.
-  // Returns false if no events are pending.
-  bool RunOne();
+  // Returns false if no events are pending. Defined here (not in the .cc)
+  // so benches and run loops inline the whole pop→fire→recycle path.
+  bool RunOne() {
+    sim_internal::EventNode* n = queue_.PopEarliest(&arena_);
+    if (n == nullptr) {
+      return false;
+    }
+    FireNode(n);
+    return true;
+  }
 
   // Runs events until the queue is empty.
-  void RunUntilIdle();
+  void RunUntilIdle() {
+    while (sim_internal::EventNode* n = queue_.PopEarliest(&arena_)) {
+      FireNode(n);
+    }
+  }
 
   // Runs all events with timestamp <= `when`, then advances the clock to
   // `when` (even if idle earlier).
-  void RunUntil(SimTime when);
+  void RunUntil(SimTime when) {
+    for (;;) {
+      sim_internal::EventNode* n = queue_.Peek(&arena_);
+      if (n == nullptr || n->when > when) {
+        break;
+      }
+      queue_.PopNode(n);
+      FireNode(n);
+    }
+    if (now_ < when) {
+      now_ = when;
+      queue_.SyncCursor(now_);
+    }
+  }
 
   // Runs events until `pred()` returns true (checked after each event).
   // Returns false if the queue drained without the predicate holding.
-  bool RunUntilPredicate(const std::function<bool()>& pred);
+  bool RunUntilPredicate(const std::function<bool()>& pred) {
+    if (pred()) {
+      return true;
+    }
+    while (RunOne()) {
+      if (pred()) {
+        return true;
+      }
+    }
+    return false;
+  }
 
   // Advances the clock without running events; models synchronous CPU work
-  // performed by the currently-executing actor. Asserts monotonicity.
+  // performed by the currently-executing actor. Never moves backwards.
   void AdvanceTo(SimTime when);
   void Advance(SimTime delta) { AdvanceTo(now_ + delta); }
 
-  size_t pending_events() const { return events_.size(); }
+  size_t pending_events() const { return queue_.size(); }
+
+  // Arena/scheduler introspection for benches and regression tests (the
+  // no-unbounded-growth and zero-alloc-steady-state contracts).
+  struct SchedulerStats {
+    size_t pending = 0;         // live scheduled events
+    size_t arena_slabs = 0;     // slabs ever allocated (monotone)
+    size_t arena_capacity = 0;  // nodes across all slabs
+    size_t arena_free = 0;      // nodes on the freelist
+    size_t overflow_entries = 0;  // far-horizon heap entries incl. tombstones
+    uint64_t heap_callables = 0;  // events whose captures spilled to heap
+  };
+  SchedulerStats scheduler_stats() const {
+    SchedulerStats s;
+    s.pending = queue_.size();
+    s.arena_slabs = arena_.slabs();
+    s.arena_capacity = arena_.capacity();
+    s.arena_free = arena_.free_nodes();
+    s.overflow_entries = queue_.overflow_size();
+    s.heap_callables = heap_callables_;
+    return s;
+  }
 
  private:
-  struct Event {
-    SimTime when;
-    uint64_t seq;  // tiebreaker for FIFO ordering of same-time events
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
+  // Advances the clock to a popped node's timestamp, runs its callable in
+  // place, then recycles the node. A synchronous Advance() may have moved
+  // the clock past the event's timestamp; never move the clock backwards.
+  // Nested scheduling from inside the callable allocates fresh nodes; this
+  // one is not on the freelist until after invoke returns, so its storage
+  // stays stable.
+  void FireNode(sim_internal::EventNode* n) {
+    if (n->when > now_) {
+      now_ = n->when;
     }
-  };
+    n->invoke(n);
+    arena_.Recycle(n);
+  }
+
+  template <typename F>
+  sim_internal::EventNode* ScheduleNode(SimTime when, F&& fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    sim_internal::EventNode* n = arena_.Acquire();
+    n->when = when;
+    n->seq = next_seq_++;
+    sim_internal::ConstructCallable(n, std::forward<F>(fn));
+    if (n->heap_callable) {
+      heap_callables_++;
+    }
+    queue_.Insert(n);
+    return n;
+  }
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  uint64_t next_token_ = 1;
-  std::unordered_set<uint64_t> live_tokens_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  uint64_t heap_callables_ = 0;
+  sim_internal::EventArena arena_;
+  sim_internal::EventQueue queue_;
 };
 
 }  // namespace splitft

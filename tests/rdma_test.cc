@@ -92,9 +92,13 @@ TEST_F(RdmaTest, BatchedWritesCompleteInOrderWithOneDoorbell) {
   ASSERT_TRUE(rkey.ok());
   QueuePair qp(&fabric_, app_, peer_);
   uint64_t doorbells_before = fabric_.stats().doorbells;
-  std::vector<QueuePair::WriteOp> ops;
+  std::vector<std::string> payloads;
   for (int i = 0; i < 4; ++i) {
-    ops.push_back({*rkey, 0, std::string(1, 'a' + i)});
+    payloads.push_back(std::string(1, 'a' + i));
+  }
+  std::vector<QueuePair::WriteOp> ops;
+  for (const std::string& p : payloads) {
+    ops.push_back({*rkey, 0, p});
   }
   std::vector<uint64_t> ids = qp.PostWriteBatch(std::move(ops));
   ASSERT_EQ(ids.size(), 4u);

@@ -6,6 +6,11 @@ Usage: bench_compare.py [options] <baseline.json> <candidate.json>
 Options:
   --threshold PCT   Relative p50/p95 delta (in percent) above which a series
                     counts as a regression/improvement. Default: 5.
+  --series REGEX    Only compare series whose name matches REGEX (re.search).
+                    Non-matching series are ignored entirely — not listed as
+                    added/removed. Lets CI gate deterministic series (e.g.
+                    ^det\\.) tightly while excluding wall-clock series whose
+                    values depend on runner load.
   --fail-on-regress Exit 1 when any series regresses past the threshold
                     (default: report only, exit 0 — the CI step is
                     advisory while baselines season).
@@ -23,6 +28,7 @@ Exit codes: 0 ok / within threshold, 1 regression (with --fail-on-regress),
 
 import argparse
 import json
+import re
 import sys
 
 # Units where a higher value is better (throughputs, speedups). Everything
@@ -43,6 +49,13 @@ def load(path):
         print("ERROR: %s: schema_version != 1" % path, file=sys.stderr)
         sys.exit(2)
     return {s["name"]: s for s in doc.get("series", []) if s.get("name")}
+
+
+def filter_series(series, pattern):
+    """Keeps only series whose name matches `pattern` (re.search)."""
+    if pattern is None:
+        return series
+    return {name: s for name, s in series.items() if re.search(pattern, name)}
 
 
 def rel_delta(base, cand):
@@ -112,6 +125,14 @@ def self_test():
     # Identical inputs → no regressions.
     _, none, _, _ = compare(base, base, 5.0)
     assert none == []
+    # --series filtering: only matching names are compared, and filtered-out
+    # series never show up as added/removed noise.
+    fb, fc = filter_series(base, "^t$"), filter_series(cand, "^t$")
+    rows, regressions, added, removed = compare(fb, fc, 5.0)
+    assert {r[0] for r in rows} == {"t"}
+    assert [n for n, _, _ in regressions] == ["t", "t"]
+    assert added == [] and removed == []
+    assert filter_series(base, None) is base
     print("bench_compare self-test OK")
     return 0
 
@@ -123,6 +144,8 @@ def main():
     parser.add_argument("candidate", nargs="?")
     parser.add_argument("--threshold", type=float, default=5.0,
                         help="relative delta threshold in percent")
+    parser.add_argument("--series", metavar="REGEX", default=None,
+                        help="only compare series matching this regex")
     parser.add_argument("--fail-on-regress", action="store_true")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
@@ -133,8 +156,12 @@ def main():
         parser.print_usage(sys.stderr)
         return 2
 
-    baseline = load(args.baseline)
-    candidate = load(args.candidate)
+    try:
+        baseline = filter_series(load(args.baseline), args.series)
+        candidate = filter_series(load(args.candidate), args.series)
+    except re.error as e:
+        print("ERROR: bad --series regex: %s" % e, file=sys.stderr)
+        return 2
     rows, regressions, added, removed = compare(
         baseline, candidate, args.threshold)
 
