@@ -3,8 +3,9 @@
 // any invariant violations. SPLITFT_SEED=<n> replays one schedule;
 // SPLITFT_CHAOS_RUNS=<n> overrides the run count;
 // SPLITFT_CHAOS_RECONFIG=1 mixes a seeded planned-reconfiguration schedule
-// (peer drains, live region migration, re-activations) into every run —
-// the nightly campaign runs both flavours.
+// (peer drains, live region migration, re-activations) into every run;
+// SPLITFT_CHAOS_EC=1 runs erasure-coded (k=2,m=2) regions instead of
+// replication — the nightly campaign runs all three flavours.
 #include <cstdio>
 #include <cstdlib>
 
@@ -31,6 +32,14 @@ int main() {
     options.with_reconfig = true;
     std::printf("  (mixed mode: planned reconfiguration composed with "
                 "faults)\n");
+  }
+  const char* ec_env = std::getenv("SPLITFT_CHAOS_EC");
+  if (ec_env != nullptr && ec_env[0] != '\0' && ec_env[0] != '0') {
+    options.with_ec = true;
+    // k+m members plus spares so replacements stay possible under crashes.
+    options.num_peers = 7;
+    std::printf("  (ec mode: k=%u+m=%u striped regions)\n", options.ec.k,
+                options.ec.m);
   }
   CampaignResult result = RunChaosCampaign(options);
 
@@ -82,6 +91,13 @@ int main() {
         .Scalar("reconfig_ops_completed", s.reconfig_ops_completed)
         .Scalar("reconfig_ops_skipped", s.reconfig_ops_skipped)
         .Scalar("regions_migrated", static_cast<double>(s.regions_migrated));
+  }
+  if (options.with_ec) {
+    std::printf("  ec shard repairs:         %llu\n",
+                static_cast<unsigned long long>(s.ec_repairs));
+    reporter.AddSeries("campaign.ec", "runs")
+        .FromValue(s.runs, static_cast<uint64_t>(s.runs))
+        .Scalar("ec_repairs", static_cast<double>(s.ec_repairs));
   }
   if (!reporter.WriteJson()) {
     return 1;

@@ -44,9 +44,25 @@ struct Tenant {
   std::string oracle;
 };
 
+// Peer bytes one tenant's WAL pins under `config`'s redundancy: n regions
+// of header + contents each — (2f+1) full replicas, or k+m shard regions
+// of ShardCapacity each in EC mode. The flat-occupancy invariant below
+// compares measured slab bytes/tenant against this, so the expectation
+// tracks whatever redundancy the sweep point configured instead of
+// hard-coding the 3x replication factor.
+double ExpectedBytesPerTenant(const NclConfig& config) {
+  if (config.ec_enabled) {
+    return static_cast<double>(config.ec.shards()) *
+           NclShardRegionBytes(
+               config.ec.ShardCapacity(config.default_capacity));
+  }
+  return static_cast<double>(2 * config.fault_budget + 1) *
+         NclRegionBytes(config.default_capacity);
+}
+
 // Builds `n` tenants drawing QPs from the testbed's shared pool, each
 // with a small NCL-backed WAL already holding `warm_appends` records.
-bool MakeTenants(Testbed& testbed, int n, int warm_appends,
+bool MakeTenants(Testbed& testbed, int n, int warm_appends, bool ec,
                  std::vector<Tenant>* tenants, std::string* errors) {
   ObsContext obs{testbed.metrics(), nullptr};
   for (int i = 0; i < n; ++i) {
@@ -54,6 +70,11 @@ bool MakeTenants(Testbed& testbed, int n, int warm_appends,
     config.app_id = "tenant-" + std::to_string(i);
     config.default_capacity = 8 << 10;
     config.pool = testbed.shared_pool();
+    if (ec) {
+      config.ec_enabled = true;
+      config.ec = EcGeometry{2, 2, 64};
+      config.fault_budget = 2;
+    }
     Tenant t;
     t.client = std::make_unique<NclClient>(config, testbed.fabric(),
                                            testbed.controller(),
@@ -133,65 +154,84 @@ int main() {
                                : std::vector<int>{10, 100, 1000, 10000};
   const int rounds = static_cast<int>(reporter.Iters(8, 4));
 
-  double p99_base_us = 0;
-  double bytes_per_tenant_base = 0;
-  bench::Rule();
-  std::printf("%10s %12s %12s %10s %14s\n", "tenants", "p50_us", "p99_us",
-              "open_qps", "bytes/tenant");
-  for (int n : sweep) {
-    TestbedOptions options;
-    options.num_peers = kNumPeers;
-    Testbed testbed(options);
+  // Replication tenants and erasure-coded tenants (k=2+m=2 shard regions,
+  // DESIGN.md §16) sweep the same points; per-tenant expectations are
+  // derived from each mode's configured redundancy.
+  for (bool ec : {false, true}) {
+    const std::string mode = ec ? "ec" : "replication";
+    const std::string prefix = ec ? "ec_tenants_" : "tenants_";
+    double p99_base_us = 0;
+    double bytes_per_tenant_base = 0;
+    bench::Rule();
+    std::printf("[%s]\n%10s %12s %12s %10s %14s\n", mode.c_str(), "tenants",
+                "p50_us", "p99_us", "open_qps", "bytes/tenant");
+    for (int n : sweep) {
+      TestbedOptions options;
+      options.num_peers = kNumPeers;
+      Testbed testbed(options);
 
-    std::vector<Tenant> tenants;
-    tenants.reserve(n);
-    if (!MakeTenants(testbed, n, /*warm_appends=*/2, &tenants, &errors)) {
-      break;
-    }
-    Histogram latency;
-    if (!TimedAppends(testbed, tenants, rounds, "s", &latency, &errors)) {
-      break;
-    }
-
-    double p50_us = latency.P50() * 1e-3;
-    double p99_us = latency.P99() * 1e-3;
-    size_t open_qps = testbed.shared_pool()->open_qps();
-    double bytes_per_tenant = static_cast<double>(TotalSlabUsed(testbed)) / n;
-    std::printf("%10d %12.2f %12.2f %10zu %14.0f\n", n, p50_us, p99_us,
-                open_qps, bytes_per_tenant);
-
-    reporter.AddSeries("tenants_" + std::to_string(n), "us")
-        .FromHistogram(latency, 1e-3)
-        .Scalar("tenants", n)
-        .Scalar("open_qps", static_cast<double>(open_qps))
-        .Scalar("slab_bytes_per_tenant", bytes_per_tenant);
-
-    // Invariant: QP state is per-lane, never per-tenant.
-    size_t max_qps = static_cast<size_t>(
-        testbed.shared_pool()->options().qps_per_peer * kNumPeers);
-    if (open_qps > max_qps) {
-      errors += "tenants=" + std::to_string(n) + ": open_qps " +
-                std::to_string(open_qps) + " exceeds lane bound " +
-                std::to_string(max_qps) + "\n";
-    }
-    if (n == sweep.front()) {
-      p99_base_us = p99_us;
-      bytes_per_tenant_base = bytes_per_tenant;
-    } else {
-      // Invariant: the append tail does not grow with tenant count.
-      if (p99_us > 1.5 * p99_base_us) {
-        errors += "tenants=" + std::to_string(n) + ": append p99 " +
-                  std::to_string(p99_us) + "us exceeds 1.5x the " +
-                  std::to_string(sweep.front()) + "-tenant point (" +
-                  std::to_string(p99_base_us) + "us)\n";
+      std::vector<Tenant> tenants;
+      tenants.reserve(n);
+      if (!MakeTenants(testbed, n, /*warm_appends=*/2, ec, &tenants,
+                       &errors)) {
+        break;
       }
-      // Invariant: peer occupancy is flat per tenant (slab carving does
-      // not fragment or over-reserve as density grows).
-      if (bytes_per_tenant > 1.25 * bytes_per_tenant_base) {
-        errors += "tenants=" + std::to_string(n) +
+      Histogram latency;
+      if (!TimedAppends(testbed, tenants, rounds, "s", &latency, &errors)) {
+        break;
+      }
+
+      double p50_us = latency.P50() * 1e-3;
+      double p99_us = latency.P99() * 1e-3;
+      size_t open_qps = testbed.shared_pool()->open_qps();
+      double bytes_per_tenant =
+          static_cast<double>(TotalSlabUsed(testbed)) / n;
+      std::printf("%10d %12.2f %12.2f %10zu %14.0f\n", n, p50_us, p99_us,
+                  open_qps, bytes_per_tenant);
+
+      reporter.AddSeries(prefix + std::to_string(n), "us")
+          .FromHistogram(latency, 1e-3)
+          .Scalar("tenants", n)
+          .Scalar("open_qps", static_cast<double>(open_qps))
+          .Scalar("slab_bytes_per_tenant", bytes_per_tenant);
+
+      // Invariant: QP state is per-lane, never per-tenant.
+      size_t max_qps = static_cast<size_t>(
+          testbed.shared_pool()->options().qps_per_peer * kNumPeers);
+      if (open_qps > max_qps) {
+        errors += mode + " tenants=" + std::to_string(n) + ": open_qps " +
+                  std::to_string(open_qps) + " exceeds lane bound " +
+                  std::to_string(max_qps) + "\n";
+      }
+      // Invariant: slab bytes/tenant match the configured redundancy (no
+      // fragmentation or over-reservation at any density).
+      double expected = ExpectedBytesPerTenant(tenants.front().client->config());
+      if (bytes_per_tenant > 1.05 * expected) {
+        errors += mode + " tenants=" + std::to_string(n) +
                   ": slab bytes/tenant " + std::to_string(bytes_per_tenant) +
-                  " exceeds 1.25x the baseline (" +
-                  std::to_string(bytes_per_tenant_base) + ")\n";
+                  " exceeds the configured redundancy (" +
+                  std::to_string(expected) + ")\n";
+      }
+      if (n == sweep.front()) {
+        p99_base_us = p99_us;
+        bytes_per_tenant_base = bytes_per_tenant;
+      } else {
+        // Invariant: the append tail does not grow with tenant count.
+        if (p99_us > 1.5 * p99_base_us) {
+          errors += mode + " tenants=" + std::to_string(n) +
+                    ": append p99 " + std::to_string(p99_us) +
+                    "us exceeds 1.5x the " + std::to_string(sweep.front()) +
+                    "-tenant point (" + std::to_string(p99_base_us) +
+                    "us)\n";
+        }
+        // Invariant: peer occupancy is flat per tenant as density grows.
+        if (bytes_per_tenant > 1.25 * bytes_per_tenant_base) {
+          errors += mode + " tenants=" + std::to_string(n) +
+                    ": slab bytes/tenant " +
+                    std::to_string(bytes_per_tenant) +
+                    " exceeds 1.25x the baseline (" +
+                    std::to_string(bytes_per_tenant_base) + ")\n";
+        }
       }
     }
   }
@@ -211,8 +251,8 @@ int main() {
     tenants.reserve(storm_tenants);
     Histogram pre_crash;
     Histogram post_crash;
-    if (MakeTenants(testbed, storm_tenants, /*warm_appends=*/2, &tenants,
-                    &errors) &&
+    if (MakeTenants(testbed, storm_tenants, /*warm_appends=*/2, /*ec=*/false,
+                    &tenants, &errors) &&
         TimedAppends(testbed, tenants, 2, "pre", &pre_crash, &errors)) {
       uint64_t rpcs_before = testbed.controller()->rpc_count();
       testbed.peer(0)->Crash();

@@ -18,6 +18,7 @@
 #include "src/common/rng.h"
 #include "src/controller/znode_store.h"
 #include "src/modelcheck/model.h"
+#include "src/ncl/ec.h"
 #include "src/rdma/fabric.h"
 #include "src/sim/simulation.h"
 #include "src/workload/ycsb.h"
@@ -125,6 +126,58 @@ void BM_ZnodeStoreOps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ZnodeStoreOps);
+
+// EC shard kernels (DESIGN.md §16): the real-CPU cost of encoding one
+// append's parity and of reconstructing logical bytes from k shard
+// streams, across the supported geometries. Arg encoding: k*10 + m over a
+// fixed 64 KiB logical image.
+void BM_EcEncodeParity(benchmark::State& state) {
+  EcGeometry geo;
+  geo.k = static_cast<uint32_t>(state.range(0) / 10);
+  geo.m = static_cast<uint32_t>(state.range(0) % 10);
+  constexpr uint64_t kLogicalBytes = 64 << 10;
+  std::string logical(kLogicalBytes, 'x');
+  EcShardRange full{0, geo.ShardCapacity(kLogicalBytes)};
+  std::string shard;
+  for (auto _ : state) {
+    for (uint32_t p = 0; p < geo.m; ++p) {
+      EncodeParityShard(geo, p, logical, full, &shard);
+      benchmark::DoNotOptimize(shard.data());
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLogicalBytes));
+}
+BENCHMARK(BM_EcEncodeParity)->Arg(21)->Arg(22)->Arg(41)->Arg(42);
+
+void BM_EcReconstruct(benchmark::State& state) {
+  EcGeometry geo;
+  geo.k = static_cast<uint32_t>(state.range(0) / 10);
+  geo.m = static_cast<uint32_t>(state.range(0) % 10);
+  constexpr uint64_t kLogicalBytes = 64 << 10;
+  std::string logical(kLogicalBytes, 'x');
+  EcShardRange full{0, geo.ShardCapacity(kLogicalBytes)};
+  std::vector<std::string> shards(geo.shards());
+  for (uint32_t j = 0; j < geo.k; ++j) {
+    ExtractDataShard(geo, j, logical, full, &shards[j]);
+  }
+  for (uint32_t p = 0; p < geo.m; ++p) {
+    EncodeParityShard(geo, p, logical, full, &shards[geo.k + p]);
+  }
+  // Worst case: data shard 0 lost, decode goes through the parity matrix.
+  std::vector<EcShardView> views;
+  for (uint32_t s = 1; s < geo.k + 1; ++s) {
+    views.push_back(EcShardView{s, shards[s]});
+  }
+  std::string out;
+  for (auto _ : state) {
+    CHECK_OK(EcReconstruct(geo, views, kLogicalBytes, &out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLogicalBytes));
+}
+BENCHMARK(BM_EcReconstruct)->Arg(21)->Arg(22)->Arg(41)->Arg(42);
 
 void BM_ModelCheckTiny(benchmark::State& state) {
   for (auto _ : state) {

@@ -86,7 +86,26 @@ NclConfig MakeConfig(const CampaignOptions& options, uint64_t rng_seed) {
   config.default_capacity = options.capacity;
   config.retry = options.retry;
   config.rng_seed = rng_seed;
+  if (options.with_ec) {
+    config.ec_enabled = true;
+    config.ec = options.ec;
+    config.fault_budget = static_cast<int>(options.ec.m);
+  }
   return config;
+}
+
+// Faulty members the run may absorb before unavailability is justified:
+// f under replication, the m parity shards under EC.
+int FaultBudget(const CampaignOptions& options) {
+  return options.with_ec ? static_cast<int>(options.ec.m)
+                         : options.fault_budget;
+}
+
+// Holders that make a recovery failure a violation: f+1 replicas suffice
+// to recover, k shard streams do under EC.
+int RecoverableHolders(const CampaignOptions& options) {
+  return options.with_ec ? static_cast<int>(options.ec.k)
+                         : options.fault_budget + 1;
 }
 
 void AddViolation(CampaignResult* result, uint64_t seed,
@@ -131,6 +150,7 @@ struct ClientCounters {
   uint64_t controller_rpc_retries = 0;
   uint64_t directory_lookup_retries = 0;
   uint64_t release_failures = 0;
+  uint64_t ec_repairs = 0;
 };
 
 ClientCounters ReadClientCounters(const MetricsRegistry& metrics) {
@@ -146,6 +166,7 @@ ClientCounters ReadClientCounters(const MetricsRegistry& metrics) {
   c.directory_lookup_retries =
       metrics.CounterValue("ncl.client.directory_lookup_retries");
   c.release_failures = metrics.CounterValue("ncl.client.release_failures");
+  c.ec_repairs = metrics.CounterValue("ncl.ec.repairs");
   return c;
 }
 
@@ -162,6 +183,7 @@ void Accumulate(CampaignStats* stats, const ClientCounters& now,
   stats->directory_lookup_retries +=
       now.directory_lookup_retries - base.directory_lookup_retries;
   stats->release_failures += now.release_failures - base.release_failures;
+  stats->ec_repairs += now.ec_repairs - base.ec_repairs;
 }
 
 }  // namespace
@@ -259,7 +281,7 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
       // Invariant 3: unavailability must be backed by > f faulty members.
       int faulty =
           CountFaultyMembers(cluster, engine, (*file)->peer_names());
-      if (faulty <= options.fault_budget) {
+      if (faulty <= FaultBudget(options)) {
         AddViolation(result, seed, "fault-budget",
                      "append failed kUnavailable with only " +
                          std::to_string(faulty) + " faulty member(s)",
@@ -312,7 +334,7 @@ void RunChaosSchedule(uint64_t seed, const CampaignOptions& options,
         }
       }
     }
-    if (holders >= options.fault_budget + 1) {
+    if (holders >= RecoverableHolders(options)) {
       AddViolation(result, seed, "availability",
                    "recovery failed (" + recovered_file.status().ToString() +
                        ") although " + std::to_string(holders) +

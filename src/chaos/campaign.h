@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/chaos/fault_plan.h"
+#include "src/ncl/ec.h"
 #include "src/reconfig/reconfig_plan.h"
 #include "src/sim/retry.h"
 
@@ -42,6 +43,14 @@ struct CampaignOptions {
   // lose acknowledged appends either.
   bool with_reconfig = false;
   ReconfigPlanOptions reconfig_plan;
+  // Erasure-coded runs (DESIGN.md §16): the workload and recovery clients
+  // stripe each append across ec.k data + ec.m parity shard peers instead
+  // of replicating on 2f+1. The fault-budget invariant then uses m — EC
+  // tolerates exactly m shard losses — and recovery unavailability is
+  // justified only when fewer than k members still hold their shard.
+  // num_peers must cover ec.k + ec.m members plus replacement spares.
+  bool with_ec = false;
+  EcGeometry ec = {};
   // Client-side transient-fault policy for the runs.
   RetryPolicy retry = RetryPolicy::Transient(6, Millis(8));
   // NIC-level retransmission window (RdmaParams::unreachable_retry_timeout).
@@ -82,6 +91,8 @@ struct CampaignStats {
   uint64_t controller_rpc_retries = 0;
   uint64_t directory_lookup_retries = 0;
   uint64_t release_failures = 0;
+  // "ncl.ec.repairs" total (with_ec runs): shard rebuilds on fresh peers.
+  uint64_t ec_repairs = 0;
 };
 
 struct CampaignResult {

@@ -23,7 +23,8 @@ inline void PutFixed64(std::string* dst, uint64_t v) {
   dst->append(buf, 8);
 }
 
-// Raw-buffer variant for fixed-size stack frames (no std::string append).
+// Raw-buffer variants for fixed-size stack frames (no std::string append).
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
 inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
 
 inline uint32_t DecodeFixed32(const char* p) {

@@ -147,6 +147,12 @@ std::string Controller::SerializeApMap(const ApMapEntry& entry) {
   for (const std::string& p : entry.peers) {
     PutLengthPrefixed(&out, p);
   }
+  // EC stripe geometry rides as a trailing triple; entries written before
+  // the EC mode existed simply end after the peer list and parse as
+  // replication (ec_k == 0).
+  PutFixed32(&out, entry.ec_k);
+  PutFixed32(&out, entry.ec_m);
+  PutFixed32(&out, entry.ec_stripe_unit);
   return out;
 }
 
@@ -164,6 +170,14 @@ bool Controller::ParseApMap(const std::string& data, ApMapEntry* entry) {
       return false;
     }
     entry->peers.emplace_back(p);
+  }
+  entry->ec_k = 0;
+  entry->ec_m = 0;
+  entry->ec_stripe_unit = 0;
+  if (data.size() >= off + 12) {
+    entry->ec_k = DecodeFixed32(data.data() + off);
+    entry->ec_m = DecodeFixed32(data.data() + off + 4);
+    entry->ec_stripe_unit = DecodeFixed32(data.data() + off + 8);
   }
   return true;
 }
@@ -350,10 +364,10 @@ Status Controller::SetApMap(const std::string& app, const std::string& file,
                                    std::to_string(entry.epoch) + " < " +
                                    std::to_string(stored.epoch) + ")");
   }
-  if (entry.epoch == stored.epoch && entry.peers != stored.peers) {
+  if (entry.epoch == stored.epoch && !entry.SameMembership(stored)) {
     ObsAdd(c_apmap_fenced_);
     return FailedPreconditionError(
-        "ap-map peer change without an epoch bump fenced");
+        "ap-map peer/geometry change without an epoch bump fenced");
   }
   return shard.Set(path, SerializeApMap(entry));
 }

@@ -42,9 +42,23 @@ struct PeerRecord {
 
 // One ap-map entry: the peers assigned to an (application, ncl-file) pair,
 // stamped with the application epoch in force when it was written.
+//
+// Erasure-coded files additionally record their stripe geometry: ec_k data
+// + ec_m parity shards of ec_stripe_unit-byte chunks, with `peers[i]`
+// holding shard i (slot order IS shard-role order). ec_k == 0 means plain
+// replication. Geometry rides under the same epoch fence as the peer set:
+// changing it without a bump is rejected like any membership mutation.
 struct ApMapEntry {
   uint64_t epoch = 0;
   std::vector<std::string> peers;
+  uint32_t ec_k = 0;
+  uint32_t ec_m = 0;
+  uint32_t ec_stripe_unit = 0;
+
+  bool SameMembership(const ApMapEntry& o) const {
+    return peers == o.peers && ec_k == o.ec_k && ec_m == o.ec_m &&
+           ec_stripe_unit == o.ec_stripe_unit;
+  }
 };
 
 class Controller {

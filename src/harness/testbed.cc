@@ -27,7 +27,8 @@ Testbed::Testbed(TestbedOptions options)
   for (int i = 0; i < options_.num_peers; ++i) {
     auto peer = std::make_unique<LogPeer>("peer-" + std::to_string(i),
                                           &fabric_, &controller_,
-                                          options_.peer_memory, obs_);
+                                          options_.peer_memory, obs_,
+                                          options_.peer_options);
     // A fresh peer registering with a healthy controller cannot fail; a
     // failure here would silently shrink the cluster under every test.
     CHECK_OK(peer->Start());
@@ -74,6 +75,12 @@ std::unique_ptr<AppServer> Testbed::MakeServer(const std::string& app_id,
   config.fault_budget = options_.fault_budget;
   config.default_capacity = options.ncl_capacity;
   config.pool = options.pool;
+  config.ec_enabled = options.ncl_ec;
+  if (options.ncl_ec) {
+    config.ec = options.ncl_ec_geometry;
+    // f follows the parity width: EC tolerates exactly m shard losses.
+    config.fault_budget = static_cast<int>(config.ec.m);
+  }
   int ncl_window = options.ncl_window;
   if (ncl_window == 0) {
     ncl_window = options_.ncl_window;

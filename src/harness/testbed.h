@@ -16,6 +16,7 @@
 #include "src/controller/controller.h"
 #include "src/dfs/dfs.h"
 #include "src/ncl/connection_pool.h"
+#include "src/ncl/ec.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
 #include "src/obs/metrics.h"
@@ -44,6 +45,10 @@ struct TestbedOptions {
   // 1 forces the seed-calibrated single-pipe model (legacy baselines);
   // >1 overrides the striped fan-out width.
   int dfs_servers = 0;
+  // Slab-pool tuning applied to every log peer. EC experiments set
+  // carve_align to the shard-region grain so shard carves never fragment
+  // the extent maps (src/ncl/peer.h).
+  LogPeerOptions peer_options = {};
   SimParams params;
 };
 
@@ -66,6 +71,12 @@ struct ServerOptions {
   // DFS periodic-flusher override: -1 derives it from the mode (weak
   // servers start the OS-style flusher), 0 never starts it, 1 always does.
   int dfs_flusher = -1;
+  // Erasure-coded NCL regions (DESIGN.md §16): appends are striped across
+  // ncl_ec.k data + ncl_ec.m parity shard peers instead of being fully
+  // replicated on 2f+1. Tolerates f = ncl_ec.m failures at (k+m)/k× peer
+  // memory.
+  bool ncl_ec = false;
+  EcGeometry ncl_ec_geometry = {};
 };
 
 // One application-server process: its dfs mount, SplitFs instance, and the

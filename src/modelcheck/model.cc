@@ -77,7 +77,8 @@ class Checker {
 
   McResult Run() {
     State init;
-    int n = 2 * config_.fault_budget + 1;
+    int n = ec() ? config_.ec_k + config_.ec_m
+                 : 2 * config_.fault_budget + 1;
     init.peers.resize(static_cast<size_t>(n + config_.spare_peers));
     for (int i = 0; i < n; ++i) {
       init.peers[i].holds = true;
@@ -97,7 +98,16 @@ class Checker {
   }
 
  private:
+  bool ec() const { return config_.ec_k > 0; }
   int majority() const { return config_.fault_budget + 1; }
+  // Headers required before a write is acknowledged: f+1 replicas, or the
+  // first k shard streams under EC late binding (k-1 under the mutant).
+  int ack_quorum() const {
+    if (!ec()) {
+      return majority();
+    }
+    return config_.bug_ec_ack_below_k ? config_.ec_k - 1 : config_.ec_k;
+  }
 
   void Push(State s) {
     UpdateAcks(&s);
@@ -128,7 +138,8 @@ class Checker {
     }
   }
 
-  // A write k is acknowledged once f+1 member peers have its header.
+  // A write k is acknowledged once ack_quorum() member peers have its
+  // header.
   void UpdateAcks(State* s) {
     if (!s->app_alive) {
       return;
@@ -140,7 +151,7 @@ class Checker {
           have++;
         }
       }
-      if (have >= majority()) {
+      if (have >= ack_quorum()) {
         s->acked = static_cast<int8_t>(k);
         s->externalized = std::max(s->externalized, s->acked);
       } else {
@@ -332,11 +343,26 @@ class Checker {
       // An in-flight migration dies with the app; the target region is
       // not in the ap-map, so recovery ignores it and the GC frees it.
       AbortMigration(&t);
+      if (ec() && config_.ec_drain_on_crash) {
+        // Laggard delivery: every issued write was posted to every member,
+        // and one-sided WRs outlive the initiator, so queued deliveries to
+        // alive members land before recovery can observe the regions.
+        for (Peer& p : t.peers) {
+          if (p.member && p.alive && p.holds) {
+            p.data_upto = std::max(p.data_upto, t.issued);
+            p.seq_upto = std::max(p.seq_upto, t.issued);
+          }
+        }
+      }
       result_.transitions++;
       Push(std::move(t));
     }
 
-    // --- 6. The app recovers: every f+1 subset of responders. ------------
+    // --- 6. The app recovers. Replication: every f+1 subset of
+    // responders. EC: the real recovery waits until every reachable holder
+    // answered or failed, then reconstructs from the top-k claims, so the
+    // responding set is all alive member holders (slow responders are
+    // modeled by the crash transitions above).
     if (!s.app_alive) {
       std::vector<int> responders;
       for (size_t i = 0; i < s.peers.size(); ++i) {
@@ -345,7 +371,12 @@ class Checker {
           responders.push_back(static_cast<int>(i));
         }
       }
-      if (static_cast<int>(responders.size()) >= majority()) {
+      if (ec()) {
+        if (static_cast<int>(responders.size()) >= config_.ec_k) {
+          RecoverEc(s, responders);
+        }
+        // Fewer than k shard streams: correctly unavailable — a dead end.
+      } else if (static_cast<int>(responders.size()) >= majority()) {
         std::vector<int> subset;
         EnumerateSubsets(s, responders, 0, &subset);
       }
@@ -365,6 +396,56 @@ class Checker {
       EnumerateSubsets(s, responders, i + 1, subset);
       subset->pop_back();
     }
+  }
+
+  // EC recovery: sort responders by claimed sequence number, take the top
+  // k, and reconstruct exactly the k-th largest claim — every stripe at or
+  // below it has all k of those shard streams (DESIGN.md §16).
+  void RecoverEc(const State& s, std::vector<int> responders) {
+    result_.transitions++;
+    std::stable_sort(responders.begin(), responders.end(),
+                     [&s](int a, int b) {
+                       return s.peers[a].seq_upto > s.peers[b].seq_upto;
+                     });
+    responders.resize(static_cast<size_t>(config_.ec_k));
+    int claimed = s.peers[responders.back()].seq_upto;
+    int actual = claimed;
+    for (int idx : responders) {
+      actual = std::min(actual, s.peers[idx].ActualPrefix());
+    }
+
+    // §4.6 correctness condition, stripe-reconstruction form.
+    if (actual < claimed) {
+      Violate("recovered file has holes: chosen shards claim seq " +
+              std::to_string(claimed) + " but only hold a prefix of " +
+              std::to_string(actual));
+      return;
+    }
+    if (claimed < s.externalized) {
+      Violate("externalized write " + std::to_string(s.externalized) +
+              " lost: ec recovery reconstructed only " +
+              std::to_string(claimed));
+      return;
+    }
+
+    State t = s;
+    t.app_alive = true;
+    t.externalized = std::max<int8_t>(t.externalized,
+                                      static_cast<int8_t>(claimed));
+    t.acked = static_cast<int8_t>(claimed);
+    t.issued = static_cast<int8_t>(claimed);
+    t.pending_catchup = 0;
+    if (!config_.bug_skip_recovery_catchup) {
+      // Staged-region catch-up before externalizing, same as replication:
+      // every alive member holder is rewritten to the recovered state.
+      for (Peer& p : t.peers) {
+        if (p.member && p.alive && p.holds) {
+          p.complete_prefix = true;
+          p.base = p.data_upto = p.seq_upto = static_cast<int8_t>(claimed);
+        }
+      }
+    }
+    Push(std::move(t));
   }
 
   void Recover(const State& s, const std::vector<int>& subset) {

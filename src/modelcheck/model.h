@@ -37,6 +37,23 @@ struct McConfig {
   int max_writes = 3;        // writes the application issues
   int max_peer_crashes = 1;
   int max_app_crashes = 2;
+  // Erasure coding (DESIGN.md §16): ec_k > 0 switches the model to k+m
+  // striped logging — n = ec_k + ec_m member peers, each holding one shard
+  // stream, and a write is acknowledged once ec_k member holders carry its
+  // header (late binding; fault_budget is ignored for the member count).
+  // Recovery reconstructs from the top-k claimed sequence numbers of all
+  // responding holders and recovers exactly the k-th largest claim.
+  int ec_k = 0;
+  int ec_m = 0;
+  // One-sided RDMA outlives its initiator: WRs posted before an app crash
+  // still deliver to alive peers, which is what makes the late-binding
+  // window (acked at k, parity still in flight) peer-crash tolerant. true
+  // models that laggard delivery by draining queued WRs to alive members
+  // at app-crash time; false drops them with the app — under which even
+  // the correct ack rule shows the window is not m-fault tolerant, so
+  // crash configs must keep it true. The q = k-1 mutant below is caught
+  // with drain off and no peer crashes (the pure pigeonhole theorem).
+  bool ec_drain_on_crash = true;
   // Planned reconfigurations: live-region migrations (drain) the app may
   // run concurrently with writes and crashes. 0 keeps the pre-migration
   // state space.
@@ -45,6 +62,10 @@ struct McConfig {
   bool bug_apmap_before_catchup = false;
   bool bug_skip_recovery_catchup = false;
   bool bug_migrate_stale_cutover = false;
+  // EC mutant: acknowledge a write at k-1 shard headers instead of k. One
+  // short of reconstructable — the checker must report externalized-write
+  // loss (the bug_ec_ack_below_k theorem test).
+  bool bug_ec_ack_below_k = false;
   uint64_t max_states = 10'000'000;  // exploration cap
 };
 

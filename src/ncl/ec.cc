@@ -1,0 +1,262 @@
+#include "src/ncl/ec.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace splitft {
+namespace {
+
+// GF(256) log/exp tables over the 0x11d polynomial, generator 2. Built once,
+// from constants only — identical in every process.
+struct GfTables {
+  uint8_t exp[512];
+  uint8_t log[256];
+  GfTables() {
+    uint32_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      log[x] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= 0x11d;
+      }
+    }
+    // Duplicate so exp[a+b] never needs a mod-255 reduction for a,b < 255.
+    for (int i = 255; i < 512; ++i) {
+      exp[i] = exp[i - 255];
+    }
+    log[0] = 0;  // log(0) is undefined; GfMul never reads it.
+  }
+};
+
+const GfTables& Tables() {
+  static const GfTables tables;
+  return tables;
+}
+
+uint8_t GfInv(uint8_t a) {
+  const GfTables& t = Tables();
+  return t.exp[255 - t.log[a]];
+}
+
+}  // namespace
+
+uint8_t GfMul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const GfTables& t = Tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t EcCoef(uint32_t p, uint32_t j) {
+  if (p == 0) {
+    return 1;  // row 0: plain XOR
+  }
+  return Tables().exp[j % 255];  // row 1: 2^j
+}
+
+uint64_t EcGeometry::ShardCapacity(uint64_t logical_capacity) const {
+  uint64_t gb = group_bytes();
+  uint64_t groups = (logical_capacity + gb - 1) / gb;
+  return groups * stripe_unit;
+}
+
+Status ValidateEcGeometry(const EcGeometry& geo) {
+  if (geo.k < 2 || geo.k >= 255) {
+    return InvalidArgumentError("ec: k must be in [2, 254], got k=" +
+                                std::to_string(geo.k));
+  }
+  if (geo.m < 1 || geo.m > 2) {
+    return InvalidArgumentError(
+        "ec: RS-lite parity supports 1 <= m <= 2, got m=" +
+        std::to_string(geo.m));
+  }
+  if (geo.stripe_unit == 0) {
+    return InvalidArgumentError("ec: stripe_unit must be positive");
+  }
+  return OkStatus();
+}
+
+EcShardRange DataShardRange(const EcGeometry& geo, uint32_t shard_j,
+                            uint64_t offset, uint64_t length) {
+  if (length == 0) {
+    return {};
+  }
+  const uint64_t U = geo.stripe_unit;
+  const uint64_t k = geo.k;
+  const uint64_t u0 = offset / U;
+  const uint64_t u1 = (offset + length - 1) / U;
+  // First and last units of lane shard_j inside [u0, u1].
+  const uint64_t first = u0 + (shard_j + k - (u0 % k)) % k;
+  if (first > u1) {
+    return {};
+  }
+  const uint64_t last = u1 - ((u1 % k) + k - shard_j) % k;
+  EcShardRange r;
+  r.begin = (first / k) * U + (first == u0 ? offset % U : 0);
+  r.end = (last / k) * U +
+          (last == u1 ? (offset + length - 1) % U + 1 : U);
+  return r;
+}
+
+EcShardRange ParityShardRange(const EcGeometry& geo, uint64_t offset,
+                              uint64_t length) {
+  if (length == 0) {
+    return {};
+  }
+  const uint64_t gb = geo.group_bytes();
+  const uint64_t g0 = offset / gb;
+  const uint64_t g1 = (offset + length - 1) / gb;
+  return {g0 * geo.stripe_unit, (g1 + 1) * geo.stripe_unit};
+}
+
+void ExtractDataShard(const EcGeometry& geo, uint32_t shard_j,
+                      std::string_view logical, const EcShardRange& range,
+                      std::string* out) {
+  out->assign(range.size(), '\0');
+  const uint64_t U = geo.stripe_unit;
+  char* dst = out->data();
+  uint64_t y = range.begin;
+  while (y < range.end) {
+    const uint64_t g = y / U;
+    const uint64_t c = y % U;
+    const uint64_t n = std::min(range.end - y, U - c);
+    const uint64_t pos = (g * geo.k + shard_j) * U + c;
+    if (pos < logical.size()) {
+      const uint64_t avail = std::min<uint64_t>(n, logical.size() - pos);
+      std::memcpy(dst, logical.data() + pos, avail);
+    }
+    dst += n;
+    y += n;
+  }
+}
+
+void EncodeParityShard(const EcGeometry& geo, uint32_t parity_p,
+                       std::string_view logical, const EcShardRange& range,
+                       std::string* out) {
+  out->assign(range.size(), '\0');
+  const uint64_t U = geo.stripe_unit;
+  const GfTables& t = Tables();
+  for (uint32_t j = 0; j < geo.k; ++j) {
+    const uint8_t coef = EcCoef(parity_p, j);
+    if (coef == 0) {
+      continue;
+    }
+    const uint8_t coef_log = t.log[coef];
+    char* dst = out->data();
+    uint64_t y = range.begin;
+    while (y < range.end) {
+      const uint64_t g = y / U;
+      const uint64_t c = y % U;
+      const uint64_t n = std::min(range.end - y, U - c);
+      const uint64_t pos = (g * geo.k + j) * U + c;
+      if (pos < logical.size()) {
+        const uint64_t avail = std::min<uint64_t>(n, logical.size() - pos);
+        if (coef == 1) {
+          for (uint64_t i = 0; i < avail; ++i) {
+            dst[i] = static_cast<char>(dst[i] ^ logical[pos + i]);
+          }
+        } else {
+          for (uint64_t i = 0; i < avail; ++i) {
+            const uint8_t b = static_cast<uint8_t>(logical[pos + i]);
+            if (b != 0) {
+              dst[i] = static_cast<char>(
+                  static_cast<uint8_t>(dst[i]) ^ t.exp[coef_log + t.log[b]]);
+            }
+          }
+        }
+      }
+      dst += n;
+      y += n;
+    }
+  }
+}
+
+Status EcReconstruct(const EcGeometry& geo,
+                     const std::vector<EcShardView>& shards,
+                     uint64_t logical_len, std::string* out) {
+  RETURN_IF_ERROR(ValidateEcGeometry(geo));
+  const uint32_t k = geo.k;
+  if (shards.size() < k) {
+    return InvalidArgumentError(
+        "ec: reconstruction needs k=" + std::to_string(k) +
+        " shards, got " + std::to_string(shards.size()));
+  }
+  // Use the first k shards; validate indices are distinct and in range.
+  std::vector<const EcShardView*> use;
+  std::vector<bool> seen(geo.shards(), false);
+  for (const EcShardView& s : shards) {
+    if (use.size() == k) {
+      break;
+    }
+    if (s.shard_index >= geo.shards()) {
+      return InvalidArgumentError("ec: shard index " +
+                                  std::to_string(s.shard_index) +
+                                  " out of range");
+    }
+    if (seen[s.shard_index]) {
+      return InvalidArgumentError("ec: duplicate shard index " +
+                                  std::to_string(s.shard_index));
+    }
+    seen[s.shard_index] = true;
+    use.push_back(&s);
+  }
+  // Decode matrix: row i expresses shard use[i] as a combination of the k
+  // data lanes. Invert it (Gauss-Jordan over GF(256)) so column vectors of
+  // observed shard bytes map back to data-lane bytes.
+  std::vector<std::vector<uint8_t>> mat(k, std::vector<uint8_t>(2 * k, 0));
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint32_t s = use[i]->shard_index;
+    for (uint32_t j = 0; j < k; ++j) {
+      mat[i][j] = s < k ? (s == j ? 1 : 0) : EcCoef(s - k, j);
+    }
+    mat[i][k + i] = 1;
+  }
+  for (uint32_t col = 0; col < k; ++col) {
+    uint32_t pivot = col;
+    while (pivot < k && mat[pivot][col] == 0) {
+      ++pivot;
+    }
+    if (pivot == k) {
+      return InvalidArgumentError("ec: singular decode matrix");
+    }
+    std::swap(mat[col], mat[pivot]);
+    const uint8_t inv = GfInv(mat[col][col]);
+    for (uint32_t j = 0; j < 2 * k; ++j) {
+      mat[col][j] = GfMul(mat[col][j], inv);
+    }
+    for (uint32_t row = 0; row < k; ++row) {
+      if (row == col || mat[row][col] == 0) {
+        continue;
+      }
+      const uint8_t f = mat[row][col];
+      for (uint32_t j = 0; j < 2 * k; ++j) {
+        mat[row][j] = static_cast<uint8_t>(mat[row][j] ^
+                                           GfMul(f, mat[col][j]));
+      }
+    }
+  }
+  const uint64_t U = geo.stripe_unit;
+  out->assign(logical_len, '\0');
+  for (uint64_t pos = 0; pos < logical_len; ++pos) {
+    const uint64_t unit = pos / U;
+    const uint32_t lane = static_cast<uint32_t>(unit % k);
+    const uint64_t y = (unit / k) * U + pos % U;
+    uint8_t acc = 0;
+    for (uint32_t i = 0; i < k; ++i) {
+      const uint8_t coef = mat[lane][k + i];
+      if (coef == 0) {
+        continue;
+      }
+      const std::string_view bytes = use[i]->bytes;
+      const uint8_t b =
+          y < bytes.size() ? static_cast<uint8_t>(bytes[y]) : 0;
+      acc = static_cast<uint8_t>(acc ^ GfMul(coef, b));
+    }
+    (*out)[pos] = static_cast<char>(acc);
+  }
+  return OkStatus();
+}
+
+}  // namespace splitft

@@ -32,6 +32,8 @@ NclClient::NclClient(NclConfig config, Fabric* fabric, Controller* controller,
       c_peers_replaced_(obs.counter("ncl.client.peers_replaced")),
       c_suffix_reposts_(obs.counter("ncl.client.suffix_reposts")),
       c_regions_migrated_(obs.counter("ncl.client.regions_migrated")),
+      c_ec_repairs_(obs.counter("ncl.ec.repairs")),
+      g_ec_degraded_(obs.gauge("ncl.ec.degraded_stripes")),
       g_inflight_(obs.gauge("ncl.append.inflight")),
       h_record_ns_(obs.histogram("ncl.record.latency_ns")),
       h_recover_ns_(obs.histogram("ncl.recover.latency_ns")) {
@@ -43,6 +45,34 @@ NclClient::NclClient(NclConfig config, Fabric* fabric, Controller* controller,
     pool_ = owned_pool_.get();
   }
   pool_->RegisterClient();
+  init_status_ = ValidateConfig();
+}
+
+Status NclClient::ValidateConfig() {
+  if (!config_.ec_enabled) {
+    return OkStatus();
+  }
+  RETURN_IF_ERROR(ValidateEcGeometry(config_.ec));
+  if (static_cast<int>(config_.ec.m) < config_.fault_budget) {
+    return InvalidArgumentError(
+        "ec: m=" + std::to_string(config_.ec.m) +
+        " parity shards cannot cover fault_budget f=" +
+        std::to_string(config_.fault_budget) + "; need m >= f");
+  }
+  // Geometry vs registry: k+m distinct peers must exist or every Create
+  // would only fail later, at allocation time, with a misleading
+  // kUnavailable. The registry query is best effort — if the controller is
+  // in an outage window the check is skipped rather than guessed.
+  auto peers = RetryControllerRpc([&] {
+    return controller_->GetPeers(config_.ec.shards(), 0, {});
+  });
+  if (!peers.ok() && peers.status().code() == StatusCode::kUnavailable) {
+    return InvalidArgumentError(
+        "ec: geometry k+m=" + std::to_string(config_.ec.shards()) +
+        " exceeds the reachable log peers (" + peers.status().message() +
+        ")");
+  }
+  return OkStatus();
 }
 
 NclClient::~NclClient() {
@@ -103,6 +133,9 @@ Result<std::pair<LogPeer*, AllocationGrant>> NclClient::AllocateOnFreshPeer(
 
 Result<std::unique_ptr<NclFile>> NclClient::Create(const std::string& file,
                                                    uint64_t capacity) {
+  if (!init_status_.ok()) {
+    return init_status_;
+  }
   if (capacity == 0) {
     capacity = config_.default_capacity;
   }
@@ -118,7 +151,9 @@ Result<std::unique_ptr<NclFile>> NclClient::Create(const std::string& file,
   std::unique_ptr<NclFile> out(new NclFile(this, file, capacity));
   out->epoch_ = *epoch;
 
-  uint64_t region_bytes = NclRegionBytes(capacity);
+  // Per-slot region: a shard region (k-th of the content space plus
+  // parity-row twins) in EC mode, a full replica otherwise.
+  uint64_t region_bytes = out->SlotRegionBytes();
   for (int i = 0; i < n_peers(); ++i) {
     auto got = AllocateOnFreshPeer(file, region_bytes, *epoch, out->ever_used_);
     if (!got.ok()) {
@@ -133,6 +168,7 @@ Result<std::unique_ptr<NclFile>> NclClient::Create(const std::string& file,
     slot.node = peer->node();
     slot.rkey = grant.rkey;
     slot.qp = pool_->Connect(peer->node());
+    slot.shard_index = static_cast<uint32_t>(i);
     out->slots_.push_back(std::move(slot));
     out->ever_used_.insert(peer->name());
   }
@@ -196,6 +232,9 @@ bool NclClient::Exists(const std::string& file) {
 }
 
 Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
+  if (!init_status_.ok()) {
+    return init_status_;
+  }
   Simulation* sim = fabric_->sim();
   SimTime recover_start = sim->Now();
 
@@ -214,16 +253,39 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
   if (!apmap.ok()) {
     return apmap.status();
   }
+  // Mode fence: the ap-map records the stripe geometry the file was
+  // written with; recovering it under a different one would misinterpret
+  // every shard region.
+  const bool ec = config_.ec_enabled;
+  if (ec) {
+    if (apmap->ec_k != config_.ec.k || apmap->ec_m != config_.ec.m ||
+        apmap->ec_stripe_unit != config_.ec.stripe_unit) {
+      return FailedPreconditionError(
+          "ncl file " + file + " has ap-map geometry k=" +
+          std::to_string(apmap->ec_k) + ",m=" + std::to_string(apmap->ec_m) +
+          ",unit=" + std::to_string(apmap->ec_stripe_unit) +
+          " but the client is configured for k=" +
+          std::to_string(config_.ec.k) + ",m=" + std::to_string(config_.ec.m) +
+          ",unit=" + std::to_string(config_.ec.stripe_unit));
+    }
+  } else if (apmap->ec_k != 0) {
+    return FailedPreconditionError(
+        "ncl file " + file +
+        " is erasure-coded; configure the client with the matching ec "
+        "geometry to recover it");
+  }
 
   // Phase 2: contact the peers; each either grants the region or rejects
   // (it crashed and lost its mr-map, §4.5.1).
   std::unique_ptr<NclFile> out(new NclFile(this, file, 0));
   {
     ObsSpan phase(obs_.tracer, "ncl.recover.connect");
+    uint32_t index = 0;
     for (const std::string& name : apmap->peers) {
       NclFile::PeerSlot slot;
       slot.peer_name = name;
       slot.alive = false;
+      slot.shard_index = index++;
       out->ever_used_.insert(name);
       LogPeer* peer = LookupPeerWithRetry(name);
       if (peer != nullptr && peer->alive()) {
@@ -234,29 +296,37 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
           slot.rkey = grant->rkey;
           slot.qp = pool_->Connect(peer->node());
           slot.alive = true;
-          out->capacity_ = std::max(
-              out->capacity_, grant->region_bytes - kNclRegionHeaderBytes);
+          // Back out the logical capacity from the per-slot region size:
+          // a shard holds a k-th of the (group-rounded) content space.
+          uint64_t slot_capacity =
+              ec ? (grant->region_bytes - kNclEcHeaderBytes) * config_.ec.k
+                 : grant->region_bytes - kNclRegionHeaderBytes;
+          out->capacity_ = std::max(out->capacity_, slot_capacity);
         }
       }
       out->slots_.push_back(std::move(slot));
     }
-    if (out->alive_peers() < majority()) {
-      // More than f peers lost the region: correctly make the file
-      // unavailable rather than lose acknowledged writes (§4.2).
+    if (out->alive_peers() < ack_quorum()) {
+      // Too many peers lost the region (more than f replicas / more than m
+      // shards): correctly make the file unavailable rather than lose
+      // acknowledged writes (§4.2).
       return UnavailableError("only " + std::to_string(out->alive_peers()) +
                               " of " + std::to_string(n_peers()) +
                               " peers hold " + file);
     }
   }
 
-  // Phase 3: read headers from all reachable peers; wait for a majority.
+  // Phase 3: read headers from all reachable peers; wait for a quorum
+  // (f+1 replicas, or any k shard streams in EC mode).
   {
   ObsSpan phase(obs_.tracer, "ncl.recover.rdma_read");
+  const uint64_t header_bytes = out->HeaderBytes();
   struct HeaderRead {
     int slot_idx;
     uint64_t wr_id;
     bool done = false;
-    NclRegionHeader header;
+    uint64_t seq = 0;
+    uint64_t length = 0;
   };
   std::vector<HeaderRead> reads;
   for (size_t i = 0; i < out->slots_.size(); ++i) {
@@ -266,7 +336,7 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
     }
     HeaderRead hr;
     hr.slot_idx = static_cast<int>(i);
-    hr.wr_id = slot.qp->PostRead(slot.rkey, 0, kNclRegionHeaderBytes);
+    hr.wr_id = slot.qp->PostRead(slot.rkey, 0, header_bytes);
     reads.push_back(hr);
   }
   auto count_done = [&reads] {
@@ -279,7 +349,7 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
     return done;
   };
   // A false return (simulation ran out of events with reads pending) is
-  // subsumed by the majority check below: stalled readers stay !done.
+  // subsumed by the quorum check below: stalled readers stay !done.
   sim->RunUntilPredicate([&] {
     for (HeaderRead& hr : reads) {
       if (hr.done) {
@@ -293,7 +363,26 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
           break;
         }
         if (c.wr_id == hr.wr_id) {
-          hr.header = NclRegionHeader::Decode(c.read_data);
+          if (ec) {
+            NclShardHeader h = NclShardHeader::Decode(c.read_data);
+            // A never-written region decodes all-zero (seq 0): accept it
+            // as empty. A written header must carry the file's geometry
+            // and this slot's shard role; anything else is a stale or
+            // foreign region and the slot cannot be trusted.
+            if (h.seq != 0 &&
+                (h.k != config_.ec.k || h.m != config_.ec.m ||
+                 h.stripe_unit != config_.ec.stripe_unit ||
+                 h.shard_index != slot.shard_index)) {
+              slot.alive = false;
+              break;
+            }
+            hr.seq = h.seq;
+            hr.length = h.length;
+          } else {
+            NclRegionHeader h = NclRegionHeader::Decode(c.read_data);
+            hr.seq = h.seq;
+            hr.length = h.length;
+          }
           hr.done = true;
         }
       }
@@ -307,47 +396,166 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
     }
     return pending == 0;
   });
-  if (count_done() < majority()) {
-    return UnavailableError("fewer than f+1 peers answered recovery reads");
+  if (count_done() < ack_quorum()) {
+    return UnavailableError(ec
+                                ? "fewer than k shard peers answered "
+                                  "recovery reads"
+                                : "fewer than f+1 peers answered recovery "
+                                  "reads");
   }
 
-  // The maximum sequence number across f+1 (here: all) responses is the
-  // most up-to-date state (§4.5.1).
-  int best = -1;
-  NclRegionHeader best_header;
-  for (const HeaderRead& hr : reads) {
-    if (hr.done && (best < 0 || hr.header.seq > best_header.seq)) {
-      best = hr.slot_idx;
-      best_header = hr.header;
-    }
-  }
-  out->recovery_slot_ = best;
-  out->seq_ = best_header.seq;
-  out->length_ = best_header.length;
-
-  // Fetch the full contents from the recovery peer. In prefetch mode this
-  // also becomes the buffer that serves application reads (Fig 11a).
-  if (out->length_ > 0) {
-    NclFile::PeerSlot& rslot = out->slots_[best];
-    uint64_t wr = rslot.qp->PostRead(rslot.rkey, kNclRegionHeaderBytes,
-                                     out->length_);
-    Completion c;
-    bool got = sim->RunUntilPredicate([&] {
-      Completion tmp;
-      while (rslot.qp->PollCq(&tmp)) {
-        if (tmp.wr_id == wr) {
-          c = tmp;
-          return true;
-        }
+  if (!ec) {
+    // The maximum sequence number across f+1 (here: all) responses is the
+    // most up-to-date state (§4.5.1).
+    int best = -1;
+    uint64_t best_seq = 0;
+    uint64_t best_length = 0;
+    for (const HeaderRead& hr : reads) {
+      if (hr.done && (best < 0 || hr.seq > best_seq)) {
+        best = hr.slot_idx;
+        best_seq = hr.seq;
+        best_length = hr.length;
       }
-      return false;
-    });
-    if (!got || c.status != WcStatus::kSuccess) {
-      return UnavailableError("recovery peer failed during region read");
     }
-    out->buffer_ = std::move(c.read_data);
+    out->recovery_slot_ = best;
+    out->seq_ = best_seq;
+    out->length_ = best_length;
+
+    // Fetch the full contents from the recovery peer. In prefetch mode
+    // this also becomes the buffer that serves application reads (Fig 11a).
+    if (out->length_ > 0) {
+      NclFile::PeerSlot& rslot = out->slots_[best];
+      uint64_t wr = rslot.qp->PostRead(rslot.rkey, kNclRegionHeaderBytes,
+                                       out->length_);
+      Completion c;
+      bool got = sim->RunUntilPredicate([&] {
+        Completion tmp;
+        while (rslot.qp->PollCq(&tmp)) {
+          if (tmp.wr_id == wr) {
+            c = tmp;
+            return true;
+          }
+        }
+        return false;
+      });
+      if (!got || c.status != WcStatus::kSuccess) {
+        return UnavailableError("recovery peer failed during region read");
+      }
+      out->buffer_ = std::move(c.read_data);
+    }
+    out->serve_reads_locally_ = config_.prefetch_on_recovery;
+  } else {
+    // EC late-binding recovery (DESIGN.md §16): every acknowledged append
+    // landed on at least k shards, so among any set of responders the
+    // k-th largest shard seq is at least the committed watermark — and
+    // in-order shard delivery means the k freshest responders can each
+    // serve every stripe up to that seq. Reconstruct the logical prefix
+    // at S = k-th largest seq from exactly those k shard streams.
+    std::vector<const HeaderRead*> done_reads;
+    for (const HeaderRead& hr : reads) {
+      if (hr.done) {
+        done_reads.push_back(&hr);
+      }
+    }
+    // Freshest first; ties broken by slot index for determinism.
+    std::stable_sort(done_reads.begin(), done_reads.end(),
+                     [](const HeaderRead* a, const HeaderRead* b) {
+                       return a->seq > b->seq;
+                     });
+    const uint32_t k = config_.ec.k;
+    const HeaderRead* floor_read = done_reads[k - 1];
+    const uint64_t floor_seq = floor_read->seq;
+    // Choose the k streams to decode from among the responders at or above
+    // the claim floor. A data shard at any seq >= S serves its lane
+    // verbatim over the whole claimed prefix (append-only), so data shards
+    // are always exact — take the freshest. A parity shard that ran past S
+    // has folded later appends into the tail stripe group's columns, so
+    // when parity must be used, take the *stalest* still >= S: that keeps
+    // the parity state at or below every chosen data state whenever the
+    // responder set allows, which is exactly the condition under which the
+    // decode is column-consistent (DESIGN.md §16).
+    std::vector<const HeaderRead*> chosen;
+    for (const HeaderRead* hr : done_reads) {
+      if (chosen.size() < k && hr->seq >= floor_seq &&
+          out->slots_[hr->slot_idx].shard_index < k) {
+        chosen.push_back(hr);
+      }
+    }
+    for (auto it = done_reads.rbegin(); it != done_reads.rend(); ++it) {
+      if (chosen.size() < k && (*it)->seq >= floor_seq &&
+          out->slots_[(*it)->slot_idx].shard_index >= k) {
+        chosen.push_back(*it);
+      }
+    }
+    done_reads = std::move(chosen);
+    out->seq_ = floor_read->seq;
+    out->length_ = floor_read->length;
+    out->recovery_slot_ = done_reads[0]->slot_idx;
+
+    if (out->length_ > 0) {
+      // Pull each chosen shard's content prefix and decode. Data shards
+      // ahead of S only differ beyond logical length_ (EC files are
+      // append-only); the chooser above keeps any parity stream as close
+      // to S as the responders allow, so the mixed-seq decode stays
+      // column-consistent (see DESIGN.md §16 for the residual corner).
+      const uint64_t shard_len = config_.ec.ShardCapacity(out->length_);
+      struct ShardFetch {
+        int slot_idx;
+        uint64_t wr_id;
+        bool done = false;
+        std::string data;
+      };
+      std::vector<ShardFetch> fetches;
+      for (const HeaderRead* hr : done_reads) {
+        NclFile::PeerSlot& slot = out->slots_[hr->slot_idx];
+        ShardFetch f;
+        f.slot_idx = hr->slot_idx;
+        f.wr_id = slot.qp->PostRead(slot.rkey, kNclEcHeaderBytes, shard_len);
+        fetches.push_back(std::move(f));
+      }
+      bool failed = false;
+      bool got = sim->RunUntilPredicate([&] {
+        int pending = 0;
+        for (ShardFetch& f : fetches) {
+          if (f.done) {
+            continue;
+          }
+          NclFile::PeerSlot& slot = out->slots_[f.slot_idx];
+          Completion c;
+          while (slot.qp->PollCq(&c)) {
+            if (c.status != WcStatus::kSuccess) {
+              failed = true;
+              return true;
+            }
+            if (c.wr_id == f.wr_id) {
+              f.data = std::move(c.read_data);
+              f.done = true;
+            }
+          }
+          if (!f.done) {
+            pending++;
+          }
+        }
+        return pending == 0;
+      });
+      if (!got || failed) {
+        return UnavailableError("recovery shard read failed");
+      }
+      std::vector<EcShardView> views;
+      for (const ShardFetch& f : fetches) {
+        views.push_back(EcShardView{out->slots_[f.slot_idx].shard_index,
+                                    std::string_view(f.data)});
+      }
+      Status decoded = EcReconstruct(config_.ec, views, out->length_,
+                                     &out->buffer_);
+      if (!decoded.ok()) {
+        return decoded;
+      }
+    }
+    // A single shard peer cannot serve logical reads; EC recovery always
+    // materializes the local buffer and serves from it.
+    out->serve_reads_locally_ = true;
   }
-  out->serve_reads_locally_ = config_.prefetch_on_recovery;
   }
 
   // Phase 4: catch every reachable peer up with the recovered state via
@@ -372,7 +580,7 @@ Result<std::unique_ptr<NclFile>> NclClient::Recover(const std::string& file) {
           slot.alive = false;
         }
       }
-      if (out->alive_peers() < majority()) {
+      if (out->alive_peers() < ack_quorum()) {
         return UnavailableError("peers failed during recovery catch-up");
       }
     } else {
@@ -461,10 +669,74 @@ Status NclFile::WriteApMap() {
   ApMapEntry entry;
   entry.epoch = epoch_;
   entry.peers = peer_names_;
+  if (ec()) {
+    // Slot order is shard-role order: peers[i] holds shard i.
+    entry.ec_k = ec_geometry().k;
+    entry.ec_m = ec_geometry().m;
+    entry.ec_stripe_unit = ec_geometry().stripe_unit;
+  }
   return client_->RetryControllerRpc([&] {
     return client_->controller_->SetApMap(client_->config_.app_id, name_,
                                           entry);
   });
+}
+
+// ---- Erasure-coding helpers (DESIGN.md §16) --------------------------------
+
+uint64_t NclFile::HeaderBytes() const {
+  return ec() ? kNclEcHeaderBytes : kNclRegionHeaderBytes;
+}
+
+uint64_t NclFile::SlotRegionBytes() const {
+  return ec() ? NclShardRegionBytes(ec_geometry().ShardCapacity(capacity_))
+              : NclRegionBytes(capacity_);
+}
+
+EcShardRange NclFile::ShardRangeFor(uint32_t shard_index, uint64_t offset,
+                                    uint64_t length) const {
+  const EcGeometry& geo = ec_geometry();
+  return shard_index < geo.k ? DataShardRange(geo, shard_index, offset, length)
+                             : ParityShardRange(geo, offset, length);
+}
+
+EcShardRange NclFile::FullShardRange() const {
+  return EcShardRange{0, ec_geometry().ShardCapacity(length_)};
+}
+
+void NclFile::EncodeShardRange(uint32_t shard_index, const EcShardRange& range,
+                               std::string* out) const {
+  const EcGeometry& geo = ec_geometry();
+  if (shard_index < geo.k) {
+    ExtractDataShard(geo, shard_index, buffer_, range, out);
+  } else {
+    EncodeParityShard(geo, shard_index - geo.k, buffer_, range, out);
+  }
+}
+
+void NclFile::EncodeSlotHeader(uint32_t shard_index, char* out) const {
+  if (ec()) {
+    const EcGeometry& geo = ec_geometry();
+    NclShardHeader{seq_, length_, geo.k, geo.m, shard_index, geo.stripe_unit}
+        .EncodeTo(out);
+  } else {
+    NclRegionHeader{seq_, length_}.EncodeTo(out);
+  }
+}
+
+void NclFile::UpdateDegradedGauge() {
+  if (!ec()) {
+    return;
+  }
+  // How far the most-degraded slot trails the commit watermark. A dead
+  // slot's acked_seq freezes where it died, so the gauge grows while the
+  // stripe set is degraded and snaps back once repair (ReplaceSlot)
+  // re-encodes the shard onto a fresh peer.
+  uint64_t min_acked = committed_seq_;
+  for (const PeerSlot& slot : slots_) {
+    min_acked = std::min(min_acked, std::min(slot.acked_seq, committed_seq_));
+  }
+  ObsSet(client_->g_ec_degraded_,
+         static_cast<int64_t>(committed_seq_ - min_acked));
 }
 
 Status NclFile::Append(std::string_view data) {
@@ -500,6 +772,17 @@ Status NclFile::RecordAsync(uint64_t offset, std::string_view data) {
     return ResourceExhaustedError("write past ncl capacity of " + name_);
   }
   const NclConfig& config = client_->config_;
+  bool truncate = data.empty() && offset == 0;
+  if (config.ec_enabled && !truncate && offset < length_) {
+    // Degraded EC recovery reconstructs the prefix from shard streams at
+    // mixed sequence numbers; that is only column-consistent when writes
+    // never go back over committed bytes (DESIGN.md §16). Truncate stays
+    // legal — it is header-only.
+    return InvalidArgumentError(
+        "ec ncl files are append-only: positional overwrite at offset " +
+        std::to_string(offset) + " < length " + std::to_string(length_) +
+        " of " + name_);
+  }
   ObsSpan record_span(client_->obs_.tracer, "ncl.record");
   ObsAdd(client_->c_records_);
   ObsAdd(client_->c_record_bytes_, data.size());
@@ -507,7 +790,6 @@ Status NclFile::RecordAsync(uint64_t offset, std::string_view data) {
 
   // Apply locally first (§4.4): the local buffer is also the catch-up
   // source for replacement peers.
-  bool truncate = data.empty() && offset == 0;
   if (truncate) {
     buffer_.clear();
     length_ = 0;
@@ -521,9 +803,14 @@ Status NclFile::RecordAsync(uint64_t offset, std::string_view data) {
   seq_++;
   window_.push_back(WindowEntry{seq_, offset, data.size(), truncate,
                                 record_start});
-  char header[kNclRegionHeaderBytes];
-  NclRegionHeader{seq_, length_}.EncodeTo(header);
-  std::string_view header_view(header, kNclRegionHeaderBytes);
+  const bool is_ec = config.ec_enabled;
+  const uint64_t header_bytes = HeaderBytes();
+  char header[kNclEcHeaderBytes];
+  EncodeSlotHeader(0, header);
+  std::string_view header_view(header, header_bytes);
+  // EC: shard payload for the slot currently being posted. The chain post
+  // copies it into pooled WR buffers, so one scratch serves every slot.
+  std::string shard_scratch;
 
   int posted = 0;
   for (PeerSlot& slot : slots_) {
@@ -538,23 +825,43 @@ Status NclFile::RecordAsync(uint64_t offset, std::string_view data) {
     }
     // One WR chain per peer, one doorbell: data + header in SQ order, so
     // the header's arrival implies the data's (§4.4). The last WR of the
-    // chain carries the seq the ack commits. Everything stays on the
-    // stack — the chain post copies payloads into pooled WR buffers, so a
-    // steady-state append performs no heap allocation.
+    // chain carries the seq the ack commits. In replication mode
+    // everything stays on the stack — the chain post copies payloads into
+    // pooled WR buffers, so a steady-state append performs no heap
+    // allocation. In EC mode each peer gets its shard's slice (lane
+    // extraction or parity encoding) instead of the full payload, and the
+    // header carries the slot's shard role; a short append can miss a data
+    // lane entirely, in which case the slot still gets the header WR so
+    // its watermark advances.
+    std::string_view payload = data;
+    uint64_t remote_offset = header_bytes + offset;
+    bool have_data = !truncate;
+    if (is_ec) {
+      EncodeFixed32(header + 24, slot.shard_index);
+      if (have_data) {
+        EcShardRange range =
+            ShardRangeFor(slot.shard_index, offset, data.size());
+        if (range.empty()) {
+          have_data = false;
+        } else {
+          EncodeShardRange(slot.shard_index, range, &shard_scratch);
+          payload = shard_scratch;
+          remote_offset = header_bytes + range.begin;
+        }
+      }
+    }
     QueuePair::WriteOp ops[2];
     size_t nops = 0;
     if (config.unsafe_seq_before_data) {
       // BUG (for §4.6 validation): header lands before the data; a peer
       // holding the header but not the data can win recovery.
       ops[nops++] = QueuePair::WriteOp{slot.rkey, 0, header_view};
-      if (!truncate) {
-        ops[nops++] = QueuePair::WriteOp{
-            slot.rkey, kNclRegionHeaderBytes + offset, data};
+      if (have_data) {
+        ops[nops++] = QueuePair::WriteOp{slot.rkey, remote_offset, payload};
       }
     } else {
-      if (!truncate) {
-        ops[nops++] = QueuePair::WriteOp{
-            slot.rkey, kNclRegionHeaderBytes + offset, data};
+      if (have_data) {
+        ops[nops++] = QueuePair::WriteOp{slot.rkey, remote_offset, payload};
       }
       ops[nops++] = QueuePair::WriteOp{slot.rkey, 0, header_view};
     }
@@ -609,12 +916,13 @@ Status NclFile::WaitFor(uint64_t seq) {
     if (committed_seq_ >= target) {
       break;
     }
-    if (alive_peers() < client_->majority()) {
-      // More than f peers failed: writes block until replacements are
-      // caught up (§4.5.2). Replace just enough to regain a majority; the
-      // rest are replaced off the critical path below.
+    if (alive_peers() < client_->ack_quorum()) {
+      // Too many peers failed (more than f replicas, or more than m shard
+      // holders in EC mode): writes block until replacements are caught up
+      // (§4.5.2). Replace just enough to regain an ack quorum; the rest
+      // are replaced off the critical path below.
       for (PeerSlot& slot : slots_) {
-        if (alive_peers() >= client_->majority()) {
+        if (alive_peers() >= client_->ack_quorum()) {
           break;
         }
         if (!slot.alive) {
@@ -624,8 +932,11 @@ Status NclFile::WaitFor(uint64_t seq) {
           }
         }
       }
-      if (alive_peers() < client_->majority()) {
-        return UnavailableError("more than f log peers are unavailable");
+      if (alive_peers() < client_->ack_quorum()) {
+        return UnavailableError(
+            client_->config_.ec_enabled
+                ? "fewer than k shard peers are available"
+                : "more than f log peers are unavailable");
       }
       AdvanceCommitWatermark();  // replacements ack the full tail
       continue;
@@ -665,17 +976,19 @@ Status NclFile::WaitFor(uint64_t seq) {
 }
 
 uint64_t NclFile::ComputeCommittedSeq() const {
-  // The majority-th largest acked_seq among alive slots: that prefix has
-  // landed, in order, on at least f+1 peers. Monotonic — once durable on a
-  // majority, a prefix stays committed even if those slots die later
-  // (replacements only join fully caught up).
+  // The quorum-th largest acked_seq among alive slots: that prefix has
+  // landed, in order, on at least f+1 replicas — or, in EC mode, on the
+  // first k of the k+m shard peers (late binding: the m slowest shards are
+  // off the critical path). Monotonic — once durable on a quorum, a prefix
+  // stays committed even if those slots die later (replacements only join
+  // fully caught up).
   std::vector<uint64_t> acked;
   for (const PeerSlot& slot : slots_) {
     if (slot.alive) {
       acked.push_back(slot.acked_seq);
     }
   }
-  int maj = client_->majority();
+  int maj = client_->ack_quorum();
   if (static_cast<int>(acked.size()) < maj) {
     return committed_seq_;
   }
@@ -707,6 +1020,7 @@ void NclFile::AdvanceCommitWatermark() {
     }
   }
   ObsSet(client_->g_inflight_, static_cast<int64_t>(seq_ - committed_seq_));
+  UpdateDegradedGauge();
   PruneWindow();
 }
 
@@ -742,7 +1056,15 @@ bool NclFile::PostSuffix(PeerSlot* slot) {
     return false;  // history pruned past the gap
   }
   slot->inflight.clear();
+  const uint64_t header_bytes = HeaderBytes();
   std::vector<QueuePair::WriteOp> ops;
+  // EC: each replayed range is re-encoded into this slot's shard; the
+  // encoded chunks must outlive the PostWriteBatch call (which copies them
+  // out), so they accumulate here rather than in one reused scratch. The
+  // reserve is load-bearing: ops holds string_views into these strings, and
+  // a reallocation would move the small (SSO) ones out from under them.
+  std::vector<std::string> shard_scratch;
+  shard_scratch.reserve(window_.size());
   std::string_view buffer_view(buffer_);
   for (const WindowEntry& entry : window_) {
     if (entry.seq <= slot->acked_seq || entry.truncate || entry.len == 0) {
@@ -757,14 +1079,26 @@ bool NclFile::PostSuffix(PeerSlot* slot) {
     if (entry.offset >= end) {
       continue;
     }
+    if (ec()) {
+      EcShardRange range =
+          ShardRangeFor(slot->shard_index, entry.offset, end - entry.offset);
+      if (range.empty()) {
+        continue;  // this append missed the slot's lane entirely
+      }
+      shard_scratch.emplace_back();
+      EncodeShardRange(slot->shard_index, range, &shard_scratch.back());
+      ops.push_back(QueuePair::WriteOp{slot->rkey, header_bytes + range.begin,
+                                       shard_scratch.back()});
+      continue;
+    }
     ops.push_back(QueuePair::WriteOp{
-        slot->rkey, kNclRegionHeaderBytes + entry.offset,
+        slot->rkey, header_bytes + entry.offset,
         buffer_view.substr(entry.offset, end - entry.offset)});
   }
-  char header[kNclRegionHeaderBytes];
-  NclRegionHeader{seq_, length_}.EncodeTo(header);
+  char header[kNclEcHeaderBytes];
+  EncodeSlotHeader(slot->shard_index, header);
   ops.push_back(QueuePair::WriteOp{
-      slot->rkey, 0, std::string_view(header, kNclRegionHeaderBytes)});
+      slot->rkey, 0, std::string_view(header, header_bytes)});
   std::vector<uint64_t> ids = slot->qp->PostWriteBatch(std::move(ops));
   for (size_t k = 0; k < ids.size(); ++k) {
     slot->inflight.emplace_back(ids[k], k + 1 == ids.size() ? seq_ : 0);
@@ -868,15 +1202,24 @@ void NclFile::PostFullState(PeerSlot* slot) {
   slot->inflight.clear();
   // Full-state post, data before header (§4.4 ordering still applies: the
   // header's arrival implies the contents'), chained behind one doorbell.
+  // EC mode ships this slot's full shard instead of the whole buffer.
+  const uint64_t header_bytes = HeaderBytes();
   std::vector<QueuePair::WriteOp> ops;
-  if (!buffer_.empty()) {
-    ops.push_back(
-        QueuePair::WriteOp{slot->rkey, kNclRegionHeaderBytes, buffer_});
+  std::string shard_scratch;
+  if (ec()) {
+    EcShardRange range = FullShardRange();
+    if (!range.empty()) {
+      EncodeShardRange(slot->shard_index, range, &shard_scratch);
+      ops.push_back(QueuePair::WriteOp{slot->rkey, header_bytes + range.begin,
+                                       shard_scratch});
+    }
+  } else if (!buffer_.empty()) {
+    ops.push_back(QueuePair::WriteOp{slot->rkey, header_bytes, buffer_});
   }
-  char header[kNclRegionHeaderBytes];
-  NclRegionHeader{seq_, length_}.EncodeTo(header);
+  char header[kNclEcHeaderBytes];
+  EncodeSlotHeader(slot->shard_index, header);
   ops.push_back(QueuePair::WriteOp{
-      slot->rkey, 0, std::string_view(header, kNclRegionHeaderBytes)});
+      slot->rkey, 0, std::string_view(header, header_bytes)});
   std::vector<uint64_t> ids = slot->qp->PostWriteBatch(std::move(ops));
   for (size_t k = 0; k < ids.size(); ++k) {
     slot->inflight.emplace_back(ids[k], k + 1 == ids.size() ? seq_ : 0);
@@ -942,13 +1285,23 @@ int NclFile::CountAcked(uint64_t seq) const {
 
 Status NclFile::BulkCatchUp(PeerSlot* slot, RKey rkey) {
   ObsSpan span(client_->obs_.tracer, "ncl.catchup.bulk");
+  const uint64_t header_bytes = HeaderBytes();
   std::vector<uint64_t> wanted;
-  if (!buffer_.empty()) {
-    wanted.push_back(
-        slot->qp->PostWrite(rkey, kNclRegionHeaderBytes, buffer_));
+  std::string shard_scratch;
+  if (ec()) {
+    EcShardRange range = FullShardRange();
+    if (!range.empty()) {
+      EncodeShardRange(slot->shard_index, range, &shard_scratch);
+      wanted.push_back(
+          slot->qp->PostWrite(rkey, header_bytes + range.begin, shard_scratch));
+    }
+  } else if (!buffer_.empty()) {
+    wanted.push_back(slot->qp->PostWrite(rkey, header_bytes, buffer_));
   }
-  std::string header = NclRegionHeader{seq_, length_}.Encode();
-  wanted.push_back(slot->qp->PostWrite(rkey, 0, header));
+  char header[kNclEcHeaderBytes];
+  EncodeSlotHeader(slot->shard_index, header);
+  wanted.push_back(
+      slot->qp->PostWrite(rkey, 0, std::string_view(header, header_bytes)));
 
   Simulation* sim = client_->fabric_->sim();
   size_t done = 0;
@@ -1026,15 +1379,31 @@ Status NclFile::CatchUpViaStagedRegion(PeerSlot* slot) {
   }
   Simulation* sim = client_->fabric_->sim();
 
+  const uint64_t header_bytes = HeaderBytes();
+  // EC: the diff target is this slot's *encoded shard*, not the logical
+  // buffer. Encode the full shard once and diff/ship in shard space.
+  std::string local_shard;
+  if (ec()) {
+    EcShardRange range = FullShardRange();
+    if (!range.empty()) {
+      EncodeShardRange(slot->shard_index, range, &local_shard);
+    }
+  }
+  std::string_view local_content = ec() ? std::string_view(local_shard)
+                                        : std::string_view(buffer_);
+  if (!ec()) {
+    local_content = local_content.substr(
+        0, std::min<uint64_t>(length_, capacity_));
+  }
   if (config.diff_catchup) {
     // §4.5.1 optimization: clone the peer's current region locally on the
     // peer and ship only the bytewise difference.
     //
     // First read the peer's current contents so we can diff against them.
     std::string remote;
-    if (length_ > 0) {
-      uint64_t wr = slot->qp->PostRead(slot->rkey, kNclRegionHeaderBytes,
-                                       std::min<uint64_t>(length_, capacity_));
+    if (!local_content.empty()) {
+      uint64_t wr =
+          slot->qp->PostRead(slot->rkey, header_bytes, local_content.size());
       bool failed = false;
       bool ok = sim->RunUntilPredicate([&] {
         Completion c;
@@ -1060,13 +1429,15 @@ Status NclFile::CatchUpViaStagedRegion(PeerSlot* slot) {
       return staged.status();
     }
     std::vector<uint64_t> wanted;
-    for (const DiffRange& r : ComputeDiffRanges(remote, buffer_)) {
+    for (const DiffRange& r : ComputeDiffRanges(remote, local_content)) {
       wanted.push_back(slot->qp->PostWrite(
-          staged->rkey, kNclRegionHeaderBytes + r.offset,
-          std::string_view(buffer_).substr(r.offset, r.len)));
+          staged->rkey, header_bytes + r.offset,
+          local_content.substr(r.offset, r.len)));
     }
-    std::string header = NclRegionHeader{seq_, length_}.Encode();
-    wanted.push_back(slot->qp->PostWrite(staged->rkey, 0, header));
+    char header[kNclEcHeaderBytes];
+    EncodeSlotHeader(slot->shard_index, header);
+    wanted.push_back(slot->qp->PostWrite(
+        staged->rkey, 0, std::string_view(header, header_bytes)));
     size_t done = 0;
     bool failed = false;
     bool ok = sim->RunUntilPredicate([&] {
@@ -1092,7 +1463,7 @@ Status NclFile::CatchUpViaStagedRegion(PeerSlot* slot) {
     slot->rkey = staged->rkey;
   } else {
     auto staged = peer->AllocateCatchupRegion(
-        client_->config_.app_id, name_, NclRegionBytes(capacity_), epoch_);
+        client_->config_.app_id, name_, SlotRegionBytes(), epoch_);
     if (!staged.ok()) {
       return staged.status();
     }
@@ -1130,7 +1501,7 @@ Status NclFile::ReplaceSlot(PeerSlot* slot) {
       exclude.insert(s.peer_name);
     }
   }
-  auto got = client->AllocateOnFreshPeer(name_, NclRegionBytes(capacity_),
+  auto got = client->AllocateOnFreshPeer(name_, SlotRegionBytes(),
                                          epoch_, exclude);
   if (!got.ok()) {
     return got.status();
@@ -1144,6 +1515,14 @@ Status NclFile::ReplaceSlot(PeerSlot* slot) {
   fresh.rkey = grant.rkey;
   fresh.qp = client->pool_->Connect(peer->node());
   fresh.alive = true;
+  // The successor inherits the failed slot's shard role: slot order is
+  // shard-role order (ap-map contract), and the catch-up below re-encodes
+  // exactly that shard from the local buffer. In EC mode this IS background
+  // repair — the lost shard is rebuilt on a fresh peer.
+  fresh.shard_index = slot->shard_index;
+  if (ec()) {
+    ObsAdd(client->c_ec_repairs_);
+  }
 
   if (config.unsafe_apmap_before_catchup) {
     // BUG (for §4.6 validation): recording the new peer before it is caught
@@ -1243,7 +1622,7 @@ Status NclFile::MigrateSlot(PeerSlot* slot) {
   for (const PeerSlot& s : slots_) {
     exclude.insert(s.peer_name);
   }
-  auto got = client->AllocateOnFreshPeer(name_, NclRegionBytes(capacity_),
+  auto got = client->AllocateOnFreshPeer(name_, SlotRegionBytes(),
                                          epoch_, exclude);
   if (!got.ok()) {
     return got.status();
@@ -1257,6 +1636,9 @@ Status NclFile::MigrateSlot(PeerSlot* slot) {
   fresh.rkey = grant.rkey;
   fresh.qp = client->pool_->Connect(peer->node());
   fresh.alive = true;
+  // Planned moves keep the shard role too: the target takes over exactly
+  // the source's lane in the stripe geometry.
+  fresh.shard_index = slot->shard_index;
 
   // Phase 1: snapshot copy. Appends re-entering through simulation events
   // while the copy is in flight keep landing on the *old* membership, so

@@ -30,6 +30,7 @@
 #include "src/controller/controller.h"
 #include "src/obs/obs.h"
 #include "src/ncl/connection_pool.h"
+#include "src/ncl/ec.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
 #include "src/ncl/region_format.h"
@@ -62,6 +63,20 @@ struct NclConfig {
   // How many allocation candidates to try before giving up (§4.3: the
   // controller's availability is a hint; peers may reject).
   int allocation_attempts = 8;
+
+  // Erasure-coded regions (DESIGN.md §16). When enabled, every ncl file is
+  // striped as ec.k data + ec.m parity shards over k+m peers instead of
+  // fully replicated on 2f+1, and an append is acknowledged on the *first
+  // k* shard-header completions for it and every preceding append (late
+  // binding — the slowest peers drop off the critical path). Durability is
+  // f = m at (k+m)/k× memory instead of (f+1)×: k=2,m=2 gives f=2 at 2×
+  // where replication needs 3×. EC files are append-only (positional
+  // overwrite of committed bytes cannot be reconstructed column-
+  // consistently from mixed-seq shards; Truncate is fine — it is
+  // header-only). The geometry is validated against fault_budget and the
+  // registered-peer count at client construction; see NclClient::status().
+  bool ec_enabled = false;
+  EcGeometry ec;
 
   // Shared connection pool (DESIGN.md §14). When set, this client draws its
   // peer QPs from the pool (shared with every co-located tenant on the same
@@ -185,11 +200,26 @@ class NclClient {
   // The connection pool in use (shared or private; never null).
   NclConnectionPool* pool() const { return pool_; }
 
+  // Construction-time validation outcome. Non-OK (kInvalidArgument) when
+  // the EC geometry is malformed, cannot cover the fault budget (m < f),
+  // or exceeds the number of registered log peers; Create/Recover return
+  // this status instead of failing later at allocation time.
+  const Status& status() const { return init_status_; }
+
  private:
   friend class NclFile;
 
-  int n_peers() const { return 2 * config_.fault_budget + 1; }
-  int majority() const { return config_.fault_budget + 1; }
+  // Peers per file: k+m shard holders in EC mode, 2f+1 replicas otherwise.
+  int n_peers() const {
+    return config_.ec_enabled ? static_cast<int>(config_.ec.shards())
+                              : 2 * config_.fault_budget + 1;
+  }
+  // Slots that must ack before an append commits: the first k shard
+  // completions in EC mode (late binding), a majority f+1 otherwise.
+  int ack_quorum() const {
+    return config_.ec_enabled ? static_cast<int>(config_.ec.k)
+                              : config_.fault_budget + 1;
+  }
 
   // Finds a peer (excluding `exclude`) that grants `region_bytes`, trying
   // several candidates because controller info is a hint.
@@ -229,7 +259,12 @@ class NclClient {
     return r;
   }
 
+  // EC geometry / fault-budget / peer-count validation (run once from the
+  // constructor; result cached in init_status_).
+  Status ValidateConfig();
+
   NclConfig config_;
+  Status init_status_;
   Fabric* fabric_;
   Controller* controller_;
   PeerDirectory* directory_;
@@ -259,6 +294,10 @@ class NclClient {
   Counter* c_peers_replaced_;
   Counter* c_suffix_reposts_;
   Counter* c_regions_migrated_;
+  // EC background repair: shards re-encoded onto replacement peers, and
+  // the current commit-watermark lag of the most-degraded shard slot.
+  Counter* c_ec_repairs_;
+  Gauge* g_ec_degraded_;
   Gauge* g_inflight_;
   Histogram* h_record_ns_;
   Histogram* h_recover_ns_;
@@ -340,6 +379,10 @@ class NclFile {
     SimTime suspect_since = 0;
     SimTime next_retry_at = 0;
     std::optional<RetryState> retry;
+    // EC mode: which shard this slot holds (0..k-1 data, k..k+m-1 parity).
+    // Stable across replacement and migration — the successor peer takes
+    // over the same shard role. Unused in replication mode.
+    uint32_t shard_index = 0;
     // Sequence number of the last write fully completed (header landed).
     uint64_t acked_seq = 0;
     // In-flight header WRs: (wr_id of the header WR, seq it commits).
@@ -427,6 +470,34 @@ class NclFile {
   Status CatchUpViaStagedRegion(PeerSlot* slot);
   Status WriteApMap();
   void RefreshPeerNames();
+
+  // ---- Erasure-coding helpers (DESIGN.md §16) ----------------------------
+  // True when this file stripes shards instead of replicating.
+  bool ec() const { return client_->config_.ec_enabled; }
+  const EcGeometry& ec_geometry() const { return client_->config_.ec; }
+  // Per-slot region header size (32-byte shard header vs 16-byte replica
+  // header) and total per-slot region bytes for the file's capacity.
+  uint64_t HeaderBytes() const;
+  uint64_t SlotRegionBytes() const;
+  // Encodes slot `shard_index`'s bytes for shard range `range` from the
+  // local buffer: lane extraction for data shards, parity encoding for
+  // parity shards.
+  void EncodeShardRange(uint32_t shard_index, const EcShardRange& range,
+                        std::string* out) const;
+  // The shard range a logical write [offset, offset+length) lands on for
+  // `shard_index` (may be empty for data lanes a short append misses).
+  EcShardRange ShardRangeFor(uint32_t shard_index, uint64_t offset,
+                             uint64_t length) const;
+  // Full-state shard image: range [0, ShardCapacity(length_)).
+  EcShardRange FullShardRange() const;
+  // Encodes the per-slot header for the current (seq_, length_) into `out`
+  // (which must hold HeaderBytes()): NclShardHeader in EC mode,
+  // NclRegionHeader otherwise.
+  void EncodeSlotHeader(uint32_t shard_index, char* out) const;
+  // Refreshes the ncl.ec.degraded_stripes gauge: how far the most-degraded
+  // shard slot trails the commit watermark (0 when all slots are caught
+  // up; grows while a dead slot awaits repair).
+  void UpdateDegradedGauge();
 
   NclClient* client_;
   std::string name_;

@@ -84,7 +84,18 @@ void LogPeer::ChargeRpc() {
   fabric_->sim()->Advance(fabric_->params().rdma.setup_rpc_latency);
 }
 
+uint64_t LogPeer::CarveExtentBytes(uint64_t region_bytes) const {
+  uint64_t align = options_.carve_align;
+  if (align == 0) {
+    return region_bytes;
+  }
+  return (region_bytes + align - 1) / align * align;
+}
+
 Result<LogPeer::Carve> LogPeer::CarveRegion(uint64_t region_bytes) {
+  // The extent cut from the slab is the carve-aligned size; the fabric
+  // region bound over it stays exactly the requested size.
+  const uint64_t extent_bytes = CarveExtentBytes(region_bytes);
   // First fit across existing slabs, index order (determinism): the pinned
   // memory is already NIC-registered, so a hit here skips MR setup entirely
   // (§4.3's "recycle the memory region", generalized to arbitrary sizes).
@@ -92,7 +103,7 @@ Result<LogPeer::Carve> LogPeer::CarveRegion(uint64_t region_bytes) {
   uint64_t offset = 0;
   for (int i = 0; i < static_cast<int>(slabs_.size()) && slab_idx < 0; ++i) {
     for (const auto& [off, len] : slabs_[i].free) {
-      if (len >= region_bytes) {
+      if (len >= extent_bytes) {
         slab_idx = i;
         offset = off;
         break;
@@ -106,13 +117,13 @@ Result<LogPeer::Carve> LogPeer::CarveRegion(uint64_t region_bytes) {
     if (grain == 0) {
       grain = std::min(lend_bytes_, kDefaultSlabBytes);
     }
-    uint64_t slab_bytes = std::max(grain, region_bytes);
+    uint64_t slab_bytes = std::max(grain, extent_bytes);
     uint64_t lendable = lend_bytes_ - std::min(lend_bytes_, slab_bytes_total_);
     slab_bytes = std::min(slab_bytes, lendable);
-    if (slab_bytes < region_bytes) {
+    if (slab_bytes < extent_bytes) {
       return ResourceExhaustedError("peer " + name_ +
                                     " slab pool cannot grow by " +
-                                    std::to_string(region_bytes) + " bytes");
+                                    std::to_string(extent_bytes) + " bytes");
     }
     fabric_->sim()->Advance(
         fabric_->params().MrRegisterLatency(slab_bytes));
@@ -132,10 +143,10 @@ Result<LogPeer::Carve> LogPeer::CarveRegion(uint64_t region_bytes) {
   auto it = slab.free.find(offset);
   uint64_t extent = it->second;
   slab.free.erase(it);
-  if (extent > region_bytes) {
-    slab.free[offset + region_bytes] = extent - region_bytes;
+  if (extent > extent_bytes) {
+    slab.free[offset + extent_bytes] = extent - extent_bytes;
   }
-  slab.used += region_bytes;
+  slab.used += extent_bytes;
   return Carve{*rkey, slab_idx, offset};
 }
 
@@ -147,6 +158,9 @@ void LogPeer::FreeCarve(RKey rkey, int slab_idx, uint64_t offset,
   if (slab_idx < 0 || slab_idx >= static_cast<int>(slabs_.size())) {
     return;
   }
+  // Return the full aligned extent the carve occupied, not just the
+  // requested bytes, or the rounding slack would leak from the free map.
+  len = CarveExtentBytes(len);
   Slab& slab = slabs_[slab_idx];
   slab.used -= std::min(slab.used, len);
   auto [it, inserted] = slab.free.emplace(offset, len);

@@ -40,6 +40,14 @@ struct LogPeerOptions {
   // memory-window binds. 0 picks min(lend_bytes, 64 MiB); a slab always
   // grows to at least the region being carved.
   uint64_t slab_bytes = 0;
+  // Carve alignment: extents are rounded up to a multiple of this before
+  // being cut from (or returned to) a slab; 0 disables rounding. EC
+  // deployments set this to the shard-region grain so the k+m shard
+  // regions of a stripe — whose byte sizes differ only by stripe-unit
+  // rounding — all occupy identical extents, and first-fit never fragments
+  // under repair/migration churn: a freed shard extent is exactly reusable
+  // by any successor shard.
+  uint64_t carve_align = 0;
 };
 
 class LogPeer {
@@ -178,6 +186,10 @@ class LogPeer {
 
   Status CheckAlive() const;
   void ChargeRpc();
+  // Extent size a region of `region_bytes` occupies in its slab: the
+  // requested size rounded up per options_.carve_align. Applied identically
+  // on carve and free so the extent map stays consistent.
+  uint64_t CarveExtentBytes(uint64_t region_bytes) const;
   // Carves `region_bytes` out of the slab pool, registering a new slab when
   // no existing extent fits (kResourceExhausted when the lend budget cannot
   // cover a new slab either).
