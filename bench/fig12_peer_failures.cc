@@ -41,12 +41,14 @@ int main() {
   SimTime crash1 = reporter.smoke() ? Millis(1250) : Seconds(5);
   SimTime duration = reporter.smoke() ? Seconds(2) : Seconds(8);
   SimTime start = testbed.sim()->Now();
+  // deeplint: allow(dangling-capture) harness.Run() drains the sim in-frame
   testbed.sim()->ScheduleAt(start + crash2, [&testbed, crash2] {
     testbed.peer(0)->Crash();
     testbed.peer(1)->Crash();
     std::printf("  [t=%.2fs] two peers crashed simultaneously\n",
                 static_cast<double>(crash2) / 1e9);
   });
+  // deeplint: allow(dangling-capture) harness.Run() drains the sim in-frame
   testbed.sim()->ScheduleAt(start + crash1, [&testbed, crash1] {
     testbed.peer(2)->Crash();
     std::printf("  [t=%.2fs] one more peer crashed\n",

@@ -117,6 +117,7 @@ int main() {
                       SimTime gap = phase_len / 4;
                       for (int s = 0; s < testbed.dfs_cluster()->num_servers();
                            ++s) {
+                        // deeplint: allow(dangling-capture) fires inside harness.Run(), in main's frame
                         testbed.sim()->Schedule(s * gap, [&engine, s, window] {
                           engine.Execute(Event(ReconfigKind::kDfsRestart, -1,
                                                s, window));

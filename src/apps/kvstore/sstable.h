@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/apps/lru_cache.h"
+#include "src/common/annotations.h"
 #include "src/common/status.h"
 #include "src/splitft/split_fs.h"
 
@@ -47,9 +48,15 @@ class SstableReader {
   // Point lookup. Returns kNotFound if the key is absent from this table.
   Result<std::string> Get(std::string_view key);
 
-  const std::string& smallest_key() const { return smallest_; }
-  const std::string& largest_key() const { return largest_; }
-  const std::string& path() const { return file_->path(); }
+  const std::string& smallest_key() const SPLITFT_LIFETIMEBOUND {
+    return smallest_;
+  }
+  const std::string& largest_key() const SPLITFT_LIFETIMEBOUND {
+    return largest_;
+  }
+  const std::string& path() const SPLITFT_LIFETIMEBOUND {
+    return file_->path();
+  }
   size_t block_count() const { return index_.size(); }
 
   // Full scan, for compaction: merges every entry into `out` (entries

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/apps/storage_app.h"
+#include "src/common/annotations.h"
 #include "src/common/status.h"
 #include "src/splitft/split_fs.h"
 
@@ -30,7 +31,9 @@ class WriteAheadLog {
   Status AppendBatch(const std::vector<KvWrite>& batch, bool sync);
 
   uint64_t Size() const { return file_->Size(); }
-  const std::string& path() const { return file_->path(); }
+  const std::string& path() const SPLITFT_LIFETIMEBOUND {
+    return file_->path();
+  }
   SplitFile* file() { return file_.get(); }
 
   // Encodes a batch into a record (exposed for tests).

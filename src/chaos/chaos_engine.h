@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/chaos/fault_plan.h"
+#include "src/common/annotations.h"
 #include "src/controller/controller.h"
 #include "src/ncl/peer.h"
 #include "src/ncl/peer_directory.h"
@@ -50,7 +51,9 @@ class ChaosEngine {
   void HealAll();
 
   int faults_injected() const { return faults_injected_; }
-  const std::vector<std::string>& log() const { return log_; }
+  const std::vector<std::string>& log() const SPLITFT_LIFETIMEBOUND {
+    return log_;
+  }
   // Peers that were the target of any fault so far (campaign invariants
   // use this to decide whether an unavailability was justified).
   const std::set<std::string>& faulted_peers() const { return faulted_peers_; }

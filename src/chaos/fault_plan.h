@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/rng.h"
 #include "src/sim/simulation.h"
 
@@ -63,7 +64,9 @@ class FaultPlan {
   // same plan, which is what makes campaign failures reproducible.
   static FaultPlan Random(uint64_t seed, const RandomPlanOptions& options);
 
-  const std::vector<FaultEvent>& events() const { return events_; }
+  const std::vector<FaultEvent>& events() const SPLITFT_LIFETIMEBOUND {
+    return events_;
+  }
   bool empty() const { return events_.empty(); }
 
   // Human-readable schedule, printed when an invariant fails.

@@ -1,0 +1,29 @@
+// Portability shims for compiler-specific attributes.
+//
+// SPLITFT_LIFETIMEBOUND marks a function parameter (usually the implicit
+// `this` of an accessor) whose referent must outlive the function's return
+// value. Clang's -Wdangling / -Wdangling-gsl then diagnose call sites that
+// bind the returned reference/view to a longer-lived name than the owner:
+//
+//   const std::string& message() const SPLITFT_LIFETIMEBOUND;
+//   ...
+//   const std::string& m = SomeStatus().message();  // warns: dangling
+//
+// GCC has no equivalent attribute, so the macro expands to nothing there;
+// the CI build-tidy job compiles with clang and -Werror=dangling, which is
+// where these annotations pay off (tools/deeplint covers the same bug
+// class with its own flow heuristics, independent of compiler).
+#ifndef SRC_COMMON_ANNOTATIONS_H_
+#define SRC_COMMON_ANNOTATIONS_H_
+
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define SPLITFT_LIFETIMEBOUND [[clang::lifetimebound]]
+#endif
+#endif
+
+#ifndef SPLITFT_LIFETIMEBOUND
+#define SPLITFT_LIFETIMEBOUND
+#endif
+
+#endif  // SRC_COMMON_ANNOTATIONS_H_

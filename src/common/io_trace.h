@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
+
 namespace splitft {
 
 struct IoTraceEvent {
@@ -22,7 +24,9 @@ struct IoTraceEvent {
 class IoTraceSink {
  public:
   void Record(IoTraceEvent ev) { events_.push_back(std::move(ev)); }
-  const std::vector<IoTraceEvent>& events() const { return events_; }
+  const std::vector<IoTraceEvent>& events() const SPLITFT_LIFETIMEBOUND {
+    return events_;
+  }
   void Clear() { events_.clear(); }
 
  private:

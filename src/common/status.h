@@ -9,6 +9,8 @@
 #include <string_view>
 #include <utility>
 
+#include "src/common/annotations.h"
+
 namespace splitft {
 
 // Error categories. Kept small and oriented at the failure modes the paper's
@@ -46,7 +48,9 @@ class [[nodiscard]] Status {
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  const std::string& message() const SPLITFT_LIFETIMEBOUND {
+    return message_;
+  }
 
   // "OK" or "Unavailable: peer p2 crashed".
   std::string ToString() const;
@@ -82,13 +86,13 @@ class [[nodiscard]] Result {
   }
 
   bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
+  const Status& status() const SPLITFT_LIFETIMEBOUND { return status_; }
 
-  T& value() & {
+  T& value() & SPLITFT_LIFETIMEBOUND {
     assert(ok());
     return *value_;
   }
-  const T& value() const& {
+  const T& value() const& SPLITFT_LIFETIMEBOUND {
     assert(ok());
     return *value_;
   }
@@ -109,8 +113,8 @@ class [[nodiscard]] Result {
     assert(ok());
     return &*value_;
   }
-  T& operator*() { return value(); }
-  const T& operator*() const { return value(); }
+  T& operator*() SPLITFT_LIFETIMEBOUND { return value(); }
+  const T& operator*() const SPLITFT_LIFETIMEBOUND { return value(); }
 
  private:
   std::optional<T> value_;

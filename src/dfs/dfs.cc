@@ -331,14 +331,14 @@ void DfsClient::StartPeriodicFlusher() {
   }
   flusher_running_ = true;
   SimTime interval = cluster_->params_->dfs.flush_interval;
-  cluster_->sim_->Schedule(interval, [this, interval] {
+  cluster_->sim_->Schedule(interval, sim::assert_inline([this, interval] {
     if (!flusher_running_) {
       return;
     }
     BackgroundFlushAll();
     flusher_running_ = false;
     StartPeriodicFlusher();
-  });
+  }));
 }
 
 // ------------------------------------------------------------------ File --

@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/io_trace.h"
 #include "src/common/status.h"
 #include "src/obs/obs.h"
@@ -56,7 +57,7 @@ class DfsCluster {
 
   Simulation* sim() const { return sim_; }
   const SimParams& params() const { return *params_; }
-  const ObsContext& obs() const { return obs_; }
+  const ObsContext& obs() const SPLITFT_LIFETIMEBOUND { return obs_; }
   int num_servers() const { return num_servers_; }
 
   // Optional sink receiving one event per serviced write/delete.
@@ -203,7 +204,7 @@ class DfsClient {
   void StopPeriodicFlusher() { flusher_running_ = false; }
 
   DfsCluster* cluster() const { return cluster_; }
-  const std::string& name() const { return name_; }
+  const std::string& name() const SPLITFT_LIFETIMEBOUND { return name_; }
 
  private:
   friend class DfsFile;
@@ -253,7 +254,7 @@ class DfsFile {
   // Logical size including unflushed writes.
   uint64_t Size() const;
   uint64_t DirtyBytes() const;
-  const std::string& path() const { return path_; }
+  const std::string& path() const SPLITFT_LIFETIMEBOUND { return path_; }
 
  private:
   friend class DfsClient;

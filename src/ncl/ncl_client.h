@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/controller/controller.h"
@@ -194,8 +195,8 @@ class NclClient {
   // Regions moved by completed slot migrations (planned drains).
   int regions_migrated() const { return regions_migrated_; }
 
-  const NclConfig& config() const { return config_; }
-  const ObsContext& obs() const { return obs_; }
+  const NclConfig& config() const SPLITFT_LIFETIMEBOUND { return config_; }
+  const ObsContext& obs() const SPLITFT_LIFETIMEBOUND { return obs_; }
   int peers_replaced() const { return peers_replaced_; }
   // The connection pool in use (shared or private; never null).
   NclConnectionPool* pool() const { return pool_; }
@@ -204,7 +205,9 @@ class NclClient {
   // the EC geometry is malformed, cannot cover the fault budget (m < f),
   // or exceeds the number of registered log peers; Create/Recover return
   // this status instead of failing later at allocation time.
-  const Status& status() const { return init_status_; }
+  const Status& status() const SPLITFT_LIFETIMEBOUND {
+    return init_status_;
+  }
 
  private:
   friend class NclFile;
@@ -310,7 +313,7 @@ class NclFile {
   NclFile(const NclFile&) = delete;
   NclFile& operator=(const NclFile&) = delete;
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const SPLITFT_LIFETIMEBOUND { return name_; }
   uint64_t size() const { return length_; }
   uint64_t capacity() const { return capacity_; }
   uint64_t seq() const { return seq_; }
@@ -357,7 +360,9 @@ class NclFile {
 
   // Number of peers currently considered alive for this file.
   int alive_peers() const;
-  const std::vector<std::string>& peer_names() const { return peer_names_; }
+  const std::vector<std::string>& peer_names() const SPLITFT_LIFETIMEBOUND {
+    return peer_names_;
+  }
 
  private:
   friend class NclClient;

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/status.h"
 #include "src/controller/controller.h"
 #include "src/obs/obs.h"
@@ -64,7 +65,7 @@ class LogPeer {
   // can be handed to applications.
   Status Start();
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const SPLITFT_LIFETIMEBOUND { return name_; }
   NodeId node() const { return node_; }
   bool alive() const { return alive_; }
   bool draining() const { return draining_; }

@@ -286,10 +286,10 @@ void Fabric::CompleteWr(const std::shared_ptr<QpState>& qp,
   uint64_t wr_id = wr.wr_id;
   SimTime delay = CompletionDelay(qp->local, qp->remote);
   if (delay > 0) {
-    sim_->Schedule(delay, [this, qp, wr_id, status,
+    sim_->Schedule(delay, sim::assert_inline([this, qp, wr_id, status,
                            data = std::move(read_data)]() mutable {
       PushCompletion(qp, wr_id, status, std::move(data));
-    });
+    }));
     return;
   }
   PushCompletion(qp, wr_id, status, std::move(read_data));
@@ -316,9 +316,10 @@ bool Fabric::TryDeliverOnce(const std::shared_ptr<QpState>& qp,
       ObsAdd(c_wr_retries_);
       qp->retrying = true;
       auto state = qp;
-      sim_->Schedule(interval, [this, state, w = std::move(*wr)]() mutable {
-        DeliverInOrder(state, std::move(w));
-      });
+      sim_->Schedule(interval,
+                     sim::assert_inline([this, state, w = std::move(*wr)]() mutable {
+                       DeliverInOrder(state, std::move(w));
+                     }));
       return false;
     }
     CompleteWr(qp, *wr, WcStatus::kRetryExceeded, {});
@@ -474,9 +475,10 @@ uint64_t QueuePair::EnqueueWrite(RKey rkey, uint64_t remote_offset,
   auto state = state_;
   Fabric* fabric = fabric_;
   uint64_t id = wr.wr_id;
-  fabric_->sim_->ScheduleAt(done, [fabric, state, w = std::move(wr)]() mutable {
-    fabric->DeliverWr(state, std::move(w));
-  });
+  fabric_->sim_->ScheduleAt(
+      done, sim::assert_inline([fabric, state, w = std::move(wr)]() mutable {
+        fabric->DeliverWr(state, std::move(w));
+      }));
   return id;
 }
 
@@ -508,9 +510,10 @@ uint64_t QueuePair::PostRead(RKey rkey, uint64_t remote_offset, uint64_t len) {
   auto state = state_;
   Fabric* fabric = fabric_;
   uint64_t id = wr.wr_id;
-  fabric_->sim_->ScheduleAt(done, [fabric, state, w = std::move(wr)]() mutable {
-    fabric->DeliverWr(state, std::move(w));
-  });
+  fabric_->sim_->ScheduleAt(
+      done, sim::assert_inline([fabric, state, w = std::move(wr)]() mutable {
+        fabric->DeliverWr(state, std::move(w));
+      }));
   return id;
 }
 

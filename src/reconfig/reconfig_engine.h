@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/controller/controller.h"
 #include "src/dfs/dfs.h"
 #include "src/ncl/peer.h"
@@ -65,7 +66,9 @@ class ReconfigEngine {
   int ops_completed() const { return ops_completed_; }
   int ops_skipped() const { return ops_skipped_; }
   int ops_failed() const { return ops_failed_; }
-  const std::vector<std::string>& log() const { return log_; }
+  const std::vector<std::string>& log() const SPLITFT_LIFETIMEBOUND {
+    return log_;
+  }
 
  private:
   void Note(const ReconfigEvent& event, const std::string& detail);

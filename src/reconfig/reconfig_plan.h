@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/rng.h"
 #include "src/sim/simulation.h"
 
@@ -62,7 +63,9 @@ class ReconfigPlan {
   // campaign failures reproduce exactly.
   static ReconfigPlan Random(uint64_t seed, const ReconfigPlanOptions& options);
 
-  const std::vector<ReconfigEvent>& events() const { return events_; }
+  const std::vector<ReconfigEvent>& events() const SPLITFT_LIFETIMEBOUND {
+    return events_;
+  }
   bool empty() const { return events_.empty(); }
 
   // Human-readable schedule, printed when an invariant fails.

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <utility>
 
 #include "src/sim/event_queue.h"
@@ -36,6 +37,31 @@ inline constexpr SimTime Millis(double ms) {
 inline constexpr SimTime Seconds(double s) {
   return static_cast<SimTime>(s * 1e9);
 }
+
+namespace sim {
+
+// Compile-time proof that a scheduled callable fits the event arena's
+// inline slab (sim_internal::kEventInlineBytes). Passes the callable
+// through unchanged, so hot-path call sites wrap their lambda:
+//
+//   sim_->Schedule(delay, sim::assert_inline([this, qp, wr] { ... }));
+//
+// A capture list that grows past the slab stops compiling at the site
+// that grew it, instead of silently heap-spilling every event (the
+// heap_callables counter in scheduler_stats() is the runtime view of the
+// same budget; tools/deeplint's inline-budget rule is the static one).
+template <typename F>
+constexpr F&& assert_inline(F&& fn) noexcept {
+  static_assert(
+      sizeof(std::remove_reference_t<F>) <= sim_internal::kEventInlineBytes,
+      "scheduled callable exceeds the inline event slab "
+      "(sim_internal::kEventInlineBytes): it would heap-allocate on every "
+      "Schedule. Shrink the captures (capture pointers, not values) or, "
+      "off the hot path, call Schedule without assert_inline.");
+  return std::forward<F>(fn);
+}
+
+}  // namespace sim
 
 class Simulation {
  public:

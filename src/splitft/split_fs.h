@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/annotations.h"
 #include "src/common/status.h"
 #include "src/controller/controller.h"
 #include "src/dfs/dfs.h"
@@ -88,7 +89,7 @@ class SplitFile {
     return Read(offset, len);
   }
   virtual uint64_t Size() const = 0;
-  virtual const std::string& path() const = 0;
+  virtual const std::string& path() const SPLITFT_LIFETIMEBOUND = 0;
   // True when the file is NCL-backed (diagnostics/Table 2).
   virtual bool ncl_backed() const = 0;
 };
@@ -134,7 +135,7 @@ class SplitFs {
   DfsClient* dfs() { return dfs_; }
   // The observability handle applications should use for their own spans
   // and counters ("app.*" keys).
-  const ObsContext& obs() const { return obs_; }
+  const ObsContext& obs() const SPLITFT_LIFETIMEBOUND { return obs_; }
 
  private:
   std::unique_ptr<NclClient> ncl_;

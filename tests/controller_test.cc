@@ -157,6 +157,7 @@ TEST_F(ControllerTest, ApMapRoundTripWithSlashyFilenames) {
   ApMapEntry entry;
   entry.epoch = 3;
   entry.peers = {"p1", "p2", "p3"};
+  // deeplint: allow(epoch-fence) controller unit test writes the map directly
   ASSERT_TRUE(controller_.SetApMap("app", "/db/wal/000042.log", entry).ok());
 
   auto got = controller_.GetApMap("app", "/db/wal/000042.log");
@@ -177,9 +178,11 @@ TEST_F(ControllerTest, ApMapOverwriteUpdatesPeers) {
   ApMapEntry entry;
   entry.epoch = 1;
   entry.peers = {"p1", "p2", "p3"};
+  // deeplint: allow(epoch-fence) controller unit test writes the map directly
   ASSERT_TRUE(controller_.SetApMap("app", "f", entry).ok());
   entry.epoch = 2;
   entry.peers = {"p1", "p2", "p9"};  // p3 replaced
+  // deeplint: allow(epoch-fence) controller unit test writes the map directly
   ASSERT_TRUE(controller_.SetApMap("app", "f", entry).ok());
   auto got = controller_.GetApMap("app", "f");
   ASSERT_TRUE(got.ok());

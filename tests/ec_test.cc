@@ -484,9 +484,11 @@ TEST_F(EcClusterTest, ApMapCarriesGeometryUnderEpochFence) {
   // membership change.
   ApMapEntry mutated = *entry;
   mutated.ec_k = 3;
+  // deeplint: allow(epoch-fence) exercising the geometry fence
   EXPECT_EQ(controller_.SetApMap("ec-app", "wal", mutated).code(),
             StatusCode::kFailedPrecondition);
   // Identical same-epoch rewrites stay idempotent.
+  // deeplint: allow(epoch-fence) idempotent-rewrite path under test
   EXPECT_TRUE(controller_.SetApMap("ec-app", "wal", *entry).ok());
 }
 

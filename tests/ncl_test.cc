@@ -966,6 +966,83 @@ TEST_F(NclTest, NoPrefetchReadsPayPerReadRdmaCost) {
   EXPECT_GT(remote_read, local_read * 3);
 }
 
+// Regression for the PostSuffix dangling-view bug (the shape deeplint's
+// view-lifetime rule exists for — see tools/deeplint/rules.py and
+// DESIGN.md §17): PostSuffix accumulates per-entry encoded shard chunks
+// in `shard_scratch` while `ops` holds string_views into them. The
+// `shard_scratch.reserve(window_.size())` before the loop is
+// load-bearing — without it, vector growth relocates the small (SSO)
+// chunk strings out from under their views and the replayed suffix
+// bytes are garbage. This test forces exactly that shape: a tiny stripe
+// unit keeps every encoded chunk within SSO, and the >64-entry suffix
+// window would reallocate the scratch vector several times over.
+// Corruption shows up as an oracle mismatch after recovery (and as a
+// heap-use-after-free under the ASan job).
+TEST_F(NclTest, EcSuffixRepostSurvivesScratchGrowth) {
+  StartPeers(4);  // exactly k+m members; the laggard stays in place
+  NclConfig config;
+  config.app_id = "test-app";
+  config.default_capacity = 1 << 20;
+  config.ec_enabled = true;
+  config.ec = EcGeometry{2, 2, 8};  // 8 B lane chunks: scratch stays SSO
+  config.fault_budget = 2;
+  // Transient-tolerant retry: the partitioned peer goes *suspect* and is
+  // resurrected through RepostSuspect -> PostSuffix, instead of being
+  // demoted on first error and replaced via a snapshot copy.
+  config.retry = RetryPolicy::Transient(8, Millis(20));
+  config.eager_peer_replacement = false;
+  std::string oracle;
+  std::vector<std::string> members;
+  {
+    auto client = MakeClient(config);
+    auto file = client->Create("/wal/1");
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    for (int i = 0; i < 8; ++i) {
+      std::string payload(16, static_cast<char>('a' + (i % 26)));
+      oracle += payload;
+      ASSERT_TRUE((*file)->Append(payload).ok()) << i;
+    }
+    ASSERT_TRUE((*file)->Drain().ok());
+    members = (*file)->peer_names();
+    ASSERT_EQ(members.size(), 4u);
+    // Partition one shard holder (heals at +3 ms, inside the retry
+    // deadline) and keep appending: the window accumulates entries the
+    // suspect never saw — enough to take the scratch vector through
+    // several growth doublings, while staying inside the PruneWindow cap
+    // so the resurrection uses the suffix path, not the full-state one.
+    fabric_.PartitionFor(app_node_, PeerNamed(members[1])->node(), Millis(3));
+    for (int i = 8; i < 32; ++i) {
+      std::string payload(16, static_cast<char>('a' + (i % 26)));
+      oracle += payload;
+      ASSERT_TRUE((*file)->Append(payload).ok()) << i;
+    }
+    // Retries fire from inside Append; space a few appends past the heal
+    // to drive the resurrection home.
+    for (int i = 0; i < 8 && ClientCounter("transient_recoveries") < 1;
+         ++i) {
+      sim_.RunUntil(sim_.Now() + Millis(2));
+      std::string payload(16, 'z');
+      oracle += payload;
+      ASSERT_TRUE((*file)->Append(payload).ok()) << i;
+    }
+    ASSERT_TRUE((*file)->Drain().ok());
+    EXPECT_GE(ClientCounter("transient_recoveries"), 1u);
+    EXPECT_GE(ClientCounter("suffix_reposts"), 1u);
+    EXPECT_EQ(ClientCounter("permanent_demotions"), 0u);
+  }
+  sim_.RunUntilIdle();
+  // Make recovery depend on the replayed shard: kill two of the peers
+  // that stayed current, leaving exactly k survivors including the healed
+  // laggard. If the repost shipped dangling-view garbage, reconstruction
+  // returns corrupt bytes here (and ASan flags the read outright).
+  PeerNamed(members[0])->Crash();
+  PeerNamed(members[2])->Crash();
+  auto fresh = MakeClient(config);
+  auto recovered = fresh->Recover("/wal/1");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Contents(recovered->get()), oracle);
+}
+
 // Parameterized across failure budgets: the protocol works for any f.
 class NclFaultBudgetSweep : public NclTest,
                             public ::testing::WithParamInterface<int> {};

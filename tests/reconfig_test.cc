@@ -114,15 +114,18 @@ TEST(ApMapFenceTest, WriteSkippingEpochBumpIsFenced) {
   ApMapEntry entry;
   entry.epoch = *epoch;
   entry.peers = {"peer-0", "peer-1", "peer-2"};
+  // deeplint: allow(epoch-fence) test drives the fence directly
   ASSERT_TRUE(controller->SetApMap("app", "wal", entry).ok());
 
   // Identical same-epoch rewrite: idempotent (client RPC retries).
+  // deeplint: allow(epoch-fence) idempotent-rewrite path under test
   EXPECT_TRUE(controller->SetApMap("app", "wal", entry).ok());
 
   // Changing the peer set without bumping the epoch violates
   // bump-then-write and must be fenced.
   ApMapEntry no_bump = entry;
   no_bump.peers = {"peer-0", "peer-1", "peer-3"};
+  // deeplint: allow(epoch-fence) exercising the fence rejection path
   Status fenced = controller->SetApMap("app", "wal", no_bump);
   EXPECT_EQ(fenced.code(), StatusCode::kFailedPrecondition);
 
@@ -131,8 +134,10 @@ TEST(ApMapFenceTest, WriteSkippingEpochBumpIsFenced) {
   ASSERT_TRUE(epoch2.ok());
   ApMapEntry current = entry;
   current.epoch = *epoch2;
+  // deeplint: allow(epoch-fence) test drives the fence directly
   ASSERT_TRUE(controller->SetApMap("app", "wal", current).ok());
   ApMapEntry stale = entry;  // epoch1 < epoch2
+  // deeplint: allow(epoch-fence) exercising the stale-writer fence
   Status stale_st = controller->SetApMap("app", "wal", stale);
   EXPECT_EQ(stale_st.code(), StatusCode::kFailedPrecondition);
 

@@ -27,7 +27,8 @@ if [ "$check_python" -eq 1 ]; then
     echo "error: '$PYTHON' not found; needed to check tools/*.py" >&2
     exit 2
   fi
-  mapfile -t pyfiles < <(find tools -maxdepth 1 -type f -name '*.py' | sort)
+  mapfile -t pyfiles < <(find tools -maxdepth 2 -type f -name '*.py' \
+    -not -path '*/__pycache__/*' | sort)
   if [ "${#pyfiles[@]}" -eq 0 ]; then
     echo "error: no python tools found (run from the repository root)" >&2
     exit 2

@@ -1,0 +1,1 @@
+"""deeplint: semantic (AST-level) lint for SplitFT. See deeplint.py."""

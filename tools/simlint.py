@@ -39,6 +39,14 @@ broken determinism or swallowed errors:
                   that. Use DiscardStatus(expr, "where") so the drop is
                   logged and counted, or CHECK_OK for must-succeed paths.
 
+  stale-allow     An allow() whose rule no longer fires on the line it
+                  covers (or an allow-file() whose rule never fires in the
+                  file). Dead suppressions read as active hazards and
+                  silently re-arm if the pattern comes back, so they are
+                  findings themselves. Parking one across an in-flight
+                  refactor is the only sanctioned use:
+                  `// simlint: allow(stale-allow) reason` on the same line.
+
 Suppressions (the reason text is mandatory by convention, not parsed):
 
   // simlint: allow(rule) reason          -- same line or the line above
@@ -68,6 +76,7 @@ RULES = (
     "unordered-iter",
     "metric-name",
     "status-discard",
+    "stale-allow",
 )
 
 # Files where a rule does not apply at all (the one place allowed to
@@ -215,8 +224,11 @@ def strip_views(text):
 
 
 def collect_suppressions(raw_lines):
-    """Returns (file_allows, line_allows, findings-for-unknown-rules)."""
-    file_allows = set()
+    """Returns (file_allows, line_allows, findings-for-unknown-rules).
+
+    file_allows maps rule -> line of the first allow-file() for it, so the
+    stale-allow pass can point at the suppression it wants deleted."""
+    file_allows = {}
     line_allows = {}
     bad = []
     for lineno, line in enumerate(raw_lines, 1):
@@ -224,7 +236,7 @@ def collect_suppressions(raw_lines):
             if m.group(1) not in RULES:
                 bad.append((lineno, m.group(1)))
             else:
-                file_allows.add(m.group(1))
+                file_allows.setdefault(m.group(1), lineno)
         for m in _ALLOW.finditer(line):
             if "allow-file" in m.group(0):
                 continue
@@ -294,9 +306,12 @@ def lint_file(path, text=None):
                 return True
         return False
 
+    # Raw findings are collected before suppression so the stale-allow pass
+    # can tell a suppression that earns its keep from one that is dead.
+    raw = []
+
     def add(rule, lineno, message):
-        if not suppressed(rule, lineno):
-            findings.append(Finding(path, lineno, rule, message))
+        raw.append((rule, lineno, message))
 
     unordered = unordered_names(path, "\n".join(code_lines))
 
@@ -358,6 +373,47 @@ def lint_file(path, text=None):
                     "span name \"%s\" does not follow layer.component "
                     "(>= 2 lowercase dot-separated segments)" % name,
                 )
+
+    for rule, lineno, message in raw:
+        if not suppressed(rule, lineno):
+            findings.append(Finding(path, lineno, rule, message))
+
+    # --- stale-allow: every suppression must still suppress something ----
+    # An allow() at line A covers findings on A and A+1 (the mirror of the
+    # (lineno, lineno-1) lookup above); an allow-file() covers the whole
+    # file. One that covers nothing is itself a finding. allow(stale-allow)
+    # is exempt from the staleness check — it exists to park another allow
+    # across a refactor, and has no raw finding of its own to cover.
+    fired = {}
+    for rule, lineno, _ in raw:
+        fired.setdefault(rule, set()).add(lineno)
+
+    def stale_suppressed(lineno):
+        for at in (lineno, lineno - 1):
+            if "stale-allow" in line_allows.get(at, ()):
+                return True
+        return False
+
+    for lineno in sorted(line_allows):
+        for rule in sorted(line_allows[lineno]):
+            if rule == "stale-allow":
+                continue
+            hits = fired.get(rule, ())
+            if lineno in hits or lineno + 1 in hits:
+                continue
+            if not stale_suppressed(lineno):
+                findings.append(Finding(
+                    path, lineno, "stale-allow",
+                    "allow(%s) suppresses nothing here; the pattern is "
+                    "gone — delete the suppression" % rule))
+    for rule in sorted(file_allows):
+        if rule == "stale-allow":
+            continue
+        if not fired.get(rule) and not stale_suppressed(file_allows[rule]):
+            findings.append(Finding(
+                path, file_allows[rule], "stale-allow",
+                "allow-file(%s) suppresses nothing; the rule never fires "
+                "in this file — delete the suppression" % rule))
     return findings
 
 

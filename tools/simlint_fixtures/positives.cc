@@ -60,4 +60,11 @@ void NotViolations(Registry* reg, Tracer* tracer) {
 // An unknown rule name in a suppression is itself a finding.
 // simlint: allow(no-such-rule) typo  // simlint-expect: suppression
 
+// A suppression whose rule no longer fires on the covered line is dead
+// weight and a finding of its own.
+void NothingToSuppress() {
+  int x = 0;  // simlint: allow(wall-clock) dead  // simlint-expect: stale-allow
+  (void)x;
+}
+
 }  // namespace fixture

@@ -42,4 +42,12 @@ void StatusDiscards(File* f) {
   (void)f->Sync();  // covered by the allow-file(status-discard) above
 }
 
+// The one sanctioned use of allow(stale-allow): parking a suppression
+// across a refactor that lands in the same PR stack.
+void ParkedAcrossRefactor() {
+  // simlint: allow(stale-allow) fixture: parked across a refactor
+  int y = 0;  // simlint: allow(raw-random) parked
+  (void)y;
+}
+
 }  // namespace fixture
